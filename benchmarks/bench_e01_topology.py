@@ -1,0 +1,50 @@
+"""E1 — Fig. 1: the organisation of universal fat-trees.
+
+Regenerates the structural picture: channel capacities per level for a
+sweep of (n, w), the two growth regimes (capacities double per level near
+the leaves, grow by ∛4 within 3·lg(n/w) of the root), wire totals, and
+the crossover level.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, UniversalCapacity
+
+
+def build_fattree(n, w):
+    ft = FatTree(n, UniversalCapacity(n, w))
+    return ft, ft.total_wires()
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024, 4096])
+def test_topology_structure(n, report, benchmark):
+    rows = []
+    for w in sorted({math.ceil(n ** (2 / 3)), math.ceil(n ** (5 / 6)), n}):
+        ft, wires = build_fattree(n, w)
+        caps = ft.capacity.caps()
+        rows.append(
+            {
+                "n": n,
+                "w": w,
+                "crossover 3·lg(n/w)": ft.capacity.crossover_level,
+                "caps (root..)": "/".join(str(c) for c in caps[:5]) + "…",
+                "leaf cap": caps[-1],
+                "total wires": wires,
+            }
+        )
+        # shape: every capacity profile starts at w, ends at 1,
+        # non-increasing downward
+        assert caps[0] == w and caps[-1] == 1
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+        # growth regimes: below the crossover the ratio per level is ~2;
+        # above it, ~4^(1/3)
+        k_star = ft.capacity.crossover_level
+        for k in range(max(1, k_star), ft.depth):
+            assert caps[k] <= 2 * caps[k + 1] + 1  # doubling regime
+        for k in range(0, max(0, k_star - 1)):
+            ratio = caps[k] / caps[k + 1]
+            assert ratio <= 2 ** (2 / 3) * 1.3  # ∛4 regime (ceil slack)
+    report(rows, title=f"E1 / Fig. 1 — universal fat-tree structure (n = {n})")
+    benchmark(build_fattree, n, n)

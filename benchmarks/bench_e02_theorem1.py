@@ -1,0 +1,88 @@
+"""E2 — Theorem 1: off-line scheduling within O(λ(M)·lg n).
+
+Measures delivery cycles d against the load-factor lower bound λ(M) for
+random and adversarial traffic across sizes.  The shape claims asserted:
+d >= ceil(λ) always, d <= 2·ceil(λ)·lg n always, and the overhead d/λ
+grows no faster than lg n.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_loglog
+from repro.core import (
+    FatTree,
+    UniversalCapacity,
+    load_factor,
+    schedule_theorem1,
+    theorem1_cycle_bound,
+)
+from repro.workloads import bit_reversal, hotspot, uniform_random
+
+
+def run_schedule_experiment(n, workload_name):
+    ft = FatTree(n, UniversalCapacity(n, max(math.ceil(n ** (2 / 3)), 4)))
+    if workload_name == "uniform":
+        m = uniform_random(n, 8 * n, seed=n)
+    elif workload_name == "hotspot":
+        m = hotspot(n, 2 * n, fraction=0.3, seed=n)
+    else:
+        m = bit_reversal(n)
+    lam = load_factor(ft, m)
+    sched = schedule_theorem1(ft, m)
+    sched.validate(ft, m)
+    return ft, lam, sched
+
+
+@pytest.mark.parametrize("workload", ["uniform", "hotspot", "bit-reversal"])
+def test_theorem1_bound_across_sizes(workload, report, benchmark):
+    rows = []
+    overheads = []
+    sizes = [16, 64, 256, 1024]
+    for n in sizes:
+        ft, lam, sched = run_schedule_experiment(n, workload)
+        bound = theorem1_cycle_bound(ft, lam)
+        d = sched.num_cycles
+        rows.append(
+            {
+                "n": n,
+                "lg n": ft.depth,
+                "λ(M)": lam,
+                "d": d,
+                "bound 2⌈λ⌉lg n": bound,
+                "d/⌈λ⌉": d / max(1, math.ceil(lam)),
+            }
+        )
+        assert d >= math.ceil(lam)
+        assert d <= bound
+        overheads.append(d / max(1.0, lam))
+    report(rows, title=f"E2 / Theorem 1 — {workload} traffic")
+    benchmark(run_schedule_experiment, 64, workload)
+    # the overhead d/λ must stay within a constant of lg n
+    for n, over in zip(sizes, overheads):
+        assert over <= 2.5 * math.log2(n) + 2
+
+
+def test_scheduler_throughput(benchmark):
+    n = 256
+    ft = FatTree(n, UniversalCapacity(n, 64))
+    m = uniform_random(n, 4 * n, seed=0)
+    benchmark(schedule_theorem1, ft, m)
+
+
+def test_overhead_growth_is_logarithmic(report, benchmark):
+    """Fitting d against λ·lg n over a 64x size sweep should give slope
+    ~1 (linear in the bound), far from any polynomial in n."""
+    xs, ys = [], []
+    for n in (16, 32, 64, 128, 256, 512, 1024):
+        ft, lam, sched = run_schedule_experiment(n, "uniform")
+        xs.append(max(lam, 1.0) * ft.depth)
+        ys.append(sched.num_cycles)
+    fit = fit_loglog(xs, ys)
+    report(
+        [{"fit d ~ (λ·lg n)^s": fit.slope, "r²": fit.r_squared}],
+        title="E2 — scheduling overhead growth",
+    )
+    assert 0.5 <= fit.slope <= 1.35
+    benchmark(run_schedule_experiment, 128, "uniform")

@@ -1,0 +1,83 @@
+"""E3 — Corollary 2: near-optimal scheduling when cap(c) >= a·lg n.
+
+On capacity-inflated fat-trees the reuse scheduler must hit
+d <= 2·ceil((a/(a−1))·λ(M)) — no lg n factor.  Asserted shapes: the bound
+holds for a ∈ {2, 3, 4}, and d/λ stays flat as n grows (the entire point
+versus Theorem 1).
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FatTree,
+    ScaledCapacity,
+    UniversalCapacity,
+    capacity_ratio,
+    corollary2_cycle_bound,
+    load_factor,
+    schedule_corollary2,
+    schedule_theorem1,
+)
+from repro.workloads import uniform_random
+
+
+def wide_tree(n, a):
+    base = UniversalCapacity(n, n)
+    depth = base.depth
+    return FatTree(n, ScaledCapacity(base, lambda c: c * a * depth))
+
+
+@pytest.mark.parametrize("a", [2, 3, 4])
+def test_corollary2_bound(a, report, benchmark):
+    rows = []
+    for n in (32, 64, 128, 256):
+        ft = wide_tree(n, a)
+        m = uniform_random(n, 40 * n, seed=n * a)
+        lam = load_factor(ft, m)
+        sched = schedule_corollary2(ft, m)
+        sched.validate(ft, m)
+        bound = corollary2_cycle_bound(ft, lam)
+        rows.append(
+            {
+                "n": n,
+                "a (measured)": capacity_ratio(ft),
+                "λ(M)": lam,
+                "d": sched.num_cycles,
+                "bound 2⌈a/(a-1)·λ⌉": bound,
+                "d/⌈λ⌉": sched.num_cycles / max(1, math.ceil(lam)),
+            }
+        )
+        assert sched.num_cycles <= bound
+        assert sched.num_cycles >= math.ceil(lam)
+    report(rows, title=f"E3 / Corollary 2 — capacity factor a = {a}")
+    # flat in n: the overhead ratio may not grow with size
+    ratios = [r["d/⌈λ⌉"] for r in rows]
+    assert max(ratios) <= 2 * min(ratios) + 1
+    benchmark(lambda: schedule_corollary2(wide_tree(64, a), uniform_random(64, 40 * 64, seed=a)))
+
+
+def test_corollary2_beats_theorem1_overhead(report, benchmark):
+    """The lg n gap between the two schedulers, measured."""
+    rows = []
+    for n in (64, 128, 256):
+        ft = wide_tree(n, 2)
+        m = uniform_random(n, 60 * n, seed=n)
+        d2 = schedule_corollary2(ft, m).num_cycles
+        d1 = schedule_theorem1(ft, m).num_cycles
+        lam = load_factor(ft, m)
+        rows.append(
+            {"n": n, "λ": lam, "d (Cor 2)": d2, "d (Thm 1)": d1,
+             "Thm1/Cor2": d1 / max(1, d2)}
+        )
+        assert d2 <= d1
+    report(rows, title="E3 — reuse scheduler vs level-by-level scheduler")
+    benchmark(lambda: schedule_corollary2(wide_tree(64, 2), uniform_random(64, 30 * 64, seed=0)))
+
+
+def test_corollary2_throughput(benchmark):
+    n = 128
+    ft = wide_tree(n, 2)
+    m = uniform_random(n, 40 * n, seed=1)
+    benchmark(schedule_corollary2, ft, m)

@@ -1,0 +1,100 @@
+"""E4 — Theorem 4: hardware cost of universal fat-trees.
+
+Measured component counts must scale as O(n·lg(w³/n²)) and the
+constructive volume as O((w·lg(n/w))^{3/2}); we also exercise the inverse
+map volume → root capacity.  Log-log fits recover the exponents.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_loglog
+from repro.core import FatTree, UniversalCapacity
+from repro.vlsi import (
+    component_bound,
+    constructive_volume,
+    root_capacity_for_volume,
+    total_components,
+    volume_bound,
+)
+
+
+def measure(n, w):
+    ft = FatTree(n, UniversalCapacity(n, w))
+    return {
+        "components": total_components(ft),
+        "volume": constructive_volume(n, w),
+    }
+
+
+def test_component_scaling(report, benchmark):
+    rows = []
+    sizes = [2 ** k for k in range(6, 15, 2)]
+    for n in sizes:
+        for kind, w in (("w=n^2/3", math.ceil(n ** (2 / 3))), ("w=n", n)):
+            m = measure(n, w)
+            bound = component_bound(n, w)
+            rows.append(
+                {
+                    "n": n,
+                    "profile": kind,
+                    "components": m["components"],
+                    "O(n·lg(w³/n²))": bound,
+                    "ratio": m["components"] / bound,
+                }
+            )
+            assert m["components"] <= bound
+    report(rows, title="E4 / Theorem 4 — component counts")
+    # at fixed w = n, components / n grows like lg n: fit comp vs n·lg n
+    xs = [n * math.log2(n) for n in sizes]
+    ys = [r["components"] for r in rows if r["profile"] == "w=n"]
+    fit = fit_loglog(xs, ys)
+    assert 0.85 <= fit.slope <= 1.15, f"components not ~ n·lg n: {fit.slope}"
+    benchmark(measure, 1024, 1024)
+
+
+def test_volume_scaling(report, benchmark):
+    rows = []
+    sizes = [2 ** k for k in range(8, 15, 2)]
+    ratios = []
+    for n in sizes:
+        w = math.ceil(n ** (5 / 6))
+        v = constructive_volume(n, w)
+        bound = volume_bound(n, w, 1.0)
+        rows.append(
+            {"n": n, "w=n^5/6": w, "constructive v": v,
+             "(w·lg(n/w))^1.5": bound, "ratio": v / bound}
+        )
+        ratios.append(v / bound)
+    report(rows, title="E4 / Theorem 4 — constructive volume vs closed form")
+    # same shape: the ratio stays within a constant band across 64x in n
+    assert max(ratios) / min(ratios) < 6.0
+    # exponent check: v ~ (w·lg(n/w))^{3/2}
+    xs = [r["w=n^5/6"] * max(1, math.log2(n / r["w=n^5/6"])) for n, r in zip(sizes, rows)]
+    fit = fit_loglog(xs, [r["constructive v"] for r in rows])
+    assert 1.3 <= fit.slope <= 1.7, f"volume exponent {fit.slope} not ~ 3/2"
+    benchmark(constructive_volume, 1024, 256)
+
+
+def test_inverse_map(report, benchmark):
+    n = 4096
+    rows = []
+    for v in sorted((n * 12.0, n ** 1.25, n ** 1.4, n ** 1.5)):
+        w = root_capacity_for_volume(n, v)
+        rows.append(
+            {"volume budget": v, "root capacity w": w,
+             "v^(2/3)": v ** (2 / 3),
+             "w·lg(n/w)": w * max(1, math.log2(n / w))}
+        )
+    report(rows, title="E4 — volume → root capacity (§IV definition)")
+    ws = [r["root capacity w"] for r in rows]
+    assert ws == sorted(ws)  # monotone in budget
+    # w·lg(n/w) tracks v^{2/3} within a constant
+    for r in rows:
+        assert 0.2 <= r["w·lg(n/w)"] / r["v^(2/3)"] <= 5.0
+    benchmark(root_capacity_for_volume, 4096, 4096 ** 1.4)
+
+
+def test_cost_model_speed(benchmark):
+    benchmark(measure, 4096, 1024)

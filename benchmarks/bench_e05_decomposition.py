@@ -1,0 +1,87 @@
+"""E5 — Theorem 5: cutting-plane decomposition trees of real layouts.
+
+For actual 3-D layouts (meshes, hypercubes, random clouds), the measured
+decomposition tree must have root bandwidth O(v^{2/3}) and per-level
+bandwidth decay converging to ∛4 (a factor of 4 every three levels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_loglog
+from repro.networks import Hypercube, Layout, Mesh2D, Mesh3D
+from repro.vlsi import cutting_plane_tree, theorem5_bandwidth
+
+
+def random_layout(n, seed=0):
+    rng = np.random.default_rng(seed)
+    side = float(max(4, round(n ** (1 / 3)) * 2))
+    return Layout(rng.uniform(0, side, (n, 3)), (side, side, side))
+
+
+def build_tree(layout):
+    return cutting_plane_tree(layout)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        ("mesh2d", lambda n: Mesh2D(n).layout()),
+        ("mesh3d", lambda n: Mesh3D(n).layout()),
+        ("hypercube", lambda n: Hypercube(n).layout()),
+        ("random-cloud", random_layout),
+    ],
+    ids=lambda m: m[0],
+)
+def test_decomposition_shape(make, report, benchmark):
+    name, factory = make
+    sizes = {"mesh3d": [64, 512], "mesh2d": [64, 256, 1024]}.get(
+        name, [64, 256, 1024]
+    )
+    rows = []
+    for n in sizes:
+        lay = factory(n)
+        tree = build_tree(lay)
+        tree.validate()
+        w = tree.level_bandwidths
+        decay3 = [w[i] / w[i + 3] for i in range(min(4, len(w) - 3))]
+        rows.append(
+            {
+                "n": n,
+                "volume v": lay.volume,
+                "depth r": tree.depth,
+                "w_0 (root bw)": w[0],
+                "O(v^2/3)": theorem5_bandwidth(lay.volume, 0),
+                "decay per 3 lvls": np.mean(decay3) if decay3 else float("nan"),
+            }
+        )
+        # the v^{2/3} closed form assumes a cubic region; flat layouts
+        # (the 2-D mesh) have larger surface per volume, so compare the
+        # root bandwidth against its own box there
+        bx, by, bz = lay.box
+        if max(lay.box) <= 2 * min(lay.box):
+            assert w[0] <= theorem5_bandwidth(lay.volume, 0) * 1.01
+        else:
+            assert w[0] == pytest.approx(2 * (bx * by + by * bz + bz * bx))
+        # every three cuts halve all sides: bandwidth drops by exactly 4
+        for d3 in decay3:
+            assert d3 == pytest.approx(4.0, rel=0.05)
+    report(rows, title=f"E5 / Theorem 5 — cutting-plane tree of {name}")
+    benchmark(build_tree, factory(sizes[0]))
+
+
+def test_root_bandwidth_exponent(report, benchmark):
+    """Across a 512x volume sweep, w_0 must fit v^{2/3}."""
+    vols, bws = [], []
+    for n in (64, 256, 1024, 4096):
+        lay = random_layout(n, seed=n)
+        tree = cutting_plane_tree(lay)
+        vols.append(lay.volume)
+        bws.append(tree.level_bandwidths[0])
+    fit = fit_loglog(vols, bws)
+    report(
+        [{"fit w0 ~ v^s, s": fit.slope, "r²": fit.r_squared}],
+        title="E5 — root bandwidth exponent (expect 2/3)",
+    )
+    assert 0.6 <= fit.slope <= 0.73
+    benchmark(build_tree, random_layout(256, seed=1))

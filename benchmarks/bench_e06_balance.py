@@ -1,0 +1,85 @@
+"""E6 — Lemma 6 / Theorem 8 / Corollary 9 (Fig. 4): balanced
+decomposition trees.
+
+Measured claims: every balanced node splits its processors ±1 and owns at
+most two leaf runs (Lemma 6 structure); the balanced bandwidths respect
+w'_j <= 4·Σ_{i>=j} w_i (Theorem 8); for the geometric (w, ∛4) trees of
+Theorem 5 the root blow-up stays under 4a/(a−1) (Corollary 9).
+"""
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube, Layout, Mesh2D
+from repro.vlsi import (
+    balance_decomposition,
+    corollary9_factor,
+    cutting_plane_tree,
+    theorem8_bound,
+)
+
+A = 4.0 ** (1.0 / 3.0)
+
+
+def random_layout(n, seed=0):
+    rng = np.random.default_rng(seed)
+    side = float(max(4, round(n ** (1 / 3)) * 2))
+    return Layout(rng.uniform(0, side, (n, 3)), (side, side, side))
+
+
+def balance(layout):
+    tree = cutting_plane_tree(layout)
+    return tree, balance_decomposition(tree)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        ("mesh2d", lambda n: Mesh2D(n).layout()),
+        ("hypercube", lambda n: Hypercube(n).layout()),
+        ("random-cloud", random_layout),
+    ],
+    ids=lambda m: m[0],
+)
+def test_balance_invariants_and_bounds(make, report, benchmark):
+    name, factory = make
+    rows = []
+    for n in (64, 256):
+        tree, bal = balance(factory(n))
+        bal.validate_balance()
+        blowups = []
+        for j in range(len(bal.level_bandwidths)):
+            bound = theorem8_bound(tree.level_bandwidths, min(j, tree.depth))
+            measured = bal.level_bandwidths[j]
+            assert measured <= bound + 1e-6, (j, measured, bound)
+            if tree.level_bandwidths[min(j, tree.depth)] > 0:
+                blowups.append(
+                    measured / tree.level_bandwidths[min(j, tree.depth)]
+                )
+        rows.append(
+            {
+                "n": n,
+                "unbal depth r": tree.depth,
+                "bal depth": bal.depth,
+                "w0 (unbal)": tree.level_bandwidths[0],
+                "w0' (bal)": bal.level_bandwidths[0],
+                "root blow-up": bal.level_bandwidths[0] / tree.level_bandwidths[0],
+                "Cor 9 limit 4a/(a-1)": corollary9_factor(A),
+            }
+        )
+        assert (
+            bal.level_bandwidths[0] / tree.level_bandwidths[0]
+            <= corollary9_factor(A) * 1.01
+        )
+        assert bal.depth <= int(np.ceil(np.log2(n))) + 1
+    report(rows, title=f"E6 / Thm 8, Cor 9 — balancing the {name} tree")
+    benchmark(balance, factory(64))
+
+
+def test_pearl_split_throughput(benchmark):
+    from repro.vlsi import split_two_strings
+
+    rng = np.random.default_rng(0)
+    L = rng.integers(0, 2, 2048)
+    S = rng.integers(0, 2, 1024)
+    benchmark(split_two_strings, L, S)

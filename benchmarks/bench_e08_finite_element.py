@@ -1,0 +1,94 @@
+"""E8 — the §I motivation: hardware efficiency on planar finite-element
+workloads.
+
+A planar FEM neighbour exchange has bisection O(√n) (Lipton-Tarjan), so a
+fat-tree sized to the workload sustains it with far less hardware than a
+hypercube.  Measured claims: the FEM round needs the same few delivery
+cycles on a w = Θ(n^{2/3}) fat-tree as on the full one, and the volume
+advantage over the hypercube *grows* with n.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, UniversalCapacity, load_factor, schedule_theorem1
+from repro.vlsi import volume_bound
+from repro.workloads import (
+    triangulated_fem,
+    fem_message_set,
+    grid_fem_edges,
+    planar_bisection_bound,
+    triangulated_fem_edges,
+)
+
+
+def fem_round(n, w, mesh="grid"):
+    if mesh == "grid":
+        edges, points = grid_fem_edges(n), None
+    else:
+        edges, points = triangulated_fem(n, seed=0)
+    m = fem_message_set(edges, n, placement="hilbert", points=points)
+    ft = FatTree(n, UniversalCapacity(n, w))
+    lam = load_factor(ft, m)
+    sched = schedule_theorem1(ft, m)
+    return lam, sched.num_cycles
+
+
+@pytest.mark.parametrize("mesh", ["grid", "delaunay"])
+def test_fem_volume_advantage(mesh, report, benchmark):
+    rows = []
+    for n in (64, 256, 1024, 4096):
+        w_skinny = math.ceil(n ** (2 / 3))
+        lam_full, d_full = fem_round(n, n, mesh)
+        lam_skinny, d_skinny = fem_round(n, w_skinny, mesh)
+        v_skinny = volume_bound(n, w_skinny, 1.0)
+        v_cube = float(n) ** 1.5
+        rows.append(
+            {
+                "n": n,
+                "bisection O(√n)": planar_bisection_bound(n),
+                "d (w=n)": d_full,
+                "d (w=n^2/3)": d_skinny,
+                "FT volume": v_skinny,
+                "hypercube volume": v_cube,
+                "volume saving": v_cube / v_skinny,
+            }
+        )
+        # the skinny fat-tree must not be meaningfully slower on planar
+        # traffic (crossing traffic is only O(√n) << w)
+        assert d_skinny <= 2 * d_full + 2
+    report(rows, title=f"E8 / §I — planar FEM ({mesh} mesh), hilbert placement")
+    savings = [r["volume saving"] for r in rows]
+    # the savings factor grows with n — the §I story
+    assert savings[-1] > savings[0]
+    assert savings[-1] > 3.0
+    benchmark(fem_round, 256, 41, mesh)
+
+
+def test_placement_ablation(report, benchmark):
+    """Scrambled placement destroys the locality the fat-tree economises
+    on — root load jumps from O(√n) toward Θ(n)."""
+    rows = []
+    for n in (256, 1024):
+        edges = grid_fem_edges(n)
+        ft = FatTree(n)
+        good = fem_message_set(edges, n, placement="hilbert")
+        bad = fem_message_set(edges, n, placement="random", seed=1)
+        from repro.core import channel_loads
+
+        root_good = int(channel_loads(ft, good).up[1].max())
+        root_bad = int(channel_loads(ft, bad).up[1].max())
+        rows.append(
+            {
+                "n": n,
+                "root load (hilbert)": root_good,
+                "root load (random)": root_bad,
+                "O(√n) bound": planar_bisection_bound(n),
+                "penalty": root_bad / max(1, root_good),
+            }
+        )
+        assert root_good <= planar_bisection_bound(n)
+        assert root_bad > root_good
+    report(rows, title="E8 — processor placement ablation")
+    benchmark(fem_message_set, grid_fem_edges(256), 256)

@@ -1,0 +1,92 @@
+"""E9 — §VI: permutation routing on full-volume fat-trees vs the Beneš
+network.
+
+"A universal fat-tree on n processors with Θ(n^{3/2}) volume can route an
+arbitrary permutation off-line in time O(lg n).  Up to constant factors
+this is the best possible bound … also achievable, for instance, by Beneš
+networks."  Measured claims: every permutation has λ <= 1 on the
+full fat-tree; Theorem 1 routes it in O(lg n) cycles; cycles grow
+linearly in lg n (slope ~1 in the fit); the Beneš looping algorithm
+settles the same permutations with vertex-disjoint paths in 2·lg n
+levels.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_loglog
+from repro.core import FatTree, load_factor, schedule_theorem1
+from repro.networks import Benes
+from repro.workloads import bit_reversal, random_permutation, tornado, transpose
+
+
+def route_permutation(n, perm):
+    ft = FatTree(n)
+    lam = load_factor(ft, perm)
+    sched = schedule_theorem1(ft, perm)
+    return lam, sched
+
+
+@pytest.mark.parametrize(
+    "workload",
+    ["random", "bit-reversal", "transpose", "tornado"],
+)
+def test_fat_tree_permutations_o_lg_n(workload, report, benchmark):
+    rows = []
+    cycle_counts = []
+    sizes = [16, 64, 256, 1024]
+    for n in sizes:
+        if workload == "random":
+            perm = random_permutation(n, seed=n)
+        elif workload == "bit-reversal":
+            perm = bit_reversal(n)
+        elif workload == "transpose":
+            perm = transpose(n)
+        else:
+            perm = tornado(n)
+        lam, sched = route_permutation(n, perm)
+        rows.append(
+            {
+                "n": n,
+                "lg n": int(math.log2(n)),
+                "λ(M)": lam,
+                "FT cycles": sched.num_cycles,
+                "4·lg n": 4 * int(math.log2(n)),
+            }
+        )
+        assert lam <= 1.0  # any permutation is one-cycle on w = n
+        assert sched.num_cycles <= 2 * int(math.log2(n))
+        cycle_counts.append(max(1, sched.num_cycles))
+    report(rows, title=f"E9 / §VI — {workload} permutations on w = n fat-trees")
+    # growth linear in lg n, not polynomial in n
+    fit = fit_loglog([math.log2(n) for n in sizes], cycle_counts)
+    assert fit.slope <= 1.6
+    benchmark(route_permutation, 64, random_permutation(64, seed=0))
+
+
+def test_benes_comparison(report, benchmark):
+    rows = []
+    for n in (16, 64, 256):
+        b = Benes(n)
+        perm = random_permutation(n, seed=n)
+        mapping = [0] * n
+        for s, d in perm:
+            mapping[s] = d
+        b.verify_permutation_paths(mapping)
+        _, sched = route_permutation(n, perm)
+        rows.append(
+            {
+                "n": n,
+                "Beneš port levels": b.levels,
+                "FT delivery cycles": sched.num_cycles,
+                "both O(lg n)": True,
+            }
+        )
+        assert b.levels == 2 * int(math.log2(n))
+    report(rows, title="E9 — Beneš looping algorithm vs fat-tree scheduling")
+    benchmark(
+        lambda: Benes(64).permutation_paths(
+            [d for _, d in sorted(random_permutation(64, seed=1))]
+        )
+    )

@@ -1,0 +1,82 @@
+"""E11 — §IV concentrators: the (r, s, α) property and O(m) hardware.
+
+Measured claims for the Pippenger-style random partial concentrators:
+degree bounds 6/9 hold by construction; the α = 3/4 guarantee holds on
+every sampled input set across sizes; components grow linearly in r
+(slope 1 in the fit); cascades reach constant ratios in constant depth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_loglog
+from repro.hardware import (
+    CascadedConcentrator,
+    PartialConcentrator,
+    PIPPENGER_INPUT_DEGREE,
+    PIPPENGER_OUTPUT_DEGREE,
+)
+
+
+def alpha_success_rate(pc, trials=60):
+    k = pc.guaranteed()
+    hits = 0
+    for t in range(trials):
+        rng = np.random.default_rng(t)
+        active = rng.choice(pc.r, size=k, replace=False).tolist()
+        hits += pc.satisfies_alpha_for(active)
+    return hits / trials
+
+
+def test_alpha_property_across_sizes(report, benchmark):
+    rows = []
+    comps = []
+    sizes = [24, 48, 96, 192, 384, 768]
+    for r in sizes:
+        pc = PartialConcentrator(r, rng=r)
+        rate = alpha_success_rate(pc)
+        rows.append(
+            {
+                "r": r,
+                "s=⌈2r/3⌉": pc.s,
+                "in-deg": pc.input_degree(),
+                "out-deg": pc.output_degree(),
+                "α·s guaranteed": pc.guaranteed(),
+                "success rate": rate,
+                "components": pc.components(),
+            }
+        )
+        assert pc.input_degree() <= PIPPENGER_INPUT_DEGREE
+        assert pc.output_degree() <= PIPPENGER_OUTPUT_DEGREE
+        assert rate == 1.0, f"α property violated at r={r}"
+        comps.append(pc.components())
+    report(rows, title="E11 / §IV — (r, 2r/3, 3/4) partial concentrators")
+    fit = fit_loglog(sizes, comps)
+    assert 0.9 <= fit.slope <= 1.1, "components not linear in r"
+    benchmark(PartialConcentrator, 96, rng=0)
+
+
+def test_cascade_constant_depth(report, benchmark):
+    rows = []
+    for r in (48, 96, 384, 768):
+        cc = CascadedConcentrator(r, r // 4, rng=r)
+        rows.append(
+            {
+                "r": r,
+                "target": r // 4,
+                "stages": cc.depth,
+                "final width": cc.s,
+                "components": cc.components(),
+            }
+        )
+    report(rows, title="E11 — cascades: 4x concentration in constant depth")
+    depths = {row["stages"] for row in rows}
+    assert len(depths) == 1  # constant depth across a 16x size sweep
+    benchmark(CascadedConcentrator, 96, 24, rng=1)
+
+
+def test_switch_setting_speed(benchmark):
+    """Matching-based switch setting (the off-line path setup)."""
+    pc = PartialConcentrator(384, rng=5)
+    active = list(range(0, 384, 2))[: pc.guaranteed()]
+    benchmark(pc.route, active)

@@ -1,0 +1,88 @@
+"""E12 — Figs. 2-3: the bit-serial switch simulator.
+
+Measured claims: a delivery cycle's wavefront takes exactly 2·lg n − 1
+switch ticks (the §II O(lg n) delivery-cycle time); one-cycle message
+sets route with zero congestion losses under ideal concentrators; the
+acknowledge-and-retry loop converges for overloaded traffic, and partial
+(Pippenger) concentrators cost only a constant-factor more cycles.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, UniversalCapacity, load_factor
+from repro.hardware import run_delivery_cycle, run_until_delivered
+from repro.workloads import random_permutation, uniform_random
+
+
+def one_cycle(n):
+    ft = FatTree(n)
+    m = random_permutation(n, seed=n)
+    return run_delivery_cycle(ft, m)
+
+
+def test_delivery_cycle_time_is_logarithmic(report, benchmark):
+    rows = []
+    for n in (16, 64, 256, 1024):
+        r = one_cycle(n)
+        rows.append(
+            {
+                "n": n,
+                "lg n": int(math.log2(n)),
+                "wave ticks": r.wave_ticks,
+                "2·lg n − 1": 2 * int(math.log2(n)) - 1,
+                "delivered": len(r.delivered),
+                "lost": r.losses,
+            }
+        )
+        assert r.wave_ticks == 2 * int(math.log2(n)) - 1
+        assert r.losses == 0
+    report(rows, title="E12 / Fig. 2-3 — delivery-cycle time (permutations)")
+    benchmark(one_cycle, 256)
+
+
+def test_retry_loop_convergence(report, benchmark):
+    rows = []
+    for n in (64, 256):
+        ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+        m = uniform_random(n, 4 * n, seed=n)
+        lam = load_factor(ft, m)
+        ideal = run_until_delivered(ft, m, seed=0)
+        partial = run_until_delivered(ft, m, concentrators="pippenger", seed=0)
+        rows.append(
+            {
+                "n": n,
+                "λ(M)": lam,
+                "cycles (ideal)": ideal.cycles,
+                "cycles (pippenger)": partial.cycles,
+                "partial/ideal": partial.cycles / ideal.cycles,
+            }
+        )
+        assert ideal.cycles >= math.ceil(lam)
+        # α = 3/4 capacities cost only a constant factor
+        assert partial.cycles <= 4 * ideal.cycles + 4
+    report(rows, title="E12 — acknowledge-and-retry under congestion")
+    ft = FatTree(64, UniversalCapacity(64, 16))
+    m = uniform_random(64, 256, seed=1)
+    benchmark(run_until_delivered, ft, m)
+
+
+def test_pipelined_frame_time(report, benchmark):
+    """With payload bits, the cycle time is path + frame (pipelining)."""
+    rows = []
+    n = 256
+    ft = FatTree(n)
+    m = random_permutation(n, seed=2)
+    for payload in (0, 16, 64):
+        r = run_delivery_cycle(ft, m, payload_bits=payload)
+        rows.append(
+            {
+                "payload bits": payload,
+                "wave ticks": r.wave_ticks,
+                "cycle bit-time": r.cycle_bit_time(),
+            }
+        )
+        assert r.cycle_bit_time() == r.wave_ticks + 1 + payload
+    report(rows, title="E12 — bit-serial pipelining")
+    benchmark(run_delivery_cycle, ft, m)

@@ -1,0 +1,97 @@
+"""E14 — extension: the fat-tree's descendants and self-simulation.
+
+Not from the paper.  Two sanity-of-the-model experiments:
+
+* *Self-simulation*: the fat-tree, realised as an explicit switch
+  network, embeds into the universal fat-tree of its own volume with
+  bounded slowdown — the Theorem 10 machinery applied to its own output.
+* *k-ary n-tree*: the multi-switch realisation actually built (CM-5,
+  InfiniBand, datacenter Clos).  Same doubling cut capacities as
+  Leiserson's abstraction, plus measured path diversity k^t.
+"""
+
+import math
+
+import pytest
+
+from repro.networks import FatTreeNetwork, KAryNTree, simulate_store_and_forward
+from repro.universality import simulate_network_on_fattree
+from repro.workloads import random_permutation
+
+
+def test_self_simulation(report, benchmark):
+    rows = []
+    for n, w in [(64, 16), (256, 41), (256, 256)]:
+        net = FatTreeNetwork(n, w)
+        m = random_permutation(n, seed=n)
+        res = simulate_network_on_fattree(net, m)
+        rows.append(
+            {
+                "R = fat-tree(n, w)": f"({n}, {w})",
+                "volume": res.volume,
+                "t on R": res.t,
+                "sim cycles": res.delivery_cycles,
+                "slowdown": res.slowdown,
+                "O(lg³n)": res.bound(),
+            }
+        )
+        assert res.slowdown <= res.bound()
+    report(rows, title="E14 — a fat-tree simulating a fat-tree (Thm 10 on itself)")
+    benchmark(
+        simulate_network_on_fattree,
+        FatTreeNetwork(64, 16),
+        random_permutation(64, seed=0),
+    )
+
+
+def test_kary_ntree_structure(report, benchmark):
+    rows = []
+    for k, lv in [(2, 4), (2, 6), (4, 3), (8, 2)]:
+        t = KAryNTree(k, lv)
+        m = random_permutation(t.n, seed=k * lv)
+        steps = simulate_store_and_forward(t, m)
+        rows.append(
+            {
+                "k": k,
+                "levels": lv,
+                "n": t.n,
+                "switches": t.total_switches(),
+                "bisection": t.bisection_width(),
+                "max diversity": t.path_diversity(0, t.n - 1),
+                "perm steps": steps,
+            }
+        )
+        # full bisection and k^(levels-1) disjoint paths top to bottom
+        assert t.bisection_width() == t.n // 2
+        assert t.path_diversity(0, t.n - 1) == k ** (lv - 1)
+        # logarithmic-depth permutation routing (path length 2·levels)
+        assert steps <= 8 * lv
+    report(rows, title="E14 — k-ary n-trees (the modern fat-tree realisation)")
+    benchmark(simulate_store_and_forward, KAryNTree(2, 5),
+              random_permutation(32, seed=1))
+
+
+def test_switch_count_comparison(report, benchmark):
+    """Leiserson's single fat switch per tree node vs the k-ary n-tree's
+    many unit switches: the *wire* budgets match at every cut, the
+    packaging differs."""
+    from repro.core import FatTree
+
+    rows = []
+    for lv in (3, 4, 5, 6):
+        n = 2 ** lv
+        leiserson = FatTree(n)  # w = n: full doubling capacities
+        kary = KAryNTree(2, lv)
+        # wires crossing the bisection
+        rows.append(
+            {
+                "n": n,
+                "Leiserson root wires": leiserson.cap(1) * 2,
+                "k-ary bisection links": kary.bisection_width(),
+                "Leiserson switches": n - 1,
+                "k-ary switches": kary.total_switches(),
+            }
+        )
+        assert leiserson.cap(1) * 2 == 2 * kary.bisection_width()
+    report(rows, title="E14 — same cut bandwidth, different packaging")
+    benchmark(KAryNTree, 2, 6)

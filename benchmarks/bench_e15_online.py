@@ -1,0 +1,95 @@
+"""E15 — extension: on-line routing (§VI, the announced ref [8]).
+
+The paper announces a randomized on-line algorithm achieving
+O(λ(M) + lg n·lg lg n) delivery cycles w.h.p.  The random-rank router
+implemented here is measured against that shape: cycles track λ with an
+additive polylog term, across sizes and loads, and the off-line
+Theorem 1 / Corollary 2 schedules remain at most a small factor better.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FatTree,
+    UniversalCapacity,
+    load_factor,
+    online_cycle_bound,
+    schedule_random_rank,
+    schedule_theorem1,
+)
+from repro.workloads import uniform_random
+
+
+def run_online(n, load_per_proc, seed=0):
+    ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+    m = uniform_random(n, load_per_proc * n, seed=seed)
+    lam = load_factor(ft, m)
+    sched = schedule_random_rank(ft, m, seed=seed)
+    sched.validate(ft, m)
+    return ft, m, lam, sched
+
+
+def test_online_tracks_lambda(report, benchmark):
+    rows = []
+    for n in (64, 256, 1024):
+        for load in (2, 8):
+            ft, m, lam, sched = run_online(n, load, seed=n + load)
+            bound = online_cycle_bound(ft, lam)
+            rows.append(
+                {
+                    "n": n,
+                    "msgs/proc": load,
+                    "λ(M)": lam,
+                    "online cycles": sched.num_cycles,
+                    "c·(λ+lg n·lglg n)": bound,
+                    "cycles/λ": sched.num_cycles / max(lam, 1.0),
+                }
+            )
+            assert math.ceil(lam) <= sched.num_cycles <= bound
+    report(rows, title="E15 — random-rank on-line routing vs the [8] shape")
+    # the overhead over λ stays bounded as n grows 16x
+    ratios = [r["cycles/λ"] for r in rows]
+    assert max(ratios) <= 3 * min(ratios) + 2
+    benchmark(run_online, 64, 4)
+
+
+def test_online_vs_offline(report, benchmark):
+    """Price of being on-line: measured against Theorem 1."""
+    rows = []
+    for n in (64, 256):
+        ft, m, lam, online = run_online(n, 6, seed=n)
+        offline = schedule_theorem1(ft, m)
+        rows.append(
+            {
+                "n": n,
+                "λ": lam,
+                "online": online.num_cycles,
+                "offline (Thm 1)": offline.num_cycles,
+                "online/offline": online.num_cycles / offline.num_cycles,
+            }
+        )
+        # being online costs at most a small constant factor here
+        assert online.num_cycles <= 3 * offline.num_cycles + 8
+    report(rows, title="E15 — on-line vs off-line scheduling")
+    benchmark(run_online, 128, 6)
+
+
+def test_seed_stability(report, benchmark):
+    """High probability means low variance: cycle counts across seeds
+    cluster tightly."""
+    n = 128
+    counts = []
+    for seed in range(10):
+        _, _, lam, sched = run_online(n, 6, seed=seed)
+        counts.append(sched.num_cycles)
+    rows = [{
+        "n": n,
+        "min": min(counts),
+        "max": max(counts),
+        "spread": max(counts) / min(counts),
+    }]
+    report(rows, title="E15 — cycle-count concentration across seeds")
+    assert max(counts) <= 1.7 * min(counts) + 2
+    benchmark(run_online, 128, 6, 3)

@@ -1,0 +1,85 @@
+"""E16 — extension: the §VII generalisation to two dimensions.
+
+"Our results should generalize to more complicated packaging models."
+In Thompson's 2-D model the exponents transpose 2/3 → 1/2: decomposition
+decay √2 per level, area O((w·lg(n/w))²), and the (geometry-blind)
+scheduling theory unchanged.  Measured side by side with 3-D.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, UniversalCapacity, load_factor, schedule_theorem1
+from repro.vlsi import (
+    SQRT_2,
+    Universal2DCapacity,
+    area_bound,
+    component_bound_2d,
+    square_decomposition_bandwidth,
+    total_components,
+    volume_bound,
+)
+from repro.workloads import uniform_random
+
+
+def test_dimension_comparison(report, benchmark):
+    rows = []
+    for n in (256, 1024, 4096):
+        w2 = math.ceil(n ** 0.5) * 4   # a legal 2-D root capacity
+        w3 = math.ceil(n ** (2 / 3))   # the 3-D minimum
+        ft2 = FatTree(n, Universal2DCapacity(n, w2))
+        ft3 = FatTree(n, UniversalCapacity(n, w3))
+        rows.append(
+            {
+                "n": n,
+                "2-D w": w2,
+                "2-D area": area_bound(n, w2, 1.0),
+                "2-D components": total_components(ft2),
+                "3-D w": w3,
+                "3-D volume": volume_bound(n, w3, 1.0),
+                "3-D components": total_components(ft3),
+            }
+        )
+        assert total_components(ft2) <= component_bound_2d(n, w2)
+    report(rows, title="E16 / §VII — 2-D (Thompson) vs 3-D universal fat-trees")
+    benchmark(total_components, FatTree(1024, Universal2DCapacity(1024, 128)))
+
+
+def test_sqrt2_decay(report, benchmark):
+    rows = []
+    area = 65536.0
+    for level in range(0, 8, 2):
+        rows.append(
+            {
+                "level": level,
+                "w_i": square_decomposition_bandwidth(area, level),
+                "decay from level 0": square_decomposition_bandwidth(area, 0)
+                / square_decomposition_bandwidth(area, level),
+            }
+        )
+    report(rows, title="E16 — 2-D decomposition decay (√2 per level)")
+    for i, row in enumerate(rows):
+        assert row["decay from level 0"] == pytest.approx(SQRT_2 ** (2 * i))
+    benchmark(square_decomposition_bandwidth, area, 4)
+
+
+def test_scheduling_identical_across_models(report, benchmark):
+    """The same traffic, scheduled on 2-D and 3-D trees of matching root
+    capacity, behaves identically: §III sees only the profile."""
+    n = 256
+    w = 64
+    ft2 = FatTree(n, Universal2DCapacity(n, w))
+    ft3 = FatTree(n, UniversalCapacity(n, w))
+    m = uniform_random(n, 4 * n, seed=0)
+    rows = []
+    for name, ft in [("2-D", ft2), ("3-D", ft3)]:
+        lam = load_factor(ft, m)
+        sched = schedule_theorem1(ft, m)
+        sched.validate(ft, m)
+        rows.append({"model": name, "λ(M)": lam, "cycles": sched.num_cycles})
+    report(rows, title=f"E16 — same w = {w}, same traffic, both models")
+    # the 2-D profile is pointwise >= the 3-D one between the crossovers,
+    # so its load factor cannot be larger
+    assert rows[0]["λ(M)"] <= rows[1]["λ(M)"]
+    benchmark(schedule_theorem1, ft2, m)

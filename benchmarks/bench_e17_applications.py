@@ -1,0 +1,70 @@
+"""E17 — extension: whole-application traces.
+
+Schedules every communication round of complete parallel algorithms
+(FFT, bitonic sort, stencil, sparse mat-vec, all-reduce) on fat-trees of
+several root capacities.  Asserted shapes: per-round validity, the
+expected sensitivity split (global algorithms scale with w, local ones
+don't), and O(lg² n) whole-FFT time on the full fat-tree.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, UniversalCapacity
+from repro.workloads import (
+    allreduce_trace,
+    bitonic_sort_trace,
+    fft_trace,
+    schedule_trace,
+    sparse_matvec_trace,
+    stencil_trace,
+)
+
+
+def run_trace(n, w, trace_fn):
+    ft = FatTree(n, UniversalCapacity(n, w))
+    trace = trace_fn(n)
+    _, total = schedule_trace(ft, trace)
+    return trace, total
+
+
+def test_application_sweep(report, benchmark):
+    n = 256
+    rows = []
+    for trace_fn in (fft_trace, bitonic_sort_trace,
+                     lambda m: stencil_trace(m, iterations=8),
+                     lambda m: sparse_matvec_trace(m, iterations=8, seed=0),
+                     allreduce_trace):
+        trace, full = run_trace(n, n, trace_fn)
+        _, skinny = run_trace(n, math.ceil(n ** (2 / 3)), trace_fn)
+        rows.append(
+            {
+                "application": trace.name,
+                "rounds": len(trace),
+                "cycles (w=n)": full,
+                "cycles (w=n^2/3)": skinny,
+                "penalty": skinny / full,
+            }
+        )
+    report(rows, title=f"E17 — whole applications on n = {n} fat-trees")
+    by_name = {r["application"]: r for r in rows}
+    # the local stencil is insensitive to the root; the global FFT pays
+    assert by_name["stencil"]["penalty"] <= by_name["fft"]["penalty"]
+    benchmark(run_trace, 64, 64, fft_trace)
+
+
+def test_fft_time_is_polylog(report, benchmark):
+    """On the full fat-tree every butterfly round is one-cycle-ish, so a
+    whole FFT takes O(lg² n) delivery cycles."""
+    rows = []
+    for n in (64, 256, 1024):
+        trace, total = run_trace(n, n, fft_trace)
+        lg = int(math.log2(n))
+        rows.append(
+            {"n": n, "rounds lg n": len(trace), "cycles": total,
+             "bound 2·lg² n": 2 * lg * lg}
+        )
+        assert total <= 2 * lg * lg
+    report(rows, title="E17 — FFT end-to-end on w = n fat-trees")
+    benchmark(run_trace, 256, 256, fft_trace)

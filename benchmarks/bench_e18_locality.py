@@ -1,0 +1,87 @@
+"""E18 — the §II telephone-exchange claim, quantified.
+
+"The differing lengths of paths in the fat-tree are actually a major
+advantage of the network because messages can be routed locally without
+soaking up the precious bandwidth higher up in the tree, much as
+telephone communications are routed within an exchange without using
+more expensive trunk lines."
+
+Sweeping the locality knob of the traffic generator from sibling-local
+to uniform-global: the top-of-tree traffic share, the load factor, and
+the delivery-cycle count must all track locality, while local traffic
+rides for (nearly) free even on skinny trees.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import schedule_stats, traffic_stats
+from repro.core import FatTree, UniversalCapacity, load_factor, schedule_theorem1
+from repro.workloads import local_traffic
+
+
+def run(decay, n=256, m_per_proc=8):
+    ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+    m = local_traffic(n, m_per_proc * n, decay=decay, seed=17)
+    ts = traffic_stats(ft, m)
+    lam = load_factor(ft, m)
+    sched = schedule_theorem1(ft, m)
+    ss = schedule_stats(ft, sched)
+    return ft, ts, lam, sched, ss
+
+
+def test_locality_sweep(report, benchmark):
+    rows = []
+    results = []
+    for decay in (0.125, 0.25, 0.5, 1.0, 2.0):
+        ft, ts, lam, sched, ss = run(decay)
+        rows.append(
+            {
+                "decay": decay,
+                "locality": ts.locality,
+                "mean path": ts.mean_path_length,
+                "top-level share": ts.top_level_share,
+                "λ(M)": lam,
+                "cycles": sched.num_cycles,
+                "root utilisation": ss.level_utilisation[1],
+            }
+        )
+        results.append((ts, lam, sched))
+    report(rows, title="E18 / §II — the locality dividend (skinny fat-tree)")
+    benchmark(run, 0.5, 64)
+    # the three monotonicity claims: locality falls, load factor and
+    # cycle count rise as traffic goes global
+    localities = [r["locality"] for r in rows]
+    lams = [r["λ(M)"] for r in rows]
+    cycles = [r["cycles"] for r in rows]
+    assert localities == sorted(localities, reverse=True)
+    # λ and cycles rise end to end (per-step monotonicity is noisy: the
+    # unit leaf channels add a locality-independent floor)
+    assert lams[-1] > lams[0]
+    assert cycles[-1] >= cycles[0]
+    # sibling-heavy traffic barely touches the trunk
+    assert rows[0]["top-level share"] < 0.05
+    assert rows[-1]["top-level share"] > 0.15
+
+
+def test_local_traffic_rides_free(report, benchmark):
+    """The same message *count*, local vs global, on the same skinny
+    tree: locality buys a large cycle-count factor."""
+    rows = []
+    _, _, lam_l, sched_l, _ = run(0.125)
+    _, _, lam_g, sched_g, _ = run(2.0)
+    rows.append(
+        {
+            "traffic": "sibling-local (decay 1/8)",
+            "λ": lam_l,
+            "cycles": sched_l.num_cycles,
+        }
+    )
+    rows.append(
+        {"traffic": "uniform-global (decay 2)", "λ": lam_g,
+         "cycles": sched_g.num_cycles}
+    )
+    report(rows, title="E18 — equal volume of traffic, unequal cost")
+    assert sched_g.num_cycles >= 2 * sched_l.num_cycles
+    benchmark(run, 2.0, 64)

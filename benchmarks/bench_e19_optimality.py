@@ -1,0 +1,75 @@
+"""E19 — extension: how far from optimal are the paper's schedulers?
+
+The paper sandwiches the optimum between λ(M) and O(λ·lg n) and leaves
+the gap open.  On instances small enough for exact branch-and-bound,
+this bench measures where the optimum actually sits and how much of the
+Theorem 1 gap is real versus algorithmic slack.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FatTree,
+    UniversalCapacity,
+    exact_minimum_cycles,
+    load_factor,
+    schedule_greedy_first_fit,
+    schedule_theorem1,
+)
+from repro.workloads import uniform_random
+
+
+def measure(seed, n=16, m_count=24):
+    ft = FatTree(n, UniversalCapacity(n, 8, strict=False))
+    m = uniform_random(n, m_count, seed=seed)
+    lam = load_factor(ft, m)
+    opt = exact_minimum_cycles(ft, m, max_cycles=16)
+    d1 = schedule_theorem1(ft, m).num_cycles
+    dg = schedule_greedy_first_fit(ft, m).num_cycles
+    return lam, opt, d1, dg
+
+
+def test_optimality_gap(report, benchmark):
+    rows = []
+    gaps_opt = []
+    gaps_thm1 = []
+    for seed in range(12):
+        lam, opt, d1, dg = measure(seed)
+        rows.append(
+            {
+                "seed": seed,
+                "⌈λ⌉": math.ceil(lam),
+                "OPT": opt,
+                "Thm 1": d1,
+                "greedy": dg,
+                "OPT/⌈λ⌉": opt / max(1, math.ceil(lam)),
+                "Thm1/OPT": d1 / max(1, opt),
+            }
+        )
+        assert math.ceil(lam) <= opt <= d1
+        gaps_opt.append(opt / max(1, math.ceil(lam)))
+        gaps_thm1.append(d1 / max(1, opt))
+    report(rows, title="E19 — exact optimum vs the paper's bounds (n = 16)")
+    # empirically the λ lower bound is very close to achievable...
+    assert float(np.mean(gaps_opt)) <= 1.4
+    # ...so most of the Theorem 1 gap is algorithmic (the lg n levels)
+    assert max(gaps_thm1) <= 2 * math.log2(16)
+    benchmark(measure, 0)
+
+
+def test_lambda_achievability_rate(report, benchmark):
+    """On what fraction of random instances is ceil(λ) exactly optimal?"""
+    hits = 0
+    trials = 20
+    for seed in range(trials):
+        lam, opt, _, _ = measure(seed + 100, m_count=18)
+        hits += opt == max(1, math.ceil(lam))
+    report(
+        [{"trials": trials, "OPT == ⌈λ⌉": hits, "rate": hits / trials}],
+        title="E19 — achievability of the load-factor lower bound",
+    )
+    assert hits / trials >= 0.5
+    benchmark(measure, 101, 16, 18)

@@ -1,0 +1,99 @@
+"""E20 — extension: circuit-switched delivery cycles vs buffered
+store-and-forward (§VII design alternatives).
+
+Same fat-tree, same traffic, two switch designs:
+
+* the paper's design — bufferless circuit-switched delivery cycles, an
+  off-line schedule, total time = cycles × (2·lg n − 1) switch ticks;
+* the alternative — per-node queues, dynamic oldest-first forwarding,
+  total time = makespan steps (one step ≈ one switch tick per hop),
+  bought with measured buffer depth.
+
+Asserted shape: both land in the congestion + dilation envelope; the
+buffered design's makespan tracks max(λ, 2·lg n) while the scheduled
+design pays the Theorem 1 lg n factor in cycles but needs zero buffers.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FatTree,
+    UniversalCapacity,
+    load_factor,
+    schedule_theorem1,
+)
+from repro.hardware import run_store_and_forward
+from repro.workloads import (
+    bisection_stress,
+    hotspot,
+    random_permutation,
+    uniform_random,
+)
+
+
+def compare(name, ft, m):
+    lam = load_factor(ft, m)
+    sched = schedule_theorem1(ft, m)
+    ticks_per_cycle = 2 * ft.depth - 1
+    buffered = run_store_and_forward(ft, m)
+    return {
+        "workload": name,
+        "λ(M)": lam,
+        "scheduled cycles": sched.num_cycles,
+        "scheduled ticks": sched.num_cycles * ticks_per_cycle,
+        "buffered makespan": buffered.makespan,
+        "mean latency": buffered.mean_latency,
+        "max queue": buffered.max_queue_depth,
+    }
+
+
+def test_design_comparison(report, benchmark):
+    n = 256
+    ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+    rows = []
+    for name, m in [
+        ("permutation", random_permutation(n, seed=0)),
+        ("uniform x4", uniform_random(n, 4 * n, seed=1)),
+        ("hotspot", hotspot(n, 2 * n, seed=2)),
+        ("bisection", bisection_stress(n, m_per_proc=2, seed=3)),
+    ]:
+        row = compare(name, ft, m)
+        rows.append(row)
+        lam = row["λ(M)"]
+        assert row["buffered makespan"] >= math.ceil(lam)
+        assert row["buffered makespan"] <= 1.5 * math.ceil(lam) + 2 * ft.depth
+    report(rows, title=f"E20 / §VII — two switch designs, n = {n}")
+    # buffered store-and-forward avoids the delivery-cycle batching tax
+    # whenever traffic is heavy (it pipelines across what would be cycle
+    # boundaries)
+    heavy = rows[1]
+    assert heavy["buffered makespan"] <= heavy["scheduled ticks"]
+    benchmark(
+        run_store_and_forward, ft, uniform_random(n, 2 * n, seed=4)
+    )
+
+
+def test_buffer_depth_scaling(report, benchmark):
+    """The price of bufferless operation, inverted: queue depth under
+    increasing load on the buffered design."""
+    n = 128
+    ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+    rows = []
+    depths = []
+    for mult in (1, 4, 16):
+        m = uniform_random(n, mult * n, seed=mult)
+        run = run_store_and_forward(ft, m)
+        rows.append(
+            {
+                "messages/proc": mult,
+                "λ(M)": load_factor(ft, m),
+                "makespan": run.makespan,
+                "max queue depth": run.max_queue_depth,
+            }
+        )
+        depths.append(run.max_queue_depth)
+    report(rows, title="E20 — buffering grows with load")
+    assert depths == sorted(depths)
+    benchmark(run_store_and_forward, ft, uniform_random(n, 4 * n, seed=9))

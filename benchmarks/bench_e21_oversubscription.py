@@ -1,0 +1,79 @@
+"""E21 — extension: oversubscription, the modern form of §IV's knob.
+
+Fabric designers quote fat-trees by their oversubscription ratio R (the
+top of the tree carries 1/R of full bisection).  This bench sweeps R for
+global and local traffic: global traffic pays for R nearly linearly in
+delivery cycles, local traffic not at all — Leiserson's "communication
+can be scaled independently from number of processors", stated in the
+vocabulary the datacenter inherited from the paper.
+"""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, TaperedCapacity, load_factor, schedule_theorem1
+from repro.workloads import butterfly_exchange, fem_message_set, grid_fem_edges
+
+
+def run(n, ratio, traffic):
+    ft = FatTree(n, TaperedCapacity(n, ratio))
+    lam = load_factor(ft, traffic)
+    d = schedule_theorem1(ft, traffic).num_cycles
+    return lam, d
+
+
+def test_oversubscription_sweep(report, benchmark):
+    n = 1024
+    global_traffic = butterfly_exchange(n, 9)  # all messages cross the root
+    local_traffic = fem_message_set(
+        grid_fem_edges(n), n, placement="hilbert"
+    )
+    rows = []
+    for ratio in (1.0, 2.0, 4.0, 8.0):
+        lam_g, d_g = run(n, ratio, global_traffic)
+        lam_l, d_l = run(n, ratio, local_traffic)
+        rows.append(
+            {
+                "oversubscription R": ratio,
+                "λ (global)": lam_g,
+                "cycles (global)": d_g,
+                "λ (local FEM)": lam_l,
+                "cycles (local FEM)": d_l,
+            }
+        )
+    report(rows, title=f"E21 — oversubscribed fat-trees (n = {n})")
+    global_cycles = [r["cycles (global)"] for r in rows]
+    local_cycles = [r["cycles (local FEM)"] for r in rows]
+    # global traffic pays for oversubscription...
+    assert global_cycles[-1] >= 4 * global_cycles[0]
+    # ...within ~linear of the ratio (scheduling slack aside)
+    assert global_cycles[-1] <= 4 * 8 * global_cycles[0]
+    # local traffic does not care
+    assert local_cycles[-1] <= 2 * local_cycles[0]
+    benchmark(run, 256, 4.0, butterfly_exchange(256, 7))
+
+
+def test_oversubscription_saves_wires(report, benchmark):
+    """What R buys: the wire-count savings across the sweep."""
+    n = 1024
+    rows = []
+    base = None
+    for ratio in (1.0, 2.0, 4.0, 8.0):
+        ft = FatTree(n, TaperedCapacity(n, ratio))
+        wires = ft.total_wires()
+        if base is None:
+            base = wires
+        rows.append(
+            {
+                "R": ratio,
+                "total wires": wires,
+                "vs full bisection": wires / base,
+                "root cap": ft.cap(0),
+            }
+        )
+    report(rows, title="E21 — hardware saved by tapering")
+    savings = [r["vs full bisection"] for r in rows]
+    assert savings == sorted(savings, reverse=True)
+    assert savings[-1] < 0.75
+    benchmark(lambda: FatTree(n, TaperedCapacity(n, 4.0)).total_wires())

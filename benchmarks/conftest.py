@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Each bench regenerates one experiment from DESIGN.md's index: it prints
+the rows a reader would compare with the paper (via the ``report``
+fixture, which bypasses pytest's capture so tables appear in the bench
+log) and *asserts* the shape properties, so a red bench means the
+reproduction regressed.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment tables to the real terminal."""
+
+    def _report(rows, columns=None, *, title=None):
+        from repro.analysis import format_table
+
+        with capsys.disabled():
+            print()
+            print(format_table(rows, columns, title=title))
+
+    return _report

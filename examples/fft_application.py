@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Whole-application scheduling: an FFT and a sparse solver on fat-trees.
+
+§VII: a supercomputer "should have the powers to efficiently execute
+many different parallel algorithms".  This example schedules complete
+application traces — every communication round of an FFT, a bitonic
+sort, a stencil sweep and a sparse mat-vec — on fat-trees of different
+root capacities, reporting whole-application delivery cycles.
+
+The FFT's butterfly rounds are global (they saturate the root one bit at
+a time), while the stencil is local: the example shows how the same
+machine serves both, and how much root capacity each actually needs.
+
+Run:  python examples/fft_application.py
+"""
+
+import math
+
+from repro.analysis import print_table
+from repro.core import FatTree, UniversalCapacity
+from repro.workloads import (
+    bitonic_sort_trace,
+    fft_trace,
+    schedule_trace,
+    sparse_matvec_trace,
+    stencil_trace,
+)
+
+
+def main() -> None:
+    n = 256
+    traces = [
+        fft_trace(n),
+        bitonic_sort_trace(n),
+        stencil_trace(n, iterations=8),
+        sparse_matvec_trace(n, iterations=8, seed=0),
+    ]
+    capacities = [n, n // 4, math.ceil(n ** (2 / 3))]
+
+    rows = []
+    for trace in traces:
+        row = {
+            "application": trace.name,
+            "rounds": len(trace),
+            "messages": trace.total_messages(),
+        }
+        for w in capacities:
+            ft = FatTree(n, UniversalCapacity(n, w))
+            _, total = schedule_trace(ft, trace)
+            row[f"cycles @ w={w}"] = total
+        rows.append(row)
+    print_table(
+        rows,
+        title=f"whole-application delivery cycles on n = {n} fat-trees",
+    )
+
+    print(
+        "\nGlobal algorithms (FFT, sort) feel the root capacity directly;"
+        "\nlocal ones (stencil) barely notice it.  One machine, one scheduler,"
+        "\nmany algorithms — the §VII universality argument at the application"
+        "\nlevel."
+    )
+
+
+if __name__ == "__main__":
+    main()

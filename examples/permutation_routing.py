@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""§VI: fat-trees versus classical permutation networks.
+
+"A universal fat-tree on n processors with Θ(n^{3/2}) volume can route an
+arbitrary permutation off-line in time O(lg n).  Up to constant factors,
+this is the best possible bound … but it is also achievable, for
+instance, by Beneš networks."
+
+This example routes adversarial permutations three ways:
+
+* Theorem 1 off-line scheduling on a full-bandwidth universal fat-tree,
+  then executes the schedule on the bit-serial switch simulator;
+* the Beneš network's looping algorithm (vertex-disjoint paths);
+* the §II online retry loop on the fat-tree (no scheduling at all).
+
+Run:  python examples/permutation_routing.py
+"""
+
+import math
+
+from repro.analysis import print_table
+from repro.core import FatTree, load_factor, schedule_theorem1
+from repro.hardware import run_schedule, run_until_delivered
+from repro.networks import Benes
+from repro.workloads import bit_reversal, random_permutation, tornado, transpose
+
+
+def main() -> None:
+    n = 64
+    ft = FatTree(n)  # w = n: the Θ(n^{3/2})-volume universal fat-tree
+    benes = Benes(n)
+
+    workloads = {
+        "random": random_permutation(n, seed=0),
+        "bit-reversal": bit_reversal(n),
+        "transpose": transpose(n),
+        "tornado": tornado(n),
+    }
+
+    rows = []
+    for name, perm in workloads.items():
+        lam = load_factor(ft, perm)
+        sched = schedule_theorem1(ft, perm)
+        sched.validate(ft, perm)
+        reports = run_schedule(ft, sched)
+        ft_ticks = sum(r.cycle_bit_time() for r in reports)
+
+        # Beneš: vertex-disjoint paths; one circuit-switched pass of
+        # 2·lg n port levels
+        mapping = [0] * n
+        for s, d in perm:
+            mapping[s] = d
+        benes.verify_permutation_paths(mapping)
+        benes_ticks = benes.levels
+
+        online = run_until_delivered(ft, perm, seed=1)
+        rows.append(
+            {
+                "permutation": name,
+                "λ(M)": lam,
+                "FT cycles": sched.num_cycles,
+                "FT ticks": ft_ticks,
+                "Beneš ticks": benes_ticks,
+                "online cycles": online.cycles,
+            }
+        )
+    print_table(
+        rows,
+        title=f"permutation routing on n = {n} processors "
+        f"(lg n = {int(math.log2(n))})",
+    )
+    print(
+        "\nEvery permutation has λ(M) <= 1 on the full fat-tree, so Theorem 1"
+        "\nroutes it in O(lg n) delivery cycles — matching the Beneš network's"
+        "\nO(lg n) depth at the same Θ(n^{3/2}) hardware volume, while staying"
+        "\na general-purpose (not permutation-only) routing network."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Theorem 10 end to end: simulate rival networks on an equal-volume
+fat-tree.
+
+For each competitor R (mesh, hypercube, shuffle-exchange, binary tree):
+
+1. lay R out in 3-D (its wiring volume);
+2. cut the volume into a decomposition tree (Theorem 5), balance it with
+   the pearl argument (Theorem 8 / Corollary 9);
+3. identify R's processors with the leaves of the universal fat-tree of
+   the same volume;
+4. deliver one of R's communication rounds on the fat-tree and compare
+   the measured slowdown with the O(lg³ n) guarantee.
+
+Run:  python examples/universality_demo.py
+"""
+
+from repro.analysis import print_table
+from repro.analysis.bounds import theorem10_slowdown
+from repro.networks import (
+    BinaryTreeNetwork,
+    Hypercube,
+    Mesh2D,
+    ShuffleExchange,
+)
+from repro.universality import simulate_network_on_fattree
+from repro.workloads import random_permutation
+
+
+def main() -> None:
+    n = 256
+    competitors = [
+        Mesh2D(n),
+        Hypercube(n),
+        ShuffleExchange(n),
+        BinaryTreeNetwork(n),
+    ]
+
+    rows = []
+    for net in competitors:
+        messages = net.neighbor_message_set()
+        if len(messages) == 0:
+            continue
+        res = simulate_network_on_fattree(net, messages, t=1)
+        rows.append(
+            {
+                "network R": net.name,
+                "volume v": res.volume,
+                "FT root cap": res.root_capacity,
+                "λ(M)": res.load_factor,
+                "cycles": res.delivery_cycles,
+                "slowdown": res.slowdown,
+                "O(lg³n) bound": theorem10_slowdown(n),
+                "within": res.slowdown <= res.bound(),
+            }
+        )
+    print_table(
+        rows,
+        title=f"one neighbour round of R on the equal-volume fat-tree (n = {n})",
+    )
+
+    print("\npermutation traffic (R routes it in t steps measured on R):")
+    rows = []
+    for net in (Mesh2D(n), Hypercube(n)):
+        perm = random_permutation(n, seed=7)
+        res = simulate_network_on_fattree(net, perm)
+        rows.append(
+            {
+                "network R": net.name,
+                "t on R": res.t,
+                "FT cycles": res.delivery_cycles,
+                "slowdown": res.slowdown,
+                "bound": res.bound(),
+                "within": res.slowdown <= res.bound(),
+            }
+        )
+    print_table(rows)
+    print(
+        "\nThe mesh is slow at permutations (t ≈ √n), so the fat-tree of the"
+        "\nsame (small!) volume simulates it with slowdown far below the bound."
+        "\nThe hypercube is fast — and pays for it with Θ(n^{3/2}) volume,"
+        "\nwhich buys the fat-tree a proportionally fatter root."
+    )
+
+
+if __name__ == "__main__":
+    main()

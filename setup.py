@@ -1,0 +1,11 @@
+"""Shim so legacy (non-PEP-660) editable installs work offline.
+
+The environment has setuptools without the ``wheel`` package, so
+``pip install -e .`` must fall back to ``setup.py develop``:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

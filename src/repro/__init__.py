@@ -1,0 +1,53 @@
+"""fattree-repro: a reproduction of Leiserson (1985),
+"Fat-Trees: Universal Networks for Hardware-Efficient Supercomputing".
+
+Subpackages
+-----------
+core:
+    Fat-tree routing networks, channel capacities, load factors and the
+    paper's off-line schedulers (Theorem 1, Corollary 2).
+hardware:
+    Bit-serial switch hardware of Figs. 2-3: message format, partial
+    concentrators, fat-tree nodes, and a synchronous network simulator.
+vlsi:
+    The three-dimensional VLSI model (§IV-§V): layouts, wiring volume,
+    hardware cost of universal fat-trees, decomposition trees, and the
+    pearl-splitting balance construction.
+networks:
+    Competing routing networks (hypercube, meshes, trees, butterfly,
+    Beneš, perfect shuffle, tree of meshes) with routing and 3-D layouts.
+universality:
+    The Theorem 10 pipeline: simulate an arbitrary routing network of
+    equal volume on a universal fat-tree with polylogarithmic slowdown.
+workloads:
+    Message-set generators: permutations, random traffic, planar
+    finite-element meshes, locality-parameterised traffic.
+analysis:
+    The paper's closed-form bounds, log-log fitting, sweeps, and table
+    rendering for the benchmark harnesses.
+"""
+
+from . import core
+from .core import (
+    FatTree,
+    MessageSet,
+    Schedule,
+    UniversalCapacity,
+    load_factor,
+    schedule_corollary2,
+    schedule_theorem1,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "FatTree",
+    "MessageSet",
+    "Schedule",
+    "UniversalCapacity",
+    "load_factor",
+    "schedule_theorem1",
+    "schedule_corollary2",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Bounds, fits, sweeps and table rendering for benches."""
+
+from . import bounds
+from .fit import LogLogFit, fit_loglog, growth_ratios
+from .stats import (
+    ScheduleStats,
+    TrafficStats,
+    schedule_stats,
+    traffic_stats,
+)
+from .sweep import sweep
+from .tables import format_table, print_table
+
+__all__ = [
+    "bounds",
+    "LogLogFit",
+    "fit_loglog",
+    "growth_ratios",
+    "ScheduleStats",
+    "TrafficStats",
+    "schedule_stats",
+    "traffic_stats",
+    "sweep",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,50 @@
+"""Log-log slope fitting for asymptotic shape checks.
+
+Benches verify claims like "volume scales as n^{3/2}" by fitting
+``log y = slope·log x + b`` over a sweep and comparing the slope with the
+claimed exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LogLogFit", "fit_loglog", "growth_ratios"]
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Value of the fitted power law at ``x``."""
+        return float(np.exp(self.intercept) * x ** self.slope)
+
+
+def fit_loglog(xs, ys) -> LogLogFit:
+    """Least-squares fit of ``log y`` against ``log x``."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.size != ys.size or xs.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("log-log fit needs positive data")
+    lx, ly = np.log(xs), np.log(ys)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LogLogFit(slope=float(slope), intercept=float(intercept), r_squared=r2)
+
+
+def growth_ratios(ys) -> list[float]:
+    """Successive ratios y[i+1]/y[i] — decay/growth-rate inspection."""
+    ys = np.asarray(ys, dtype=np.float64)
+    if (ys == 0).any():
+        raise ValueError("ratios need nonzero data")
+    return (ys[1:] / ys[:-1]).tolist()

@@ -1,0 +1,129 @@
+"""Traffic and schedule statistics.
+
+Quantifies the §II telephone-exchange intuition ("messages can be routed
+locally without soaking up the precious bandwidth higher up in the
+tree"): per-level traffic distribution, channel utilisation of a
+schedule, and locality summaries of a message set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fattree import FatTree
+from ..core.load import channel_loads
+from ..core.message import MessageSet
+from ..core.schedule import Schedule
+from .bounds import lg
+
+__all__ = [
+    "TrafficStats",
+    "traffic_stats",
+    "ScheduleStats",
+    "schedule_stats",
+]
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Locality profile of a message set on a fat-tree."""
+
+    n: int
+    messages: int
+    self_messages: int
+    #: messages whose LCA sits at each level (level 0 = cross-root)
+    lca_histogram: dict[int, int]
+    mean_path_length: float
+    #: fraction of channel-traversals that happen at the top 1/3 levels
+    top_level_share: float
+
+    @property
+    def locality(self) -> float:
+        """1 − (mean path / max path): 1.0 is all-sibling traffic."""
+        if self.messages == self.self_messages:
+            return 1.0
+        max_len = 2.0 * lg(self.n)
+        return 1.0 - self.mean_path_length / max_len
+
+
+def traffic_stats(ft: FatTree, messages: MessageSet) -> TrafficStats:
+    """Compute the locality profile of ``messages`` on ``ft``."""
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    depth = ft.depth
+    diff = messages.src ^ messages.dst
+    _, exponents = np.frexp(diff.astype(np.float64))
+    bitlen = exponents.astype(np.int64)
+    lca_levels = depth - bitlen
+    routable = diff != 0
+    hist = {
+        level: int(np.count_nonzero(lca_levels[routable] == level))
+        for level in range(depth)
+    }
+    path_lengths = 2 * bitlen[routable]
+    mean_path = float(path_lengths.mean()) if path_lengths.size else 0.0
+    loads = channel_loads(ft, messages)
+    total_traversals = loads.total()
+    top_levels = range(1, max(2, depth // 3 + 1))
+    top = sum(
+        int(loads.up[k].sum()) + int(loads.down[k].sum()) for k in top_levels
+    )
+    share = top / total_traversals if total_traversals else 0.0
+    return TrafficStats(
+        n=ft.n,
+        messages=len(messages),
+        self_messages=int(np.count_nonzero(~routable)),
+        lca_histogram=hist,
+        mean_path_length=mean_path,
+        top_level_share=share,
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Quality metrics of a schedule."""
+
+    cycles: int
+    messages: int
+    #: mean over cycles of (peak channel load / capacity) — 1.0 means
+    #: every cycle saturates its tightest channel
+    mean_peak_utilisation: float
+    #: per-level mean utilisation (used capacity / available capacity)
+    level_utilisation: dict[int, float]
+    #: messages per cycle, min/mean/max
+    cycle_sizes: tuple[int, float, int]
+
+
+def schedule_stats(ft: FatTree, schedule: Schedule) -> ScheduleStats:
+    """Measure how hard a schedule drives the hardware."""
+    peaks = []
+    level_used = {k: 0 for k in range(1, ft.depth + 1)}
+    sizes = []
+    for cycle in schedule.cycles:
+        sizes.append(len(cycle))
+        loads = channel_loads(ft, cycle)
+        peak = 0.0
+        for k in range(1, ft.depth + 1):
+            cap = ft.cap(k)
+            m = max(loads.up[k].max(initial=0), loads.down[k].max(initial=0))
+            peak = max(peak, m / cap)
+            level_used[k] += int(loads.up[k].sum()) + int(loads.down[k].sum())
+        peaks.append(peak)
+    d = max(1, len(schedule.cycles))
+    level_util = {
+        k: level_used[k] / (d * 2 * (1 << k) * ft.cap(k))
+        for k in range(1, ft.depth + 1)
+    }
+    return ScheduleStats(
+        cycles=len(schedule.cycles),
+        messages=schedule.total_messages(),
+        mean_peak_utilisation=float(np.mean(peaks)) if peaks else 0.0,
+        level_utilisation=level_util,
+        cycle_sizes=(
+            min(sizes) if sizes else 0,
+            float(np.mean(sizes)) if sizes else 0.0,
+            max(sizes) if sizes else 0,
+        ),
+    )

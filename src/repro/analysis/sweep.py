@@ -1,0 +1,22 @@
+"""Parameter-sweep runner producing row-oriented results."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    fn: Callable[..., Mapping],
+    param_sets: Iterable[Mapping],
+) -> list[dict]:
+    """Run ``fn(**params)`` for each parameter set; each call returns a
+    mapping of measured values, merged with its parameters into one row."""
+    rows = []
+    for params in param_sets:
+        result = fn(**params)
+        row = dict(params)
+        row.update(result)
+        rows.append(row)
+    return rows

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four inspection commands mirroring the library's main entry points:
+
+* ``topology``  — print a universal fat-tree's per-level capacities and
+  hardware cost (Fig. 1 / Theorem 4);
+* ``schedule``  — generate traffic, schedule it off-line, report λ(M),
+  delivery cycles and the Theorem 1 / Corollary 2 bounds;
+* ``simulate``  — Theorem 10: run a competitor network's traffic on the
+  equal-volume fat-tree and report the slowdown;
+* ``hardware``  — run a delivery cycle through the bit-serial switch
+  simulator and report ticks/losses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .analysis import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_fattree(n: int, w: int | None):
+    from .core import FatTree, UniversalCapacity
+
+    if w is None:
+        w = n
+    return FatTree(n, UniversalCapacity(n, w, strict=False))
+
+
+def _make_traffic(kind: str, n: int, messages: int, seed: int):
+    from . import workloads as wl
+
+    if kind == "random":
+        return wl.uniform_random(n, messages, seed=seed)
+    if kind == "permutation":
+        return wl.random_permutation(n, seed=seed)
+    if kind == "bit-reversal":
+        return wl.bit_reversal(n)
+    if kind == "hotspot":
+        return wl.hotspot(n, messages, seed=seed)
+    if kind == "local":
+        return wl.local_traffic(n, messages, seed=seed)
+    raise ValueError(f"unknown traffic kind {kind!r}")
+
+
+def _make_network(name: str, n: int):
+    from . import networks as nets
+
+    table = {
+        "mesh": nets.Mesh2D,
+        "hypercube": nets.Hypercube,
+        "shuffle": nets.ShuffleExchange,
+        "tree": nets.BinaryTreeNetwork,
+        "torus": nets.Torus2D,
+    }
+    if name not in table:
+        raise ValueError(f"unknown network {name!r}; pick from {sorted(table)}")
+    return table[name](n)
+
+
+def cmd_topology(args) -> int:
+    from .vlsi import total_components, volume_bound
+
+    ft = _make_fattree(args.n, args.w)
+    rows = [
+        {
+            "level": k,
+            "channels": 2 * (1 << k),
+            "cap(c)": ft.cap(k),
+            "wires": 2 * (1 << k) * ft.cap(k),
+        }
+        for k in range(ft.depth + 1)
+    ]
+    print(format_table(rows, title=f"universal fat-tree n={ft.n} w={ft.root_capacity}"))
+    print(f"\ntotal wires:      {ft.total_wires()}")
+    print(f"switch components: {total_components(ft)}")
+    try:
+        print(f"volume (Thm 4):   {volume_bound(ft.n, ft.root_capacity, 1.0):.0f}")
+    except ValueError:
+        print("volume (Thm 4):   n/a (w below n^(2/3))")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from .core import (
+        load_factor,
+        schedule_corollary2,
+        schedule_theorem1,
+        theorem1_cycle_bound,
+    )
+
+    ft = _make_fattree(args.n, args.w)
+    m = _make_traffic(args.traffic, args.n, args.messages, args.seed)
+    lam = load_factor(ft, m)
+    sched = schedule_theorem1(ft, m)
+    sched.validate(ft, m)
+    rows = [
+        {
+            "scheduler": "Theorem 1",
+            "cycles": sched.num_cycles,
+            "bound": theorem1_cycle_bound(ft, lam),
+        }
+    ]
+    try:
+        sched2 = schedule_corollary2(ft, m)
+        sched2.validate(ft, m)
+        rows.append(
+            {"scheduler": "Corollary 2", "cycles": sched2.num_cycles, "bound": "-"}
+        )
+    except ValueError:
+        pass  # channels narrower than lg n: Corollary 2 does not apply
+    print(
+        format_table(
+            rows,
+            title=f"{len(m)} {args.traffic} messages on n={args.n} w={ft.root_capacity}"
+            f" — λ(M) = {lam:.2f} (lower bound {math.ceil(lam)})",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .universality import simulate_network_on_fattree
+
+    net = _make_network(args.network, args.n)
+    m = net.neighbor_message_set()
+    if len(m):
+        res = simulate_network_on_fattree(net, m, t=1)
+    else:
+        from .workloads import cyclic_shift
+
+        res = simulate_network_on_fattree(net, cyclic_shift(args.n, 1))
+    rows = [
+        {
+            "network R": res.network_name,
+            "volume v": res.volume,
+            "FT root cap": res.root_capacity,
+            "t on R": res.t,
+            "λ(M)": res.load_factor,
+            "FT cycles": res.delivery_cycles,
+            "slowdown": res.slowdown,
+            "O(lg³n) bound": res.bound() * res.t,
+        }
+    ]
+    print(format_table(rows, title="Theorem 10 simulation at equal volume"))
+    return 0
+
+
+def cmd_hardware(args) -> int:
+    from .hardware import run_until_delivered
+
+    ft = _make_fattree(args.n, args.w)
+    m = _make_traffic(args.traffic, args.n, args.messages, args.seed)
+    out = run_until_delivered(ft, m, concentrators=args.concentrators, seed=args.seed)
+    delivered = sum(len(r.delivered) for r in out.reports)
+    rows = [
+        {
+            "cycle": i,
+            "delivered": len(r.delivered),
+            "congested": len(r.congested),
+            "deferred": len(r.deferred),
+            "ticks": r.wave_ticks,
+        }
+        for i, r in enumerate(out.reports[:12])
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"bit-serial delivery of {delivered} messages "
+            f"({args.concentrators} concentrators), {out.cycles} cycles total",
+        )
+    )
+    if out.cycles > 12:
+        print(f"… {out.cycles - 12} more cycles")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import run_experiment
+
+    try:
+        sections = run_experiment(args.id)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for title, rows in sections:
+        print(format_table(rows, title=title))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fat-trees (Leiserson 1985) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, traffic=False):
+        p.add_argument("--n", type=int, default=64, help="processors (power of two)")
+        p.add_argument("--w", type=int, default=None, help="root capacity (default n)")
+        if traffic:
+            p.add_argument(
+                "--traffic",
+                default="random",
+                choices=["random", "permutation", "bit-reversal", "hotspot", "local"],
+            )
+            p.add_argument("--messages", type=int, default=256)
+            p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("topology", help="capacities and hardware cost (Fig. 1, Thm 4)")
+    common(p)
+    p.set_defaults(fn=cmd_topology)
+
+    p = sub.add_parser("schedule", help="off-line scheduling (Thm 1 / Cor 2)")
+    common(p, traffic=True)
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("simulate", help="Theorem 10 equal-volume simulation")
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument(
+        "--network",
+        default="mesh",
+        choices=["mesh", "hypercube", "shuffle", "tree", "torus"],
+    )
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("hardware", help="bit-serial switch simulation (Figs. 2-3)")
+    common(p, traffic=True)
+    p.add_argument(
+        "--concentrators", default="ideal", choices=["ideal", "pippenger"]
+    )
+    p.set_defaults(fn=cmd_hardware)
+
+    p = sub.add_parser(
+        "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"
+    )
+    p.add_argument("id", help="experiment id, e.g. e07, or 'all'")
+    p.set_defaults(fn=cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the chosen command."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

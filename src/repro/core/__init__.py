@@ -1,0 +1,62 @@
+"""The paper's primary contribution: fat-trees and off-line scheduling.
+
+Public API re-exports; see the individual modules for the mapping to
+sections and theorems of Leiserson (1985).
+"""
+
+from .capacity import (
+    CapacityProfile,
+    ConstantCapacity,
+    DoublingCapacity,
+    ExplicitCapacity,
+    ScaledCapacity,
+    TaperedCapacity,
+    UniversalCapacity,
+)
+from .exact import exact_minimum_cycles, exact_schedule
+from .fattree import Channel, Direction, FatTree
+from .greedy import schedule_greedy_first_fit, simulate_online_retry
+from .load import channel_load, channel_loads, is_one_cycle, load_factor
+from .message import MessageSet
+from .online import online_cycle_bound, schedule_random_rank
+from .partition import even_split, even_split_all
+from .reuse_scheduler import (
+    capacity_ratio,
+    corollary2_cycle_bound,
+    schedule_corollary2,
+)
+from .schedule import Schedule, ScheduleError
+from .scheduler import schedule_theorem1, theorem1_cycle_bound
+
+__all__ = [
+    "CapacityProfile",
+    "ConstantCapacity",
+    "DoublingCapacity",
+    "ExplicitCapacity",
+    "ScaledCapacity",
+    "TaperedCapacity",
+    "UniversalCapacity",
+    "Channel",
+    "Direction",
+    "FatTree",
+    "exact_minimum_cycles",
+    "exact_schedule",
+    "MessageSet",
+    "online_cycle_bound",
+    "schedule_random_rank",
+    "Schedule",
+    "ScheduleError",
+    "channel_load",
+    "channel_loads",
+    "is_one_cycle",
+    "load_factor",
+    "even_split",
+    "even_split_all",
+    "schedule_theorem1",
+    "theorem1_cycle_bound",
+    "schedule_corollary2",
+    "corollary2_cycle_bound",
+    "capacity_ratio",
+    "schedule_greedy_first_fit",
+    "simulate_online_retry",
+]

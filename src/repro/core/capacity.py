@@ -1,0 +1,224 @@
+"""Channel-capacity profiles (Leiserson 1985, §IV).
+
+A fat-tree is "parameterized not only in the number of processors, but
+also in the amount of simultaneous communication it can support": the
+capacities of its channels.  A :class:`CapacityProfile` assigns a wire
+count to every channel *level*.  Levels follow the paper's convention —
+the root (and the external-interface channel above it) is level 0, the
+channels leaving the processors are at level ``lg n``, and a channel has
+the level of the node *beneath* it.
+
+The distinguished profile is :class:`UniversalCapacity`, the paper's
+*universal fat-tree*: with root capacity ``w`` (``n**(2/3) <= w <= n``)
+the channel capacity at level ``k`` is::
+
+    cap(k) = ceil( min( n / 2**k,  w / 4**(k/3) ) )
+
+Going *up* from the leaves the capacities first double each level (the
+``n / 2**k`` branch), then — within ``3·lg(n/w)`` levels of the root —
+grow at the slower rate of the cube root of 4 per level (the
+``w / 4**(k/3)`` branch).  The two branches meet at level
+``k* = 3·lg(n/w)`` where both equal ``w**3 / n**2``.  At the leaves the
+capacity is exactly 1 (each processor has one connection), and at the
+root it is exactly ``w``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from .tree import ilog2
+
+__all__ = [
+    "CapacityProfile",
+    "UniversalCapacity",
+    "ConstantCapacity",
+    "DoublingCapacity",
+    "ExplicitCapacity",
+    "ScaledCapacity",
+    "TaperedCapacity",
+]
+
+
+class CapacityProfile:
+    """Base class: a positive-integer capacity for every channel level.
+
+    Subclasses implement :meth:`_raw_cap`; this class validates the result
+    once per level and caches it.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.depth = depth
+        self._cache: dict[int, int] = {}
+
+    def cap(self, level: int) -> int:
+        """Capacity (wire count) of any channel at the given level."""
+        if not (0 <= level <= self.depth):
+            raise ValueError(f"level {level} outside [0, {self.depth}]")
+        cached = self._cache.get(level)
+        if cached is None:
+            cached = int(self._raw_cap(level))
+            if cached < 1:
+                raise ValueError(
+                    f"{type(self).__name__} produced non-positive capacity "
+                    f"{cached} at level {level}"
+                )
+            self._cache[level] = cached
+        return cached
+
+    def _raw_cap(self, level: int) -> int:
+        raise NotImplementedError
+
+    def caps(self) -> list[int]:
+        """Capacities for levels ``0..depth`` as a list."""
+        return [self.cap(k) for k in range(self.depth + 1)]
+
+    @property
+    def root_capacity(self) -> int:
+        """Capacity of the level-0 (root / external interface) channel."""
+        return self.cap(0)
+
+
+class UniversalCapacity(CapacityProfile):
+    """The paper's universal fat-tree capacities for root capacity ``w``.
+
+    Parameters
+    ----------
+    n:
+        Number of processors (a power of two).
+    w:
+        Root capacity.  The paper requires ``n**(2/3) <= w <= n``; pass
+        ``strict=False`` to allow any ``1 <= w <= n`` (the §IV remark notes
+        the lower bound can be relaxed with minor changes to the bounds).
+    """
+
+    def __init__(self, n: int, w: int, *, strict: bool = True):
+        depth = ilog2(n)
+        super().__init__(depth)
+        if not (1 <= w <= n):
+            raise ValueError(f"root capacity w={w} outside [1, n={n}]")
+        if strict and w ** 3 < n ** 2:
+            raise ValueError(
+                f"universal fat-tree requires w >= n**(2/3): w={w}, n={n} "
+                "(pass strict=False to relax)"
+            )
+        self.n = n
+        self.w = w
+
+    def _raw_cap(self, level: int) -> int:
+        doubling = self.n >> level  # n / 2**k, exact
+        # w / 4**(k/3) computed in floats; values are modest (<= w <= n).
+        root_limited = self.w / (4.0 ** (level / 3.0))
+        value = min(float(doubling), root_limited)
+        # ceil, robust to float representation of exact integers
+        as_int = int(value)
+        return as_int if value == as_int else as_int + 1
+
+    @property
+    def crossover_level(self) -> int:
+        """Level ``3·lg(n/w)`` where the two growth regimes meet."""
+        from .tree import lg
+
+        ratio = self.n // self.w if self.w and self.n % self.w == 0 else None
+        if ratio is not None and ratio >= 1:
+            return min(self.depth, 3 * lg(ratio)) if ratio > 1 else 0
+        import math
+
+        return min(self.depth, max(0, int(round(3 * math.log2(self.n / self.w)))))
+
+
+class ConstantCapacity(CapacityProfile):
+    """Every channel has the same capacity (e.g. 1 = a plain binary tree)."""
+
+    def __init__(self, depth: int, value: int = 1):
+        super().__init__(depth)
+        if value < 1:
+            raise ValueError("capacity must be positive")
+        self.value = value
+
+    def _raw_cap(self, level: int) -> int:
+        return self.value
+
+
+class DoublingCapacity(CapacityProfile):
+    """Capacities exactly double going up: ``cap(k) = n / 2**k``.
+
+    This is the full-bandwidth fat-tree (root capacity ``n``); it
+    coincides with ``UniversalCapacity(n, n)``.
+    """
+
+    def __init__(self, n: int):
+        depth = ilog2(n)
+        super().__init__(depth)
+        self.n = n
+
+    def _raw_cap(self, level: int) -> int:
+        return self.n >> level
+
+
+class ExplicitCapacity(CapacityProfile):
+    """Capacities given explicitly as a sequence indexed by level."""
+
+    def __init__(self, caps: Sequence[int]):
+        super().__init__(len(caps) - 1)
+        self._caps = [int(c) for c in caps]
+
+    def _raw_cap(self, level: int) -> int:
+        return self._caps[level]
+
+
+class TaperedCapacity(CapacityProfile):
+    """An oversubscribed fat-tree, specified the way fabric designers do.
+
+    Modern fat-tree fabrics are "tapered": the top of the tree carries
+    only ``1/R`` of full-bisection bandwidth (a 2:1 or 4:1
+    oversubscription ratio R), with the deficit spread geometrically over
+    the levels.  With ``leaf_cap`` wires per processor::
+
+        cap(k) = max(1, round(leaf_cap · (n / 2^k) · R^{-(lg n − k)/lg n}))
+
+    ``R = 1`` is the full-bandwidth fat-tree; the root carries
+    ``leaf_cap·n/R``.  This is §IV's root-capacity knob ``w`` in the
+    parameterisation practitioners quote.
+    """
+
+    def __init__(self, n: int, oversubscription: float = 2.0, *, leaf_cap: int = 1):
+        depth = ilog2(n)
+        super().__init__(depth)
+        if oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {oversubscription}"
+            )
+        if leaf_cap < 1:
+            raise ValueError("leaf_cap must be positive")
+        self.n = n
+        self.ratio = float(oversubscription)
+        self.leaf_cap = leaf_cap
+
+    def _raw_cap(self, level: int) -> int:
+        up_frac = (self.depth - level) / max(1, self.depth)
+        value = self.leaf_cap * (self.n >> level) / (self.ratio ** up_frac)
+        return max(1, round(value))
+
+    def oversubscription(self) -> float:
+        """Measured end-to-end oversubscription: total leaf wires over
+        root wires (equals the requested ratio up to rounding)."""
+        return self.n * self.leaf_cap / self.cap(0)
+
+
+class ScaledCapacity(CapacityProfile):
+    """Wrap another profile, transforming each capacity.
+
+    Used e.g. by Corollary 2 to build the *fictitious* capacities
+    ``cap'(c) = cap(c) - lg n`` and by benches that inflate capacities.
+    """
+
+    def __init__(self, base: CapacityProfile, fn: Callable[[int], int]):
+        super().__init__(base.depth)
+        self.base = base
+        self.fn = fn
+
+    def _raw_cap(self, level: int) -> int:
+        return self.fn(self.base.cap(level))

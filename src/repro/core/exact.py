@@ -1,0 +1,111 @@
+"""Exact minimum-delivery-cycle schedules for small instances.
+
+The load factor λ(M) lower-bounds the number of delivery cycles but is
+not always achievable (⌈λ⌉ can be infeasible when paths interlock), and
+Theorem 1 only promises O(λ·lg n).  For small instances the true optimum
+is computable by branch and bound: assign messages to cycles in order,
+tracking per-channel residual capacities, with iterative deepening on
+the cycle count.  The benches use it to measure how far the paper's
+schedulers sit from optimal — a question the paper leaves open between
+its bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .fattree import FatTree
+from .load import load_factor
+from .message import MessageSet
+from .schedule import Schedule
+
+__all__ = ["exact_minimum_cycles", "exact_schedule"]
+
+
+def _paths(ft: FatTree, messages: MessageSet):
+    depth = ft.depth
+    out = []
+    for s, d in messages:
+        bitlen = (s ^ d).bit_length()
+        turn = depth - bitlen
+        keys = [(k, s >> (depth - k), 0) for k in range(turn + 1, depth + 1)]
+        keys += [(k, d >> (depth - k), 1) for k in range(turn + 1, depth + 1)]
+        out.append(keys)
+    return out
+
+
+def _search(idx, paths, residuals, d, assignment):
+    """Backtracking: place message ``idx`` into one of ``d`` cycles."""
+    if idx == len(paths):
+        return True
+    keys = paths[idx]
+    tried = set()
+    for t in range(d):
+        # symmetry breaking: identical-looking empty cycles are equal —
+        # only try the first cycle of each residual signature
+        sig = tuple(residuals[t][k] for k in keys)
+        if sig in tried:
+            continue
+        tried.add(sig)
+        if all(residuals[t][k] > 0 for k in keys):
+            for k in keys:
+                residuals[t][k] -= 1
+            assignment[idx] = t
+            if _search(idx + 1, paths, residuals, d, assignment):
+                return True
+            for k in keys:
+                residuals[t][k] += 1
+    return False
+
+
+def exact_schedule(
+    ft: FatTree, messages: MessageSet, *, max_cycles: int = 16
+) -> Schedule:
+    """The provably minimum schedule, by iterative-deepening search.
+
+    Exponential in the worst case — intended for n <= 16 and a few dozen
+    messages.  Raises ``RuntimeError`` if the optimum exceeds
+    ``max_cycles``.
+    """
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    routable = messages.without_self_messages()
+    n_self = len(messages) - len(routable)
+    if len(routable) == 0:
+        return Schedule(cycles=[], n_self_messages=n_self)
+    paths = _paths(ft, routable)
+    # longest-path-first ordering tightens the search dramatically
+    order = sorted(range(len(paths)), key=lambda i: -len(paths[i]))
+    ordered_paths = [paths[i] for i in order]
+    lower = max(1, math.ceil(load_factor(ft, routable)))
+    for d in range(lower, max_cycles + 1):
+        residuals = [
+            {
+                (k, x, direction): ft.cap(k)
+                for k in range(1, ft.depth + 1)
+                for x in range(1 << k)
+                for direction in (0, 1)
+            }
+            for _ in range(d)
+        ]
+        assignment = [0] * len(ordered_paths)
+        if _search(0, ordered_paths, residuals, d, assignment):
+            cycles_idx: list[list[int]] = [[] for _ in range(d)]
+            for pos, t in enumerate(assignment):
+                cycles_idx[t].append(order[pos])
+            cycles = [
+                routable.take(np.array(sorted(c), dtype=np.int64))
+                for c in cycles_idx
+                if c
+            ]
+            return Schedule(cycles=cycles, n_self_messages=n_self)
+    raise RuntimeError(f"optimum exceeds max_cycles = {max_cycles}")
+
+
+def exact_minimum_cycles(
+    ft: FatTree, messages: MessageSet, *, max_cycles: int = 16
+) -> int:
+    """The minimum number of delivery cycles for ``messages`` on ``ft``."""
+    return exact_schedule(ft, messages, max_cycles=max_cycles).num_cycles

@@ -1,0 +1,181 @@
+"""The fat-tree routing network (Leiserson 1985, §II).
+
+A :class:`FatTree` on ``n = 2**depth`` processors is a complete binary
+tree whose leaves are the processors and whose internal nodes are
+switches.  Each edge of the underlying tree corresponds to **two**
+channels — one from child to parent (``UP``) and one from parent to child
+(``DOWN``) — and each channel is a bundle of ``cap(c)`` wires.  The
+channel above the root is the external interface.
+
+Routing is determined entirely by the tree: the message ``(i, j)`` climbs
+from leaf ``i`` to the least common ancestor of ``i`` and ``j`` and then
+descends to leaf ``j``.  :meth:`FatTree.path_channels` enumerates exactly
+the channels this path uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from . import tree
+from .capacity import CapacityProfile, UniversalCapacity
+
+__all__ = ["Direction", "Channel", "FatTree"]
+
+
+class Direction(Enum):
+    """Channel orientation relative to the root."""
+
+    UP = "up"      # child -> parent (toward the root)
+    DOWN = "down"  # parent -> child (toward the leaves)
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """One channel of a fat-tree.
+
+    ``level``/``index`` identify the node *beneath* the channel (the
+    paper's convention): the channel connects node ``(level, index)`` with
+    its parent.  Level-0 channels connect the root with the external
+    interface.
+    """
+
+    level: int
+    index: int
+    direction: Direction
+
+    def __str__(self) -> str:
+        return f"{self.direction.value}({self.level},{self.index})"
+
+
+class FatTree:
+    """A fat-tree routing network.
+
+    Parameters
+    ----------
+    n:
+        Number of processors; must be a power of two.
+    capacity:
+        A :class:`~repro.core.capacity.CapacityProfile` of matching depth,
+        or ``None`` for the full-bandwidth universal fat-tree
+        (``w = n``).
+
+    Examples
+    --------
+    >>> from repro.core import FatTree, UniversalCapacity
+    >>> ft = FatTree(64, UniversalCapacity(64, 32))
+    >>> ft.depth
+    6
+    >>> ft.cap(0)   # root capacity
+    32
+    >>> ft.cap(6)   # each processor has one connection
+    1
+    """
+
+    def __init__(self, n: int, capacity: CapacityProfile | None = None):
+        depth = tree.ilog2(n)
+        if capacity is None:
+            capacity = UniversalCapacity(n, n)
+        if capacity.depth != depth:
+            raise ValueError(
+                f"capacity profile depth {capacity.depth} does not match "
+                f"lg n = {depth}"
+            )
+        self.n = n
+        self.depth = depth
+        self.capacity = capacity
+
+    # -- structure ---------------------------------------------------------
+
+    def cap(self, level: int) -> int:
+        """Capacity of any channel at the given level."""
+        return self.capacity.cap(level)
+
+    @property
+    def root_capacity(self) -> int:
+        return self.capacity.root_capacity
+
+    def channels(self, *, include_external: bool = False) -> Iterator[Channel]:
+        """All channels, level by level.
+
+        Internal message routing never touches the level-0 external
+        interface channels, so they are excluded unless requested.
+        """
+        start = 0 if include_external else 1
+        for level in range(start, self.depth + 1):
+            for index in range(1 << level):
+                yield Channel(level, index, Direction.UP)
+                yield Channel(level, index, Direction.DOWN)
+
+    def num_channels(self, *, include_external: bool = False) -> int:
+        """Number of channels (two per tree edge)."""
+        total = 2 * ((1 << (self.depth + 1)) - 2)
+        if include_external:
+            total += 2
+        return total
+
+    def total_wires(self, *, include_external: bool = False) -> int:
+        """Total wire count: the sum of all channel capacities."""
+        start = 0 if include_external else 1
+        return sum(
+            2 * (1 << level) * self.cap(level)
+            for level in range(start, self.depth + 1)
+        )
+
+    def node_incident_wires(self, level: int) -> int:
+        """Wires incident to a switch at the given level (its up channels
+        plus its two children's channels), the ``m`` of Lemma 3/Theorem 4."""
+        if not (0 <= level < self.depth):
+            raise ValueError(f"no switch at level {level}")
+        up = 2 * self.cap(level)
+        down = 4 * self.cap(level + 1)
+        return up + down
+
+    # -- routing -----------------------------------------------------------
+
+    def path_channels(self, src: int, dst: int) -> list[Channel]:
+        """The channels used by message ``(src, dst)``, in path order.
+
+        The message climbs the up channels above ``src`` to the LCA and
+        descends the down channels to ``dst``.  A self-message uses no
+        channels.
+        """
+        self._check_processor(src)
+        self._check_processor(dst)
+        if src == dst:
+            return []
+        l = tree.lca_level(src, dst, self.depth)
+        up = [
+            Channel(k, src >> (self.depth - k), Direction.UP)
+            for k in range(self.depth, l, -1)
+        ]
+        down = [
+            Channel(k, dst >> (self.depth - k), Direction.DOWN)
+            for k in range(l + 1, self.depth + 1)
+        ]
+        return up + down
+
+    def path_length(self, src: int, dst: int) -> int:
+        """Number of channels on the path of message ``(src, dst)``."""
+        if src == dst:
+            return 0
+        l = tree.lca_level(src, dst, self.depth)
+        return 2 * (self.depth - l)
+
+    def _check_processor(self, p: int) -> None:
+        if not (0 <= p < self.n):
+            raise ValueError(f"processor {p} outside [0, {self.n})")
+
+    # -- misc ----------------------------------------------------------------
+
+    def with_capacity(self, capacity: CapacityProfile) -> "FatTree":
+        """A fat-tree with the same structure but different capacities."""
+        return FatTree(self.n, capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"FatTree(n={self.n}, root_capacity={self.root_capacity}, "
+            f"profile={type(self.capacity).__name__})"
+        )

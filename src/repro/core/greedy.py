@@ -1,0 +1,151 @@
+"""Baseline schedulers for comparison with Theorem 1 / Corollary 2.
+
+Neither of these is from the paper; they are the obvious strawmen a
+practitioner would try first, used by the benches as ablation baselines
+for the even-split partitioner:
+
+* :func:`schedule_greedy_first_fit` — off-line first-fit bin packing:
+  place each message in the earliest delivery cycle with residual
+  capacity on its whole path.
+* :func:`simulate_online_retry` — the on-line retry loop sketched in §II:
+  every pending message attempts delivery each cycle; congested channels
+  drop the excess; dropped messages are retried next cycle (the
+  acknowledgment mechanism).  Randomised priority, so results vary with
+  the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fattree import FatTree
+from .message import MessageSet
+from .schedule import Schedule
+
+__all__ = ["schedule_greedy_first_fit", "simulate_online_retry"]
+
+
+def _path_levels(ft: FatTree, src: int, dst: int) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """(level, node-index) pairs of the up- and down-channels of a path."""
+    depth = ft.depth
+    diff = src ^ dst
+    bitlen = diff.bit_length()
+    lca_level = depth - bitlen
+    ups = [(k, src >> (depth - k)) for k in range(lca_level + 1, depth + 1)]
+    downs = [(k, dst >> (depth - k)) for k in range(lca_level + 1, depth + 1)]
+    return ups, downs
+
+
+class _ResidualCycles:
+    """Residual up/down capacities for a growing list of delivery cycles."""
+
+    def __init__(self, ft: FatTree):
+        self.ft = ft
+        self.up: list[dict[int, np.ndarray]] = []
+        self.down: list[dict[int, np.ndarray]] = []
+
+    def _new_cycle(self) -> int:
+        caps_up = {
+            k: np.full(1 << k, self.ft.cap(k), dtype=np.int64)
+            for k in range(1, self.ft.depth + 1)
+        }
+        caps_down = {k: v.copy() for k, v in caps_up.items()}
+        self.up.append(caps_up)
+        self.down.append(caps_down)
+        return len(self.up) - 1
+
+    def fits(self, t: int, ups, downs) -> bool:
+        up_t, down_t = self.up[t], self.down[t]
+        return all(up_t[k][x] > 0 for k, x in ups) and all(
+            down_t[k][x] > 0 for k, x in downs
+        )
+
+    def commit(self, t: int, ups, downs) -> None:
+        for k, x in ups:
+            self.up[t][k][x] -= 1
+        for k, x in downs:
+            self.down[t][k][x] -= 1
+
+    def place_first_fit(self, ups, downs) -> int:
+        for t in range(len(self.up)):
+            if self.fits(t, ups, downs):
+                self.commit(t, ups, downs)
+                return t
+        t = self._new_cycle()
+        self.commit(t, ups, downs)
+        return t
+
+
+def schedule_greedy_first_fit(
+    ft: FatTree, messages: MessageSet, *, order: str = "longest-first"
+) -> Schedule:
+    """Off-line first-fit scheduler.
+
+    ``order`` controls message placement order: ``"longest-first"`` (by
+    path length, a standard bin-packing heuristic), ``"given"`` (input
+    order), or ``"random"``.
+    """
+    routable = messages.without_self_messages()
+    n_self = len(messages) - len(routable)
+    m = len(routable)
+    if order == "given":
+        perm = np.arange(m)
+    elif order == "random":
+        perm = np.random.default_rng(0).permutation(m)
+    elif order == "longest-first":
+        lengths = np.array(
+            [ft.path_length(int(s), int(d)) for s, d in routable], dtype=np.int64
+        )
+        perm = np.argsort(-lengths, kind="stable")
+    else:
+        raise ValueError(f"unknown order {order!r}")
+
+    residual = _ResidualCycles(ft)
+    assignment = np.zeros(m, dtype=np.int64)
+    for i in perm:
+        src, dst = int(routable.src[i]), int(routable.dst[i])
+        ups, downs = _path_levels(ft, src, dst)
+        assignment[i] = residual.place_first_fit(ups, downs)
+
+    num_cycles = len(residual.up)
+    cycles = [routable.take(assignment == t) for t in range(num_cycles)]
+    return Schedule(cycles=cycles, n_self_messages=n_self)
+
+
+def simulate_online_retry(
+    ft: FatTree, messages: MessageSet, *, seed: int = 0, max_cycles: int = 100_000
+) -> Schedule:
+    """On-line delivery with congestion drops and retry (§II mechanism).
+
+    Each cycle, pending messages are considered in random order; a message
+    is delivered iff every channel on its path still has residual
+    capacity this cycle.  Messages that lose a channel are retried in the
+    next cycle.  Models ideal concentrators (no drops without congestion)
+    and instant acknowledgments.
+    """
+    rng = np.random.default_rng(seed)
+    routable = messages.without_self_messages()
+    n_self = len(messages) - len(routable)
+    pending = list(range(len(routable)))
+    paths = [
+        _path_levels(ft, int(s), int(d)) for s, d in routable
+    ]
+    cycles: list[MessageSet] = []
+    while pending:
+        if len(cycles) >= max_cycles:
+            raise RuntimeError(f"online retry did not converge in {max_cycles} cycles")
+        residual = _ResidualCycles(ft)
+        t = residual._new_cycle()
+        rng.shuffle(pending)
+        delivered: list[int] = []
+        still: list[int] = []
+        for i in pending:
+            ups, downs = paths[i]
+            if residual.fits(t, ups, downs):
+                residual.commit(t, ups, downs)
+                delivered.append(i)
+            else:
+                still.append(i)
+        cycles.append(routable.take(np.array(sorted(delivered), dtype=np.int64)))
+        pending = still
+    return Schedule(cycles=cycles, n_self_messages=n_self)

@@ -1,0 +1,143 @@
+"""Message sets (Leiserson 1985, §II).
+
+A *message set* ``M ⊆ P × P`` is a collection of ``(source, destination)``
+pairs.  The paper treats it as a set; we allow multiset semantics (two
+processors may exchange several messages in one batch, as happens when a
+fixed-connection network with parallel edges is emulated), which only
+strengthens the scheduling results.
+
+``MessageSet`` stores sources and destinations as parallel numpy arrays so
+that channel loads for *all* channels of a fat-tree can be computed with a
+handful of vectorised passes (see :mod:`repro.core.load`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["MessageSet"]
+
+
+class MessageSet:
+    """An immutable batch of point-to-point messages.
+
+    Parameters
+    ----------
+    src, dst:
+        Equal-length integer sequences: message ``k`` travels from
+        processor ``src[k]`` to processor ``dst[k]``.
+    n:
+        Number of processors.  Every endpoint must lie in ``[0, n)``.
+    """
+
+    __slots__ = ("src", "dst", "n")
+
+    def __init__(self, src: Sequence[int], dst: Sequence[int], n: int):
+        src_arr = np.asarray(src, dtype=np.int64)
+        dst_arr = np.asarray(dst, dtype=np.int64)
+        if src_arr.ndim != 1 or dst_arr.ndim != 1:
+            raise ValueError("src and dst must be one-dimensional")
+        if src_arr.shape != dst_arr.shape:
+            raise ValueError(
+                f"src and dst lengths differ: {src_arr.size} vs {dst_arr.size}"
+            )
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if src_arr.size:
+            lo = min(src_arr.min(), dst_arr.min())
+            hi = max(src_arr.max(), dst_arr.max())
+            if lo < 0 or hi >= n:
+                raise ValueError(
+                    f"endpoints must lie in [0, {n}); saw range [{lo}, {hi}]"
+                )
+        src_arr.setflags(write=False)
+        dst_arr.setflags(write=False)
+        object.__setattr__(self, "src", src_arr)
+        object.__setattr__(self, "dst", dst_arr)
+        object.__setattr__(self, "n", int(n))
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("MessageSet is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]], n: int) -> "MessageSet":
+        """Build from an iterable of ``(src, dst)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return cls.empty(n)
+        src, dst = zip(*pairs)
+        return cls(src, dst, n)
+
+    @classmethod
+    def from_permutation(cls, perm: Sequence[int]) -> "MessageSet":
+        """Message set in which processor ``i`` sends to ``perm[i]``."""
+        perm_arr = np.asarray(perm, dtype=np.int64)
+        n = perm_arr.size
+        if not np.array_equal(np.sort(perm_arr), np.arange(n)):
+            raise ValueError("perm is not a permutation of 0..n-1")
+        return cls(np.arange(n), perm_arr, n)
+
+    @classmethod
+    def empty(cls, n: int) -> "MessageSet":
+        """The empty message set on ``n`` processors."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), n)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.src.size)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self.src.tolist(), self.dst.tolist())
+
+    def __eq__(self, other) -> bool:
+        """Multiset equality (order-insensitive)."""
+        if not isinstance(other, MessageSet):
+            return NotImplemented
+        if self.n != other.n or len(self) != len(other):
+            return False
+        return sorted(self) == sorted(other)
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("MessageSet is not hashable")
+
+    def __repr__(self) -> str:
+        return f"MessageSet(n={self.n}, messages={len(self)})"
+
+    # -- operations --------------------------------------------------------
+
+    def take(self, mask_or_idx) -> "MessageSet":
+        """Sub-multiset selected by a boolean mask or index array."""
+        return MessageSet(self.src[mask_or_idx], self.dst[mask_or_idx], self.n)
+
+    def concat(self, other: "MessageSet") -> "MessageSet":
+        """Multiset union with another message set on the same processors."""
+        if self.n != other.n:
+            raise ValueError("message sets are over different processor sets")
+        return MessageSet(
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+            self.n,
+        )
+
+    def without_self_messages(self) -> "MessageSet":
+        """Drop messages whose source equals their destination.
+
+        Self-messages never enter the routing network (their path in the
+        underlying tree is empty), so schedulers ignore them.
+        """
+        return self.take(self.src != self.dst)
+
+    def as_pairs(self) -> list[tuple[int, int]]:
+        """The messages as a list of ``(src, dst)`` tuples."""
+        return list(self)
+
+    def counter(self):
+        """Multiset as a ``collections.Counter`` keyed by ``(src, dst)``."""
+        from collections import Counter
+
+        return Counter(self)

@@ -1,0 +1,99 @@
+"""On-line routing: the direction the paper points at (§VI, ref. [8]).
+
+    "In results to be reported elsewhere [Greenberg & Leiserson 1985] we
+    have discovered a randomized routing algorithm that delivers all
+    messages in O(λ(M) + lg n·lg lg n) delivery cycles with high
+    probability."
+
+The paper only *announces* this; this module implements the natural
+random-rank contention-resolution scheme in that spirit and the benches
+measure its cycle count against the announced ``λ + lg n·lg lg n``
+shape:
+
+Each delivery cycle, every pending message draws an independent uniform
+rank.  Every channel grants its ``cap(c)`` wires to its lowest-ranked
+contenders; a message is delivered iff it wins a wire on *every* channel
+of its path (consistent ranks make the winner sets coherent down a
+path).  Losers retry next cycle with fresh ranks — fully on-line: no
+global knowledge, only per-channel comparisons, exactly what a switch
+can do in hardware.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .fattree import FatTree
+from .message import MessageSet
+from .schedule import Schedule
+
+__all__ = ["schedule_random_rank", "online_cycle_bound"]
+
+
+def online_cycle_bound(ft: FatTree, lam: float, constant: float = 8.0) -> float:
+    """The announced high-probability shape: c·(λ(M) + lg n·lg lg n)."""
+    lg = max(1.0, ft.depth)
+    return constant * (max(lam, 1.0) + lg * max(1.0, math.log2(lg)))
+
+
+def _path_channel_keys(ft: FatTree, src: int, dst: int) -> list[tuple[int, int, int]]:
+    """(level, index, direction) keys of a message's channels; direction
+    0 = up, 1 = down."""
+    depth = ft.depth
+    bitlen = (src ^ dst).bit_length()
+    turn = depth - bitlen
+    keys = [(k, src >> (depth - k), 0) for k in range(turn + 1, depth + 1)]
+    keys += [(k, dst >> (depth - k), 1) for k in range(turn + 1, depth + 1)]
+    return keys
+
+
+def schedule_random_rank(
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    seed: int = 0,
+    max_cycles: int = 100_000,
+) -> Schedule:
+    """Deliver ``messages`` with random-rank on-line contention
+    resolution; returns the per-cycle delivery trace as a
+    :class:`Schedule` (each cycle is a valid one-cycle set by
+    construction)."""
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    rng = np.random.default_rng(seed)
+    routable = messages.without_self_messages()
+    n_self = len(messages) - len(routable)
+    paths = [
+        _path_channel_keys(ft, int(s), int(d)) for s, d in routable
+    ]
+    pending = list(range(len(routable)))
+    cycles: list[MessageSet] = []
+    while pending:
+        if len(cycles) >= max_cycles:
+            raise RuntimeError(f"did not converge within {max_cycles} cycles")
+        ranks = rng.random(len(pending))
+        # per-channel grant: lowest cap(c) ranks win each channel
+        contenders: dict[tuple[int, int, int], list[tuple[float, int]]] = {}
+        for pos, i in enumerate(pending):
+            for key in paths[i]:
+                contenders.setdefault(key, []).append((ranks[pos], i))
+        winners_per_channel: dict[tuple[int, int, int], set[int]] = {}
+        for key, lst in contenders.items():
+            cap = ft.cap(key[0])
+            lst.sort()
+            winners_per_channel[key] = {i for _, i in lst[:cap]}
+        delivered = [
+            i
+            for i in pending
+            if all(i in winners_per_channel[key] for key in paths[i])
+        ]
+        if not delivered:
+            # with positive capacities the globally lowest-ranked pending
+            # message always wins all its channels, so this cannot happen
+            raise AssertionError("random-rank cycle made no progress")
+        delivered_set = set(delivered)
+        cycles.append(routable.take(np.array(sorted(delivered), dtype=np.int64)))
+        pending = [i for i in pending if i not in delivered_set]
+    return Schedule(cycles=cycles, n_self_messages=n_self)

@@ -1,0 +1,268 @@
+"""The even-split partitioner from the proof of Theorem 1.
+
+Given a set ``Q`` of messages that all cross the same fat-tree node in
+the same direction (say left subtree → right subtree), Theorem 1's proof
+partitions ``Q`` into halves ``Q_a`` and ``Q_b`` such that **every**
+channel's load splits exactly evenly::
+
+    load(Q_a, c) = ceil(load(Q, c) / 2)
+    load(Q_b, c) = floor(load(Q, c) / 2)      (up to swapping a/b per channel)
+
+The construction has two phases, following the paper:
+
+*Matching.*  Each message is a string with a *source end* (at its source
+leaf) and a *destination end* (at its destination leaf).  Within each
+processor, ends of the same kind are paired; leftovers (at most one per
+processor) are paired bottom-up in two-leaf subtrees, four-leaf subtrees,
+and so on.  The invariant: in every subtree, at most one string end is
+matched outside the subtree or left unmatched.
+
+*Tracing.*  The pairs form a graph on the messages in which every message
+touches at most one source-pair edge and at most one destination-pair
+edge.  Components are therefore paths and cycles whose edges alternate
+between the two kinds, so cycles are even and the graph is bipartite: a
+2-colouring assigns the messages of every pair to opposite halves.  (The
+paper traces the strings explicitly; 2-colouring the pairing graph is the
+same assignment.)
+
+Because any subtree contains at most one end not matched *inside* it, the
+per-subtree — hence per-channel — imbalance between the halves is at most
+one message.
+
+:func:`even_split` applies the construction to a single
+same-LCA/same-direction group; :func:`even_split_all` applies it to each
+group of an arbitrary message set independently (used by Corollary 2,
+where the per-channel error then accumulates to at most ``lg n`` over the
+whole recursion — see :mod:`repro.core.reuse_scheduler`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fattree import FatTree
+from .message import MessageSet
+
+__all__ = [
+    "message_group_keys",
+    "group_indices",
+    "even_split",
+    "even_split_indices",
+    "even_split_all",
+]
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorised ``int.bit_length`` for non-negative int64 arrays.
+
+    Exact for values below 2**53 (we only ever pass XORs of processor
+    ids, far below that).
+    """
+    _, exponents = np.frexp(values.astype(np.float64))
+    return exponents.astype(np.int64)
+
+
+def message_group_keys(messages: MessageSet, depth: int):
+    """Per-message (lca_level, lca_index, direction) as a composite key.
+
+    Returns ``(keys, lca_levels)`` where ``keys[k]`` uniquely encodes the
+    LCA node and crossing direction of message ``k`` (direction bit 0 =
+    source in the left child subtree).  Self-messages get key ``-1``.
+    """
+    diff = messages.src ^ messages.dst
+    bitlen = _bit_lengths(diff)
+    lca_level = depth - bitlen
+    lca_index = messages.src >> bitlen
+    direction = np.where(bitlen > 0, (messages.src >> np.maximum(bitlen - 1, 0)) & 1, 0)
+    flat = (np.int64(1) << lca_level) - 1 + lca_index
+    keys = np.where(diff == 0, np.int64(-1), (flat << 1) | direction)
+    return keys, lca_level
+
+
+def group_indices(messages: MessageSet, depth: int) -> dict[int, np.ndarray]:
+    """Message indices grouped by (LCA node, direction) composite key.
+
+    Self-messages (key ``-1``) are omitted: they use no channels.
+    """
+    keys, _ = message_group_keys(messages, depth)
+    groups: dict[int, np.ndarray] = {}
+    if keys.size == 0:
+        return groups
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [keys.size]])
+    for s, e in zip(starts, ends):
+        key = int(sorted_keys[s])
+        if key == -1:
+            continue
+        groups[key] = order[s:e]
+    return groups
+
+
+def _pair_bottom_up(
+    leaves: np.ndarray,
+    lo: int,
+    hi: int,
+    pairs: list[tuple[int, int]],
+) -> None:
+    """Pair string ends bottom-up over the subtree with leaf range [lo, hi).
+
+    ``leaves`` is the sorted array of leaf positions of the ends; entry
+    ``t`` refers to end ``t`` (positions into the caller's order array).
+    Appends pairs of *end indices* to ``pairs``.  At most one end stays
+    unmatched.  Implemented iteratively on an explicit stack to keep deep
+    trees out of Python's recursion limit.  (Splits use ``bisect`` on a
+    plain list: the per-node slices are tiny, where numpy call overhead
+    dominates — measured 2-3x faster on large schedules.)
+    """
+    from bisect import bisect_left
+
+    leaf_list = leaves.tolist()
+    # Each frame: (a, b, lo, hi, state); state 0 = descend, 1 = combine.
+    # returns[] acts as the return stack of child leftover end indices.
+    stack: list[tuple[int, int, int, int, int]] = [(0, len(leaf_list), lo, hi, 0)]
+    returns: list[int | None] = []
+    while stack:
+        a, b, rlo, rhi, state = stack.pop()
+        if state == 0:
+            if a >= b:
+                returns.append(None)
+                continue
+            if rhi - rlo == 1 or leaf_list[a] == leaf_list[b - 1]:
+                # All ends at the same leaf (or in an unsplittable range):
+                # pair consecutively.
+                for t in range(a, b - 1, 2):
+                    pairs.append((t, t + 1))
+                returns.append(b - 1 if (b - a) % 2 else None)
+                continue
+            mid = (rlo + rhi) // 2
+            m = bisect_left(leaf_list, mid, a, b)
+            stack.append((a, b, rlo, rhi, 1))          # combine afterwards
+            stack.append((m, b, mid, rhi, 0))          # right child
+            stack.append((a, m, rlo, mid, 0))          # left child
+        else:
+            right = returns.pop()
+            left = returns.pop()
+            if left is not None and right is not None:
+                pairs.append((left, right))
+                returns.append(None)
+            else:
+                returns.append(left if left is not None else right)
+    # The final leftover (returns[0]) stays unmatched, as in the paper.
+
+
+def _pairs_for_side(ends: np.ndarray, lo: int, hi: int) -> list[tuple[int, int]]:
+    """Matching phase for one side: pair the given ends (leaf positions,
+    indexed by message position) within the leaf range [lo, hi).
+
+    Returns pairs of *message positions*.
+    """
+    order = np.argsort(ends, kind="stable")
+    sorted_ends = ends[order]
+    raw_pairs: list[tuple[int, int]] = []
+    _pair_bottom_up(sorted_ends, lo, hi, raw_pairs)
+    return [(int(order[u]), int(order[v])) for u, v in raw_pairs]
+
+
+def _two_colour(m: int, src_pairs, dst_pairs) -> np.ndarray:
+    """Tracing phase: 2-colour the pairing graph on ``m`` messages.
+
+    Every vertex has at most one edge of each kind, so components are
+    paths and even (alternating) cycles; a BFS 2-colouring exists.
+    """
+    src_partner = np.full(m, -1, dtype=np.int64)
+    dst_partner = np.full(m, -1, dtype=np.int64)
+    for u, v in src_pairs:
+        src_partner[u], src_partner[v] = v, u
+    for u, v in dst_pairs:
+        dst_partner[u], dst_partner[v] = v, u
+    colour = np.full(m, -1, dtype=np.int8)
+    for start in range(m):
+        if colour[start] != -1:
+            continue
+        colour[start] = 0
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in (src_partner[u], dst_partner[u]):
+                if v == -1:
+                    continue
+                if colour[v] == -1:
+                    colour[v] = 1 - colour[u]
+                    frontier.append(int(v))
+                elif colour[v] == colour[u]:  # pragma: no cover - impossible
+                    raise AssertionError("pairing graph is not bipartite")
+    return colour
+
+
+def even_split_indices(
+    messages: MessageSet, indices: np.ndarray, depth: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a same-LCA, same-direction group of messages evenly.
+
+    ``indices`` selects the group inside ``messages``.  Returns two index
+    arrays partitioning ``indices`` such that every channel's load splits
+    to within one message.  The group's common LCA and direction are
+    recomputed here and verified.
+    """
+    if indices.size <= 1:
+        return indices, indices[:0]
+    sub_src = messages.src[indices]
+    sub_dst = messages.dst[indices]
+    diff = sub_src ^ sub_dst
+    bitlen = int(diff[0]).bit_length()
+    if bitlen == 0:
+        raise ValueError("group contains self-messages")
+    if not ((sub_src >> bitlen) == (sub_src[0] >> bitlen)).all() or not (
+        _bit_lengths(diff) == bitlen
+    ).all():
+        raise ValueError("messages do not share an LCA node")
+    side = (sub_src >> (bitlen - 1)) & 1
+    if not (side == side[0]).all():
+        raise ValueError("messages do not share a crossing direction")
+
+    # Leaf ranges of the source-side and destination-side child subtrees.
+    src_child = int(sub_src[0] >> (bitlen - 1))
+    dst_child = src_child ^ 1
+    span = 1 << (bitlen - 1)
+    src_lo, src_hi = src_child * span, (src_child + 1) * span
+    dst_lo, dst_hi = dst_child * span, (dst_child + 1) * span
+
+    src_pairs = _pairs_for_side(sub_src, src_lo, src_hi)
+    dst_pairs = _pairs_for_side(sub_dst, dst_lo, dst_hi)
+    colour = _two_colour(indices.size, src_pairs, dst_pairs)
+    return indices[colour == 0], indices[colour == 1]
+
+
+def even_split(
+    ft: FatTree, group: MessageSet
+) -> tuple[MessageSet, MessageSet]:
+    """Split a same-LCA, same-direction message set into even halves."""
+    idx = np.arange(len(group))
+    a, b = even_split_indices(group, idx, ft.depth)
+    return group.take(a), group.take(b)
+
+
+def even_split_all(
+    ft: FatTree, messages: MessageSet
+) -> tuple[MessageSet, MessageSet]:
+    """Split an arbitrary message set, group by group.
+
+    Each (LCA node, direction) group is split evenly on every channel; a
+    channel used by ``g`` groups therefore splits to within ``g`` (and
+    ``g <= lg n``), which is what Corollary 2's error argument needs.
+    Self-messages are dropped (they need no routing).
+    """
+    groups = group_indices(messages, ft.depth)
+    parts_a: list[np.ndarray] = []
+    parts_b: list[np.ndarray] = []
+    for idx in groups.values():
+        a, b = even_split_indices(messages, idx, ft.depth)
+        parts_a.append(a)
+        parts_b.append(b)
+    empty = np.empty(0, dtype=np.int64)
+    take_a = np.concatenate(parts_a) if parts_a else empty
+    take_b = np.concatenate(parts_b) if parts_b else empty
+    return messages.take(take_a), messages.take(take_b)

@@ -1,0 +1,103 @@
+"""The Corollary 2 scheduler: near-optimal when channels are Ω(lg n) wide.
+
+    *Corollary 2.  Let FT be a fat-tree on n processors, let C be the set
+    of channels in FT, and suppose there is a constant a > 1 such that
+    cap(c) >= a·lg n for all c ∈ C.  Then for any message set M there is
+    an off-line schedule M_1, …, M_d such that
+    d <= 2·ceil((a/(a−1))·λ(M)).*
+
+Instead of re-partitioning at every tree level (which costs the Theorem 1
+``lg n`` factor), the whole message set is split globally: every
+(LCA node, direction) group is halved evenly at once, and the resulting
+halves are reused down the tree.  A channel at level ``k`` serves at most
+``k <= lg n`` groups, so each global halving adds at most ``1/2`` error
+per group and the accumulated per-channel error over the entire recursion
+is below ``lg n``.  Scheduling against the *fictitious* capacities
+``cap'(c) = cap(c) − lg n`` therefore guarantees the real capacities are
+never exceeded, and the fictitious load factor is at most
+``(a/(a−1))·λ(M)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .fattree import FatTree
+from .load import channel_loads
+from .message import MessageSet
+from .partition import even_split_all
+from .schedule import Schedule
+
+__all__ = ["schedule_corollary2", "corollary2_cycle_bound", "capacity_ratio"]
+
+
+def capacity_ratio(ft: FatTree) -> float:
+    """The largest ``a`` with ``cap(c) >= a·lg n`` for all channels.
+
+    Uses the paper's ``lg n`` = the tree depth.  Corollary 2 requires the
+    returned value to exceed 1.
+    """
+    lgn = max(1, ft.depth)
+    return min(ft.cap(k) for k in range(1, ft.depth + 1)) / lgn
+
+
+def corollary2_cycle_bound(ft: FatTree, lam: float) -> int:
+    """The Corollary 2 bound ``2·ceil((a/(a−1))·λ)`` for this fat-tree."""
+    a = capacity_ratio(ft)
+    if a <= 1:
+        raise ValueError(
+            f"Corollary 2 needs cap(c) >= a·lg n with a > 1; widest a here is {a:.3f}"
+        )
+    return 2 * max(1, math.ceil(a / (a - 1) * max(lam, 1.0)))
+
+
+def schedule_corollary2(ft: FatTree, messages: MessageSet) -> Schedule:
+    """Schedule ``messages`` on ``ft`` per Corollary 2.
+
+    Raises ``ValueError`` unless every channel satisfies
+    ``cap(c) > lg n`` (the corollary's hypothesis with some ``a > 1``).
+    """
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    lgn = max(1, ft.depth)
+    if capacity_ratio(ft) <= 1:
+        raise ValueError(
+            "Corollary 2 requires cap(c) > lg n on every channel; "
+            f"minimum capacity is {min(ft.cap(k) for k in range(1, ft.depth + 1))}, "
+            f"lg n = {lgn}"
+        )
+
+    routable = messages.without_self_messages()
+    n_self = len(messages) - len(routable)
+
+    # Termination argument: after t global halvings a channel's load is at
+    # most load(M, c)/2**t + lg n (each halving splits each of its <= lg n
+    # groups evenly), so once 2**t >= λ'(M) — the load factor against the
+    # fictitious capacities cap'(c) = cap(c) − lg n — every piece fits the
+    # real capacities.  The loop simply halves until the real capacities
+    # are met, which happens no later than that.
+    pending = [routable]
+    cycles: list[MessageSet] = []
+    while pending:
+        piece = pending.pop()
+        if len(piece) == 0:
+            continue
+        if _fits_real(ft, piece):
+            cycles.append(piece)
+        else:
+            a, b = even_split_all(ft, piece)
+            pending.append(a)
+            pending.append(b)
+    return Schedule(cycles=cycles, n_self_messages=n_self)
+
+
+def _fits_real(ft: FatTree, piece: MessageSet) -> bool:
+    """One-cycle test against the *real* capacities (lets the scheduler
+    stop as soon as a piece is actually routable, which is often earlier
+    than the fictitious-capacity test guarantees)."""
+    loads = channel_loads(ft, piece)
+    for k in range(1, ft.depth + 1):
+        cap = ft.cap(k)
+        if loads.up[k].max(initial=0) > cap or loads.down[k].max(initial=0) > cap:
+            return False
+    return True

@@ -1,0 +1,83 @@
+"""Schedules: partitions of a message set into delivery cycles (§III).
+
+A *schedule* of a message set ``M`` is a partition of ``M`` into
+one-cycle message sets ``M_1, …, M_d``; ``d`` is the number of delivery
+cycles.  ``d >= λ(M)`` always (the load-factor lower bound), and the
+paper's schedulers achieve ``d = O(λ(M)·lg n)`` (Theorem 1) or
+``d <= 2·ceil((a/(a−1))·λ(M))`` (Corollary 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fattree import FatTree
+from .load import is_one_cycle, load_factor
+from .message import MessageSet
+
+__all__ = ["Schedule", "ScheduleError"]
+
+
+class ScheduleError(AssertionError):
+    """Raised by :meth:`Schedule.validate` when a schedule is invalid."""
+
+
+@dataclass
+class Schedule:
+    """A sequence of delivery cycles plus bookkeeping.
+
+    Attributes
+    ----------
+    cycles:
+        One :class:`MessageSet` per delivery cycle.
+    n_self_messages:
+        Self-messages removed before scheduling (they use no channels and
+        are considered delivered immediately).
+    per_level_cycles:
+        For Theorem 1 schedules, the number of cycles contributed by each
+        tree level (empty for schedulers that do not work level by level).
+    """
+
+    cycles: list[MessageSet]
+    n_self_messages: int = 0
+    per_level_cycles: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_cycles(self) -> int:
+        """The paper's ``d``."""
+        return len(self.cycles)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self):
+        return iter(self.cycles)
+
+    def total_messages(self) -> int:
+        """Messages covered by the schedule, self-messages included."""
+        return sum(len(c) for c in self.cycles) + self.n_self_messages
+
+    def validate(self, ft: FatTree, original: MessageSet) -> None:
+        """Check the two schedule invariants, raising on violation:
+
+        1. every cycle is a one-cycle set (``λ(M_t) <= 1``);
+        2. the cycles partition ``original`` minus its self-messages.
+        """
+        for t, cycle in enumerate(self.cycles):
+            if not is_one_cycle(ft, cycle):
+                raise ScheduleError(
+                    f"cycle {t} is not a one-cycle set "
+                    f"(λ = {load_factor(ft, cycle):.3f})"
+                )
+        routable = original.without_self_messages()
+        expected_self = len(original) - len(routable)
+        if self.n_self_messages != expected_self:
+            raise ScheduleError(
+                f"schedule records {self.n_self_messages} self-messages, "
+                f"original has {expected_self}"
+            )
+        union = MessageSet.empty(original.n)
+        for cycle in self.cycles:
+            union = union.concat(cycle)
+        if union.counter() != routable.counter():
+            raise ScheduleError("schedule cycles do not partition the message set")

@@ -1,0 +1,162 @@
+"""Complete-binary-tree arithmetic for fat-trees (Leiserson 1985, §II).
+
+The underlying structure of a fat-tree on ``n = 2**depth`` processors is a
+complete binary tree.  This module fixes the coordinate conventions used
+throughout the package:
+
+* The **root** is at *level 0*; the **leaves** (processors) are at level
+  ``depth = lg n``.  This matches the paper, which gives each node a level
+  number equal to its distance from the root.
+* A node is identified by the pair ``(level, index)`` with
+  ``0 <= index < 2**level``.  Node ``(level, x)`` has parent
+  ``(level - 1, x >> 1)`` and children ``(level + 1, 2x)`` and
+  ``(level + 1, 2x + 1)``.
+* Processor ``i`` sits at leaf ``(depth, i)``.
+
+Nodes are also given a single *flat id* in breadth-first (heap) order:
+``flat = 2**level - 1 + index``.  A complete binary tree of depth ``d``
+has ``2**(d+1) - 1`` nodes.
+
+All functions are pure integer arithmetic and accept either Python ints
+or numpy integer arrays (they only use ``>>``, ``^``, comparisons), which
+lets :mod:`repro.core.load` vectorise channel-load computation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ilog2",
+    "is_power_of_two",
+    "lg",
+    "num_nodes",
+    "flat_id",
+    "level_of_flat",
+    "index_of_flat",
+    "parent",
+    "left_child",
+    "right_child",
+    "ancestor_at_level",
+    "lca_level",
+    "lca",
+    "leaves_under",
+    "subtree_size",
+    "path_to_root",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer base-2 logarithm of a power of two.
+
+    Raises ``ValueError`` when ``n`` is not a positive power of two —
+    fat-trees in this package always have a power-of-two processor count.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"expected a positive power of two, got {n!r}")
+    return n.bit_length() - 1
+
+
+def lg(n: int) -> int:
+    """The paper's ``lg n`` = max(1, ceil(log2 n)) for n >= 1.
+
+    Leiserson defines ``lg m`` as ``max(1, log2 m)`` (footnote 1);
+    we take the ceiling for non-powers of two so the value is integral.
+    """
+    if n < 1:
+        raise ValueError(f"lg requires n >= 1, got {n!r}")
+    return max(1, (n - 1).bit_length())
+
+
+def num_nodes(depth: int) -> int:
+    """Number of nodes in a complete binary tree of the given depth."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    return (1 << (depth + 1)) - 1
+
+
+def flat_id(level: int, index: int) -> int:
+    """Flat heap-order id of node ``(level, index)``."""
+    if level < 0 or not (0 <= index < (1 << level)):
+        raise ValueError(f"invalid node ({level}, {index})")
+    return (1 << level) - 1 + index
+
+
+def level_of_flat(flat: int) -> int:
+    """Level of the node with the given flat id."""
+    if flat < 0:
+        raise ValueError("flat id must be non-negative")
+    return (flat + 1).bit_length() - 1
+
+
+def index_of_flat(flat: int) -> int:
+    """Within-level index of the node with the given flat id."""
+    level = level_of_flat(flat)
+    return flat - ((1 << level) - 1)
+
+
+def parent(level: int, index: int) -> tuple[int, int]:
+    """Parent of a non-root node."""
+    if level <= 0:
+        raise ValueError("the root has no parent")
+    return level - 1, index >> 1
+
+
+def left_child(level: int, index: int) -> tuple[int, int]:
+    """Left child coordinates (caller must know the node is internal)."""
+    return level + 1, index << 1
+
+
+def right_child(level: int, index: int) -> tuple[int, int]:
+    """Right child coordinates (caller must know the node is internal)."""
+    return level + 1, (index << 1) | 1
+
+
+def ancestor_at_level(leaf: int, depth: int, level: int):
+    """Index of the level-``level`` ancestor of leaf ``leaf``.
+
+    Works elementwise on numpy arrays of leaves.  ``level`` may range from
+    0 (root, always index 0) to ``depth`` (the leaf itself).
+    """
+    if not (0 <= level <= depth):
+        raise ValueError(f"level {level} outside [0, {depth}]")
+    return leaf >> (depth - level)
+
+
+def lca_level(src: int, dst: int, depth: int):
+    """Level of the least common ancestor of two leaves.
+
+    For scalars only (uses ``int.bit_length``).  ``lca_level(i, i) ==
+    depth``: a message from a processor to itself never enters the tree.
+    """
+    diff = src ^ dst
+    return depth - diff.bit_length()
+
+
+def lca(src: int, dst: int, depth: int) -> tuple[int, int]:
+    """The least common ancestor ``(level, index)`` of two leaves."""
+    level = lca_level(src, dst, depth)
+    return level, src >> (depth - level)
+
+
+def leaves_under(level: int, index: int, depth: int) -> range:
+    """The range of leaf ids in the subtree rooted at ``(level, index)``."""
+    if not (0 <= level <= depth):
+        raise ValueError(f"level {level} outside [0, {depth}]")
+    span = 1 << (depth - level)
+    return range(index * span, (index + 1) * span)
+
+
+def subtree_size(level: int, depth: int) -> int:
+    """Number of leaves under any node at the given level."""
+    if not (0 <= level <= depth):
+        raise ValueError(f"level {level} outside [0, {depth}]")
+    return 1 << (depth - level)
+
+
+def path_to_root(leaf: int, depth: int) -> list[tuple[int, int]]:
+    """All nodes on the path from leaf ``leaf`` (inclusive) to the root."""
+    return [(lvl, leaf >> (depth - lvl)) for lvl in range(depth, -1, -1)]

@@ -1,0 +1,537 @@
+"""The experiment registry: every DESIGN.md experiment as a callable.
+
+``run_experiment("e07")`` regenerates a quick version of the same tables
+the benchmarks print (smaller sweeps, no timing), so a user can inspect
+any paper result without pytest:
+
+    python -m repro experiment e07
+    python -m repro experiment all
+
+Each experiment function returns a list of ``(title, rows)`` sections;
+the benchmarks remain the asserted, full-size versions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+Section = tuple[str, list[dict]]
+
+
+def _e01() -> list[Section]:
+    """Fig. 1 — universal fat-tree structure."""
+    from .core import FatTree, UniversalCapacity
+
+    rows = []
+    for n in (256, 4096):
+        for w in (math.ceil(n ** (2 / 3)), n):
+            ft = FatTree(n, UniversalCapacity(n, w))
+            caps = ft.capacity.caps()
+            rows.append(
+                {
+                    "n": n,
+                    "w": w,
+                    "crossover": ft.capacity.crossover_level,
+                    "caps (root…)": "/".join(map(str, caps[:5])) + "…",
+                    "total wires": ft.total_wires(),
+                }
+            )
+    return [("E1 / Fig. 1 — universal fat-tree structure", rows)]
+
+
+def _e02() -> list[Section]:
+    """Theorem 1 — off-line scheduling within O(λ·lg n)."""
+    from .core import (
+        FatTree,
+        UniversalCapacity,
+        load_factor,
+        schedule_theorem1,
+        theorem1_cycle_bound,
+    )
+    from .workloads import uniform_random
+
+    rows = []
+    for n in (64, 256, 1024):
+        ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+        m = uniform_random(n, 8 * n, seed=n)
+        lam = load_factor(ft, m)
+        d = schedule_theorem1(ft, m).num_cycles
+        rows.append(
+            {"n": n, "λ(M)": lam, "d": d,
+             "bound 2⌈λ⌉lg n": theorem1_cycle_bound(ft, lam)}
+        )
+    return [("E2 / Theorem 1 — uniform traffic", rows)]
+
+
+def _e03() -> list[Section]:
+    """Corollary 2 — wide channels, no lg n factor."""
+    from .core import (
+        FatTree,
+        ScaledCapacity,
+        UniversalCapacity,
+        corollary2_cycle_bound,
+        load_factor,
+        schedule_corollary2,
+    )
+    from .workloads import uniform_random
+
+    rows = []
+    for n in (64, 256):
+        base = UniversalCapacity(n, n)
+        ft = FatTree(n, ScaledCapacity(base, lambda c: 2 * c * base.depth))
+        m = uniform_random(n, 40 * n, seed=n)
+        lam = load_factor(ft, m)
+        d = schedule_corollary2(ft, m).num_cycles
+        rows.append(
+            {"n": n, "λ(M)": lam, "d": d,
+             "bound": corollary2_cycle_bound(ft, lam)}
+        )
+    return [("E3 / Corollary 2 — a = 2 capacity headroom", rows)]
+
+
+def _e04() -> list[Section]:
+    """Theorem 4 — hardware cost."""
+    from .core import FatTree, UniversalCapacity
+    from .vlsi import component_bound, total_components, volume_bound
+
+    rows = []
+    for n in (256, 1024, 4096):
+        w = math.ceil(n ** (5 / 6))
+        ft = FatTree(n, UniversalCapacity(n, w))
+        rows.append(
+            {
+                "n": n,
+                "w": w,
+                "components": total_components(ft),
+                "O(n·lg(w³/n²))": component_bound(n, w),
+                "volume bound": volume_bound(n, w, 1.0),
+            }
+        )
+    return [("E4 / Theorem 4 — components and volume", rows)]
+
+
+def _e05() -> list[Section]:
+    """Theorem 5 — cutting-plane decomposition trees."""
+    from .networks import Hypercube
+    from .vlsi import cutting_plane_tree, theorem5_bandwidth
+
+    rows = []
+    net = Hypercube(256)
+    lay = net.layout()
+    tree = cutting_plane_tree(lay)
+    for i in range(0, 7):
+        rows.append(
+            {
+                "level": i,
+                "w_i": tree.level_bandwidths[i],
+                "O(v^2/3) bound": theorem5_bandwidth(lay.volume, i),
+            }
+        )
+    return [("E5 / Theorem 5 — hypercube layout decomposition", rows)]
+
+
+def _e06() -> list[Section]:
+    """Theorem 8 / Corollary 9 — balancing."""
+    from .networks import Hypercube
+    from .vlsi import balance_decomposition, cutting_plane_tree, theorem8_bound
+
+    tree = cutting_plane_tree(Hypercube(256).layout())
+    bal = balance_decomposition(tree)
+    bal.validate_balance()
+    rows = [
+        {
+            "level j": j,
+            "balanced w'_j": bal.level_bandwidths[j],
+            "Thm 8 bound": theorem8_bound(
+                tree.level_bandwidths, min(j, tree.depth)
+            ),
+        }
+        for j in range(min(6, bal.depth + 1))
+    ]
+    return [("E6 / Theorem 8 — balanced decomposition tree", rows)]
+
+
+def _e07() -> list[Section]:
+    """Theorem 10 — universality."""
+    from .networks import CubeConnectedCycles, Hypercube, Mesh2D, ShuffleExchange
+    from .universality import simulate_network_on_fattree
+
+    rows = []
+    for net in (Mesh2D(256), Hypercube(256), ShuffleExchange(256),
+                CubeConnectedCycles(4)):
+        res = simulate_network_on_fattree(net, net.neighbor_message_set(), t=1)
+        rows.append(
+            {
+                "network R": net.name,
+                "n": net.n,
+                "volume": res.volume,
+                "λ(M)": res.load_factor,
+                "cycles": res.delivery_cycles,
+                "slowdown": res.slowdown,
+                "O(lg³n)": res.bound(),
+            }
+        )
+    return [("E7 / Theorem 10 — equal-volume simulation (t = 1)", rows)]
+
+
+def _e08() -> list[Section]:
+    """§I — planar finite-element hardware efficiency."""
+    from .core import FatTree, UniversalCapacity, schedule_theorem1
+    from .vlsi import volume_bound
+    from .workloads import fem_message_set, grid_fem_edges
+
+    rows = []
+    for n in (256, 1024, 4096):
+        w = math.ceil(n ** (2 / 3))
+        m = fem_message_set(grid_fem_edges(n), n, placement="hilbert")
+        d = schedule_theorem1(FatTree(n, UniversalCapacity(n, w)), m).num_cycles
+        d_full = schedule_theorem1(FatTree(n), m).num_cycles
+        rows.append(
+            {
+                "n": n,
+                "d (w=n)": d_full,
+                "d (w=n^2/3)": d,
+                "FT volume": volume_bound(n, w, 1.0),
+                "hypercube volume": float(n) ** 1.5,
+            }
+        )
+    return [("E8 / §I — planar FEM on skinny fat-trees", rows)]
+
+
+def _e09() -> list[Section]:
+    """§VI — permutation routing."""
+    from .core import FatTree, load_factor, schedule_theorem1
+    from .workloads import bit_reversal, random_permutation
+
+    rows = []
+    for n in (64, 256, 1024):
+        for name, perm in (("random", random_permutation(n, seed=n)),
+                           ("bit-reversal", bit_reversal(n))):
+            ft = FatTree(n)
+            rows.append(
+                {
+                    "n": n,
+                    "permutation": name,
+                    "λ": load_factor(ft, perm),
+                    "cycles": schedule_theorem1(ft, perm).num_cycles,
+                    "lg n": int(math.log2(n)),
+                }
+            )
+    return [("E9 / §VI — permutations on w = n fat-trees", rows)]
+
+
+def _e10() -> list[Section]:
+    """§VI — fixed-connection network emulation."""
+    from .networks import Hypercube, Mesh2D
+    from .universality import emulate_fixed_connection
+
+    rows = []
+    for net in (Mesh2D(256), Hypercube(256)):
+        res = emulate_fixed_connection(net)
+        rows.append(
+            {
+                "network": net.name,
+                "degree": res.degree,
+                "inflation": res.capacity_inflation,
+                "λ(round)": res.load_factor,
+                "cycles": res.delivery_cycles,
+                "degradation (ticks)": res.degradation,
+            }
+        )
+    return [("E10 / §VI — one-cycle emulation", rows)]
+
+
+def _e11() -> list[Section]:
+    """§IV — partial concentrators."""
+    import numpy as np
+
+    from .hardware import PartialConcentrator
+
+    rows = []
+    for r in (48, 192, 768):
+        pc = PartialConcentrator(r, rng=r)
+        k = pc.guaranteed()
+        hits = sum(
+            pc.satisfies_alpha_for(
+                np.random.default_rng(t).choice(r, k, replace=False).tolist()
+            )
+            for t in range(20)
+        )
+        rows.append(
+            {
+                "r": r,
+                "s": pc.s,
+                "in-deg": pc.input_degree(),
+                "out-deg": pc.output_degree(),
+                "α·s routed": f"{hits}/20",
+                "components": pc.components(),
+            }
+        )
+    return [("E11 / §IV — (r, 2r/3, 3/4) concentrators", rows)]
+
+
+def _e12() -> list[Section]:
+    """Figs. 2-3 — the switch simulator."""
+    from .core import FatTree
+    from .hardware import run_delivery_cycle
+    from .workloads import random_permutation
+
+    rows = []
+    for n in (64, 256, 1024):
+        r = run_delivery_cycle(FatTree(n), random_permutation(n, seed=n))
+        rows.append(
+            {
+                "n": n,
+                "wave ticks": r.wave_ticks,
+                "2·lg n − 1": 2 * int(math.log2(n)) - 1,
+                "delivered": len(r.delivered),
+                "lost": r.losses,
+            }
+        )
+    return [("E12 / Figs. 2-3 — delivery-cycle timing", rows)]
+
+
+def _e13() -> list[Section]:
+    """Ablation — schedulers vs baselines."""
+    from .core import (
+        FatTree,
+        ScaledCapacity,
+        UniversalCapacity,
+        load_factor,
+        schedule_corollary2,
+        schedule_greedy_first_fit,
+        schedule_theorem1,
+        simulate_online_retry,
+    )
+    from .workloads import hotspot
+
+    n = 128
+    base = UniversalCapacity(n, n)
+    ft = FatTree(n, ScaledCapacity(base, lambda c: 2 * c * base.depth))
+    m = hotspot(n, 2 * n, fraction=0.25, seed=2)
+    lam = load_factor(ft, m)
+    rows = [
+        {"scheduler": name, "cycles": d, "vs ⌈λ⌉": d / max(1, math.ceil(lam))}
+        for name, d in (
+            ("Theorem 1", schedule_theorem1(ft, m).num_cycles),
+            ("Corollary 2", schedule_corollary2(ft, m).num_cycles),
+            ("greedy", schedule_greedy_first_fit(ft, m).num_cycles),
+            ("online retry", simulate_online_retry(ft, m, seed=0).num_cycles),
+        )
+    ]
+    return [(f"E13 — baselines on hotspot traffic (λ = {lam:.2f})", rows)]
+
+
+def _e14() -> list[Section]:
+    """Extension — descendants."""
+    from .networks import KAryNTree
+
+    rows = []
+    for k, lv in ((2, 4), (4, 3)):
+        t = KAryNTree(k, lv)
+        rows.append(
+            {
+                "k": k,
+                "levels": lv,
+                "n": t.n,
+                "switches": t.total_switches(),
+                "bisection": t.bisection_width(),
+                "diversity 0→n-1": t.path_diversity(0, t.n - 1),
+            }
+        )
+    return [("E14 — k-ary n-trees (the built realisation)", rows)]
+
+
+def _e15() -> list[Section]:
+    """Extension — on-line routing (ref [8] direction)."""
+    from .core import (
+        FatTree,
+        UniversalCapacity,
+        load_factor,
+        online_cycle_bound,
+        schedule_random_rank,
+    )
+    from .workloads import uniform_random
+
+    rows = []
+    for n in (64, 256):
+        ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+        m = uniform_random(n, 6 * n, seed=n)
+        lam = load_factor(ft, m)
+        d = schedule_random_rank(ft, m, seed=0).num_cycles
+        rows.append(
+            {"n": n, "λ": lam, "online cycles": d,
+             "c·(λ+lg·lglg)": online_cycle_bound(ft, lam)}
+        )
+    return [("E15 — random-rank on-line routing", rows)]
+
+
+def _e16() -> list[Section]:
+    """Extension — 2-D (Thompson) fat-trees."""
+    from .core import FatTree
+    from .vlsi import Universal2DCapacity, area_bound, total_components
+
+    rows = []
+    for n in (256, 1024):
+        w = 4 * math.ceil(n ** 0.5)
+        ft = FatTree(n, Universal2DCapacity(n, w))
+        rows.append(
+            {
+                "n": n,
+                "w": w,
+                "components": total_components(ft),
+                "area O((w·lg)²)": area_bound(n, w, 1.0),
+            }
+        )
+    return [("E16 / §VII — 2-D universal fat-trees", rows)]
+
+
+def _e17() -> list[Section]:
+    """Extension — whole applications."""
+    from .core import FatTree, UniversalCapacity
+    from .workloads import fft_trace, schedule_trace, stencil_trace
+
+    n = 256
+    rows = []
+    for trace in (fft_trace(n), stencil_trace(n, iterations=8)):
+        _, full = schedule_trace(FatTree(n), trace)
+        _, skinny = schedule_trace(
+            FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3)))), trace
+        )
+        rows.append(
+            {"application": trace.name, "rounds": len(trace),
+             "cycles (w=n)": full, "cycles (w=n^2/3)": skinny}
+        )
+    return [("E17 — application traces", rows)]
+
+
+def _e18() -> list[Section]:
+    """Extension — locality dividend."""
+    from .analysis import traffic_stats
+    from .core import FatTree, UniversalCapacity, load_factor, schedule_theorem1
+    from .workloads import local_traffic
+
+    n = 256
+    ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+    rows = []
+    for decay in (0.125, 0.5, 2.0):
+        m = local_traffic(n, 8 * n, decay=decay, seed=17)
+        ts = traffic_stats(ft, m)
+        rows.append(
+            {
+                "decay": decay,
+                "locality": ts.locality,
+                "top-level share": ts.top_level_share,
+                "λ": load_factor(ft, m),
+                "cycles": schedule_theorem1(ft, m).num_cycles,
+            }
+        )
+    return [("E18 / §II — the telephone-exchange dividend", rows)]
+
+
+def _e19() -> list[Section]:
+    """Extension — exact optimality gap."""
+    from .core import (
+        FatTree,
+        UniversalCapacity,
+        exact_minimum_cycles,
+        load_factor,
+        schedule_theorem1,
+    )
+    from .workloads import uniform_random
+
+    rows = []
+    ft = FatTree(16, UniversalCapacity(16, 8, strict=False))
+    for seed in range(6):
+        m = uniform_random(16, 24, seed=seed)
+        rows.append(
+            {
+                "seed": seed,
+                "⌈λ⌉": math.ceil(load_factor(ft, m)),
+                "OPT": exact_minimum_cycles(ft, m),
+                "Thm 1": schedule_theorem1(ft, m).num_cycles,
+            }
+        )
+    return [("E19 — exact optimum vs the bounds (n = 16)", rows)]
+
+
+def _e21() -> list[Section]:
+    """Extension — oversubscribed (tapered) fat-trees."""
+    from .core import FatTree, TaperedCapacity, load_factor, schedule_theorem1
+    from .workloads import butterfly_exchange
+
+    n = 1024
+    m = butterfly_exchange(n, 9)
+    rows = []
+    for ratio in (1.0, 2.0, 4.0, 8.0):
+        ft = FatTree(n, TaperedCapacity(n, ratio))
+        rows.append(
+            {
+                "oversubscription R": ratio,
+                "total wires": ft.total_wires(),
+                "λ (root-crossing)": load_factor(ft, m),
+                "cycles": schedule_theorem1(ft, m).num_cycles,
+            }
+        )
+    return [("E21 — oversubscription sweep", rows)]
+
+
+def _e20() -> list[Section]:
+    """Extension — buffered vs circuit-switched."""
+    from .core import FatTree, UniversalCapacity, load_factor, schedule_theorem1
+    from .hardware import run_store_and_forward
+    from .workloads import uniform_random
+
+    n = 256
+    ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+    rows = []
+    for mult in (1, 4):
+        m = uniform_random(n, mult * n, seed=mult)
+        sched = schedule_theorem1(ft, m)
+        buf = run_store_and_forward(ft, m)
+        rows.append(
+            {
+                "msgs/proc": mult,
+                "λ": load_factor(ft, m),
+                "scheduled ticks": sched.num_cycles * (2 * ft.depth - 1),
+                "buffered makespan": buf.makespan,
+                "max queue": buf.max_queue_depth,
+            }
+        )
+    return [("E20 / §VII — two switch designs", rows)]
+
+
+EXPERIMENTS: dict[str, Callable[[], list[Section]]] = {
+    f"e{i:02d}": fn
+    for i, fn in enumerate(
+        [
+            _e01, _e02, _e03, _e04, _e05, _e06, _e07, _e08, _e09, _e10,
+            _e11, _e12, _e13, _e14, _e15, _e16, _e17, _e18, _e19, _e20,
+            _e21,
+        ],
+        start=1,
+    )
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in order."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> list[Section]:
+    """Run one experiment (or ``"all"``) and return its table sections."""
+    if experiment_id == "all":
+        out: list[Section] = []
+        for eid in experiment_ids():
+            out.extend(EXPERIMENTS[eid]())
+        return out
+    if experiment_id not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {experiment_ids()} or 'all'"
+        )
+    return EXPERIMENTS[experiment_id]()

@@ -1,0 +1,50 @@
+"""The switch hardware of Figs. 2-3: bit-serial format, concentrators,
+node switching, and the delivery-cycle simulator."""
+
+from .bitserial import BitSerialMessage, decode_destination, encode_address
+from .buffered import BufferedRun, run_store_and_forward
+from .compile import CompiledCycle, CompileError, compile_cycle, compile_schedule
+from .concentrator import (
+    CascadedConcentrator,
+    IdealConcentrator,
+    PartialConcentrator,
+    PIPPENGER_ALPHA,
+    PIPPENGER_INPUT_DEGREE,
+    PIPPENGER_OUTPUT_DEGREE,
+)
+from .gate_node import GateLevelNode
+from .matching import hopcroft_karp
+from .node import Port, concentrate, select_output
+from .switchsim import (
+    DeliveryReport,
+    run_delivery_cycle,
+    run_schedule,
+    run_until_delivered,
+)
+
+__all__ = [
+    "BitSerialMessage",
+    "decode_destination",
+    "encode_address",
+    "BufferedRun",
+    "CompiledCycle",
+    "CompileError",
+    "compile_cycle",
+    "compile_schedule",
+    "run_store_and_forward",
+    "CascadedConcentrator",
+    "IdealConcentrator",
+    "PartialConcentrator",
+    "PIPPENGER_ALPHA",
+    "PIPPENGER_INPUT_DEGREE",
+    "PIPPENGER_OUTPUT_DEGREE",
+    "GateLevelNode",
+    "hopcroft_karp",
+    "Port",
+    "concentrate",
+    "select_output",
+    "DeliveryReport",
+    "run_delivery_cycle",
+    "run_schedule",
+    "run_until_delivered",
+]

@@ -1,0 +1,118 @@
+"""The bit-serial message format of Fig. 2.
+
+A message on a wire is a bit stream: first the **M bit** (1 = this wire
+actually carries a message), then the **address bits** — consumed one per
+switch as the leading edge of the message snakes through the tree — and
+finally the data payload.
+
+Address encoding (one bit per node on the path, at most ``2·lg n`` bits,
+as §II requires):
+
+* While climbing, the bit at each node answers "continue up?" — 1 keeps
+  climbing, 0 turns the message downward (consumed at the LCA).
+* While descending, each bit selects the child: 0 = left, 1 = right
+  (these are the "least significant bits of j" in path order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tree import lca_level
+
+__all__ = ["BitSerialMessage", "encode_address", "decode_destination"]
+
+
+def encode_address(src: int, dst: int, depth: int) -> list[int]:
+    """Address bits for the path from leaf ``src`` to leaf ``dst``.
+
+    One bit per switch traversal; empty for a self-message.
+    """
+    for p, name in ((src, "src"), (dst, "dst")):
+        if not (0 <= p < (1 << depth)):
+            raise ValueError(f"{name}={p} outside [0, {1 << depth})")
+    if src == dst:
+        return []
+    turn = lca_level(src, dst, depth)
+    # climbing: visit nodes at levels depth-1 .. turn; "continue up" until
+    # the LCA, where the 0 bit turns the message around.  A message that
+    # turns must descend into the subtree it did NOT come from, so the
+    # LCA's child choice is forced and consumes no bit.
+    bits = [1] * (depth - 1 - turn) + [0]
+    # descending: nodes at levels turn+1 .. depth-1 choose children by the
+    # destination bits, most significant (below the LCA) first.
+    for level in range(turn + 1, depth):
+        bits.append((dst >> (depth - 1 - level)) & 1)
+    return bits
+
+
+def decode_destination(src: int, bits: list[int], depth: int) -> int:
+    """Inverse of :func:`encode_address` (used by tests as an oracle)."""
+    if not bits:
+        return src
+    i = 0
+    level = depth  # current node level while climbing
+    while bits[i] == 1:
+        i += 1
+        level -= 1
+        if level <= 0:
+            raise ValueError("address climbs past the root")
+    level -= 1  # the turn bit moves us to the LCA at this level
+    i += 1
+    node = src >> (depth - level)
+    # forced first descent: the opposite child from the arrival side
+    came_from = (src >> (depth - level - 1)) & 1
+    node = (node << 1) | (came_from ^ 1)
+    level += 1
+    for bit in bits[i:]:
+        node = (node << 1) | bit
+        level += 1
+    if level != depth:
+        raise ValueError("address does not descend to a leaf")
+    return node
+
+
+@dataclass
+class BitSerialMessage:
+    """A message in flight, in Fig. 2 wire format.
+
+    ``address`` shrinks as switches strip bits; ``payload`` is carried
+    untouched.  ``src``/``dst`` are kept for bookkeeping (delivery checks
+    and acknowledgments) — physical wires carry only the bits.
+    """
+
+    src: int
+    dst: int
+    address: list[int]
+    payload: tuple[int, ...] = ()
+
+    @classmethod
+    def make(cls, src: int, dst: int, depth: int, payload=()) -> "BitSerialMessage":
+        return cls(
+            src=src,
+            dst=dst,
+            address=encode_address(src, dst, depth),
+            payload=tuple(payload),
+        )
+
+    def wire_bits(self) -> list[int]:
+        """The full serial frame: M bit, address, payload."""
+        return [1] + list(self.address) + list(self.payload)
+
+    def frame_length(self) -> int:
+        """Total serial bits: M bit + address + payload."""
+        return 1 + len(self.address) + len(self.payload)
+
+    def peek_bit(self) -> int:
+        """The routing bit the next switch will examine."""
+        if not self.address:
+            raise ValueError("message has arrived; no address bits left")
+        return self.address[0]
+
+    def strip_bit(self) -> "BitSerialMessage":
+        """The message as forwarded by a switch (first address bit gone)."""
+        return BitSerialMessage(self.src, self.dst, self.address[1:], self.payload)
+
+    @property
+    def arrived(self) -> bool:
+        return not self.address

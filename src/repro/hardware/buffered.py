@@ -1,0 +1,123 @@
+"""A buffered (store-and-forward) fat-tree: the §VII design alternative.
+
+§VII: "We also assumed the architecture was synchronized by delivery
+cycle.  Presumably, fat-tree architectures can be built with different
+design decisions."  This module builds the most natural alternative:
+switches hold per-node queues, and each channel moves up to ``cap(c)``
+queued messages per time step (no delivery cycles, no batching, no
+off-line schedule — pure dynamic store-and-forward with oldest-first
+service).
+
+The quantities of interest, which bench E20 compares against the
+delivery-cycle design:
+
+* *makespan* — steps until the last delivery; lower-bounded by both the
+  load factor λ(M) and the longest path;
+* *latency* — per-message time in the network;
+* *queue depth* — the buffering the design buys its simplicity with
+  (the circuit-switched design needs no switch buffers at all).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fattree import FatTree
+from ..core.message import MessageSet
+
+__all__ = ["BufferedRun", "run_store_and_forward"]
+
+
+@dataclass
+class BufferedRun:
+    """Outcome of a buffered store-and-forward run."""
+
+    makespan: int
+    latencies: np.ndarray
+    max_queue_depth: int
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else 0.0
+
+    @property
+    def max_latency(self) -> int:
+        return int(self.latencies.max()) if self.latencies.size else 0
+
+
+def _message_paths(ft: FatTree, messages: MessageSet):
+    """Per message: list of (channel key, next node) hops.
+
+    Nodes are (level, index); leaves are at level ``depth``.  A channel
+    key is (level, index, direction) as elsewhere.
+    """
+    depth = ft.depth
+    paths = []
+    for s, d in messages:
+        bitlen = (s ^ d).bit_length()
+        turn = depth - bitlen
+        hops = []
+        # climb: from (k, s>>(depth-k)) over its up channel
+        for k in range(depth, turn, -1):
+            node_above = (k - 1, s >> (depth - k + 1))
+            hops.append(((k, s >> (depth - k), 0), node_above))
+        for k in range(turn + 1, depth + 1):
+            hops.append(((k, d >> (depth - k), 1), (k, d >> (depth - k))))
+        paths.append(hops)
+    return paths
+
+
+def run_store_and_forward(
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    max_steps: int = 1_000_000,
+) -> BufferedRun:
+    """Dynamically deliver ``messages``; oldest-first channel service.
+
+    Each step, every channel independently forwards up to ``cap(c)`` of
+    the oldest messages queued at its tail that want to cross it.
+    """
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    routable = messages.without_self_messages()
+    paths = _message_paths(ft, routable)
+    m = len(paths)
+    if m == 0:
+        return BufferedRun(0, np.empty(0, dtype=np.int64), 0)
+
+    progress = [0] * m
+    # queue per channel: message ids waiting to cross it, FIFO by age
+    queues: dict[tuple[int, int, int], deque] = {}
+    for i, hops in enumerate(paths):
+        queues.setdefault(hops[0][0], deque()).append(i)
+
+    latencies = np.zeros(m, dtype=np.int64)
+    remaining = m
+    max_depth = max(len(q) for q in queues.values())
+    step = 0
+    while remaining:
+        if step >= max_steps:
+            raise RuntimeError(f"not delivered within {max_steps} steps")
+        step += 1
+        moves: list[tuple[int, tuple[int, int, int]]] = []
+        for key, queue in queues.items():
+            cap = ft.cap(key[0])
+            for _ in range(min(cap, len(queue))):
+                moves.append((queue.popleft(), key))
+        for i, key in moves:
+            progress[i] += 1
+            if progress[i] == len(paths[i]):
+                latencies[i] = step
+                remaining -= 1
+            else:
+                next_key = paths[i][progress[i]][0]
+                queues.setdefault(next_key, deque()).append(i)
+        depth_now = max((len(q) for q in queues.values()), default=0)
+        max_depth = max(max_depth, depth_now)
+    return BufferedRun(
+        makespan=step, latencies=latencies, max_queue_depth=max_depth
+    )

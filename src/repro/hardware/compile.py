@@ -1,0 +1,217 @@
+"""Compiling schedules into switch settings (§II, §IV).
+
+§II: "the results apply to practical situations when the settings of
+switches can be *compiled*, as when simulating a large VLSI design or
+emulating a fixed-connection network" — the fat-tree nodes "have their
+settings predetermined by an off-line scheduling algorithm".
+
+This module is that compiler: given a one-cycle message set, it assigns
+every message a physical wire on every channel of its path, setting each
+node's three partial concentrators by one matching per output port
+(§IV's "sequence of matchings on each level").  Channels are
+over-provisioned by the 1/α factor (§IV: "we treat the actual capacity
+of a channel as α times the number of wires"), so a one-cycle set always
+compiles.
+
+The two-pass structure mirrors the message flow: an upward pass sets
+every node's up-port concentrator (inputs known from the children's
+assignments), then a downward pass sets the down-ports (inputs are the
+turning messages, known from the upward pass, plus descents from the
+already-processed parent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fattree import FatTree
+from ..core.message import MessageSet
+from ..core.schedule import Schedule
+from .concentrator import PIPPENGER_ALPHA, PartialConcentrator
+
+__all__ = ["CompiledCycle", "CompileError", "compile_cycle", "compile_schedule"]
+
+
+class CompileError(RuntimeError):
+    """A concentrator instance failed to route its (within-α) demand."""
+
+
+@dataclass
+class CompiledCycle:
+    """Switch settings for one delivery cycle.
+
+    ``settings[(level, index, port)]`` maps each used concentrator input
+    wire to its output wire; ``port`` is "U", "L0" or "L1".
+    ``wire_of[msg][hop]`` is the physical wire the message holds on its
+    ``hop``-th channel (hop 0 = the leaf injection channel).
+    """
+
+    n: int
+    settings: dict[tuple[int, int, str], dict[int, int]] = field(
+        default_factory=dict
+    )
+    wire_of: list[list[int]] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Every concentrator setting must be injective (disjoint
+        electrical paths — the §II requirement)."""
+        for key, mapping in self.settings.items():
+            outs = list(mapping.values())
+            if len(set(outs)) != len(outs):
+                raise AssertionError(f"setting at {key} shares an output wire")
+            if len(set(mapping)) != len(mapping):  # pragma: no cover
+                raise AssertionError(f"setting at {key} shares an input wire")
+
+
+def _physical_width(cap: int, alpha: float) -> int:
+    """Wires needed so that α of them cover the logical capacity."""
+    return max(1, math.ceil(cap / alpha))
+
+
+def compile_cycle(
+    ft: FatTree,
+    cycle: MessageSet,
+    *,
+    alpha: float = PIPPENGER_ALPHA,
+    rng: int | None = 0,
+    max_retries: int = 4,
+) -> CompiledCycle:
+    """Compile one one-cycle message set into switch settings.
+
+    Raises ``CompileError`` if a random concentrator instance cannot
+    route its demand after ``max_retries`` re-draws (the α guarantee
+    makes this vanishingly rare), and ``ValueError`` if the input is not
+    actually a one-cycle set.
+    """
+    from ..core.load import is_one_cycle
+
+    if cycle.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    if not is_one_cycle(ft, cycle):
+        raise ValueError("not a one-cycle set; schedule it first")
+    depth = ft.depth
+    rng = np.random.default_rng(rng)
+    phys = {k: _physical_width(ft.cap(k), alpha) for k in range(depth + 1)}
+
+    msgs = list(cycle.without_self_messages())
+    turns = [depth - (s ^ d).bit_length() for s, d in msgs]
+    wire_of: list[list[int]] = [[] for _ in msgs]
+
+    # hop 0: injection onto the leaf channels (per-leaf wire counter)
+    leaf_next: dict[int, int] = {}
+    for i, (s, _) in enumerate(msgs):
+        w = leaf_next.get(s, 0)
+        if w >= phys[depth]:
+            raise ValueError("leaf channel demand exceeds capacity")
+        leaf_next[s] = w + 1
+        wire_of[i].append(w)
+
+    settings: dict[tuple[int, int, str], dict[int, int]] = {}
+
+    def route_port(level, index, port, arrivals, out_width):
+        """One matching for one output port; arrivals are
+        (concentrator-input wire, message id)."""
+        key = (level, index, port)
+        inputs = [w for w, _ in arrivals]
+        if len(set(inputs)) != len(inputs):
+            raise AssertionError(f"two messages share an input wire at {key}")
+        r = max(2, sum_widths[key])
+        for attempt in range(max_retries):
+            conc = PartialConcentrator(
+                r, s=min(out_width, r), rng=rng
+            )
+            mapping = conc.route(inputs)
+            if len(mapping) == len(inputs):
+                settings[key] = mapping
+                return mapping
+        raise CompileError(
+            f"concentrator at {key} failed to route {len(inputs)} of "
+            f"{out_width} after {max_retries} instances"
+        )
+
+    # Pre-compute concentrator input widths per (node, out-port): the sum
+    # of the physical widths of the two feeding channels.
+    sum_widths: dict[tuple[int, int, str], int] = {}
+    for level in range(depth):
+        for index in range(1 << level):
+            up_w, down_w = phys[level], phys[level + 1]
+            sum_widths[(level, index, "U")] = 2 * down_w
+            sum_widths[(level, index, "L0")] = up_w + down_w
+            sum_widths[(level, index, "L1")] = up_w + down_w
+
+    # ---- upward pass: up-port concentrators, levels depth-1 .. 0 -------
+    # A climbing message at node (l, x) came from child side b holding a
+    # wire on the level-(l+1) channel; its concentrator input index is
+    # b·phys[l+1] + wire.
+    for level in range(depth - 1, -1, -1):
+        arrivals: dict[int, list[tuple[int, int]]] = {}
+        for i, (s, _) in enumerate(msgs):
+            if turns[i] < level:  # still climbing past this level
+                index = s >> (depth - level)
+                side = (s >> (depth - level - 1)) & 1
+                in_wire = side * phys[level + 1] + wire_of[i][-1]
+                arrivals.setdefault(index, []).append((in_wire, i))
+        for index, items in arrivals.items():
+            mapping = route_port(level, index, "U", items, phys[level])
+            for in_wire, i in items:
+                wire_of[i].append(mapping[in_wire])
+
+    # ---- downward pass: down-port concentrators, levels 0 .. depth-1 ---
+    # Track each message's current hop wire during descent separately.
+    descend_wire = {}
+    for i, t in enumerate(turns):
+        # the wire the message holds on the channel just above its turn
+        # node: index (depth - t - 1) of its climb record... its climb
+        # wires are wire_of[i][0..depth-t-1]; the last is on the level
+        # t+1 channel into the turn node.
+        descend_wire[i] = wire_of[i][-1] if turns[i] < depth else None
+    for level in range(0, depth):
+        arrivals: dict[tuple[int, str], list[tuple[int, int]]] = {}
+        for i, (s, d) in enumerate(msgs):
+            if turns[i] > level:  # LCA below: not at this level's node
+                continue
+            index = d >> (depth - level)
+            child_bit = (d >> (depth - level - 1)) & 1
+            port = f"L{child_bit}"
+            if turns[i] == level:
+                # turning: came from the opposite child, concentrator
+                # input offset for a child-side feed of an L-port is
+                # phys[level] (after the U feed)
+                in_wire = phys[level] + descend_wire[i]
+            else:
+                # descending: came from the parent's down channel (the U
+                # in-port), offset 0
+                in_wire = descend_wire[i]
+            arrivals.setdefault((index, port), []).append((in_wire, i))
+        for (index, port), items in arrivals.items():
+            mapping = route_port(level, index, port, items, phys[level + 1])
+            for in_wire, i in items:
+                descend_wire[i] = mapping[in_wire]
+                wire_of[i].append(mapping[in_wire])
+
+    compiled = CompiledCycle(n=ft.n, settings=settings, wire_of=wire_of)
+    compiled.validate()
+    # every message must hold one wire per channel on its path
+    for i, t in enumerate(turns):
+        expected = 2 * (depth - t)
+        if len(wire_of[i]) != expected:
+            raise AssertionError(
+                f"message {i} compiled {len(wire_of[i])} hops, "
+                f"path needs {expected}"
+            )
+    return compiled
+
+
+def compile_schedule(
+    ft: FatTree, schedule: Schedule, *, alpha: float = PIPPENGER_ALPHA,
+    rng: int | None = 0,
+) -> list[CompiledCycle]:
+    """Compile every delivery cycle of a schedule (§II's 'compiled'
+    switch settings for the whole off-line program)."""
+    return [
+        compile_cycle(ft, cycle, alpha=alpha, rng=rng)
+        for cycle in schedule.cycles
+    ]

@@ -1,0 +1,190 @@
+"""Concentrator switches (§IV, after Pinsker and Pippenger).
+
+An ``(r, s)`` *concentrator* connects any ``k <= s`` of its ``r`` inputs
+to some ``k`` outputs by vertex-disjoint paths.  An ``(r, s, α)``
+*partial concentrator* guarantees this only for ``k <= α·s`` inputs.
+Pippenger's probabilistic construction gives constant-depth bipartite
+partial concentrators with ``s = 2r/3``, ``α = 3/4``, input degree at
+most 6 and output degree at most 9; pasting several together
+(outputs-to-inputs) concentrates by any constant ratio in constant depth.
+
+This module provides:
+
+* :class:`IdealConcentrator` — the abstraction §III assumes: no message
+  lost without congestion (a full crossbar, used by the schedule
+  validator and the default switch simulator);
+* :class:`PartialConcentrator` — the Pippenger-style random bipartite
+  graph (configuration model with the same degree bounds), with
+  matching-based switch setting;
+* :class:`CascadedConcentrator` — stages pasted output-to-input.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .matching import hopcroft_karp
+
+__all__ = [
+    "IdealConcentrator",
+    "PartialConcentrator",
+    "CascadedConcentrator",
+    "PIPPENGER_ALPHA",
+    "PIPPENGER_INPUT_DEGREE",
+    "PIPPENGER_OUTPUT_DEGREE",
+]
+
+PIPPENGER_ALPHA = 0.75
+PIPPENGER_INPUT_DEGREE = 6
+PIPPENGER_OUTPUT_DEGREE = 9
+
+
+class IdealConcentrator:
+    """The §III idealisation: any ``k <= s`` active inputs reach outputs.
+
+    Models a crossbar: O(r·s) components rather than O(r), which is why
+    the paper goes to partial concentrators for the hardware theorem.
+    """
+
+    def __init__(self, r: int, s: int):
+        if not (1 <= s <= r):
+            raise ValueError(f"need 1 <= s <= r, got r={r}, s={s}")
+        self.r = r
+        self.s = s
+        self.depth = 1
+
+    def guaranteed(self) -> int:
+        """Number of active inputs always routable: s."""
+        return self.s
+
+    def route(self, active: list[int]) -> dict[int, int]:
+        """Connect active inputs to outputs; excess inputs are congested
+        (dropped).  Returns input -> output for the survivors."""
+        active = sorted(set(active))
+        if active and not (0 <= active[0] and active[-1] < self.r):
+            raise ValueError("active inputs out of range")
+        return {inp: out for out, inp in enumerate(active[: self.s])}
+
+    def components(self) -> int:
+        """Crossbar cost: one crosspoint per input-output pair."""
+        return self.r * self.s
+
+
+class PartialConcentrator:
+    """A Pippenger-style ``(r, s, α)`` partial concentrator.
+
+    A random bipartite graph built by the configuration model: ``6r``
+    input stubs paired with ``ceil(6r/s)``-capped output stubs, parallel
+    edges collapsed, giving input degree <= 6, output degree <= 9 when
+    ``s = ceil(2r/3)``.  The concentration property is probabilistic;
+    :meth:`route` reports exactly which inputs made it (via maximum
+    matching), and tests certify the α guarantee by sampling.
+    """
+
+    def __init__(self, r: int, *, s: int | None = None, rng=None):
+        if r < 2:
+            raise ValueError("need r >= 2")
+        self.r = r
+        self.s = s if s is not None else max(1, math.ceil(2 * r / 3))
+        if not (1 <= self.s <= r):
+            raise ValueError(f"need 1 <= s <= r, got r={r}, s={self.s}")
+        self.alpha = PIPPENGER_ALPHA
+        self.depth = 1
+        rng = np.random.default_rng(rng)
+        out_degree_cap = max(
+            PIPPENGER_OUTPUT_DEGREE, math.ceil(PIPPENGER_INPUT_DEGREE * r / self.s)
+        )
+        # configuration model: input stubs in random order fill output
+        # stubs round-robin, capping output degree.
+        stubs = np.repeat(
+            np.arange(self.s), out_degree_cap
+        )[: PIPPENGER_INPUT_DEGREE * r]
+        rng.shuffle(stubs)
+        self.adjacency: list[list[int]] = []
+        for u in range(r):
+            chunk = stubs[u * PIPPENGER_INPUT_DEGREE: (u + 1) * PIPPENGER_INPUT_DEGREE]
+            self.adjacency.append(sorted(set(int(v) for v in chunk)))
+
+    def guaranteed(self) -> int:
+        """Inputs guaranteed routable by the α property: floor(α·s)."""
+        return int(self.alpha * self.s)
+
+    def input_degree(self) -> int:
+        """Largest number of outputs any single input connects to."""
+        return max(len(a) for a in self.adjacency)
+
+    def output_degree(self) -> int:
+        """Largest number of inputs any single output connects to."""
+        counts = np.zeros(self.s, dtype=np.int64)
+        for a in self.adjacency:
+            counts[a] += 1
+        return int(counts.max())
+
+    def components(self) -> int:
+        """O(r): one switching cell per edge, constant edges per input."""
+        return sum(len(a) for a in self.adjacency)
+
+    def route(self, active: list[int]) -> dict[int, int]:
+        """Switch setting by maximum matching: as many active inputs as
+        possible get vertex-disjoint paths to outputs; the rest are
+        congested."""
+        active = sorted(set(active))
+        if active and not (0 <= active[0] and active[-1] < self.r):
+            raise ValueError("active inputs out of range")
+        sub_adj = [self.adjacency[u] for u in active]
+        matching = hopcroft_karp(sub_adj, self.s)
+        return {active[u]: v for u, v in matching.items()}
+
+    def satisfies_alpha_for(self, active: list[int]) -> bool:
+        """Exact check of the concentration property for one input set."""
+        return len(self.route(active)) == len(set(active))
+
+
+class CascadedConcentrator:
+    """Partial concentrators pasted outputs-to-inputs (§IV).
+
+    Each stage shrinks the width by 2/3; ``stages`` of them reach any
+    constant concentration ratio in constant depth.  Routing performs a
+    matching per level, as the paper prescribes.
+    """
+
+    def __init__(self, r: int, target: int, *, rng=None, max_stages: int = 12):
+        if not (1 <= target <= r):
+            raise ValueError(f"need 1 <= target <= r, got {target}, {r}")
+        rng = np.random.default_rng(rng)
+        self.r = r
+        self.stages: list[PartialConcentrator] = []
+        width = r
+        while width > target and len(self.stages) < max_stages:
+            nxt = max(target, math.ceil(2 * width / 3))
+            if nxt >= width:  # cannot shrink further by thirds
+                break
+            self.stages.append(PartialConcentrator(width, s=nxt, rng=rng))
+            width = nxt
+        self.s = width
+        self.depth = len(self.stages)
+
+    def guaranteed(self) -> int:
+        """Active-input count routable through every stage."""
+        if not self.stages:
+            return self.s
+        return min(stage.guaranteed() for stage in self.stages)
+
+    def components(self) -> int:
+        """Total components over all stages — still O(r) (geometric)."""
+        return sum(stage.components() for stage in self.stages)
+
+    def route(self, active: list[int]) -> dict[int, int]:
+        """Chain the per-stage matchings; returns original input ->
+        final output for messages that survive every stage."""
+        current = {u: u for u in sorted(set(active))}
+        for stage in self.stages:
+            stage_map = stage.route(list(current.values()))
+            current = {
+                orig: stage_map[mid]
+                for orig, mid in current.items()
+                if mid in stage_map
+            }
+        return current

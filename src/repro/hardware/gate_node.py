@@ -1,0 +1,139 @@
+"""A gate-level fat-tree node: Fig. 3 assembled from real components.
+
+The switch simulator (:mod:`repro.hardware.switchsim`) abstracts each
+output port as "up to cap (or α·cap) messages pass" — the §IV
+simplification "we treat the actual capacity of a channel as α times the
+number of wires".  This module builds the node the figure actually
+draws, at wire granularity:
+
+* three input ports (U, L0, L1) of physical wires;
+* selectors fan each input wire toward its two candidate output ports
+  and AND the M bit with the address bit (or its complement);
+* one **partial concentrator** per output port squeezes the selected
+  wires onto the port's channel wires, switch settings computed by
+  matching exactly as §IV prescribes.
+
+Because the concentrators are (r, s, α)-partial, a gate-level node can
+drop a message *without* congestion when more than ``α·s`` inputs
+contend — the deviation from the ideal §III switch whose magnitude the
+tests measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitserial import BitSerialMessage
+from .concentrator import PartialConcentrator
+from .node import Port, select_output
+
+__all__ = ["GateLevelNode"]
+
+#: which input ports feed each output port (Fig. 3 fan-out)
+_FEEDS = {
+    Port.U: (Port.L0, Port.L1),
+    Port.L0: (Port.U, Port.L1),
+    Port.L1: (Port.U, Port.L0),
+}
+
+
+class GateLevelNode:
+    """One fat-tree switching node at wire granularity.
+
+    Parameters
+    ----------
+    cap_up:
+        Wires in the node's up channel (ports ``U`` in and out).
+    cap_down:
+        Wires in each child channel (ports ``L0``/``L1``).
+    rng:
+        Seeds the three random partial concentrators.
+    """
+
+    def __init__(self, cap_up: int, cap_down: int, *, rng=None):
+        if cap_up < 1 or cap_down < 1:
+            raise ValueError("channel capacities must be positive")
+        self.cap_up = cap_up
+        self.cap_down = cap_down
+        rng = np.random.default_rng(rng)
+        self._port_width = {
+            Port.U: cap_up, Port.L0: cap_down, Port.L1: cap_down,
+        }
+        # one concentrator per output port: r = total feeding wires,
+        # s = the port's channel width
+        self.concentrators: dict[Port, PartialConcentrator] = {}
+        for out, feeds in _FEEDS.items():
+            r = sum(self._port_width[p] for p in feeds)
+            s = self._port_width[out]
+            self.concentrators[out] = PartialConcentrator(
+                max(2, r), s=min(s, max(2, r)), rng=rng
+            )
+
+    def port_width(self, port: Port) -> int:
+        """Number of physical wires on the given port."""
+        return self._port_width[port]
+
+    def components(self) -> int:
+        """Total switching components: O(m) for m incident wires (§IV)."""
+        return sum(c.components() for c in self.concentrators.values())
+
+    def incident_wires(self) -> int:
+        """The m of Lemma 3: all wires entering or leaving the node."""
+        return 2 * (self.cap_up + 2 * self.cap_down)
+
+    def _concentrator_input(self, out: Port, came_from: Port, wire: int) -> int:
+        """Index of an input wire inside an output port's concentrator."""
+        feeds = _FEEDS[out]
+        if came_from not in feeds:
+            raise ValueError(f"port {came_from} does not feed {out}")
+        offset = 0
+        for p in feeds:
+            if p is came_from:
+                return offset + wire
+            offset += self._port_width[p]
+        raise AssertionError  # pragma: no cover
+
+    def switch(
+        self,
+        arrivals: list[tuple[Port, int, BitSerialMessage]],
+    ) -> tuple[list[tuple[Port, int, BitSerialMessage]], list[BitSerialMessage]]:
+        """Route one wave of messages through the node.
+
+        ``arrivals`` are ``(input port, wire index, message)`` triples —
+        wire indices must be distinct per port and within the port width.
+        Returns ``(forwarded, dropped)`` where forwarded messages carry
+        their assigned *output* port and wire and have the leading
+        address bit stripped.
+        """
+        per_out: dict[Port, list[tuple[int, BitSerialMessage]]] = {
+            Port.U: [], Port.L0: [], Port.L1: [],
+        }
+        seen: set[tuple[Port, int]] = set()
+        for came_from, wire, msg in arrivals:
+            if not (0 <= wire < self._port_width[came_from]):
+                raise ValueError(
+                    f"wire {wire} outside port {came_from} width "
+                    f"{self._port_width[came_from]}"
+                )
+            if (came_from, wire) in seen:
+                raise ValueError(f"two messages on wire ({came_from}, {wire})")
+            seen.add((came_from, wire))
+            out = select_output(came_from, msg)  # the selector
+            per_out[out].append(
+                (self._concentrator_input(out, came_from, wire), msg)
+            )
+
+        forwarded: list[tuple[Port, int, BitSerialMessage]] = []
+        dropped: list[BitSerialMessage] = []
+        for out, items in per_out.items():
+            if not items:
+                continue
+            conc = self.concentrators[out]
+            active = [idx for idx, _ in items]
+            routing = conc.route(active)
+            for idx, msg in items:
+                if idx in routing:
+                    forwarded.append((out, routing[idx], msg.strip_bit()))
+                else:
+                    dropped.append(msg)
+        return forwarded, dropped

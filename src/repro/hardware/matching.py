@@ -1,0 +1,64 @@
+"""Hopcroft–Karp maximum bipartite matching.
+
+Used to set partial-concentrator switches (§IV: "the paths through the
+graph can be set up in polynomial time using network flow techniques or
+by performing a sequence of matchings on each level of the graph") and by
+the tests as the oracle for the concentration property.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["hopcroft_karp"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(adjacency: list[list[int]], num_right: int) -> dict[int, int]:
+    """Maximum matching of a bipartite graph.
+
+    ``adjacency[u]`` lists the right-side vertices adjacent to left
+    vertex ``u``; right vertices are ``0..num_right-1``.  Returns a dict
+    mapping matched left vertices to their right partners.
+    """
+    num_left = len(adjacency)
+    match_l = [-1] * num_left
+    match_r = [-1] * num_right
+    dist = [0.0] * num_left
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in range(num_left):
+            if match_l[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_r[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_r[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_l[u] = v
+                match_r[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in range(num_left):
+            if match_l[u] == -1:
+                dfs(u)
+    return {u: v for u, v in enumerate(match_l) if v != -1}

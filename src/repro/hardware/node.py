@@ -1,0 +1,80 @@
+"""The fat-tree switching node of Fig. 3.
+
+A node has three input ports and three output ports — up (``U``), lower
+left (``L0``), lower right (``L1``) — wired to the node's three channels.
+Per Fig. 3, each input wire fans out toward the two opposite output
+ports; a **selector** ANDs the M bit with the leading address bit (or its
+complement) to mark which branch actually carries the message, and a
+**concentrator switch** per output port squeezes the marked wires onto
+the port's channel wires, dropping the excess under congestion.
+
+At the message level the selector logic is the routing table:
+
+===========  =========  ==============
+arrived via  bit value  routed to
+===========  =========  ==============
+``L0``       1          ``U``   (keep climbing)
+``L0``       0          ``L1``  (turn at the LCA)
+``L1``       1          ``U``
+``L1``       0          ``L0``
+``U``        0          ``L0``  (descend left)
+``U``        1          ``L1``  (descend right)
+===========  =========  ==============
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .bitserial import BitSerialMessage
+
+__all__ = ["Port", "select_output", "concentrate"]
+
+
+class Port(Enum):
+    """The three ports of a fat-tree node."""
+
+    U = "U"
+    L0 = "L0"
+    L1 = "L1"
+
+
+_ROUTE = {
+    (Port.L0, 1): Port.U,
+    (Port.L0, 0): Port.L1,
+    (Port.L1, 1): Port.U,
+    (Port.L1, 0): Port.L0,
+    (Port.U, 0): Port.L0,
+    (Port.U, 1): Port.L1,
+}
+
+
+def select_output(came_from: Port, message: BitSerialMessage) -> Port:
+    """The selector: output port for a message by its leading address bit."""
+    return _ROUTE[(came_from, message.peek_bit())]
+
+
+def concentrate(
+    candidates: list[BitSerialMessage],
+    capacity: int,
+    *,
+    rng=None,
+) -> tuple[list[BitSerialMessage], list[BitSerialMessage]]:
+    """The concentrator switch at one output port.
+
+    At most ``capacity`` of the candidate messages win output wires; the
+    rest are congested (lost, to be retried next delivery cycle).  With no
+    congestion nothing is lost — the ideal §III property.  ``rng``
+    randomises which messages lose under congestion (hardware arbitration
+    order); ``None`` keeps arrival order.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if len(candidates) <= capacity:
+        return list(candidates), []
+    order = list(range(len(candidates)))
+    if rng is not None:
+        rng.shuffle(order)
+    winners = sorted(order[:capacity])
+    losers = sorted(order[capacity:])
+    return [candidates[i] for i in winners], [candidates[i] for i in losers]

@@ -1,0 +1,257 @@
+"""A synchronous bit-serial network simulator for fat-trees (§II).
+
+Runs whole *delivery cycles*: every processor injects its batched
+messages, leading bits snake through the tree establishing paths, nodes
+switch per Fig. 3, concentrators drop the excess under congestion, and
+acknowledgments tell sources which messages to retry next cycle.
+
+Two fidelity levels for the concentrators:
+
+* ``"ideal"`` — the §III assumption: an output channel of capacity c
+  carries up to c simultaneous messages, none lost without congestion.
+* ``"pippenger"`` — partial concentrators: only ``floor(α·c)`` messages
+  are guaranteed through a capacity-c port (α = 3/4), modelling the §IV
+  hardware.  (The off-line results survive by treating the usable
+  capacity as α times the wire count, "which changes the results by only
+  a constant factor".)
+
+The simulator is the end-to-end check on the scheduling theory: a
+one-cycle message set must route with zero congestion drops under ideal
+concentrators (:func:`run_schedule` asserts exactly that for every cycle
+of a Theorem 1 / Corollary 2 schedule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fattree import FatTree
+from ..core.message import MessageSet
+from ..core.schedule import Schedule
+from .bitserial import BitSerialMessage
+from .node import Port, concentrate, select_output
+
+__all__ = ["DeliveryReport", "run_delivery_cycle", "run_until_delivered", "run_schedule"]
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one delivery cycle."""
+
+    delivered: list[BitSerialMessage]
+    congested: list[BitSerialMessage]
+    deferred: list[BitSerialMessage]
+    wave_ticks: int
+    payload_bits: int = 0
+
+    @property
+    def losses(self) -> int:
+        return len(self.congested) + len(self.deferred)
+
+    def cycle_bit_time(self) -> int:
+        """Wall-clock bit-times for the cycle: the head needs one tick per
+        switch, and the pipelined tail (M bit + payload) drains behind it."""
+        return self.wave_ticks + 1 + self.payload_bits
+
+
+def _effective_capacity(cap: int, concentrators: str) -> int:
+    if concentrators in ("ideal", "faulty"):
+        return cap
+    if concentrators == "pippenger":
+        return max(1, math.floor(0.75 * cap))
+    raise ValueError(f"unknown concentrator model {concentrators!r}")
+
+
+def run_delivery_cycle(
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    concentrators: str = "ideal",
+    seed: int | None = None,
+    payload_bits: int = 0,
+    fault_rate: float = 0.0,
+) -> DeliveryReport:
+    """Simulate one delivery cycle of ``messages`` on ``ft``.
+
+    Returns delivered / congested (lost in a concentrator) / deferred
+    (never injected: a processor may start at most ``cap(lg n)`` messages
+    per cycle on its channel) messages plus the tick count.
+
+    ``concentrators="faulty"`` (with ``fault_rate`` > 0) models transient
+    switch faults: each switch traversal independently drops the message
+    with the given probability, exercising the §II acknowledge-and-retry
+    mechanism beyond pure congestion (fault tolerance is §VII's open
+    problem; retry is the baseline answer).
+    """
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    if concentrators == "faulty":
+        if not (0.0 <= fault_rate < 1.0):
+            raise ValueError("fault_rate must be in [0, 1)")
+        if seed is None:
+            seed = 0
+    elif fault_rate:
+        raise ValueError('fault_rate requires concentrators="faulty"')
+    depth = ft.depth
+    rng = np.random.default_rng(seed) if seed is not None else None
+
+    frames = [
+        BitSerialMessage.make(int(s), int(d), depth, payload=(0,) * payload_bits)
+        for s, d in messages
+    ]
+    delivered = [f for f in frames if f.arrived]  # self-messages
+    pending = [f for f in frames if not f.arrived]
+
+    # Injection: each processor's up channel admits cap(depth) heads.
+    inject_cap = _effective_capacity(ft.cap(depth), concentrators)
+    per_leaf: dict[int, int] = {}
+    wavefront: list[tuple[int, int, Port, BitSerialMessage]] = []
+    deferred: list[BitSerialMessage] = []
+    for f in pending:
+        count = per_leaf.get(f.src, 0)
+        if count >= inject_cap:
+            deferred.append(f)
+            continue
+        per_leaf[f.src] = count + 1
+        parent = (depth - 1, f.src >> 1)
+        wavefront.append((parent[0], parent[1], Port(f"L{f.src & 1}"), f))
+
+    # Channels are circuit-switched: a message holds its wire for the
+    # whole delivery cycle (the tail follows the head), so capacity is
+    # consumed per cycle, not per tick — exactly the load(M, c) <= cap(c)
+    # accounting of §III.
+    used: dict[tuple[int, int, Port], int] = {}
+    congested: list[BitSerialMessage] = []
+    ticks = 0
+    while wavefront:
+        ticks += 1
+        # group arrivals per (node, output port)
+        buckets: dict[tuple[int, int, Port], list[BitSerialMessage]] = {}
+        for level, index, came_from, msg in wavefront:
+            out = select_output(came_from, msg)
+            if level == 0 and out is Port.U:
+                raise AssertionError(
+                    "internal message tried to leave through the root"
+                )
+            buckets.setdefault((level, index, out), []).append(msg)
+        nxt: list[tuple[int, int, Port, BitSerialMessage]] = []
+        for (level, index, out), cands in buckets.items():
+            chan_level = level if out is Port.U else level + 1
+            cap = _effective_capacity(ft.cap(chan_level), concentrators)
+            free = cap - used.get((level, index, out), 0)
+            winners, losers = concentrate(cands, max(0, free), rng=rng)
+            if fault_rate and winners:
+                healthy = []
+                for msg in winners:
+                    if rng.random() < fault_rate:
+                        losers.append(msg)  # transient switch fault
+                    else:
+                        healthy.append(msg)
+                winners = healthy
+            used[(level, index, out)] = used.get((level, index, out), 0) + len(
+                winners
+            )
+            congested.extend(losers)
+            for msg in winners:
+                fwd = msg.strip_bit()
+                if out is Port.U:
+                    nxt.append((level - 1, index >> 1, Port(f"L{index & 1}"), fwd))
+                else:
+                    child = (index << 1) | (0 if out is Port.L0 else 1)
+                    if level + 1 == depth:  # arriving at a leaf
+                        if not fwd.arrived or fwd.dst != child:
+                            raise AssertionError(
+                                f"misrouted message {msg.src}->{msg.dst} "
+                                f"landed at leaf {child}"
+                            )
+                        delivered.append(fwd)
+                    else:
+                        nxt.append((level + 1, child, Port.U, fwd))
+        wavefront = nxt
+    return DeliveryReport(
+        delivered=delivered,
+        congested=congested,
+        deferred=deferred,
+        wave_ticks=ticks,
+        payload_bits=payload_bits,
+    )
+
+
+@dataclass
+class RetryOutcome:
+    """Result of running delivery cycles until everything arrives."""
+
+    cycles: int
+    reports: list[DeliveryReport] = field(default_factory=list)
+
+    def total_bit_time(self) -> int:
+        return sum(r.cycle_bit_time() for r in self.reports)
+
+
+def run_until_delivered(
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    concentrators: str = "ideal",
+    seed: int = 0,
+    payload_bits: int = 0,
+    fault_rate: float = 0.0,
+    max_cycles: int = 10_000,
+) -> RetryOutcome:
+    """Deliver ``messages`` with the §II acknowledge-and-retry loop."""
+    outcome = RetryOutcome(cycles=0)
+    pending = messages
+    cycle_seed = seed
+    while len(pending):
+        if outcome.cycles >= max_cycles:
+            raise RuntimeError(f"not delivered within {max_cycles} cycles")
+        report = run_delivery_cycle(
+            ft,
+            pending,
+            concentrators=concentrators,
+            seed=cycle_seed,
+            payload_bits=payload_bits,
+            fault_rate=fault_rate,
+        )
+        outcome.reports.append(report)
+        outcome.cycles += 1
+        cycle_seed += 1
+        retry = report.congested + report.deferred
+        if len(retry) == len(pending) and not fault_rate:
+            # no progress: only possible if a single message cannot fit,
+            # which positive capacities rule out (with faults, a fully
+            # unlucky cycle is legitimate and the retry continues)
+            raise RuntimeError("delivery made no progress")
+        pending = MessageSet(
+            [m.src for m in retry], [m.dst for m in retry], ft.n
+        )
+    return outcome
+
+
+def run_schedule(
+    ft: FatTree,
+    schedule: Schedule,
+    *,
+    payload_bits: int = 0,
+) -> list[DeliveryReport]:
+    """Execute an off-line schedule on the switch simulator.
+
+    With ideal concentrators every cycle of a valid schedule must route
+    with **zero** congestion losses — the end-to-end confirmation that
+    one-cycle sets and the Fig. 3 switching agree.  Raises on any loss.
+    """
+    reports = []
+    for t, cycle in enumerate(schedule.cycles):
+        report = run_delivery_cycle(
+            ft, cycle, concentrators="ideal", payload_bits=payload_bits
+        )
+        if report.losses:
+            raise AssertionError(
+                f"schedule cycle {t} lost {report.losses} messages in the "
+                "switch simulator — not a one-cycle set?"
+            )
+        reports.append(report)
+    return reports

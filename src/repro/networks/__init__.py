@@ -1,0 +1,32 @@
+"""Competing routing networks used by the universality experiments."""
+
+from .base import Layout, Network, simulate_store_and_forward
+from .benes import Benes
+from .butterfly import Butterfly
+from .ccc import CubeConnectedCycles
+from .clos import KAryNTree
+from .fattree_net import FatTreeNetwork
+from .hypercube import Hypercube
+from .mesh import Mesh2D, Mesh3D, Torus2D
+from .shuffle import ShuffleExchange
+from .tree import BinaryTreeNetwork, Multigrid
+from .tree_of_meshes import TreeOfMeshes
+
+__all__ = [
+    "Layout",
+    "Network",
+    "simulate_store_and_forward",
+    "Benes",
+    "Butterfly",
+    "CubeConnectedCycles",
+    "KAryNTree",
+    "FatTreeNetwork",
+    "Hypercube",
+    "Mesh2D",
+    "Mesh3D",
+    "Torus2D",
+    "ShuffleExchange",
+    "BinaryTreeNetwork",
+    "Multigrid",
+    "TreeOfMeshes",
+]

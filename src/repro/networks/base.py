@@ -1,0 +1,200 @@
+"""Abstractions for competing routing networks (§I, §VI).
+
+The universality theorem compares a fat-tree against *any* routing
+network ``R`` built in the same physical volume.  To exercise it we need
+concrete competitors; each is modelled as a :class:`Network`:
+
+* an undirected connection graph over processors (and possibly internal
+  switch nodes),
+* an oblivious routing function giving the node path of a message,
+* a 3-D *layout*: physical positions of the processors inside a box whose
+  volume matches the network's wiring requirement (the quantity the
+  universality theorem holds fixed).
+
+:func:`simulate_store_and_forward` is the reference executor: synchronous
+store-and-forward with one message per directed link per step — exactly
+the two counting assumptions the Theorem 10 proof makes about a
+competitor (O(1) messages per processor connection per unit time, and
+bandwidth through any surface bounded by its area).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.message import MessageSet
+
+__all__ = ["Layout", "Network", "simulate_store_and_forward"]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Physical positions of ``n`` processors inside a 3-D box.
+
+    ``positions`` is an ``(n, 3)`` float array; ``box`` the side lengths.
+    ``volume`` is the network's *wiring* volume — at least the box volume,
+    and possibly larger for networks whose wires dominate (the layout box
+    is then scaled up so positions spread through the wiring volume).
+    """
+
+    positions: np.ndarray
+    box: tuple[float, float, float]
+
+    def __post_init__(self):
+        pos = np.asarray(self.positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError("positions must be (n, 3)")
+        object.__setattr__(self, "positions", pos)
+
+    @property
+    def n(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def volume(self) -> float:
+        bx, by, bz = self.box
+        return float(bx * by * bz)
+
+    def scaled_to_volume(self, volume: float) -> "Layout":
+        """Uniformly rescale so the box has the given volume (used to
+        spread processors through a wiring-dominated volume)."""
+        if volume <= 0:
+            raise ValueError("volume must be positive")
+        factor = (volume / self.volume) ** (1.0 / 3.0)
+        return Layout(self.positions * factor,
+                      tuple(b * factor for b in self.box))
+
+
+class Network:
+    """Base class for fixed-connection routing networks.
+
+    Subclasses set ``self.n`` (processor count), implement
+    :meth:`neighbors`, :meth:`route`, and :meth:`layout`.  Nodes are
+    integers; processors are nodes ``0..n-1`` (networks with internal
+    switch nodes use ids ``>= n`` for them).
+    """
+
+    #: human-readable network family name
+    name: str = "network"
+
+    n: int
+    num_nodes: int
+
+    def neighbors(self, node: int) -> list[int]:
+        """Adjacent nodes of ``node`` in the connection graph."""
+        raise NotImplementedError
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Routing path from processor ``src`` to ``dst``, as a node
+        sequence starting with ``src`` and ending with ``dst``.
+
+        Subclasses with a natural oblivious algorithm override this; the
+        default is breadth-first shortest path over :meth:`neighbors`.
+        """
+        if src == dst:
+            return [src]
+        prev: dict[int, int] = {src: src}
+        frontier = deque([src])
+        while frontier:
+            u = frontier.popleft()
+            for v in self.neighbors(u):
+                if v not in prev:
+                    prev[v] = u
+                    if v == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(prev[path[-1]])
+                        return path[::-1]
+                    frontier.append(v)
+        raise ValueError(f"no path from {src} to {dst}: graph is disconnected")
+
+    def layout(self) -> Layout:
+        """A 3-D layout occupying this network's wiring volume."""
+        raise NotImplementedError
+
+    # -- derived -----------------------------------------------------------
+
+    def degree(self) -> int:
+        """Maximum node degree."""
+        return max(len(self.neighbors(v)) for v in range(self.num_nodes))
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected edge list (each edge once, u < v)."""
+        out = []
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u):
+                if u < v:
+                    out.append((u, v))
+        return out
+
+    def num_edges(self) -> int:
+        """Number of undirected edges in the connection graph."""
+        return len(self.edges())
+
+    def neighbor_message_set(self) -> MessageSet:
+        """One message per directed processor-to-processor link.
+
+        This message set is deliverable by the network in one step (each
+        directed link carries exactly its own message), which makes it the
+        canonical ``t = 1`` workload for the Theorem 10 simulation.
+        Links to internal switch nodes are excluded.
+        """
+        pairs = [
+            (u, v)
+            for u in range(self.n)
+            for v in self.neighbors(u)
+            if v < self.n
+        ]
+        return MessageSet.from_pairs(pairs, self.n)
+
+    def verify_route(self, src: int, dst: int) -> list[int]:
+        """Route and check every hop is an edge of the graph."""
+        path = self.route(src, dst)
+        if path[0] != src or path[-1] != dst:
+            raise AssertionError(f"route endpoints wrong: {path[:2]}…{path[-2:]}")
+        for a, b in zip(path, path[1:]):
+            if b not in self.neighbors(a):
+                raise AssertionError(f"route uses non-edge ({a}, {b})")
+        return path
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+def simulate_store_and_forward(
+    network: Network, messages: MessageSet, *, max_steps: int = 1_000_000
+) -> int:
+    """Deliver ``messages`` on ``network``; return the number of steps.
+
+    Synchronous store-and-forward: each directed link moves at most one
+    message per step; contending messages are served oldest-first (FIFO by
+    injection order).  Routing paths come from ``network.route``.  The
+    returned step count is the honest ``t`` for the Theorem 10 comparison.
+    """
+    paths = [network.route(int(s), int(d)) for s, d in messages if s != d]
+    # per-message progress index into its path
+    progress = [0] * len(paths)
+    remaining = len(paths)
+    order = list(range(len(paths)))
+    steps = 0
+    while remaining:
+        if steps >= max_steps:
+            raise RuntimeError(f"store-and-forward exceeded {max_steps} steps")
+        steps += 1
+        used: set[tuple[int, int]] = set()
+        for i in order:
+            k = progress[i]
+            path = paths[i]
+            if k >= len(path) - 1:
+                continue
+            link = (path[k], path[k + 1])
+            if link in used:
+                continue
+            used.add(link)
+            progress[i] = k + 1
+            if progress[i] == len(path) - 1:
+                remaining -= 1
+    return steps

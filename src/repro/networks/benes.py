@@ -1,0 +1,206 @@
+"""The Beneš rearrangeable permutation network (§VI, refs [2], [34]).
+
+§VI compares high-volume universal fat-trees with "classical permutation
+networks, which all require Ω(n^{3/2}) volume": a Beneš network routes an
+arbitrary permutation off-line with vertex-disjoint paths, set up by the
+classical *looping algorithm* — the same matching flavour as the
+fat-tree's even-split partitioner (the paper notes its partitioning "is
+reminiscent of switch setting in a Beneš network").
+
+Structure: ``2·lg n`` port levels of ``n`` rows.  The first ``lg n − 1``
+stages split recursively into upper/lower subnetworks; the remaining
+stages mirror them.  :meth:`Benes.permutation_paths` returns one path per
+message, vertex-disjoint at every level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree import ilog2
+from .base import Layout, Network
+
+__all__ = ["Benes"]
+
+
+class Benes(Network):
+    """Beneš network on ``n = 2**d`` inputs/outputs.
+
+    Node ids are ``level * n + row`` for port levels ``0..2·lg n − 1``;
+    processors are identified with the level-0 rows (and, for delivery
+    purposes, with the same row at the last level — the network is
+    conceptually folded so each processor owns its input and output port).
+    """
+
+    name = "benes"
+
+    def __init__(self, n: int):
+        self.dim = ilog2(n)
+        if self.dim < 1:
+            raise ValueError("Benes needs n >= 2")
+        self.n = n
+        self.levels = 2 * self.dim
+        self.num_nodes = self.levels * n
+
+    # -- graph structure -----------------------------------------------------
+
+    def node_id(self, level: int, row: int) -> int:
+        """Node id of the given (port level, row)."""
+        if not (0 <= level < self.levels and 0 <= row < self.n):
+            raise ValueError(f"invalid Benes node ({level}, {row})")
+        return level * self.n + row
+
+    def level_row(self, node: int) -> tuple[int, int]:
+        """(port level, row) of a node id."""
+        return divmod(node, self.n)
+
+    def _succ_rows(self, level: int, row: int) -> list[int]:
+        """Rows reachable at ``level + 1`` from ``row`` at ``level``."""
+        if level >= self.levels - 1:
+            return []
+        if level < self.dim - 1:  # descending (splitting) stage
+            m = self.n >> level
+            b = (row // m) * m
+            q = row % m
+            return [b + (q >> 1), b + m // 2 + (q >> 1)]
+        # ascending (merging) stage: transpose of descending stage
+        l = self.levels - 2 - level
+        m = self.n >> l
+        b = (row // m) * m
+        p = (row % m) % (m // 2)
+        return [b + 2 * p, b + 2 * p + 1]
+
+    def _pred_rows(self, level: int, row: int) -> list[int]:
+        """Rows at ``level − 1`` with an edge to ``row`` at ``level``."""
+        if level <= 0:
+            return []
+        stage = level - 1
+        if stage < self.dim - 1:  # transpose of a descending stage
+            m = self.n >> stage
+            b = (row // m) * m
+            u = (row % m) % (m // 2)
+            return [b + 2 * u, b + 2 * u + 1]
+        l = self.levels - 2 - stage
+        m = self.n >> l
+        b = (row // m) * m
+        p = (row % m) >> 1
+        return [b + p, b + m // 2 + p]
+
+    def neighbors(self, node: int) -> list[int]:
+        level, row = self.level_row(node)
+        out = [self.node_id(level + 1, r) for r in self._succ_rows(level, row)]
+        out += [self.node_id(level - 1, r) for r in self._pred_rows(level, row)]
+        return out
+
+    # route: inherited BFS from Network (oblivious routing is not the
+    # Beneš network's interesting mode; permutation_paths below is).
+
+    # -- the looping algorithm -------------------------------------------------
+
+    def permutation_paths(self, perm) -> list[list[int]]:
+        """Vertex-disjoint paths realising a permutation.
+
+        Returns ``paths[i]`` = the row of message ``i → perm[i]`` at every
+        port level (length ``2·lg n``).  At each level the rows of all
+        messages are distinct, so the circuit-switched paths never share a
+        port — the rearrangeability theorem of Beneš, constructed by the
+        looping algorithm.
+        """
+        perm = list(int(p) for p in perm)
+        n = len(perm)
+        if n != self.n:
+            raise ValueError(f"permutation has size {n}, network has {self.n}")
+        if sorted(perm) != list(range(n)):
+            raise ValueError("not a permutation")
+        return _loop_route(perm)
+
+    def verify_permutation_paths(self, perm) -> list[list[int]]:
+        """Route a permutation and assert vertex-disjointness and edge
+        validity of every path; returns the paths."""
+        paths = self.permutation_paths(perm)
+        for level in range(self.levels):
+            rows = sorted(p[level] for p in paths)
+            if rows != list(range(self.n)):
+                raise AssertionError(f"level {level} rows collide: {rows}")
+        for i, path in enumerate(paths):
+            if path[0] != i or path[-1] != list(perm)[i]:
+                raise AssertionError(f"path {i} has wrong endpoints")
+            for level in range(self.levels - 1):
+                if path[level + 1] not in self._succ_rows(level, path[level]):
+                    raise AssertionError(
+                        f"path {i} uses a non-edge at level {level}"
+                    )
+        return paths
+
+    # -- physical ---------------------------------------------------------------
+
+    def bisection_width(self) -> int:
+        """n links cross the middle stage."""
+        return self.n
+
+    def wiring_volume(self) -> float:
+        """Ω(n^{3/2}), like all classical permutation networks (§VI)."""
+        return float(self.n) ** 1.5
+
+    def layout(self) -> Layout:
+        side = max(1, round(self.n ** 0.5))
+        while side * side < self.n:
+            side += 1
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            axis=1,
+        )
+        packed = Layout(pos, (float(side), float(side), float(self.levels)))
+        return packed.scaled_to_volume(self.wiring_volume())
+
+
+def _loop_route(perm: list[int]) -> list[list[int]]:
+    """Recursive looping algorithm.
+
+    Returns per-message row sequences over ``2·lg n`` port levels for the
+    Beneš wiring used by :class:`Benes`.
+    """
+    n = len(perm)
+    if n == 2:
+        return [[0, perm[0]], [1, perm[1]]]
+
+    inv = [0] * n
+    for i, p in enumerate(perm):
+        inv[p] = i
+
+    # Phase 1: 2-colour messages into subnetworks.  Constraints: the two
+    # messages of an input switch {i, i^1} take different subnets, and the
+    # two messages of an output switch {o, o^1} take different subnets.
+    subnet = [-1] * n
+    for start in range(n):
+        if subnet[start] != -1:
+            continue
+        i, colour = start, 0
+        while subnet[i] == -1:
+            subnet[i] = colour
+            j = inv[perm[i] ^ 1]  # shares i's output switch
+            if subnet[j] == -1:
+                subnet[j] = 1 - colour
+            i = j ^ 1  # shares j's input switch -> must differ from 1-colour
+            # colour stays the same for the next assignment
+
+    # Phase 2: recurse on the two half-size permutations.
+    half = n // 2
+    sub_perm = [[0] * half, [0] * half]
+    for i in range(n):
+        sub_perm[subnet[i]][i >> 1] = perm[i] >> 1
+    sub_paths = [_loop_route(sp) for sp in sub_perm]
+
+    # Phase 3: splice.  Upper subnetwork occupies rows 0..half-1 of the
+    # inner levels, lower occupies half..n-1.
+    levels = 2 * n.bit_length() - 2  # 2*lg n
+    paths: list[list[int]] = []
+    for i in range(n):
+        s = subnet[i]
+        offset = 0 if s == 0 else half
+        inner = sub_paths[s][i >> 1]
+        path = [i] + [offset + r for r in inner] + [perm[i]]
+        assert len(path) == levels
+        paths.append(path)
+    return paths

@@ -1,0 +1,90 @@
+"""The butterfly (FFT) network — a classical permutation network (§VI).
+
+Nodes are (level, row) pairs, levels 0..d, rows 0..2^d−1.  Level-k node
+(k, r) connects straight to (k+1, r) and across to (k+1, r ^ 2^{d−1−k}).
+Processors sit at the level-0 nodes; a message descends d levels fixing
+destination bits MSB-first, then climbs straight edges back to level 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree import ilog2
+from .base import Layout, Network
+
+__all__ = ["Butterfly"]
+
+
+class Butterfly(Network):
+    """d-dimensional butterfly on ``n = 2**d`` processor rows."""
+
+    name = "butterfly"
+
+    def __init__(self, n: int):
+        self.dim = ilog2(n)
+        self.rows = n
+        self.n = n
+        self.num_nodes = (self.dim + 1) * n
+
+    def node_id(self, level: int, row: int) -> int:
+        """Node id of the given (level, row)."""
+        if not (0 <= level <= self.dim and 0 <= row < self.rows):
+            raise ValueError(f"invalid butterfly node ({level}, {row})")
+        return level * self.rows + row
+
+    def level_row(self, node: int) -> tuple[int, int]:
+        """(level, row) of a node id."""
+        return divmod(node, self.rows)
+
+    def neighbors(self, node: int) -> list[int]:
+        level, row = self.level_row(node)
+        out = []
+        if level > 0:
+            flip = 1 << (self.dim - level)
+            out.extend([self.node_id(level - 1, row),
+                        self.node_id(level - 1, row ^ flip)])
+        if level < self.dim:
+            flip = 1 << (self.dim - 1 - level)
+            out.extend([self.node_id(level + 1, row),
+                        self.node_id(level + 1, row ^ flip)])
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Descend fixing bits MSB-first, then climb straight edges home."""
+        if src == dst:
+            return [src]
+        path = [self.node_id(0, src)]
+        row = src
+        for level in range(self.dim):
+            bit = 1 << (self.dim - 1 - level)
+            if (row ^ dst) & bit:
+                row ^= bit
+            path.append(self.node_id(level + 1, row))
+        for level in range(self.dim - 1, -1, -1):
+            path.append(self.node_id(level, row))
+        return path
+
+    def bisection_width(self) -> int:
+        """Θ(n): the dimension-0 links all cross the natural cut."""
+        return self.rows
+
+    def wiring_volume(self) -> float:
+        """Like the hypercube, bisection width Θ(n) forces Θ(n^{3/2})."""
+        return float(self.rows) ** 1.5
+
+    def layout(self) -> Layout:
+        """Rows on a grid column, levels along one axis, spread to the
+        wiring volume."""
+        side = max(1, round(self.rows ** 0.5))
+        while side * side < self.rows:
+            side += 1
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            axis=1,
+        )
+        packed = Layout(
+            pos, (float(side), float(side), float(self.dim + 1))
+        )
+        return packed.scaled_to_volume(self.wiring_volume())

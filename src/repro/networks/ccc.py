@@ -1,0 +1,113 @@
+"""Cube-connected cycles (§VI, ref [25], via Galil & Paul [7]).
+
+§VI: "Galil and Paul have proposed a general-purpose parallel processor
+based on the cube-connected-cycles network that can simulate any other
+parallel processor with only a logarithmic loss in efficiency."  The CCC
+replaces each hypercube node with a d-cycle of degree-3 processors —
+hypercube bandwidth at bounded degree — which makes it the strongest
+bounded-degree competitor for the Theorem 10 experiments.
+
+Node ``(x, p)`` (cycle ``x`` of the d-cube, position ``p``) links to its
+cycle neighbours ``(x, p±1 mod d)`` and across dimension ``p`` to
+``(x ^ 2^p, p)``.  Ids are ``x·d + p``; with ``d`` a power of two the
+processor count ``d·2^d`` is one too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layout, Network
+
+__all__ = ["CubeConnectedCycles"]
+
+
+class CubeConnectedCycles(Network):
+    """CCC on ``d · 2**d`` processors (degree 3 everywhere, d >= 3)."""
+
+    name = "cube-connected-cycles"
+
+    def __init__(self, d: int):
+        if d < 3:
+            raise ValueError("CCC needs cycle length d >= 3")
+        self.d = d
+        self.cube_size = 1 << d
+        self.n = d * self.cube_size
+        self.num_nodes = self.n
+
+    def node_id(self, x: int, p: int) -> int:
+        """Node id of position ``p`` on cycle ``x``."""
+        if not (0 <= x < self.cube_size and 0 <= p < self.d):
+            raise ValueError(f"invalid CCC node ({x}, {p})")
+        return x * self.d + p
+
+    def locate(self, node: int) -> tuple[int, int]:
+        """(cycle, position) of a node id."""
+        return divmod(node, self.d)
+
+    def neighbors(self, node: int) -> list[int]:
+        x, p = self.locate(node)
+        out = [
+            self.node_id(x, (p + 1) % self.d),
+            self.node_id(x, (p - 1) % self.d),
+            self.node_id(x ^ (1 << p), p),
+        ]
+        # d = 3 cycles make p+1 == p-1 collide; dedup preserving order
+        seen: list[int] = []
+        for v in out:
+            if v not in seen and v != node:
+                seen.append(v)
+        return seen
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Sequential dimension correction: walk the cycle; whenever the
+        current position's cube bit disagrees with the destination cycle,
+        take the cube edge.  Ends with a cycle walk to the target
+        position.  At most ~2.5·d hops — the CCC's O(d) diameter."""
+        if src == dst:
+            return [src]
+        x, p = self.locate(src)
+        dx, dp = self.locate(dst)
+        path = [src]
+        # one lap of the cycle, fixing cube bits as they come up
+        for _ in range(self.d):
+            if x == dx:
+                break
+            if (x ^ dx) >> p & 1:
+                x ^= 1 << p
+                path.append(self.node_id(x, p))
+            if x == dx:
+                break
+            p = (p + 1) % self.d
+            path.append(self.node_id(x, p))
+        # remaining stray bit at the current position
+        if x != dx and ((x ^ dx) >> p) & 1:
+            x ^= 1 << p
+            path.append(self.node_id(x, p))
+        assert x == dx, "dimension correction incomplete"
+        # shortest walk around the cycle to dp
+        fwd = (dp - p) % self.d
+        step = 1 if fwd <= self.d - fwd else -1
+        while p != dp:
+            p = (p + step) % self.d
+            path.append(self.node_id(x, p))
+        return path
+
+    def bisection_width(self) -> int:
+        """Θ(n/d): the hypercube's cut, one link per cycle pair."""
+        return self.cube_size // 2
+
+    def wiring_volume(self) -> float:
+        """Θ((n/d)^{3/2}), from the bisection argument."""
+        return float(self.bisection_width() * 2) ** 1.5
+
+    def layout(self) -> Layout:
+        side = max(1, round(self.n ** (1 / 3)))
+        while side ** 3 < self.n:
+            side += 1
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [idx % side, (idx // side) % side, idx // (side * side)], axis=1
+        ).astype(np.float64)
+        packed = Layout(pos + 0.5, (float(side),) * 3)
+        return packed.scaled_to_volume(max(self.wiring_volume(), packed.volume))

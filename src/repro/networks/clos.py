@@ -1,0 +1,171 @@
+"""The k-ary n-tree — the modern descendant of Leiserson's fat-tree.
+
+The fat-trees actually built (CM-5, InfiniBand fabrics, datacenter Clos
+fabrics) realise the capacity growth not with fatter channels but with
+*multiple parallel switches* per tree node: a k-ary n-tree has n levels
+of k-port-down/k-port-up switches, ``k**n`` processors, and ``n·k**(n-1)``
+switches per level, with full bisection bandwidth and path diversity
+(any of ``k**(n-1)`` root switches can serve a pair).
+
+This module exists for the §VII outlook ("fat-trees are a robust
+engineering structure") and lets the benches compare Leiserson's
+single-switch-per-node abstraction with the multi-switch realisation:
+same capacities per cut, different packaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layout, Network
+
+__all__ = ["KAryNTree"]
+
+
+class KAryNTree(Network):
+    """k-ary n-tree on ``k**n_levels`` processors.
+
+    Node ids: processors ``0..k**n-1``; switch ``(level, index)`` with
+    level 0 the top (root) stage and level ``n_levels-1`` the edge stage,
+    ``k**(n_levels-1)`` switches per stage.
+
+    A level-``l`` switch with index ``x`` (written in base k digits
+    ``d_0 … d_{n-2}``) connects *down* to: at the edge stage, its k
+    processors; otherwise the k switches at level ``l+1`` that agree with
+    it on every digit except digit ``l``.  (The standard k-ary n-tree
+    wiring: digit ``l`` is "don't care" across the stage-``l``/``l+1``
+    link bundle.)
+    """
+
+    name = "k-ary n-tree"
+
+    def __init__(self, k: int, n_levels: int):
+        if k < 2 or n_levels < 1:
+            raise ValueError("need k >= 2 and n_levels >= 1")
+        self.k = k
+        self.n_levels = n_levels
+        self.n = k ** n_levels
+        self.switches_per_stage = k ** (n_levels - 1)
+        self.num_nodes = self.n + n_levels * self.switches_per_stage
+
+    # -- ids -----------------------------------------------------------------
+
+    def switch_id(self, level: int, index: int) -> int:
+        """Node id of the stage-``level`` switch with the given index."""
+        if not (0 <= level < self.n_levels and 0 <= index < self.switches_per_stage):
+            raise ValueError(f"invalid switch ({level}, {index})")
+        return self.n + level * self.switches_per_stage + index
+
+    def locate(self, node: int) -> tuple[int, int]:
+        """(level, index); processors report level ``n_levels``."""
+        if node < self.n:
+            return self.n_levels, node
+        flat = node - self.n
+        return divmod(flat, self.switches_per_stage)[0], flat % self.switches_per_stage
+
+    def _digit(self, x: int, pos: int) -> int:
+        return (x // self.k ** pos) % self.k
+
+    def _with_digit(self, x: int, pos: int, digit: int) -> int:
+        return x + (digit - self._digit(x, pos)) * self.k ** pos
+
+    def _edge_switch_of(self, proc: int) -> int:
+        return proc // self.k
+
+    # -- adjacency -------------------------------------------------------------
+
+    def neighbors(self, node: int) -> list[int]:
+        level, index = self.locate(node)
+        if level == self.n_levels:  # processor
+            return [self.switch_id(self.n_levels - 1, self._edge_switch_of(index))]
+        out = []
+        if level == self.n_levels - 1:  # edge stage: k processors below
+            out.extend(range(index * self.k, (index + 1) * self.k))
+        else:  # down links: vary digit `level` of the index
+            for d in range(self.k):
+                out.append(self.switch_id(level + 1, self._with_digit(index, level, d)))
+        if level > 0:  # up links: vary digit `level-1`
+            for d in range(self.k):
+                out.append(self.switch_id(level - 1, self._with_digit(index, level - 1, d)))
+        return out
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, src: int, dst: int, *, up_choice: int = 0) -> list[int]:
+        """Least-common-ancestor-stage routing with a selectable up path.
+
+        Climb while the edge-switch indices disagree above the current
+        stage, choosing among the k parallel up links by ``up_choice``
+        (path diversity: different choices give link-disjoint climbs);
+        then descend deterministically toward ``dst``.
+        """
+        if src == dst:
+            return [src]
+        s_sw = self._edge_switch_of(src)
+        d_sw = self._edge_switch_of(dst)
+        turn = self._climb_steps(s_sw, d_sw)
+        # climb from edge stage (level n_levels-1) to level n_levels-1-turn
+        path = [src]
+        cur = s_sw
+        level = self.n_levels - 1
+        path.append(self.switch_id(level, cur))
+        for _ in range(turn):
+            # going up from `level` varies digit level-1: free choice
+            cur = self._with_digit(cur, level - 1, up_choice % self.k)
+            level -= 1
+            path.append(self.switch_id(level, cur))
+        # descend: set digit `level` to dst's digit at each down step
+        while level < self.n_levels - 1:
+            cur = self._with_digit(cur, level, self._digit(d_sw, level))
+            level += 1
+            path.append(self.switch_id(level, cur))
+        path.append(dst)
+        return path
+
+    def _climb_steps(self, s_sw: int, d_sw: int) -> int:
+        """Up steps needed between two edge switches.
+
+        Descending from stage L can only set digits >= L, so the climb
+        must rise past the *lowest* disagreeing digit:
+        ``n_levels - 1 - min(disagreeing positions)`` steps.
+        """
+        if s_sw == d_sw:
+            return 0
+        min_pos = next(
+            pos
+            for pos in range(self.n_levels - 1)
+            if self._digit(s_sw, pos) != self._digit(d_sw, pos)
+        )
+        return self.n_levels - 1 - min_pos
+
+    def bisection_width(self) -> int:
+        """Full bisection: n/2 links cross any balanced cut."""
+        return self.n // 2
+
+    def wiring_volume(self) -> float:
+        """Θ(n^{3/2}): full bisection forces it, as for the hypercube."""
+        return float(self.n) ** 1.5
+
+    def layout(self) -> Layout:
+        side = 1
+        while side * side < self.n:
+            side *= 2
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            axis=1,
+        )
+        packed = Layout(pos, (float(side), float(side), 2.0))
+        return packed.scaled_to_volume(max(self.wiring_volume(), packed.volume))
+
+    def total_switches(self) -> int:
+        """Switch count over all stages: n_levels · k^(n_levels-1)."""
+        return self.n_levels * self.switches_per_stage
+
+    def path_diversity(self, src: int, dst: int) -> int:
+        """Number of distinct shortest up-down paths between processors:
+        k per up step of the climb."""
+        if src == dst:
+            return 1
+        s_sw, d_sw = self._edge_switch_of(src), self._edge_switch_of(dst)
+        return self.k ** self._climb_steps(s_sw, d_sw)

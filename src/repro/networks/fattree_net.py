@@ -1,0 +1,104 @@
+"""The fat-tree itself as an explicit switch-level network.
+
+Turning :class:`repro.core.FatTree` into a :class:`Network` closes the
+loop: the fat-tree can be laid out, decomposed, balanced and even
+simulated *on another fat-tree* with the same Theorem 10 machinery used
+for its competitors — a self-consistency check the tests exercise.
+
+Node ids: processors ``0..n-1`` (the leaves), then internal switch nodes
+level by level from the root (switch ``(level, index)`` with level 0 the
+root).  Edges follow the underlying complete binary tree; capacities are
+a property of the *channels*, not of this connectivity graph, so the
+graph is capacity-agnostic (Network models connectivity only).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.capacity import UniversalCapacity
+from ..core.fattree import FatTree
+from ..core.tree import ilog2
+from .base import Layout, Network
+
+__all__ = ["FatTreeNetwork"]
+
+
+class FatTreeNetwork(Network):
+    """Switch-level graph of a universal fat-tree on ``n`` processors."""
+
+    name = "fat-tree"
+
+    def __init__(self, n: int, w: int | None = None):
+        self.depth = ilog2(n)
+        self.n = n
+        self.w = w if w is not None else n
+        self.fat_tree = FatTree(n, UniversalCapacity(n, self.w, strict=False))
+        # internal switches: levels 0..depth-1, 2^level each
+        self.num_switches = (1 << self.depth) - 1
+        self.num_nodes = n + self.num_switches
+
+    def switch_id(self, level: int, index: int) -> int:
+        """Node id of internal switch ``(level, index)``."""
+        if not (0 <= level < self.depth and 0 <= index < (1 << level)):
+            raise ValueError(f"invalid switch ({level}, {index})")
+        return self.n + ((1 << level) - 1) + index
+
+    def locate(self, node: int) -> tuple[int, int]:
+        """(level, index) of a node; leaves are level ``depth``."""
+        if node < self.n:
+            return self.depth, node
+        flat = node - self.n
+        level = (flat + 1).bit_length() - 1
+        return level, flat - ((1 << level) - 1)
+
+    def neighbors(self, node: int) -> list[int]:
+        level, index = self.locate(node)
+        out = []
+        if level == self.depth:  # leaf: parent switch only
+            return [self.switch_id(self.depth - 1, index >> 1)]
+        if level > 0:
+            out.append(self.switch_id(level - 1, index >> 1))
+        for child in (2 * index, 2 * index + 1):
+            if level + 1 == self.depth:
+                out.append(child)  # children are leaves
+            else:
+                out.append(self.switch_id(level + 1, child))
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """The unique tree path: up to the LCA switch, back down."""
+        if src == dst:
+            return [src]
+        diff = src ^ dst
+        turn = self.depth - diff.bit_length()
+        path = [src]
+        for level in range(self.depth - 1, turn - 1, -1):
+            path.append(self.switch_id(level, src >> (self.depth - level)))
+        for level in range(turn + 1, self.depth):
+            path.append(self.switch_id(level, dst >> (self.depth - level)))
+        path.append(dst)
+        return path
+
+    def bisection_width(self) -> int:
+        """The root channel capacity — what the fat-tree is sized by."""
+        return self.fat_tree.cap(1)
+
+    def wiring_volume(self) -> float:
+        """Theorem 4: O((w·lg(n/w))^{3/2})."""
+        lg_term = max(1.0, math.log2(max(2.0, self.n / self.w)))
+        return (self.w * lg_term) ** 1.5
+
+    def layout(self) -> Layout:
+        side = 1
+        while side * side < self.n:
+            side *= 2
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            axis=1,
+        )
+        packed = Layout(pos, (float(side), float(side), 2.0))
+        return packed.scaled_to_volume(max(self.wiring_volume(), packed.volume))

@@ -1,0 +1,176 @@
+"""Meshes and tori — the non-universal, low-volume end of the spectrum.
+
+§VI: "Many of the networks currently being built are not universal (for
+example, two-dimensional arrays, simple trees, or multigrids).  These
+networks exhibit polynomial slowdown when simulating other networks."
+
+A 2-D mesh on n processors needs only Θ(n) volume (constant height), and
+its bisection width √n saturates long before a fat-tree's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layout, Network
+
+__all__ = ["Mesh2D", "Mesh3D", "Torus2D"]
+
+
+class Mesh2D(Network):
+    """√n × √n two-dimensional array with dimension-ordered (XY) routing."""
+
+    name = "mesh2d"
+
+    def __init__(self, n: int):
+        side = round(n ** 0.5)
+        if side * side != n:
+            raise ValueError(f"Mesh2D needs a square processor count, got {n}")
+        self.side = side
+        self.n = n
+        self.num_nodes = n
+
+    def _coords(self, node: int) -> tuple[int, int]:
+        return node % self.side, node // self.side
+
+    def _node(self, x: int, y: int) -> int:
+        return y * self.side + x
+
+    def neighbors(self, node: int) -> list[int]:
+        x, y = self._coords(node)
+        out = []
+        if x > 0:
+            out.append(self._node(x - 1, y))
+        if x < self.side - 1:
+            out.append(self._node(x + 1, y))
+        if y > 0:
+            out.append(self._node(x, y - 1))
+        if y < self.side - 1:
+            out.append(self._node(x, y + 1))
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """XY routing: correct x first, then y."""
+        x, y = self._coords(src)
+        dx, dy = self._coords(dst)
+        path = [src]
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(self._node(x, y))
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(self._node(x, y))
+        return path
+
+    def bisection_width(self) -> int:
+        """√n: one column of links crosses the natural cut."""
+        return self.side
+
+    def wiring_volume(self) -> float:
+        """Θ(n): planar wiring, constant height."""
+        return float(self.n)
+
+    def layout(self) -> Layout:
+        xy = np.array([self._coords(v) for v in range(self.n)], dtype=np.float64)
+        pos = np.column_stack([xy + 0.5, np.full(self.n, 0.5)])
+        return Layout(pos, (float(self.side), float(self.side), 1.0))
+
+
+class Torus2D(Mesh2D):
+    """2-D torus: mesh plus wraparound links, shortest-direction routing."""
+
+    name = "torus2d"
+
+    def neighbors(self, node: int) -> list[int]:
+        x, y = self._coords(node)
+        s = self.side
+        return [
+            self._node((x - 1) % s, y),
+            self._node((x + 1) % s, y),
+            self._node(x, (y - 1) % s),
+            self._node(x, (y + 1) % s),
+        ]
+
+    def route(self, src: int, dst: int) -> list[int]:
+        s = self.side
+        x, y = self._coords(src)
+        dx, dy = self._coords(dst)
+        path = [src]
+
+        def step_toward(cur, target):
+            fwd = (target - cur) % s
+            return (cur + 1) % s if 0 < fwd <= s // 2 else (cur - 1) % s
+
+        while x != dx:
+            x = step_toward(x, dx)
+            path.append(self._node(x, y))
+        while y != dy:
+            y = step_toward(y, dy)
+            path.append(self._node(x, y))
+        return path
+
+    def bisection_width(self) -> int:
+        """2√n: the wraparound doubles the mesh's cut."""
+        return 2 * self.side
+
+
+class Mesh3D(Network):
+    """k × k × k three-dimensional mesh with XYZ routing."""
+
+    name = "mesh3d"
+
+    def __init__(self, n: int):
+        side = round(n ** (1 / 3))
+        if side ** 3 != n:
+            raise ValueError(f"Mesh3D needs a cubic processor count, got {n}")
+        self.side = side
+        self.n = n
+        self.num_nodes = n
+
+    def _coords(self, node: int) -> tuple[int, int, int]:
+        s = self.side
+        return node % s, (node // s) % s, node // (s * s)
+
+    def _node(self, x: int, y: int, z: int) -> int:
+        s = self.side
+        return z * s * s + y * s + x
+
+    def neighbors(self, node: int) -> list[int]:
+        x, y, z = self._coords(node)
+        s = self.side
+        out = []
+        for d, (cx, cy, cz) in enumerate([(1, 0, 0), (0, 1, 0), (0, 0, 1)]):
+            for sign in (-1, 1):
+                nx, ny, nz = x + sign * cx, y + sign * cy, z + sign * cz
+                if 0 <= nx < s and 0 <= ny < s and 0 <= nz < s:
+                    out.append(self._node(nx, ny, nz))
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        x, y, z = self._coords(src)
+        dx, dy, dz = self._coords(dst)
+        path = [src]
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(self._node(x, y, z))
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(self._node(x, y, z))
+        while z != dz:
+            z += 1 if dz > z else -1
+            path.append(self._node(x, y, z))
+        return path
+
+    def bisection_width(self) -> int:
+        """n^{2/3}: a full plane of links crosses the cut."""
+        return self.side * self.side
+
+    def wiring_volume(self) -> float:
+        """Θ(n): each node occupies unit volume, wires are local."""
+        return float(self.n)
+
+    def layout(self) -> Layout:
+        pos = np.array(
+            [self._coords(v) for v in range(self.n)], dtype=np.float64
+        )
+        return Layout(pos + 0.5, (float(self.side),) * 3)

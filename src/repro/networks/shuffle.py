@@ -1,0 +1,84 @@
+"""The perfect-shuffle "ultracomputer" network (§I, refs [27], [28]).
+
+Schwartz's ultracomputer, which §I quotes on its "very large number of
+intercabinet wires", is built on Stone's perfect-shuffle connections:
+node ``i`` links to its left-rotation (shuffle), right-rotation
+(unshuffle), and ``i ^ 1`` (exchange).  Any message routes in at most
+``2·lg n`` hops by alternating shuffles with conditional exchanges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree import ilog2
+from .base import Layout, Network
+
+__all__ = ["ShuffleExchange"]
+
+
+class ShuffleExchange(Network):
+    """Shuffle-exchange graph on ``n = 2**d`` processors."""
+
+    name = "shuffle-exchange"
+
+    def __init__(self, n: int):
+        self.dim = ilog2(n)
+        self.n = n
+        self.num_nodes = n
+
+    def _rotl(self, x: int) -> int:
+        d = self.dim
+        return ((x << 1) | (x >> (d - 1))) & (self.n - 1)
+
+    def _rotr(self, x: int) -> int:
+        d = self.dim
+        return (x >> 1) | ((x & 1) << (d - 1))
+
+    def neighbors(self, node: int) -> list[int]:
+        cands = [self._rotl(node), self._rotr(node), node ^ 1]
+        out = []
+        for c in cands:  # dedup while keeping order; drop self-loops
+            if c != node and c not in out:
+                out.append(c)
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Stone's algorithm: d shuffle steps, each followed by an
+        exchange when the incoming bit disagrees with the destination."""
+        if src == dst:
+            return [src]
+        if dst in self.neighbors(src):  # local delivery over the direct edge
+            return [src, dst]
+        path = [src]
+        cur = src
+        for k in range(self.dim):
+            nxt = self._rotl(cur)
+            if nxt != cur:
+                path.append(nxt)
+                cur = nxt
+            want = (dst >> (self.dim - 1 - k)) & 1
+            if (cur & 1) != want:
+                cur ^= 1
+                path.append(cur)
+        assert cur == dst
+        return path
+
+    def bisection_width(self) -> int:
+        """Θ(n / lg n); we report the simple upper bound n."""
+        return max(1, self.n // max(1, self.dim))
+
+    def wiring_volume(self) -> float:
+        """Θ((n / lg n)^{3/2}) from the bisection argument."""
+        return float(self.bisection_width()) ** 1.5 * max(1.0, float(self.dim)) ** 0
+
+    def layout(self) -> Layout:
+        side = max(1, round(self.n ** (1 / 3)))
+        while side ** 3 < self.n:
+            side += 1
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [idx % side, (idx // side) % side, idx // (side * side)], axis=1
+        ).astype(np.float64)
+        packed = Layout(pos + 0.5, (float(side),) * 3)
+        return packed.scaled_to_volume(max(self.wiring_volume(), packed.volume))

@@ -1,0 +1,189 @@
+"""Simple trees and multigrids — §VI's examples of non-universal networks.
+
+A plain binary tree has bisection width 1: any traffic that must cross
+the root serialises completely, which is exactly the deficiency fat-trees
+repair by fattening the channels.  The multigrid (a pyramid of meshes,
+each level a quarter the size of the one below) improves locality but
+still has bisection width O(√n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree import ilog2
+from .base import Layout, Network
+
+__all__ = ["BinaryTreeNetwork", "Multigrid"]
+
+
+class BinaryTreeNetwork(Network):
+    """Complete binary tree; processors at the leaves, switches internal.
+
+    Node ids: processors ``0..n-1`` are the leaves; internal nodes are
+    ``n..2n-2`` in heap order (internal node ``n + h`` corresponds to heap
+    slot ``h``, so the tree root is ``n``).
+    """
+
+    name = "tree"
+
+    def __init__(self, n: int):
+        self.depth = ilog2(n)
+        self.n = n
+        self.num_nodes = 2 * n - 1
+
+    def _heap_of(self, node: int) -> int:
+        """Map node id to heap slot (root = 0, leaves = n-1 .. 2n-2)."""
+        if node < self.n:  # leaf
+            return self.n - 1 + node
+        return node - self.n
+
+    def _node_of(self, heap: int) -> int:
+        if heap >= self.n - 1:
+            return heap - (self.n - 1)
+        return self.n + heap
+
+    def neighbors(self, node: int) -> list[int]:
+        h = self._heap_of(node)
+        out = []
+        if h > 0:
+            out.append(self._node_of((h - 1) // 2))
+        for child in (2 * h + 1, 2 * h + 2):
+            if child < 2 * self.n - 1:
+                out.append(self._node_of(child))
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Up to the LCA, then down — the unique tree path."""
+        up, down = [self._heap_of(src)], [self._heap_of(dst)]
+        while up[-1] != down[-1]:
+            if up[-1] >= down[-1]:
+                up.append((up[-1] - 1) // 2)
+            else:
+                down.append((down[-1] - 1) // 2)
+        return [self._node_of(h) for h in up + down[-2::-1]]
+
+    def bisection_width(self) -> int:
+        """1: everything crossing the root serialises on one edge."""
+        return 1
+
+    def wiring_volume(self) -> float:
+        """Θ(n): a tree lays out in linear volume."""
+        return float(self.num_nodes)
+
+    def layout(self) -> Layout:
+        """Leaves on a 2-D grid (H-tree style), switches above them."""
+        side = 1
+        while side * side < self.n:
+            side *= 2
+        idx = np.arange(self.n)
+        pos = np.stack(
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            axis=1,
+        )
+        return Layout(pos, (float(side), float(max(1, self.n // side)), 2.0))
+
+
+class Multigrid(Network):
+    """A pyramid of 2-D meshes: level 0 is a √n × √n mesh of processors;
+    each higher level is a quarter-size mesh; each node also links to the
+    2×2 block beneath it.  Processors are the level-0 nodes.
+    """
+
+    name = "multigrid"
+
+    def __init__(self, n: int):
+        side = round(n ** 0.5)
+        if side * side != n or side & (side - 1):
+            raise ValueError(
+                f"Multigrid needs n = 4**k (a power-of-two square side), got {n}"
+            )
+        self.side = side
+        self.n = n
+        # levels: side, side/2, ..., 1
+        self.level_sides = []
+        s = side
+        while s >= 1:
+            self.level_sides.append(s)
+            s //= 2
+        self.level_offsets = np.cumsum([0] + [s * s for s in self.level_sides])
+        self.num_nodes = int(self.level_offsets[-1])
+
+    def _node(self, level: int, x: int, y: int) -> int:
+        s = self.level_sides[level]
+        return int(self.level_offsets[level]) + y * s + x
+
+    def _coords(self, node: int) -> tuple[int, int, int]:
+        level = int(np.searchsorted(self.level_offsets, node, side="right")) - 1
+        rel = node - int(self.level_offsets[level])
+        s = self.level_sides[level]
+        return level, rel % s, rel // s
+
+    def neighbors(self, node: int) -> list[int]:
+        level, x, y = self._coords(node)
+        s = self.level_sides[level]
+        out = []
+        # in-level mesh links
+        for nx, ny in [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]:
+            if 0 <= nx < s and 0 <= ny < s:
+                out.append(self._node(level, nx, ny))
+        # parent link (to the coarser mesh)
+        if level + 1 < len(self.level_sides):
+            out.append(self._node(level + 1, x // 2, y // 2))
+        # child links (to the finer mesh)
+        if level > 0:
+            for cx in (2 * x, 2 * x + 1):
+                for cy in (2 * y, 2 * y + 1):
+                    out.append(self._node(level - 1, cx, cy))
+        return out
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Climb to the coarsest level at which the endpoints' blocks are
+        mesh-adjacent or equal, step across, and descend — a standard
+        multigrid routing heuristic."""
+        lsrc = self._coords(src)
+        ldst = self._coords(dst)
+        up: list[tuple[int, int, int]] = [lsrc]
+        down: list[tuple[int, int, int]] = [ldst]
+
+        def blocks_close(a, b):
+            return abs(a[1] - b[1]) <= 1 and abs(a[2] - b[2]) <= 1
+
+        while not blocks_close(up[-1], down[-1]):
+            lev, x, y = up[-1]
+            up.append((lev + 1, x // 2, y // 2))
+            lev, x, y = down[-1]
+            down.append((lev + 1, x // 2, y // 2))
+        # cross at the common level via at most two mesh hops
+        cross: list[tuple[int, int, int]] = []
+        lev, x, y = up[-1]
+        _, tx, ty = down[-1]
+        if x != tx:
+            x = tx
+            cross.append((lev, x, y))
+        if y != ty:
+            y = ty
+            cross.append((lev, x, y))
+        nodes = up + cross + down[-2::-1] if cross else up + down[-2::-1]
+        path = [self._node(*c) for c in nodes]
+        # collapse immediate duplicates (when endpoints share a block)
+        out = [path[0]]
+        for p in path[1:]:
+            if p != out[-1]:
+                out.append(p)
+        return out
+
+    def bisection_width(self) -> int:
+        """Each mesh level contributes its own cut: side + side/2 + … ."""
+        return 2 * self.side - 1
+
+    def wiring_volume(self) -> float:
+        """Θ(n): the pyramid of meshes packs in linear volume."""
+        return float(self.num_nodes)
+
+    def layout(self) -> Layout:
+        pos = np.zeros((self.n, 3))
+        for p in range(self.n):
+            _, x, y = self._coords(p)
+            pos[p] = (x + 0.5, y + 0.5, 0.5)
+        return Layout(pos, (float(self.side), float(self.side), 2.0))

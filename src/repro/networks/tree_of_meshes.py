@@ -1,0 +1,149 @@
+"""Leighton's tree of meshes (§I, ref [12]) — the graph a fat-tree
+"physically resembles, and is based on".
+
+A complete binary tree in which every node is replaced by a mesh: the
+root is a √n × √n mesh, and meshes halve in one dimension per tree level
+(columns first, then rows, alternating) until the leaves are single
+vertices — the processors.  Each parent-child connection joins the
+parent's bottom row to the child's top row, the left child taking the
+left half of the parent's columns when columns split.
+
+The total vertex count is Θ(n·lg n): every tree level contributes
+exactly ``n`` mesh vertices across its ``2^j`` meshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree import ilog2
+from .base import Layout, Network
+
+__all__ = ["TreeOfMeshes"]
+
+
+class TreeOfMeshes(Network):
+    """Tree of meshes on ``n = 4**k`` leaf processors.
+
+    Node ids: processors (the 1×1 leaf meshes) are ``0..n-1`` in
+    left-to-right leaf order; internal mesh vertices follow, level by
+    level from the root.
+    """
+
+    name = "tree-of-meshes"
+
+    def __init__(self, n: int):
+        depth = ilog2(n)
+        if depth % 2:
+            raise ValueError(f"TreeOfMeshes needs n = 4**k, got {n}")
+        self.depth = depth  # tree levels 0..depth; leaves at depth
+        self.n = n
+        side = 1 << (depth // 2)
+        self.side = side
+        # mesh dimensions per tree level: (rows, cols); columns halve on
+        # even->odd transitions, rows on odd->even.
+        self.dims: list[tuple[int, int]] = []
+        r, c = side, side
+        for j in range(depth + 1):
+            self.dims.append((r, c))
+            if j % 2 == 0:
+                c //= 2
+            else:
+                r //= 2
+        assert self.dims[depth] == (1, 1)
+        # id layout: leaves first, then internal meshes level by level.
+        self._level_offset = [0] * (depth + 1)
+        offset = n
+        for j in range(depth):
+            self._level_offset[j] = offset
+            rows, cols = self.dims[j]
+            offset += (1 << j) * rows * cols
+        self._level_offset[depth] = 0  # leaves are ids 0..n-1
+        self.num_nodes = offset
+
+    # -- id <-> (level, mesh, row, col) -------------------------------------
+
+    def vertex(self, level: int, mesh: int, row: int, col: int) -> int:
+        """Vertex id of cell (row, col) in mesh ``mesh`` at a tree level."""
+        rows, cols = self.dims[level]
+        if not (0 <= mesh < (1 << level) and 0 <= row < rows and 0 <= col < cols):
+            raise ValueError(f"invalid vertex ({level},{mesh},{row},{col})")
+        if level == self.depth:
+            return mesh
+        return self._level_offset[level] + mesh * rows * cols + row * cols + col
+
+    def locate(self, node: int) -> tuple[int, int, int, int]:
+        """(tree level, mesh index, row, col) of a vertex id."""
+        if node < self.n:
+            return (self.depth, node, 0, 0)
+        for j in range(self.depth):
+            rows, cols = self.dims[j]
+            size = (1 << j) * rows * cols
+            base = self._level_offset[j]
+            if base <= node < base + size:
+                rel = node - base
+                mesh, rc = divmod(rel, rows * cols)
+                row, col = divmod(rc, cols)
+                return (j, mesh, row, col)
+        raise ValueError(f"node {node} out of range")
+
+    # -- adjacency -----------------------------------------------------------
+
+    def _child_links(self, level: int, row: int, col: int):
+        """(child_side, child_row, child_col) links from a bottom-row
+        vertex of a level mesh, or [] if none."""
+        rows, cols = self.dims[level]
+        if level == self.depth or row != rows - 1:
+            return []
+        crows, ccols = self.dims[level + 1]
+        if cols == 2 * ccols:  # columns split between children
+            child = 0 if col < ccols else 1
+            return [(child, 0, col % ccols)]
+        # rows split: both children keep all columns
+        return [(0, 0, col), (1, 0, col)]
+
+    def neighbors(self, node: int) -> list[int]:
+        level, mesh, row, col = self.locate(node)
+        rows, cols = self.dims[level]
+        out = []
+        for nr, nc in [(row - 1, col), (row + 1, col), (row, col - 1), (row, col + 1)]:
+            if 0 <= nr < rows and 0 <= nc < cols:
+                out.append(self.vertex(level, mesh, nr, nc))
+        # links down to children
+        for child, crow, ccol in self._child_links(level, row, col):
+            out.append(self.vertex(level + 1, 2 * mesh + child, crow, ccol))
+        # link up to parent (mirror of the parent's child link)
+        if level > 0:
+            prows, pcols = self.dims[level - 1]
+            side = mesh & 1
+            if row == 0:
+                if pcols == 2 * cols:  # this level halved columns
+                    pcol = col + side * cols
+                    out.append(self.vertex(level - 1, mesh >> 1, prows - 1, pcol))
+                else:  # this level halved rows; both children share columns
+                    out.append(self.vertex(level - 1, mesh >> 1, prows - 1, col))
+        return out
+
+    # route: inherited BFS (meshes make oblivious routing awkward; the
+    # network is here for structural comparison, not routing races).
+
+    def vertices_per_level(self) -> list[int]:
+        """Θ(n) vertices at every tree level — the tree-of-meshes shape."""
+        return [
+            (1 << j) * self.dims[j][0] * self.dims[j][1]
+            for j in range(self.depth + 1)
+        ]
+
+    def bisection_width(self) -> int:
+        """Θ(√n): the root mesh column count."""
+        return self.side
+
+    def wiring_volume(self) -> float:
+        """Θ(n·lg n): one unit per vertex."""
+        return float(self.num_nodes)
+
+    def layout(self) -> Layout:
+        pos = np.zeros((self.n, 3))
+        for p in range(self.n):
+            pos[p] = ((p % self.side) + 0.5, (p // self.side) + 0.5, 0.5)
+        return Layout(pos, (float(self.side), float(self.side), 2.0))

@@ -1,0 +1,19 @@
+"""The Theorem 10 universality pipeline."""
+
+from .embedding import Embedding, embed_network
+from .fixed_connection import EmulationResult, emulate_fixed_connection
+from .simulate import (
+    SimulationResult,
+    simulate_network_on_fattree,
+    theorem10_bound,
+)
+
+__all__ = [
+    "Embedding",
+    "embed_network",
+    "EmulationResult",
+    "emulate_fixed_connection",
+    "SimulationResult",
+    "simulate_network_on_fattree",
+    "theorem10_bound",
+]

@@ -1,0 +1,87 @@
+"""The Theorem 10 identification of a network's processors with fat-tree
+leaves.
+
+The pipeline follows the proof exactly:
+
+1. the competitor network R occupies a 3-D layout of volume v;
+2. Theorem 5's cutting planes give R an (O(v^{2/3}), ∛4) decomposition
+   tree;
+3. Corollary 9 balances it (pearl splitting, Lemma 6/7);
+4. "Identify the processors at the leaves of the balanced decomposition
+   tree of R, in the natural way, with the processors at the leaves of
+   the fat-tree FT."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fattree import FatTree
+from ..core.message import MessageSet
+from ..core.tree import is_power_of_two
+from ..networks.base import Network
+from ..vlsi.balance import BalancedDecomposition, balance_decomposition
+from ..vlsi.decomposition import DecompositionTree, cutting_plane_tree
+
+__all__ = ["Embedding", "embed_network"]
+
+
+@dataclass
+class Embedding:
+    """A processor identification between a network R and a fat-tree.
+
+    ``leaf_of[p]`` is the fat-tree leaf hosting R's processor ``p``.
+    """
+
+    network: Network
+    fat_tree: FatTree
+    leaf_of: np.ndarray
+    decomposition: DecompositionTree
+    balanced: BalancedDecomposition
+
+    def translate(self, messages: MessageSet) -> MessageSet:
+        """Map a message set over R's processors onto fat-tree leaves."""
+        if messages.n != self.network.n:
+            raise ValueError("message set is not over the network's processors")
+        return MessageSet(
+            self.leaf_of[messages.src], self.leaf_of[messages.dst], self.fat_tree.n
+        )
+
+
+def embed_network(
+    network: Network,
+    fat_tree: FatTree,
+    *,
+    balanced: bool = True,
+) -> Embedding:
+    """Embed ``network`` into ``fat_tree`` per Theorem 10.
+
+    With ``balanced=False`` the processors are identified in raw layout
+    (unbalanced cutting-plane) order instead — the ablation the balance
+    construction exists to beat.
+    """
+    n = network.n
+    if n != fat_tree.n:
+        raise ValueError(
+            f"network has {n} processors, fat-tree has {fat_tree.n}"
+        )
+    if not is_power_of_two(n):
+        raise ValueError("Theorem 10 embedding needs a power-of-two n")
+    tree = cutting_plane_tree(network.layout())
+    bal = balance_decomposition(tree)
+    if balanced:
+        order = bal.leaf_order()  # processor ids in balanced leaf order
+    else:
+        # raw order: processors sorted by unbalanced leaf-line position
+        order = np.argsort(tree.processor_leaf_positions(), kind="stable")
+    leaf_of = np.empty(n, dtype=np.int64)
+    leaf_of[order] = np.arange(n)
+    return Embedding(
+        network=network,
+        fat_tree=fat_tree,
+        leaf_of=leaf_of,
+        decomposition=tree,
+        balanced=bal,
+    )

@@ -1,0 +1,114 @@
+"""§VI application: emulating fixed-connection networks.
+
+    "Such a universal fat-tree of volume O(v·lg^{3/2}(n/v^{2/3})) on n
+    processors can simulate an arbitrary degree-d fixed-connection
+    network of volume v on n processors with only O(lg n) time
+    degradation.  The idea is that the channel capacities of the
+    universal fat-tree are sufficiently large that the connections
+    implied by the network can be represented as a one-cycle message set,
+    which requires O(lg n) time to be delivered."
+
+The emulation: one communication round of the fixed-connection network R
+is its neighbour message set; on a fat-tree with modestly inflated
+capacities that set has load factor O(1) and schedules in O(1) delivery
+cycles of O(lg n) switch ticks each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.capacity import ScaledCapacity
+from ..core.fattree import FatTree
+from ..core.load import load_factor
+from ..core.scheduler import schedule_theorem1
+from ..networks.base import Network
+from ..vlsi.cost import universal_fattree_for_volume
+from .embedding import Embedding, embed_network
+
+__all__ = ["EmulationResult", "emulate_fixed_connection"]
+
+
+@dataclass
+class EmulationResult:
+    network_name: str
+    n: int
+    degree: int
+    capacity_inflation: float
+    load_factor: float
+    delivery_cycles: int   # cycles to deliver one communication round
+    switch_ticks: int
+
+    @property
+    def degradation(self) -> int:
+        """Fat-tree ticks per emulated network step — the O(lg n) claim."""
+        return self.delivery_cycles * self.switch_ticks
+
+
+def emulate_fixed_connection(
+    network: Network,
+    *,
+    inflation: float | None = None,
+    capacity_constant: float = 1.0,
+    auto_inflate: bool = True,
+    max_inflation_doublings: int = 4,
+) -> EmulationResult:
+    """Emulate one round of ``network`` on a capacity-inflated universal
+    fat-tree of (otherwise) equal volume.
+
+    ``inflation`` scales every channel capacity; the §VI starting point
+    is the network's degree (each processor must inject up to ``d``
+    messages per round).  §VI grants the fat-tree
+    ``O(v·lg^{3/2}(n/v^{2/3}))`` volume — "sufficiently large" capacities
+    — so with ``auto_inflate`` the inflation doubles (a few times at
+    most) until the round is genuinely a one-cycle message set.  The
+    final inflation is reported in the result.
+    """
+    d = network.degree()
+    if inflation is None:
+        inflation = float(d)
+    if inflation < 1:
+        raise ValueError("inflation must be >= 1")
+    volume = network.layout().volume
+    base = universal_fattree_for_volume(network.n, volume, capacity_constant)
+    embedding = None
+    for _ in range(max_inflation_doublings + 1):
+        factor = inflation
+        ft = FatTree(
+            network.n,
+            ScaledCapacity(
+                base.capacity, lambda c: max(1, math.ceil(c * factor))
+            ),
+        )
+        if embedding is None:
+            embedding = embed_network(network, ft)
+            round_messages = embedding.translate(network.neighbor_message_set())
+        else:  # the identification does not depend on capacities
+            embedding = Embedding(
+                network=network,
+                fat_tree=ft,
+                leaf_of=embedding.leaf_of,
+                decomposition=embedding.decomposition,
+                balanced=embedding.balanced,
+            )
+        lam = load_factor(ft, round_messages)
+        if lam <= 1.0 or not auto_inflate:
+            break
+        inflation *= 2
+    # The §VI claim: the inflated capacities make the round a one-cycle
+    # message set, delivered in a single O(lg n)-tick cycle.  Fall back to
+    # Theorem 1 when the inflation was not enough.
+    if lam <= 1.0:
+        cycles = 1
+    else:
+        cycles = schedule_theorem1(ft, round_messages).num_cycles
+    return EmulationResult(
+        network_name=network.name,
+        n=network.n,
+        degree=d,
+        capacity_inflation=inflation,
+        load_factor=lam,
+        delivery_cycles=cycles,
+        switch_ticks=max(1, 2 * ft.depth - 1),
+    )

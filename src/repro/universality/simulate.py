@@ -1,0 +1,104 @@
+"""Theorem 10: a fat-tree simulates any equal-volume network with
+polylogarithmic slowdown.
+
+    *Theorem 10.  Let FT be a universal fat-tree on a set of n processors
+    that occupies a cube of volume v, and let R be an arbitrary routing
+    network on a set of n processors that also occupies a cube of volume
+    v.  Then there is an identification of the processors in FT with the
+    processors of R such that any message set M that can be delivered in
+    time t by R can be delivered by FT (off-line) in time O(t·lg³ n).*
+
+The three lg-factors (§VI discussion): one from the fat-tree's root
+capacity deficit v^{2/3}/lg(·) versus the decomposition-tree bandwidth
+v^{2/3}; one from the Theorem 1 scheduler; one from the O(lg n) switch
+time of a delivery cycle.  :func:`simulate_network_on_fattree` measures
+all three pieces separately so benches can attribute the slowdown.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.load import load_factor
+from ..core.message import MessageSet
+from ..core.scheduler import schedule_theorem1
+from ..networks.base import Network, simulate_store_and_forward
+from ..vlsi.cost import universal_fattree_for_volume
+from .embedding import Embedding, embed_network
+
+__all__ = ["SimulationResult", "simulate_network_on_fattree", "theorem10_bound"]
+
+
+@dataclass
+class SimulationResult:
+    """Measured outcome of simulating R's traffic on an equal-volume FT."""
+
+    network_name: str
+    n: int
+    volume: float
+    root_capacity: int
+    t: int                 # steps R needs for the message set
+    load_factor: float     # λ(M) on the fat-tree after identification
+    delivery_cycles: int   # Theorem 1 schedule length
+    switch_ticks: int      # O(lg n) per delivery cycle
+
+    @property
+    def fat_tree_time(self) -> int:
+        """Total fat-tree time in switch ticks: cycles × ticks/cycle."""
+        return self.delivery_cycles * self.switch_ticks
+
+    @property
+    def slowdown(self) -> float:
+        """Fat-tree time over R's time, the Theorem 10 quantity."""
+        return self.fat_tree_time / max(1, self.t)
+
+    def bound(self, constant: float = 4.0) -> float:
+        """The Theorem 10 slowdown ceiling O(lg³ n) for this instance."""
+        return theorem10_bound(self.n, self.t, constant) / max(1, self.t)
+
+
+def theorem10_bound(n: int, t: int, constant: float = 4.0) -> float:
+    """The O(t·lg³ n) closed form (in switch ticks)."""
+    lg = max(1.0, math.log2(n))
+    return constant * t * lg ** 3
+
+
+def simulate_network_on_fattree(
+    network: Network,
+    messages: MessageSet,
+    *,
+    t: int | None = None,
+    volume: float | None = None,
+    embedding: Embedding | None = None,
+    capacity_constant: float = 1.0,
+) -> SimulationResult:
+    """Deliver ``messages`` (a workload for ``network``) on the universal
+    fat-tree of the same volume; report the measured slowdown.
+
+    ``t`` is the time R needs for the message set; if omitted it is
+    measured by synchronous store-and-forward on R.  ``volume`` defaults
+    to R's own wiring volume — the equal-hardware comparison of the
+    theorem.
+    """
+    if volume is None:
+        volume = network.layout().volume
+    if embedding is None:
+        ft = universal_fattree_for_volume(network.n, volume, capacity_constant)
+        embedding = embed_network(network, ft)
+    ft = embedding.fat_tree
+    if t is None:
+        t = simulate_store_and_forward(network, messages)
+    translated = embedding.translate(messages)
+    lam = load_factor(ft, translated)
+    sched = schedule_theorem1(ft, translated)
+    return SimulationResult(
+        network_name=network.name,
+        n=network.n,
+        volume=volume,
+        root_capacity=ft.root_capacity,
+        t=t,
+        load_factor=lam,
+        delivery_cycles=sched.num_cycles,
+        switch_ticks=max(1, 2 * ft.depth - 1),
+    )

@@ -1,0 +1,84 @@
+"""The three-dimensional VLSI model and the §IV-§V constructions."""
+
+from .area2d import (
+    SQRT_2,
+    Universal2DCapacity,
+    area_bound,
+    component_bound_2d,
+    root_capacity_for_area,
+    square_decomposition_bandwidth,
+    universal_fattree_for_area,
+)
+from .balance import (
+    BalancedDecomposition,
+    BalancedNode,
+    balance_decomposition,
+    corollary9_factor,
+    theorem8_bound,
+)
+from .cost import (
+    component_bound,
+    constructive_volume,
+    max_volume,
+    min_volume,
+    root_capacity_for_volume,
+    total_components,
+    universal_fattree_for_volume,
+    volume_bound,
+)
+from .decomposition import (
+    CUBE_ROOT_4,
+    DecompositionNode,
+    DecompositionTree,
+    cutting_plane_tree,
+    theorem5_bandwidth,
+)
+from .forest import subtree_forest
+from .layout2d import FatTreeLayout2D, Rect, build_fattree_layout_2d
+from .layout3d import FatTreeLayout, build_fattree_layout
+from .model import Box, cube_for_volume, surface_bandwidth
+from .pearls import PearlSplit, split_two_strings
+from .wiring import crossbar_area, cubic_node_box, node_box, node_components
+
+__all__ = [
+    "SQRT_2",
+    "Universal2DCapacity",
+    "area_bound",
+    "component_bound_2d",
+    "root_capacity_for_area",
+    "square_decomposition_bandwidth",
+    "universal_fattree_for_area",
+    "BalancedDecomposition",
+    "BalancedNode",
+    "balance_decomposition",
+    "corollary9_factor",
+    "theorem8_bound",
+    "component_bound",
+    "constructive_volume",
+    "max_volume",
+    "min_volume",
+    "root_capacity_for_volume",
+    "total_components",
+    "universal_fattree_for_volume",
+    "volume_bound",
+    "CUBE_ROOT_4",
+    "DecompositionNode",
+    "DecompositionTree",
+    "cutting_plane_tree",
+    "theorem5_bandwidth",
+    "subtree_forest",
+    "FatTreeLayout",
+    "build_fattree_layout",
+    "FatTreeLayout2D",
+    "Rect",
+    "build_fattree_layout_2d",
+    "Box",
+    "cube_for_volume",
+    "surface_bandwidth",
+    "PearlSplit",
+    "split_two_strings",
+    "crossbar_area",
+    "cubic_node_box",
+    "node_box",
+    "node_components",
+]

@@ -1,0 +1,133 @@
+"""Two-dimensional universal fat-trees (the §VII generalisation).
+
+§VII: "We have attempted to deal with pin boundedness in a simple
+mathematical model, and our results should generalize to more
+complicated packaging models."  The most natural sibling model is
+Thompson's original two-dimensional one, where hardware is measured as
+*area* and the bandwidth assumption becomes: at most O(p) bits per unit
+time cross a closed curve of perimeter p.
+
+Everything transposes with the exponent 2/3 → 1/2:
+
+* a region of area a has perimeter O(√a), so cutting a square with
+  axis-alternating bisectors gives an (O(√A), √2) decomposition tree —
+  the decay constant is √2 per level (perimeter halves every two cuts);
+* the 2-D universal fat-tree has ``cap(k) = ceil(min(n/2^k, w/2^{k/2}))``
+  — doubling near the leaves, growth rate √2 within ``2·lg(n/w)`` of the
+  root, with the regimes meeting at capacity ``w²/n``;
+* Theorem 4 becomes area ``O((w·lg(n/w))²)`` (the H-tree layout) with
+  ``O(n·lg(w²/n))`` components, for ``√n <= w <= n``;
+* inversely, the universal fat-tree of area A has root capacity
+  ``Θ(√A / lg(n/√A))``.
+
+The scheduling theory (§III) is model-independent — it only sees a
+capacity profile — so Theorem 1/Corollary 2 apply verbatim; the tests
+and benches check exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.capacity import CapacityProfile
+from ..core.fattree import FatTree
+from ..core.tree import ilog2
+from .model import BANDWIDTH_PER_AREA
+
+__all__ = [
+    "Universal2DCapacity",
+    "area_bound",
+    "component_bound_2d",
+    "root_capacity_for_area",
+    "universal_fattree_for_area",
+    "square_decomposition_bandwidth",
+    "SQRT_2",
+]
+
+#: the 2-D decomposition decay constant (√2 per level)
+SQRT_2 = math.sqrt(2.0)
+
+
+class Universal2DCapacity(CapacityProfile):
+    """Capacity profile of the 2-D universal fat-tree.
+
+    ``cap(k) = ceil(min(n / 2**k, w / 2**(k/2)))`` for root capacity
+    ``w`` with ``√n <= w <= n`` (relaxable as in 3-D).
+    """
+
+    def __init__(self, n: int, w: int, *, strict: bool = True):
+        depth = ilog2(n)
+        super().__init__(depth)
+        if not (1 <= w <= n):
+            raise ValueError(f"root capacity w={w} outside [1, n={n}]")
+        if strict and w * w < n:
+            raise ValueError(
+                f"2-D universal fat-tree requires w >= sqrt(n): w={w}, n={n} "
+                "(pass strict=False to relax)"
+            )
+        self.n = n
+        self.w = w
+
+    def _raw_cap(self, level: int) -> int:
+        doubling = self.n >> level
+        root_limited = self.w / (2.0 ** (level / 2.0))
+        value = min(float(doubling), root_limited)
+        as_int = int(value)
+        return as_int if value == as_int else as_int + 1
+
+    @property
+    def crossover_level(self) -> int:
+        """Level ``2·lg(n/w)`` where the regimes meet (capacity w²/n)."""
+        return min(self.depth, max(0, round(2 * math.log2(self.n / self.w))))
+
+
+def area_bound(n: int, w: int, constant: float = 4.0) -> float:
+    """The 2-D Theorem 4 analogue: area O((w·lg(n/w))²)."""
+    _check_2d(n, w)
+    lg_term = max(1.0, math.log2(max(2.0, n / w)))
+    return constant * (w * lg_term) ** 2
+
+
+def component_bound_2d(n: int, w: int, constant: float = 12.0) -> float:
+    """Components O(n + n·lg(w²/n)) for the 2-D universal fat-tree."""
+    _check_2d(n, w)
+    lg_term = max(1.0, math.log2(max(2.0, w * w / n)))
+    return constant * n * (1.0 + lg_term)
+
+
+def root_capacity_for_area(n: int, area: float, constant: float = 1.0) -> int:
+    """Root capacity Θ(√A / lg(n/√A)) of the area-A universal fat-tree,
+    clamped to the legal range [√n, n]."""
+    if area <= 0:
+        raise ValueError("area must be positive")
+    ilog2(n)
+    sqrt_a = math.sqrt(area)
+    lg_term = max(1.0, math.log2(max(2.0, n / sqrt_a)))
+    w = constant * sqrt_a / lg_term
+    lo = math.ceil(math.sqrt(n))
+    return int(min(n, max(lo, round(w))))
+
+
+def universal_fattree_for_area(n: int, area: float, constant: float = 1.0) -> FatTree:
+    """The 2-D universal fat-tree of the given area on ``n`` processors."""
+    w = root_capacity_for_area(n, area, constant)
+    return FatTree(n, Universal2DCapacity(n, w))
+
+
+def square_decomposition_bandwidth(
+    area: float, level: int, gamma: float = BANDWIDTH_PER_AREA
+) -> float:
+    """The 2-D Theorem 5 analogue: w_i = γ·c·√(A/2^i) with c = 3·√2 —
+    the worst perimeter-to-√area ratio of the rectangles produced by
+    axis-alternating bisection of a square (a 2:1 rectangle attains
+    it)."""
+    c = 3.0 * math.sqrt(2.0)
+    return gamma * c * math.sqrt(area / 2.0 ** level)
+
+
+def _check_2d(n: int, w: int) -> None:
+    ilog2(n)
+    if not (n <= w * w and w <= n):
+        raise ValueError(
+            f"2-D universal fat-tree needs sqrt(n) <= w <= n; got n={n}, w={w}"
+        )

@@ -1,0 +1,229 @@
+"""Theorem 8 / Corollary 9: balanced decomposition trees.
+
+    *Theorem 8.  Let R be a routing network on n processors that has a
+    [w_0, w_1, …, w_r] decomposition tree T.  Then R has a
+    [w'_0, w'_1, …, w'_{⌈lg n⌉}] balanced decomposition tree T' where
+    w'_j <= 4·Σ_{i >= j} w_i.*
+
+    *Corollary 9.  If R has a (w, a) decomposition tree for 1 < a <= 2,
+    then R has a (4a/(a−1)·w, a) balanced decomposition tree.*
+
+Construction: draw T with its 2^r leaves on a line, colour leaves black
+(processor) or white (empty), and recursively split the resulting pearl
+string with Lemma 6 (:mod:`repro.vlsi.pearls`): each split halves both
+colours to within one and leaves each side a union of at most two
+consecutive leaf runs.  By Lemma 7 each run is covered by a forest of
+complete subtrees of T with at most two trees per height; a balanced
+node's external bandwidth is at most the sum of its forest roots'
+bandwidths — at most four trees per height j or deeper, giving
+``w'_j <= 4·Σ_{i>=j} w_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .decomposition import DecompositionTree
+from .forest import subtree_forest
+from .pearls import split_two_strings
+
+__all__ = [
+    "BalancedNode",
+    "BalancedDecomposition",
+    "balance_decomposition",
+    "theorem8_bound",
+    "corollary9_factor",
+]
+
+
+@dataclass
+class BalancedNode:
+    """A node of the balanced decomposition tree.
+
+    ``runs`` are the (at most two) consecutive virtual-leaf runs of the
+    original tree T that this node owns; ``bandwidth`` is the Theorem 8
+    estimate Σ of the forest-root bandwidths covering those runs.
+    """
+
+    level: int
+    processors: np.ndarray
+    runs: list[tuple[int, int]]
+    bandwidth: float
+    children: list["BalancedNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class BalancedDecomposition:
+    root: BalancedNode
+    n: int
+    depth: int
+    level_bandwidths: list[float]
+
+    def nodes_at_level(self, level: int) -> list[BalancedNode]:
+        """All balanced nodes at the given level."""
+        out = []
+
+        def walk(node):
+            if node.level == level:
+                out.append(node)
+                return
+            for c in node.children:
+                walk(c)
+
+        walk(self.root)
+        return out
+
+    def leaf_order(self) -> np.ndarray:
+        """Processor ids in balanced-tree leaf order — the identification
+        with fat-tree leaves used by Theorem 10."""
+        order: list[int] = []
+
+        def walk(node):
+            if node.is_leaf:
+                order.extend(node.processors.tolist())
+                return
+            for c in node.children:
+                walk(c)
+
+        walk(self.root)
+        if sorted(order) != list(range(self.n)):
+            raise AssertionError("leaf order is not a permutation")
+        return np.array(order, dtype=np.int64)
+
+    def validate_balance(self) -> None:
+        """Every internal node splits its processors evenly (±1) and owns
+        at most two leaf runs."""
+
+        def walk(node):
+            if len(node.runs) > 2:
+                raise AssertionError(
+                    f"node at level {node.level} owns {len(node.runs)} runs"
+                )
+            if node.is_leaf:
+                if node.processors.size > 1:
+                    raise AssertionError("unsplit leaf with >1 processor")
+                return
+            sizes = [c.processors.size for c in node.children]
+            if abs(sizes[0] - sizes[1]) > 1:
+                raise AssertionError(
+                    f"unbalanced split {sizes} at level {node.level}"
+                )
+            walk(node.children[0])
+            walk(node.children[1])
+
+        walk(self.root)
+
+
+def theorem8_bound(level_bandwidths: list[float], j: int) -> float:
+    """w'_j <= 4·Σ_{i>=j} w_i."""
+    return 4.0 * float(sum(level_bandwidths[j:]))
+
+
+def corollary9_factor(a: float) -> float:
+    """The Corollary 9 blow-up 4a/(a−1) for a (w, a) decomposition tree."""
+    if not (1.0 < a <= 2.0):
+        raise ValueError(f"Corollary 9 needs 1 < a <= 2, got {a}")
+    return 4.0 * a / (a - 1.0)
+
+
+def balance_decomposition(tree: DecompositionTree) -> BalancedDecomposition:
+    """Build the Theorem 8 balanced decomposition tree from ``tree``.
+
+    The virtual leaf line has ``2**tree.depth`` pearls; black pearls are
+    processor positions (from ``tree.processor_leaf_positions``).
+    """
+    r = tree.depth
+    num_leaves = 1 << r
+    colour = np.zeros(num_leaves, dtype=np.int64)
+    proc_pos = tree.processor_leaf_positions()
+    colour[proc_pos] = 1
+    # leaf position -> processor id
+    owner = np.full(num_leaves, -1, dtype=np.int64)
+    owner[proc_pos] = np.arange(tree.n)
+
+    w = tree.level_bandwidths
+
+    def runs_bandwidth(runs: list[tuple[int, int]]) -> float:
+        total = 0.0
+        for lo, hi in runs:
+            for level, _ in subtree_forest(lo, hi, r):
+                total += w[min(level, r)]
+        return total
+
+    def procs_in(runs) -> np.ndarray:
+        ids = [owner[lo:hi][colour[lo:hi] == 1] for lo, hi in runs]
+        return np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+
+    def build(runs: list[tuple[int, int]], level: int) -> BalancedNode:
+        procs = procs_in(runs)
+        node = BalancedNode(
+            level=level,
+            processors=procs,
+            runs=runs,
+            bandwidth=runs_bandwidth(runs),
+        )
+        if procs.size <= 1:
+            return node
+        # Lemma 6 split of the (<= 2) strings
+        runs2 = list(runs) + [(0, 0)] * (2 - len(runs))
+        (lo0, hi0), (lo1, hi1) = runs2[0], runs2[1]
+        split = split_two_strings(colour[lo0:hi0], colour[lo1:hi1])
+        bases = (lo0, lo1)
+
+        def abs_runs(pieces):
+            out = [
+                (bases[s] + lo, bases[s] + hi)
+                for s, lo, hi in pieces
+                if hi > lo
+            ]
+            return _merge_adjacent(out)
+
+        node.children = [
+            build(abs_runs(split.set_a), level + 1),
+            build(abs_runs(split.set_b), level + 1),
+        ]
+        return node
+
+    root = build([(0, num_leaves)], 0)
+
+    # depth of the balanced tree and per-level bandwidth maxima
+    def depth_of(node):
+        if node.is_leaf:
+            return node.level
+        return max(depth_of(c) for c in node.children)
+
+    depth = depth_of(root)
+    level_bw = []
+    for j in range(depth + 1):
+        nodes = []
+
+        def collect(node):
+            if node.level == j:
+                nodes.append(node)
+                return
+            for c in node.children:
+                collect(c)
+
+        collect(root)
+        level_bw.append(max((nd.bandwidth for nd in nodes), default=0.0))
+    return BalancedDecomposition(
+        root=root, n=tree.n, depth=depth, level_bandwidths=level_bw
+    )
+
+
+def _merge_adjacent(runs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge abutting runs so each set is genuinely <= 2 strings."""
+    runs = sorted(r for r in runs if r[1] > r[0])
+    out: list[tuple[int, int]] = []
+    for lo, hi in runs:
+        if out and out[-1][1] == lo:
+            out[-1] = (out[-1][0], hi)
+        else:
+            out.append((lo, hi))
+    return [tuple(r) for r in out]

@@ -1,0 +1,141 @@
+"""Theorem 4: the hardware cost of universal fat-trees.
+
+    *Theorem 4.  Let FT be a universal fat-tree on n processors with root
+    capacity w where n^{2/3} <= w <= n.  Then there is an implementation
+    of FT in a cube of volume v = O((w·lg(n/w))^{3/2}) with
+    O(n·lg(w³/n²)) components.*
+
+And the inverse map that defines a *universal fat-tree of volume v*
+(§IV): root capacity Θ(v^{2/3} / lg(n/v^{2/3})).
+
+:func:`total_components` counts the components of an actual capacity
+profile exactly (Σ over nodes of Θ(incident wires)); the closed forms are
+next to it so benches can compare measured against bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.capacity import UniversalCapacity
+from ..core.fattree import FatTree
+from ..core.tree import ilog2
+from .wiring import node_box, node_components
+
+__all__ = [
+    "total_components",
+    "component_bound",
+    "volume_bound",
+    "constructive_volume",
+    "root_capacity_for_volume",
+    "universal_fattree_for_volume",
+    "min_volume",
+    "max_volume",
+]
+
+
+def total_components(ft: FatTree, constant: float = 1.0) -> int:
+    """Exact component count: Σ over internal nodes of Θ(incident wires).
+
+    Dominated, per Theorem 4's proof, by the levels near the leaves —
+    each of the ~lg(w³/n²) levels below the crossover contributes Θ(n).
+    """
+    total = 0
+    for level in range(ft.depth):
+        m = ft.node_incident_wires(level)
+        total += (1 << level) * node_components(m, constant)
+    return total
+
+
+def component_bound(n: int, w: int, constant: float = 12.0) -> float:
+    """The closed form O(n + n·lg(w³/n²)) = O(n·lg(w³/n²)).
+
+    The argument of the log is w³/n² = the capacity at the crossover
+    level; the additive n covers the levels above the crossover, whose
+    geometric series w·Σ 2^{k/3} sums to Θ(n).
+    """
+    _check_universal(n, w)
+    lg_term = max(1.0, math.log2(max(2.0, w ** 3 / n ** 2)))
+    return constant * n * (1.0 + lg_term)
+
+
+def volume_bound(n: int, w: int, constant: float = 8.0) -> float:
+    """The closed form v = O((w·lg(n/w))^{3/2})."""
+    _check_universal(n, w)
+    lg_term = max(1.0, math.log2(max(2.0, n / w)))
+    return constant * (w * lg_term) ** 1.5
+
+
+def constructive_volume(n: int, w: int, h: float = 1.0) -> float:
+    """A constructive volume estimate: recursively pack the two child
+    subtree boxes side by side (cycling the doubling axis) under the
+    Lemma 3 node box.
+
+    This is the divide-and-conquer assembly of Leighton & Rosenberg in
+    simplified form; it is an upper bound whose *shape* in (n, w) the
+    Theorem 4 benches compare against :func:`volume_bound`.
+    """
+    _check_universal(n, w)
+    profile = UniversalCapacity(n, w)
+    depth = profile.depth
+    # dims[k] = box side lengths of a subtree rooted at level k
+    leaf_dims = (1.0, 1.0, 1.0)  # a processor
+    dims = leaf_dims
+    for level in range(depth - 1, -1, -1):
+        m = 2 * profile.cap(level) + 4 * profile.cap(level + 1)
+        nb = node_box(m, h).sides
+        # two child boxes side by side along the axis that keeps the
+        # combined box closest to a cube, node box stacked on top
+        a, b, c = sorted(dims)
+        paired = (2 * a, b, c)
+        combined = tuple(
+            max(p, s) for p, s in zip(sorted(paired), sorted(nb))
+        )
+        # add the node volume as extra height on the largest face
+        x, y, z = sorted(combined)
+        node_vol = nb[0] * nb[1] * nb[2]
+        z += node_vol / max(x * y, 1.0)
+        dims = (x, y, z)
+    x, y, z = dims
+    return x * y * z
+
+
+def root_capacity_for_volume(n: int, volume: float, constant: float = 1.0) -> int:
+    """Root capacity of the universal fat-tree of the given volume:
+    w = Θ(v^{2/3} / lg(n/v^{2/3})), clamped to the legal range
+    [n^{2/3}, n]."""
+    if volume <= 0:
+        raise ValueError("volume must be positive")
+    ilog2(n)  # validates n
+    v23 = volume ** (2.0 / 3.0)
+    lg_term = max(1.0, math.log2(max(2.0, n / v23)))
+    w = constant * v23 / lg_term
+    lo = math.ceil(n ** (2.0 / 3.0))
+    return int(min(n, max(lo, round(w))))
+
+
+def universal_fattree_for_volume(
+    n: int, volume: float, constant: float = 1.0
+) -> FatTree:
+    """The universal fat-tree of volume ``volume`` on ``n`` processors."""
+    w = root_capacity_for_volume(n, volume, constant)
+    return FatTree(n, UniversalCapacity(n, w))
+
+
+def min_volume(n: int) -> float:
+    """Ω(n·lg n): the volume below which a universal fat-tree on n
+    processors is not well defined (§IV remark)."""
+    return float(n) * max(1.0, math.log2(n))
+
+
+def max_volume(n: int) -> float:
+    """Θ(n^{3/2}): beyond this, w = n and extra volume buys nothing."""
+    return float(n) ** 1.5
+
+
+def _check_universal(n: int, w: int) -> None:
+    ilog2(n)
+    if not (n ** 2 <= w ** 3 and w <= n):
+        raise ValueError(
+            f"universal fat-tree needs n^(2/3) <= w <= n; got n={n}, w={w}"
+        )

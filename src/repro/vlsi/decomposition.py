@@ -1,0 +1,259 @@
+"""Decomposition trees (§V) and the Theorem 5 cutting-plane construction.
+
+A routing network interconnecting processors P has a
+``[w_0, w_1, …, w_r]`` *decomposition tree* if at most ``w_0`` bits/unit
+time can enter or leave P; P splits into two sets each with external
+bandwidth at most ``w_1``; each of those splits with bandwidth at most
+``w_2``; and so on until every level-r set has zero or one processors.
+A ``(w, a)`` decomposition tree (1 < a <= 2) is shorthand for
+``[w, w/a, w/a², …, Θ(1)]``.
+
+    *Theorem 5.  Let R be a routing network that occupies a cube of
+    volume v.  Then R has an (O(v^{2/3}), ∛4) decomposition tree.*
+
+The construction: cut the cube with a rectilinear plane into two equal
+boxes, cut those with perpendicular planes, continue cycling the three
+dimensions.  After i cuts each box has volume v/2^i and surface area
+O((v/2^i)^{2/3}); the surface-area bandwidth assumption turns that into
+the per-level bandwidths, which decay by 2^{2/3} = ∛4 per level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..networks.base import Layout
+from .model import BANDWIDTH_PER_AREA, Box
+
+__all__ = [
+    "DecompositionNode",
+    "DecompositionTree",
+    "cutting_plane_tree",
+    "theorem5_bandwidth",
+    "CUBE_ROOT_4",
+]
+
+#: the decay factor a = ∛4 of Theorem 5
+CUBE_ROOT_4 = 4.0 ** (1.0 / 3.0)
+
+
+@dataclass
+class DecompositionNode:
+    """One region of a decomposition tree.
+
+    ``processors`` are the ids inside the region; ``bandwidth`` the
+    maximum information rate in or out of the region; ``leaf_lo``/
+    ``leaf_hi`` the node's interval on the virtual leaf line of the
+    (conceptually complete) tree of depth ``tree.depth`` — the line on
+    which Theorem 8's pearl argument operates.
+    """
+
+    level: int
+    processors: np.ndarray
+    bandwidth: float
+    leaf_lo: int
+    leaf_hi: int
+    box: Box | None = None
+    children: list["DecompositionNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class DecompositionTree:
+    """A decomposition tree over ``n`` processors.
+
+    ``depth`` is r: every level-r set has at most one processor.
+    ``level_bandwidths[i]`` is w_i = the maximum bandwidth over level-i
+    nodes (monotone non-increasing for well-formed trees).
+    """
+
+    root: DecompositionNode
+    n: int
+    depth: int
+    level_bandwidths: list[float]
+
+    def nodes_at_level(self, level: int) -> list[DecompositionNode]:
+        """All regions at the given level (terminated branches count
+        at their terminal level only)."""
+        out = []
+
+        def walk(node):
+            if node.level == level:
+                out.append(node)
+                return
+            for c in node.children:
+                walk(c)
+
+        walk(self.root)
+        return out
+
+    def processor_leaf_positions(self) -> np.ndarray:
+        """Virtual-leaf-line position of each processor (length n).
+
+        Each terminal region with one processor owns a leaf interval; the
+        processor takes its leftmost leaf.  Positions are distinct and
+        ordered consistently with the tree structure.
+        """
+        pos = np.full(self.n, -1, dtype=np.int64)
+
+        def walk(node):
+            if node.is_leaf:
+                if node.processors.size == 1:
+                    pos[node.processors[0]] = node.leaf_lo
+                return
+            for c in node.children:
+                walk(c)
+
+        walk(self.root)
+        if (pos < 0).any():
+            raise AssertionError("a processor was never placed")
+        return pos
+
+    def validate(self) -> None:
+        """Structural invariants: children partition parents, terminal
+        regions hold <= 1 processor, bandwidths are per-level bounds."""
+
+        def walk(node):
+            if node.is_leaf:
+                if node.processors.size > 1:
+                    raise AssertionError(
+                        f"terminal region holds {node.processors.size} processors"
+                    )
+                return
+            merged = np.sort(np.concatenate([c.processors for c in node.children]))
+            if not np.array_equal(merged, np.sort(node.processors)):
+                raise AssertionError("children do not partition parent")
+            for c in node.children:
+                if c.bandwidth > node.bandwidth + 1e-9:
+                    # a sub-region's surface can exceed its parent's in
+                    # general, but per-level maxima must be recorded
+                    pass
+                walk(c)
+
+        walk(self.root)
+        for i, w in enumerate(self.level_bandwidths):
+            peak = max(
+                (nd.bandwidth for nd in self.nodes_at_level(i)), default=0.0
+            )
+            if peak > w + 1e-9:
+                raise AssertionError(f"level {i} bandwidth {peak} exceeds w_i={w}")
+
+
+def theorem5_bandwidth(volume: float, level: int, gamma: float = BANDWIDTH_PER_AREA) -> float:
+    """The Theorem 5 closed form: w_i = γ·c·(v/2^i)^{2/3} with
+    c = 4·2^{2/3} — the worst surface-area-to-volume^{2/3} ratio over the
+    boxes produced by axis-cycling midpoint cuts of a cube (a cube cut in
+    half is not a cube; the half-cube shape attains the constant).
+    """
+    c = 4.0 * 2.0 ** (2.0 / 3.0)
+    return gamma * c * (volume / 2.0 ** level) ** (2.0 / 3.0)
+
+
+def cutting_plane_tree(
+    layout: Layout,
+    *,
+    gamma: float = BANDWIDTH_PER_AREA,
+    max_extra_depth: int = 8,
+    axes: tuple[int, ...] = (0, 1, 2),
+) -> DecompositionTree:
+    """Theorem 5's construction applied to an actual layout.
+
+    Recursively halves the bounding box with axis-cycling midpoint cuts
+    until every region holds at most one processor.  Bandwidths are
+    γ × (region surface area).  Processors sharing a region that the
+    geometry cannot separate within ``max_extra_depth`` extra cuts are
+    split by index (they are physically coincident — a degenerate
+    layout).
+
+    ``axes`` selects which dimensions the cuts cycle through: the 3-D
+    default gives the (O(v^{2/3}), ∛4) tree; ``axes=(0, 1)`` cuts a flat
+    (Thompson-model) layout in two dimensions only, giving the 2-D
+    (O(√A), √2) analogue of :mod:`repro.vlsi.area2d`.
+    """
+    if not axes or any(a not in (0, 1, 2) for a in axes):
+        raise ValueError("axes must be a non-empty subset of (0, 1, 2)")
+    if len(set(axes)) == 2:
+        # Thompson model: information crosses the *perimeter* of the 2-D
+        # cross-section, not the 3-D surface of the unit-thickness slab
+        a0, a1 = sorted(set(axes))
+
+        def bandwidth_of(box: Box) -> float:
+            return gamma * 2.0 * (box.sides[a0] + box.sides[a1])
+
+    else:
+
+        def bandwidth_of(box: Box) -> float:
+            return gamma * box.surface_area
+
+    n = layout.n
+    positions = layout.positions
+    root_box = Box((0.0, 0.0, 0.0), tuple(float(b) for b in layout.box))
+
+    # depth r: enough cuts that every region *can* hold <= 1 processor
+    # even in the worst case; extended lazily below.
+    nodes_by_level: dict[int, list[DecompositionNode]] = {}
+
+    def build(box: Box, procs: np.ndarray, level: int, axis_pos: int, stuck: int):
+        node = DecompositionNode(
+            level=level,
+            processors=procs,
+            bandwidth=bandwidth_of(box),
+            leaf_lo=0,
+            leaf_hi=0,
+            box=box,
+        )
+        nodes_by_level.setdefault(level, []).append(node)
+        if procs.size <= 1:
+            return node
+        lo_box, hi_box = box.split(axes[axis_pos])
+        in_lo = lo_box.contains(positions[procs])
+        lo_procs = procs[in_lo]
+        hi_procs = procs[~in_lo]
+        if lo_procs.size == 0 or hi_procs.size == 0:
+            stuck += 1
+            if stuck > max_extra_depth:
+                # coincident points: split by index to terminate
+                half = procs.size // 2
+                lo_procs, hi_procs = procs[:half], procs[half:]
+                stuck = 0
+        else:
+            stuck = 0
+        nxt = (axis_pos + 1) % len(axes)
+        node.children = [
+            build(lo_box, lo_procs, level + 1, nxt, stuck),
+            build(hi_box, hi_procs, level + 1, nxt, stuck),
+        ]
+        return node
+
+    root = build(root_box, np.arange(n), 0, 0, 0)
+
+    depth = max(nodes_by_level)
+    # conceptually complete the tree: assign leaf-line intervals of the
+    # depth-`depth` complete tree
+    def assign_leaves(node, lo, hi):
+        node.leaf_lo, node.leaf_hi = lo, hi
+        if node.children:
+            mid = (lo + hi) // 2
+            assign_leaves(node.children[0], lo, mid)
+            assign_leaves(node.children[1], mid, hi)
+
+    assign_leaves(root, 0, 1 << depth)
+
+    level_bandwidths = [
+        max(nd.bandwidth for nd in nodes_by_level[i]) if i in nodes_by_level else 0.0
+        for i in range(depth + 1)
+    ]
+    # levels may be missing where all branches terminated early; carry
+    # the last seen bound down so w_i is monotone non-increasing
+    for i in range(1, depth + 1):
+        if level_bandwidths[i] == 0.0:
+            level_bandwidths[i] = level_bandwidths[i - 1]
+    return DecompositionTree(
+        root=root, n=n, depth=depth, level_bandwidths=level_bandwidths
+    )

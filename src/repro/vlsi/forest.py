@@ -1,0 +1,63 @@
+"""Lemma 7: covering consecutive leaves by complete subtrees.
+
+    *Lemma 7.  Let T be a complete binary tree drawn in the natural way
+    with leaves on a straight line, and consider any string s of k
+    consecutive leaves.  Then there exists a forest F of complete binary
+    subtrees of T such that 1) the leaves of F are precisely the leaves
+    in s, 2) there are at most two trees of any given height, and 3) the
+    height of the largest tree is at most lg k.*
+
+The forest consists of the maximal complete subtrees of T whose leaves
+lie only in s — the familiar canonical decomposition of an interval into
+aligned power-of-two blocks (as in a segment tree).
+"""
+
+from __future__ import annotations
+
+from ..core.tree import lg
+
+__all__ = ["subtree_forest"]
+
+
+def subtree_forest(lo: int, hi: int, depth: int) -> list[tuple[int, int]]:
+    """Maximal complete subtrees of a depth-``depth`` tree covering the
+    leaf run ``[lo, hi)``.
+
+    Returns ``(level, index)`` pairs (paper conventions: root level 0,
+    leaves level ``depth``); a subtree at level ``l`` has height
+    ``depth - l`` and covers leaves ``[index·2^(depth-l), (index+1)·2^(depth-l))``.
+    """
+    if not (0 <= lo <= hi <= 1 << depth):
+        raise ValueError(f"leaf run [{lo}, {hi}) outside [0, {1 << depth})")
+    out: list[tuple[int, int]] = []
+    cur = lo
+    while cur < hi:
+        # largest aligned block starting at cur that fits in [cur, hi)
+        size = cur & -cur if cur else 1 << depth
+        while size > hi - cur:
+            size //= 2
+        level = depth - size.bit_length() + 1
+        out.append((level, cur // size))
+        cur += size
+    return out
+
+
+def verify_forest(
+    forest: list[tuple[int, int]], lo: int, hi: int, depth: int
+) -> None:
+    """Assert the three Lemma 7 properties for a forest over [lo, hi)."""
+    covered: list[int] = []
+    heights: dict[int, int] = {}
+    for level, index in forest:
+        size = 1 << (depth - level)
+        covered.extend(range(index * size, (index + 1) * size))
+        heights[depth - level] = heights.get(depth - level, 0) + 1
+    if covered != list(range(lo, hi)):
+        raise AssertionError("forest leaves are not precisely the run")
+    if any(c > 2 for c in heights.values()):
+        raise AssertionError(f"more than two trees of a height: {heights}")
+    k = hi - lo
+    if k and max(heights) > lg(max(k, 1)):
+        raise AssertionError(
+            f"largest height {max(heights)} exceeds lg k = {lg(k)}"
+        )

@@ -1,0 +1,150 @@
+"""A constructive 2-D (H-tree) layout of a universal fat-tree.
+
+The Thompson-model companion of :mod:`repro.vlsi.layout3d`: every switch
+becomes a rectangle sized by its incident wires (a 2-D node with m wires
+needs Θ(m²) crossbar area, Lemma 3's base case), packed in the classic
+H-tree recursion — children side by side along an axis that alternates
+per level.  The occupied area is the constructive witness for the 2-D
+Theorem 4 analogue, area O((w·lg(n/w))²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tree import ilog2
+from .area2d import Universal2DCapacity
+
+__all__ = ["Rect", "FatTreeLayout2D", "build_fattree_layout_2d"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle."""
+
+    origin: tuple[float, float]
+    sides: tuple[float, float]
+
+    def __post_init__(self):
+        if any(s <= 0 for s in self.sides):
+            raise ValueError(f"rect sides must be positive, got {self.sides}")
+
+    @property
+    def area(self) -> float:
+        return self.sides[0] * self.sides[1]
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.sides[0] + self.sides[1])
+
+
+@dataclass
+class FatTreeLayout2D:
+    """Explicit rectangles for every element of a fat-tree in the plane."""
+
+    n: int
+    w: int
+    switch_rects: dict[tuple[int, int], Rect]
+    processor_rects: dict[int, Rect]
+    bounding: Rect
+
+    @property
+    def area(self) -> float:
+        """Bounding-rectangle area."""
+        return self.bounding.area
+
+    def occupied_area(self) -> float:
+        """Total area of the placed rectangles (<= bounding area)."""
+        return sum(r.area for r in self.switch_rects.values()) + sum(
+            r.area for r in self.processor_rects.values()
+        )
+
+    def validate_disjoint(self) -> None:
+        """Assert no two rectangles overlap and all fit in the bounding
+        rectangle."""
+        items = list(self.switch_rects.values()) + list(
+            self.processor_rects.values()
+        )
+        blo = np.array(self.bounding.origin)
+        bhi = blo + np.array(self.bounding.sides)
+        eps = 1e-9
+        lo = np.array([r.origin for r in items])
+        hi = lo + np.array([r.sides for r in items])
+        if (lo < blo - eps).any() or (hi > bhi + eps).any():
+            raise AssertionError("a rectangle escapes the bounding area")
+        for i in range(len(items)):
+            overlap = np.all(
+                (lo[i + 1:] < hi[i] - eps) & (hi[i + 1:] > lo[i] + eps), axis=1
+            )
+            if overlap.any():
+                j = i + 1 + int(np.flatnonzero(overlap)[0])
+                raise AssertionError(f"rectangles {i} and {j} overlap")
+
+
+def build_fattree_layout_2d(n: int, w: int) -> FatTreeLayout2D:
+    """Recursively pack a 2-D universal fat-tree into rectangles.
+
+    A switch with m incident wires occupies a √-balanced Θ(m) × Θ(m)
+    crossbar rectangle; subtrees alternate horizontal/vertical packing
+    (the H-tree recursion).
+    """
+    profile = Universal2DCapacity(n, w, strict=False)
+    depth = ilog2(n)
+    switch_rects: dict[tuple[int, int], Rect] = {}
+    processor_rects: dict[int, Rect] = {}
+
+    def shift(rect: Rect, dx: float, dy: float) -> Rect:
+        return Rect((rect.origin[0] + dx, rect.origin[1] + dy), rect.sides)
+
+    def pack(level: int, index: int):
+        """Returns ((width, height), items) with local-origin placement."""
+        if level == depth:
+            return (1.0, 1.0), [("proc", index, Rect((0, 0), (1, 1)))]
+        horizontal = level % 2 == 0
+        dims_a, items_a = pack(level + 1, 2 * index)
+        dims_b, items_b = pack(level + 1, 2 * index + 1)
+        m = 2 * profile.cap(level) + 4 * profile.cap(level + 1)
+        node = Rect((0, 0), (float(m), float(m)))  # Θ(m²) crossbar
+        if horizontal:
+            items = list(items_a)
+            items += [
+                (k, key, shift(r, dims_a[0], 0.0)) for k, key, r in items_b
+            ]
+            items.append(
+                ("switch", (level, index),
+                 shift(node, dims_a[0] + dims_b[0], 0.0))
+            )
+            dims = (
+                dims_a[0] + dims_b[0] + node.sides[0],
+                max(dims_a[1], dims_b[1], node.sides[1]),
+            )
+        else:
+            items = list(items_a)
+            items += [
+                (k, key, shift(r, 0.0, dims_a[1])) for k, key, r in items_b
+            ]
+            items.append(
+                ("switch", (level, index),
+                 shift(node, 0.0, dims_a[1] + dims_b[1]))
+            )
+            dims = (
+                max(dims_a[0], dims_b[0], node.sides[0]),
+                dims_a[1] + dims_b[1] + node.sides[1],
+            )
+        return dims, items
+
+    dims, items = pack(0, 0)
+    for kind, key, rect in items:
+        if kind == "proc":
+            processor_rects[key] = rect
+        else:
+            switch_rects[key] = rect
+    return FatTreeLayout2D(
+        n=n,
+        w=w,
+        switch_rects=switch_rects,
+        processor_rects=processor_rects,
+        bounding=Rect((0.0, 0.0), dims),
+    )

@@ -1,0 +1,95 @@
+"""The three-dimensional VLSI model (§I, §IV, §V).
+
+An extension of Thompson's two-dimensional model to three dimensions
+(after Rosenberg, and Leighton & Rosenberg): wires occupy volume and have
+unit minimum cross-section; components occupy unit volume.  Hardware size
+is physical volume.
+
+The single assumption the universality theorem makes about competing
+networks (§V): **in unit time, at most O(a) bits can enter or leave a
+closed three-dimensional region with surface area a.**
+:func:`surface_bandwidth` is that assumption as a callable; :class:`Box`
+provides the rectilinear regions and cutting planes of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Box", "surface_bandwidth", "cube_for_volume"]
+
+
+#: bits per unit time admitted through a unit of surface area (the
+#: constant γ of Theorem 5's proof; any fixed positive value works).
+BANDWIDTH_PER_AREA = 1.0
+
+
+def surface_bandwidth(area: float, gamma: float = BANDWIDTH_PER_AREA) -> float:
+    """The model's bandwidth limit for a region of the given surface area."""
+    if area < 0:
+        raise ValueError("area must be non-negative")
+    return gamma * area
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectilinear box (region of the 3-D model)."""
+
+    origin: tuple[float, float, float]
+    sides: tuple[float, float, float]
+
+    def __post_init__(self):
+        if any(s <= 0 for s in self.sides):
+            raise ValueError(f"box sides must be positive, got {self.sides}")
+
+    @classmethod
+    def cube(cls, side: float) -> "Box":
+        return cls((0.0, 0.0, 0.0), (side, side, side))
+
+    @property
+    def volume(self) -> float:
+        a, b, c = self.sides
+        return a * b * c
+
+    @property
+    def surface_area(self) -> float:
+        a, b, c = self.sides
+        return 2.0 * (a * b + b * c + c * a)
+
+    def bandwidth(self, gamma: float = BANDWIDTH_PER_AREA) -> float:
+        """Maximum information rate through this box's surface."""
+        return surface_bandwidth(self.surface_area, gamma)
+
+    def split(self, axis: int) -> tuple["Box", "Box"]:
+        """Cut with a plane perpendicular to ``axis`` through the middle,
+        producing two equal boxes (the Theorem 5 cutting step)."""
+        if axis not in (0, 1, 2):
+            raise ValueError("axis must be 0, 1 or 2")
+        half = self.sides[axis] / 2.0
+        lo_sides = tuple(
+            half if i == axis else s for i, s in enumerate(self.sides)
+        )
+        hi_origin = tuple(
+            o + (half if i == axis else 0.0) for i, o in enumerate(self.origin)
+        )
+        return Box(self.origin, lo_sides), Box(hi_origin, lo_sides)
+
+    def longest_axis(self) -> int:
+        """Index (0/1/2) of the box's longest side."""
+        return int(np.argmax(self.sides))
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of which (k, 3) points lie inside (half-open)."""
+        pts = np.asarray(points, dtype=np.float64)
+        lo = np.asarray(self.origin)
+        hi = lo + np.asarray(self.sides)
+        return np.all((pts >= lo) & (pts < hi), axis=1)
+
+
+def cube_for_volume(volume: float) -> Box:
+    """The cube occupying the given volume."""
+    if volume <= 0:
+        raise ValueError("volume must be positive")
+    return Box.cube(volume ** (1.0 / 3.0))

@@ -1,0 +1,165 @@
+"""Lemma 6: splitting two strings of pearls with at most two cuts.
+
+    *Lemma 6.  Consider any two strings composed of even numbers of black
+    and white pearls.  By making at most two cuts, the pearls can be
+    divided into two sets, each containing at most two strings, such that
+    each set has exactly half the pearls of each color.*
+
+The paper proves existence by a continuity argument over a family of
+rotations of a half-circle (Fig. 4).  The intermediate configurations of
+that transformation are exactly the two-cut families enumerated here, so
+a linear scan over each family (with prefix sums) finds a valid split:
+
+* ``F-prefix``:  A = prefix(L) + prefix(S)
+* ``F-suffix``:  A = prefix(L) + suffix(S)
+* ``F-middle-L``: A = middle(L) + all(S)   (two cuts in L)
+* ``F-middle-S``: A = middle(S) + all(L)   (two cuts in S)
+
+Processors are "black", empty leaves "white".  Theorem 8 needs the
+odd-count generalisation (each side gets each colour's count to within
+one), which the same scans provide with floor/ceil targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PearlSplit", "split_two_strings"]
+
+
+@dataclass(frozen=True)
+class PearlSplit:
+    """Result of a Lemma 6 split.
+
+    ``set_a``/``set_b`` list the pieces of each set as ``(string_index,
+    lo, hi)`` half-open runs (string 0 = L, string 1 = S).  Each set has
+    at most two pieces.
+    """
+
+    set_a: list[tuple[int, int, int]]
+    set_b: list[tuple[int, int, int]]
+    family: str
+
+    def pieces(self) -> int:
+        """Total number of contiguous pieces across both sets."""
+        return len(self.set_a) + len(self.set_b)
+
+
+def _counts(colors: np.ndarray) -> tuple[np.ndarray, int]:
+    """(prefix black counts, total blacks); colors is a 0/1 array."""
+    prefix = np.concatenate([[0], np.cumsum(colors)])
+    return prefix, int(prefix[-1])
+
+
+def split_two_strings(
+    long_str, short_str, *, strict_even: bool = False
+) -> PearlSplit:
+    """Split two pearl strings per Lemma 6.
+
+    Parameters
+    ----------
+    long_str, short_str:
+        0/1 sequences — 1 is a black pearl (processor), 0 white.  Either
+        may be empty.
+    strict_even:
+        When True, require even total counts of each colour (the lemma's
+        literal hypothesis) and produce an exact half/half split.  When
+        False (the Theorem 8 usage), targets are ``floor(total/2)`` and
+        sizes split ``floor``/``ceil``, each colour balanced to within
+        one.
+
+    Returns a :class:`PearlSplit`; raises ``ValueError`` if the inputs
+    violate ``strict_even``, and ``AssertionError`` if no configuration in
+    the two-cut families balances the colours (the lemma proves this
+    cannot happen).
+    """
+    L = np.asarray(long_str, dtype=np.int64)
+    S = np.asarray(short_str, dtype=np.int64)
+    if L.size < S.size:
+        flipped = split_two_strings(S, L, strict_even=strict_even)
+        swap = lambda pieces: [(1 - s, lo, hi) for s, lo, hi in pieces]
+        return PearlSplit(swap(flipped.set_a), swap(flipped.set_b),
+                          flipped.family + "-swapped")
+
+    total = L.size + S.size
+    pl, bl = _counts(L)
+    ps, bs = _counts(S)
+    blacks = bl + bs
+    whites = total - blacks
+    if strict_even and (blacks % 2 or whites % 2):
+        raise ValueError(
+            f"Lemma 6 requires even colour counts; got {blacks} black, "
+            f"{whites} white"
+        )
+    half = total // 2
+    # Targets keep BOTH colours balanced to within one.  Set A gets
+    # floor(total/2) pearls; when the total is odd set B is one pearl
+    # larger, so A may not also take the extra black (the whites would
+    # then be off by two).
+    if total % 2:
+        target_blacks = {blacks // 2}
+    elif blacks % 2 == 0:
+        target_blacks = {blacks // 2}
+    else:
+        target_blacks = {blacks // 2, blacks // 2 + 1}
+
+    def result(a_pieces, family):
+        a_pieces = [p for p in a_pieces if p[2] > p[1]]
+        b_pieces = _complement(a_pieces, L.size, S.size)
+        return PearlSplit(a_pieces, b_pieces, family)
+
+    # F-prefix: A = L[:a] + S[:half - a]
+    lo_a = max(0, half - S.size)
+    hi_a = min(L.size, half)
+    for a in range(lo_a, hi_a + 1):
+        b = half - a
+        if int(pl[a] + ps[b]) in target_blacks:
+            return result([(0, 0, a), (1, 0, b)], "F-prefix")
+
+    # F-suffix: A = L[:a] + S[b:]
+    for a in range(lo_a, hi_a + 1):
+        b = S.size - (half - a)
+        if int(pl[a] + (bs - ps[b])) in target_blacks:
+            return result([(0, 0, a), (1, b, S.size)], "F-suffix")
+
+    # F-middle-L: A = L[a1:a2] + S (all), a2 - a1 = half - |S|
+    span = half - S.size
+    if span >= 0:
+        for a1 in range(0, L.size - span + 1):
+            a2 = a1 + span
+            if int((pl[a2] - pl[a1]) + bs) in target_blacks:
+                return result([(0, a1, a2), (1, 0, S.size)], "F-middle-L")
+
+    # F-middle-S: A = S[b1:b2] + L (all), b2 - b1 = half - |L|
+    span = half - L.size
+    if span >= 0:
+        for b1 in range(0, S.size - span + 1):
+            b2 = b1 + span
+            if int((ps[b2] - ps[b1]) + bl) in target_blacks:
+                return result([(1, b1, b2), (0, 0, L.size)], "F-middle-S")
+
+    raise AssertionError(
+        "no two-cut split found — Lemma 6 says this is impossible; "
+        f"inputs: |L|={L.size}, |S|={S.size}, blacks={blacks}"
+    )
+
+
+def _complement(
+    a_pieces: list[tuple[int, int, int]], len_l: int, len_s: int
+) -> list[tuple[int, int, int]]:
+    """The pieces of set B = everything not in set A, merged per string."""
+    out: list[tuple[int, int, int]] = []
+    for s, length in ((0, len_l), (1, len_s)):
+        covered = sorted(
+            (lo, hi) for ss, lo, hi in a_pieces if ss == s
+        )
+        cur = 0
+        for lo, hi in covered:
+            if lo > cur:
+                out.append((s, cur, lo))
+            cur = max(cur, hi)
+        if cur < length:
+            out.append((s, cur, length))
+    return out

@@ -1,0 +1,73 @@
+"""Lemma 3: wiring a fat-tree node in three dimensions.
+
+    *Lemma 3.  A set of m components and external wires can be wired
+    together according to an arbitrary interconnection pattern to fit in
+    a box whose side lengths are O(h√m), O(h√m), and O(√m / h), for any
+    1 <= h <= √m.*
+
+The proof chain, each step of which is modelled here:
+
+1. In two dimensions any permutation of m inputs and m outputs routes in
+   O(m²) area via a crossbar layout (:func:`crossbar_area`).
+2. In three dimensions the components lie on a face of a box; any
+   permutation routes in O(m^{3/2}) volume with all sides O(√m)
+   (:func:`cubic_node_box`).
+3. Thompson's height-compression trades height for footprint: slicing a
+   height-b layout into b/h slabs of height h and superimposing the
+   layers of a slab, offset, multiplies the other two dimensions by h
+   (:func:`node_box` for general h).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import Box
+
+__all__ = ["crossbar_area", "cubic_node_box", "node_box", "node_components"]
+
+#: layout constant: unit wire pitch; one crossbar track per signal.
+_C = 1.0
+
+
+def crossbar_area(m: int) -> float:
+    """Two-dimensional area to route any permutation of m inputs to m
+    outputs: a crossbar of m horizontal and m vertical tracks, Θ(m²)."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    return _C * float(m) * float(m)
+
+
+def cubic_node_box(m: int) -> Box:
+    """The h = 1... √m-balanced case: a box with every side O(√m),
+    volume O(m^{3/2})."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    side = _C * math.sqrt(m)
+    return Box.cube(side)
+
+
+def node_box(m: int, h: float = 1.0) -> Box:
+    """Lemma 3 box for m components/wires at aspect parameter ``h``.
+
+    Side lengths O(h√m) × O(h√m) × O(√m / h); volume stays O(m^{3/2}·h)
+    — slabs of smaller height pay a footprint penalty, which is why
+    Theorem 4's assembly uses modest h.
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    root = math.sqrt(m)
+    if not (1.0 <= h <= root):
+        raise ValueError(f"need 1 <= h <= sqrt(m) = {root:.2f}, got h = {h}")
+    return Box((0.0, 0.0, 0.0), (_C * h * root, _C * h * root, _C * root / h))
+
+
+def node_components(m: int, constant: float = 1.0) -> int:
+    """Switch component count of a fat-tree node with m incident wires.
+
+    §IV: the node's three partial concentrators have O(m) components
+    (constant-degree bipartite graphs, constant depth).
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    return max(1, int(constant * m))

@@ -1,0 +1,56 @@
+"""Message-set generators for examples, tests and benches."""
+
+from .locality import local_traffic
+from .permutations import (
+    bit_reversal,
+    butterfly_exchange,
+    cyclic_shift,
+    random_permutation,
+    tornado,
+    transpose,
+)
+from .planar import (
+    fem_message_set,
+    grid_fem_edges,
+    planar_bisection_bound,
+    spatial_placement,
+    triangulated_fem,
+    triangulated_fem_edges,
+)
+from .random_traffic import all_to_all, bisection_stress, hotspot, uniform_random
+from .traces import (
+    Trace,
+    allreduce_trace,
+    bitonic_sort_trace,
+    fft_trace,
+    schedule_trace,
+    sparse_matvec_trace,
+    stencil_trace,
+)
+
+__all__ = [
+    "local_traffic",
+    "bit_reversal",
+    "butterfly_exchange",
+    "cyclic_shift",
+    "random_permutation",
+    "tornado",
+    "transpose",
+    "fem_message_set",
+    "grid_fem_edges",
+    "planar_bisection_bound",
+    "spatial_placement",
+    "triangulated_fem",
+    "triangulated_fem_edges",
+    "all_to_all",
+    "bisection_stress",
+    "hotspot",
+    "uniform_random",
+    "Trace",
+    "allreduce_trace",
+    "bitonic_sort_trace",
+    "fft_trace",
+    "schedule_trace",
+    "sparse_matvec_trace",
+    "stencil_trace",
+]

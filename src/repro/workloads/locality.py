@@ -1,0 +1,48 @@
+"""Locality-parameterised traffic.
+
+§II's telephone-exchange analogy: "messages can be routed locally without
+soaking up the precious bandwidth higher up in the tree".  This generator
+draws each destination at a tree-distance controlled by a locality
+exponent, letting benches sweep from purely local to uniformly global
+traffic and watch the root load respond.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.message import MessageSet
+from ..core.tree import ilog2
+
+__all__ = ["local_traffic"]
+
+
+def local_traffic(
+    n: int,
+    m: int,
+    *,
+    decay: float = 0.5,
+    seed: int | None = None,
+) -> MessageSet:
+    """``m`` messages whose destinations decay with tree distance.
+
+    A message from ``src`` picks the level of its LCA: level ``lg n − k``
+    (tree distance 2k) with probability proportional to ``decay**k``.
+    ``decay`` near 0 keeps traffic inside small subtrees; ``decay = 2``
+    weights all destinations uniformly (each doubling of subtree size
+    doubles the candidate destinations).
+    """
+    if decay <= 0:
+        raise ValueError("decay must be positive")
+    depth = ilog2(n)
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    weights = np.array([decay ** k for k in range(1, depth + 1)])
+    weights /= weights.sum()
+    k = rng.choice(np.arange(1, depth + 1), size=m, p=weights)
+    # destination: flip bit k-1 of src (forcing the LCA to level depth-k)
+    # and randomise the k-1 low bits
+    flipped = src ^ (1 << (k - 1))
+    low = rng.integers(0, 1 << 62, m) & ((1 << (k - 1)) - 1)
+    dst = (flipped & ~((1 << (k - 1)) - 1)) | low
+    return MessageSet(src, dst, n)

@@ -1,0 +1,71 @@
+"""Permutation workloads — the classical routing benchmarks (§VI).
+
+§VI: "A universal fat-tree on n processors with Θ(n^{3/2}) volume can
+route an arbitrary permutation off-line in time O(lg n)."  These
+generators supply the arbitrary (and the adversarial) permutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.message import MessageSet
+from ..core.tree import ilog2
+
+__all__ = [
+    "random_permutation",
+    "bit_reversal",
+    "transpose",
+    "cyclic_shift",
+    "butterfly_exchange",
+    "tornado",
+]
+
+
+def random_permutation(n: int, seed: int | None = None) -> MessageSet:
+    """A uniformly random permutation."""
+    rng = np.random.default_rng(seed)
+    return MessageSet.from_permutation(rng.permutation(n))
+
+
+def bit_reversal(n: int) -> MessageSet:
+    """``i -> reverse of i's bits`` — worst case for many networks."""
+    bits = ilog2(n)
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return MessageSet.from_permutation(rev)
+
+
+def transpose(n: int) -> MessageSet:
+    """Matrix transpose on a √n × √n arrangement: (r, c) -> (c, r)."""
+    side = round(n ** 0.5)
+    if side * side != n:
+        raise ValueError(f"transpose needs a square n, got {n}")
+    idx = np.arange(n)
+    r, c = idx // side, idx % side
+    return MessageSet.from_permutation(c * side + r)
+
+
+def cyclic_shift(n: int, shift: int = 1) -> MessageSet:
+    """``i -> (i + shift) mod n`` — heavy root traffic for power-of-two
+    shifts near n/2, purely local for shift 1."""
+    idx = np.arange(n)
+    return MessageSet.from_permutation((idx + shift) % n)
+
+
+def butterfly_exchange(n: int, stage: int) -> MessageSet:
+    """``i -> i XOR 2^stage`` — one stage of an FFT butterfly."""
+    bits = ilog2(n)
+    if not (0 <= stage < bits):
+        raise ValueError(f"stage {stage} outside [0, {bits})")
+    idx = np.arange(n)
+    return MessageSet.from_permutation(idx ^ (1 << stage))
+
+
+def tornado(n: int) -> MessageSet:
+    """``i -> (i + n/2 - 1) mod n`` — the classical adversarial pattern
+    that maximises distance without being a simple shift."""
+    idx = np.arange(n)
+    return MessageSet.from_permutation((idx + n // 2 - 1) % n)

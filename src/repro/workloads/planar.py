@@ -1,0 +1,166 @@
+"""Planar finite-element workloads — the §I motivating application.
+
+§I: "many finite-element problems are planar, and planar graphs have a
+bisection width of size O(√n) … a natural implementation of a parallel
+finite-element algorithm would waste much of the communication bandwidth
+provided by a hypercube-based routing network."
+
+These generators produce the neighbour-exchange message sets of planar
+meshes (each element exchanges boundary data with its neighbours every
+solver iteration) under two processor→vertex assignments: a
+locality-preserving one (space-filling-curve blocks, what a good
+partitioner produces) and a scrambled one (the adversarial placement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.message import MessageSet
+
+__all__ = [
+    "grid_fem_edges",
+    "triangulated_fem_edges",
+    "fem_message_set",
+    "planar_bisection_bound",
+]
+
+
+def grid_fem_edges(n: int) -> list[tuple[int, int]]:
+    """Undirected edges of a √n × √n structured grid mesh."""
+    side = round(n ** 0.5)
+    if side * side != n:
+        raise ValueError(f"grid mesh needs square n, got {n}")
+    edges = []
+    for y in range(side):
+        for x in range(side):
+            v = y * side + x
+            if x + 1 < side:
+                edges.append((v, v + 1))
+            if y + 1 < side:
+                edges.append((v, v + side))
+    return edges
+
+
+def triangulated_fem(n: int, seed: int = 0):
+    """An unstructured planar triangulation (Delaunay) of n random
+    points — the irregular meshes real finite-element codes use.
+
+    Returns ``(edges, points)``: the undirected edge list and the (n, 2)
+    vertex coordinates (needed for locality-aware placement).
+    """
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    edges = set()
+    for simplex in tri.simplices:
+        a, b, c = (int(v) for v in simplex)
+        edges.update({tuple(sorted(e)) for e in [(a, b), (b, c), (a, c)]})
+    return sorted(edges), pts
+
+
+def triangulated_fem_edges(n: int, seed: int = 0) -> list[tuple[int, int]]:
+    """Edge list of :func:`triangulated_fem` (coordinates discarded)."""
+    return triangulated_fem(n, seed)[0]
+
+
+def spatial_placement(points: np.ndarray, n: int) -> np.ndarray:
+    """Locality-preserving processor assignment for arbitrary 2-D points.
+
+    Quantises coordinates onto a power-of-two grid and orders vertices by
+    Hilbert rank — the unstructured-mesh analogue of what a good mesh
+    partitioner (e.g. recursive coordinate bisection) produces.  Returns
+    ``perm`` with ``perm[v]`` = processor of vertex ``v``.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.shape != (n, 2):
+        raise ValueError(f"points must be ({n}, 2)")
+    side = 1
+    while side * side < 4 * n:
+        side *= 2
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span[span == 0] = 1.0
+    cells = np.minimum(((pts - lo) / span * side).astype(np.int64), side - 1)
+    hilbert = _hilbert_order(side)
+    ranks = hilbert[cells[:, 1] * side + cells[:, 0]]
+    # break ties by vertex id, then assign processors in rank order
+    order = np.lexsort((np.arange(n), ranks))
+    perm = np.empty(n, dtype=np.int64)
+    perm[order] = np.arange(n)
+    return perm
+
+
+def _hilbert_order(side: int) -> np.ndarray:
+    """Hilbert-curve rank of each cell of a side × side grid (side a
+    power of two) — the locality-preserving processor assignment."""
+    if side & (side - 1):
+        raise ValueError("Hilbert order needs a power-of-two side")
+    ranks = np.zeros(side * side, dtype=np.int64)
+    for y in range(side):
+        for x in range(side):
+            rx, ry, d = 0, 0, 0
+            xx, yy = x, y
+            s = side // 2
+            while s > 0:
+                rx = 1 if (xx & s) > 0 else 0
+                ry = 1 if (yy & s) > 0 else 0
+                d += s * s * ((3 * rx) ^ ry)
+                # rotate quadrant
+                if ry == 0:
+                    if rx == 1:
+                        xx, yy = s - 1 - xx, s - 1 - yy
+                    xx, yy = yy, xx
+                s //= 2
+            ranks[y * side + x] = d
+    return ranks
+
+
+def fem_message_set(
+    edges: list[tuple[int, int]],
+    n: int,
+    *,
+    placement: str = "hilbert",
+    points: np.ndarray | None = None,
+    seed: int = 0,
+) -> MessageSet:
+    """One solver iteration's neighbour exchange as a message set.
+
+    Each undirected mesh edge becomes two messages (boundary data flows
+    both ways).  ``placement`` maps mesh vertices to processors:
+
+    * ``"identity"`` — vertex v on processor v (row-major for grids);
+    * ``"hilbert"`` — space-filling-curve blocks: grid position for
+      structured meshes, quantised vertex coordinates (pass ``points``)
+      for unstructured ones — what a good partitioner produces;
+    * ``"random"`` — scrambled placement (adversarial).
+    """
+    if placement == "identity":
+        perm = np.arange(n)
+    elif placement == "hilbert":
+        if points is not None:
+            perm = spatial_placement(points, n)
+        else:
+            side = round(n ** 0.5)
+            if side * side == n and side & (side - 1) == 0:
+                perm = _hilbert_order(side)
+            else:  # no coordinates and not a structured grid
+                perm = np.arange(n)
+    elif placement == "random":
+        perm = np.random.default_rng(seed).permutation(n)
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    src, dst = [], []
+    for u, v in edges:
+        src.extend((perm[u], perm[v]))
+        dst.extend((perm[v], perm[u]))
+    return MessageSet(src, dst, n)
+
+
+def planar_bisection_bound(n: int) -> float:
+    """Lipton-Tarjan: any planar graph on n vertices has a bisection of
+    O(√n) edges — the reason planar workloads need only O(√n) root
+    capacity."""
+    return float(np.sqrt(8.0 * n))

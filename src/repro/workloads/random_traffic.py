@@ -1,0 +1,57 @@
+"""Random and adversarial traffic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.message import MessageSet
+
+__all__ = ["uniform_random", "hotspot", "all_to_all", "bisection_stress"]
+
+
+def uniform_random(n: int, m: int, seed: int | None = None) -> MessageSet:
+    """``m`` messages with endpoints drawn uniformly (self-messages kept;
+    schedulers ignore them)."""
+    rng = np.random.default_rng(seed)
+    return MessageSet(rng.integers(0, n, m), rng.integers(0, n, m), n)
+
+
+def hotspot(
+    n: int, m: int, *, target: int = 0, fraction: float = 0.5,
+    seed: int | None = None,
+) -> MessageSet:
+    """Uniform traffic in which ``fraction`` of destinations collapse onto
+    one hot processor — the classic saturation pattern."""
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    hot = rng.random(m) < fraction
+    dst[hot] = target
+    return MessageSet(src, dst, n)
+
+
+def all_to_all(n: int) -> MessageSet:
+    """Every processor sends one message to every other processor."""
+    idx = np.arange(n)
+    src = np.repeat(idx, n)
+    dst = np.tile(idx, n)
+    keep = src != dst
+    return MessageSet(src[keep], dst[keep], n)
+
+
+def bisection_stress(n: int, m_per_proc: int = 1, seed: int | None = None) -> MessageSet:
+    """All traffic crosses the root: left-half sources, right-half
+    destinations (and back) — saturates exactly the channels a skinny
+    fat-tree economises on."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    m = half * m_per_proc
+    src_l = rng.integers(0, half, m)
+    dst_r = rng.integers(half, n, m)
+    src_r = rng.integers(half, n, m)
+    dst_l = rng.integers(0, half, m)
+    return MessageSet(
+        np.concatenate([src_l, src_r]), np.concatenate([dst_r, dst_l]), n
+    )

@@ -1,0 +1,136 @@
+"""Multi-round application traces.
+
+§VII: "A supercomputer should not be a mere supercalculator (good at one
+restricted algorithm).  It should have the powers to efficiently execute
+many different parallel algorithms."  A *trace* is the sequence of
+message sets a real parallel algorithm generates, one per communication
+round; scheduling a trace on a fat-tree measures whole-application time
+rather than single-batch time.
+
+Included algorithms:
+
+* ``fft_trace`` — the lg n butterfly rounds of an FFT;
+* ``bitonic_sort_trace`` — the lg n·(lg n + 1)/2 compare-exchange rounds
+  of Batcher's bitonic sorting network;
+* ``stencil_trace`` — T iterations of a 2-D 4-point stencil halo
+  exchange (the finite-difference sibling of the §I FEM workload);
+* ``sparse_matvec_trace`` — T iterations of y = Ax for a sparse matrix
+  (one message per nonzero whose row and column live on different
+  processors);
+* ``allreduce_trace`` — the 2·lg n rounds of a recursive-doubling
+  all-reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fattree import FatTree
+from ..core.message import MessageSet
+from ..core.schedule import Schedule
+from ..core.scheduler import schedule_theorem1
+from ..core.tree import ilog2
+from .permutations import butterfly_exchange
+from .planar import grid_fem_edges
+
+__all__ = [
+    "Trace",
+    "fft_trace",
+    "bitonic_sort_trace",
+    "stencil_trace",
+    "sparse_matvec_trace",
+    "allreduce_trace",
+    "schedule_trace",
+]
+
+
+@dataclass
+class Trace:
+    """A named sequence of communication rounds."""
+
+    name: str
+    rounds: list[MessageSet]
+
+    @property
+    def n(self) -> int:
+        return self.rounds[0].n if self.rounds else 0
+
+    def total_messages(self) -> int:
+        """Messages summed over all rounds."""
+        return sum(len(r) for r in self.rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+def fft_trace(n: int) -> Trace:
+    """lg n butterfly rounds: round k exchanges across bit k."""
+    bits = ilog2(n)
+    return Trace("fft", [butterfly_exchange(n, k) for k in range(bits)])
+
+
+def bitonic_sort_trace(n: int) -> Trace:
+    """Batcher's bitonic sorting network as compare-exchange rounds.
+
+    Stage ``k`` (k = 1..lg n) runs sub-rounds with partners
+    ``i XOR 2^j`` for j = k-1 down to 0.
+    """
+    bits = ilog2(n)
+    rounds = []
+    for k in range(1, bits + 1):
+        for j in range(k - 1, -1, -1):
+            rounds.append(butterfly_exchange(n, j))
+    return Trace("bitonic-sort", rounds)
+
+
+def stencil_trace(n: int, iterations: int = 4, *, placement: str = "hilbert") -> Trace:
+    """T halo exchanges of a √n × √n 4-point stencil.
+
+    Defaults to the Hilbert (locality-preserving) processor placement a
+    real partitioner would produce; ``placement="identity"`` gives the
+    naive row-major layout, ``"random"`` the adversarial one.
+    """
+    from .planar import fem_message_set
+
+    edges = grid_fem_edges(n)
+    round_set = fem_message_set(edges, n, placement=placement)
+    return Trace("stencil", [round_set] * iterations)
+
+
+def sparse_matvec_trace(
+    n: int, nnz_per_row: int = 4, iterations: int = 4, seed: int = 0
+) -> Trace:
+    """T rounds of y = A·x with a random sparse A.
+
+    Row i owned by processor i needs x[j] for each nonzero A[i, j]:
+    one message j → i per off-processor nonzero, identical every
+    iteration (the communication pattern of an iterative solver).
+    """
+    rng = np.random.default_rng(seed)
+    src, dst = [], []
+    for i in range(n):
+        cols = rng.choice(n, size=min(nnz_per_row, n), replace=False)
+        for j in cols:
+            if j != i:
+                src.append(int(j))
+                dst.append(i)
+    round_set = MessageSet(src, dst, n)
+    return Trace("sparse-matvec", [round_set] * iterations)
+
+
+def allreduce_trace(n: int) -> Trace:
+    """Recursive-doubling all-reduce: lg n exchange rounds (each round
+    is a butterfly exchange, carrying partial sums both ways)."""
+    bits = ilog2(n)
+    return Trace("allreduce", [butterfly_exchange(n, k) for k in range(bits)])
+
+
+def schedule_trace(ft: FatTree, trace: Trace) -> tuple[list[Schedule], int]:
+    """Schedule every round of a trace; returns the per-round schedules
+    and the total delivery-cycle count (rounds are dependent, so they
+    run in sequence)."""
+    schedules = [schedule_theorem1(ft, r) for r in trace.rounds]
+    total = sum(s.num_cycles for s in schedules)
+    return schedules, total

@@ -1,0 +1,103 @@
+"""Tests for the analysis helpers (bounds, fits, sweeps, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bounds,
+    fit_loglog,
+    format_table,
+    growth_ratios,
+    sweep,
+)
+
+
+class TestBounds:
+    def test_lg_clamps(self):
+        assert bounds.lg(1) == 1.0
+        assert bounds.lg(0.5) == 1.0
+        assert bounds.lg(1024) == 10.0
+
+    def test_theorem1(self):
+        assert bounds.theorem1_cycles(3.0, 256) == 2 * 3 * 8
+
+    def test_corollary2(self):
+        assert bounds.corollary2_cycles(5.0, 2.0) == 2 * 10
+        with pytest.raises(ValueError):
+            bounds.corollary2_cycles(1.0, 1.0)
+
+    def test_theorem10_cube_log(self):
+        assert bounds.theorem10_slowdown(256, 1.0) == 8 ** 3
+
+    def test_corollary9(self):
+        assert bounds.corollary9_blowup(2.0) == 8.0
+        with pytest.raises(ValueError):
+            bounds.corollary9_blowup(3.0)
+
+    def test_volume_comparisons(self):
+        n = 1024
+        assert bounds.hypercube_volume(n) == n ** 1.5
+        assert bounds.planar_volume(n) == n
+
+    def test_theorem5(self):
+        assert bounds.theorem5_decay() == pytest.approx(4 ** (1 / 3))
+        assert bounds.theorem5_root_bandwidth(1000.0, 1.0) == pytest.approx(100.0)
+
+
+class TestFit:
+    def test_recovers_exponent(self):
+        xs = [2 ** k for k in range(4, 12)]
+        ys = [7.0 * x ** 1.5 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(1.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_loglog([1, 2, 4, 8], [3, 6, 12, 24])
+        assert fit.predict(16) == pytest.approx(48.0)
+
+    def test_noisy_data_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        xs = np.arange(10, 100, 10)
+        ys = xs ** 2.0 * rng.uniform(0.8, 1.2, xs.size)
+        fit = fit_loglog(xs, ys)
+        assert 1.8 < fit.slope < 2.2
+        assert fit.r_squared < 1.0
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            fit_loglog([1], [1])
+        with pytest.raises(ValueError):
+            fit_loglog([1, 0], [1, 1])
+
+    def test_growth_ratios(self):
+        assert growth_ratios([1, 2, 4]) == [2.0, 2.0]
+        with pytest.raises(ValueError):
+            growth_ratios([1, 0])
+
+
+class TestSweepAndTables:
+    def test_sweep_merges_params_and_results(self):
+        rows = sweep(lambda n: {"double": 2 * n}, [{"n": 1}, {"n": 3}])
+        assert rows == [{"n": 1, "double": 2}, {"n": 3, "double": 6}]
+
+    def test_format_table_alignment(self):
+        out = format_table(
+            [{"n": 64, "lam": 1.5}, {"n": 1024, "lam": 12.25}],
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "1024" in lines[4]
+        assert all(len(l) == len(lines[1]) for l in lines[2:])
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_floats(self):
+        out = format_table([{"x": 0.000123, "y": 123456.0, "z": True}])
+        assert "0.000123" in out and "yes" in out
+
+    def test_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]

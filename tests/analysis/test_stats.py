@@ -1,0 +1,108 @@
+"""Tests for traffic and schedule statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import schedule_stats, traffic_stats
+from repro.core import (
+    ConstantCapacity,
+    FatTree,
+    MessageSet,
+    UniversalCapacity,
+    schedule_theorem1,
+)
+from repro.workloads import local_traffic, uniform_random
+
+
+class TestTrafficStats:
+    def test_empty(self):
+        ft = FatTree(16)
+        ts = traffic_stats(ft, MessageSet.empty(16))
+        assert ts.messages == 0
+        assert ts.mean_path_length == 0.0
+        assert ts.locality == 1.0
+
+    def test_self_messages_counted(self):
+        ft = FatTree(16)
+        ts = traffic_stats(ft, MessageSet([3, 0], [3, 1], 16))
+        assert ts.self_messages == 1
+
+    def test_lca_histogram(self):
+        ft = FatTree(8)
+        # one sibling pair (LCA level 2), one cross-root (level 0)
+        m = MessageSet([0, 0], [1, 7], 8)
+        ts = traffic_stats(ft, m)
+        assert ts.lca_histogram[2] == 1
+        assert ts.lca_histogram[0] == 1
+        assert ts.lca_histogram[1] == 0
+
+    def test_mean_path_length(self):
+        ft = FatTree(8)
+        m = MessageSet([0, 0], [1, 7], 8)  # paths of length 2 and 6
+        ts = traffic_stats(ft, m)
+        assert ts.mean_path_length == pytest.approx(4.0)
+
+    def test_locality_orders_workloads(self):
+        ft = FatTree(64)
+        loc = traffic_stats(ft, local_traffic(64, 500, decay=0.3, seed=0))
+        glo = traffic_stats(ft, uniform_random(64, 500, seed=0))
+        assert loc.locality > glo.locality
+        assert loc.top_level_share < glo.top_level_share
+
+    def test_sibling_traffic_has_full_locality(self):
+        ft = FatTree(16)
+        m = MessageSet.from_pairs([(i, i ^ 1) for i in range(16)], 16)
+        ts = traffic_stats(ft, m)
+        assert ts.mean_path_length == 2.0
+        assert ts.top_level_share == 0.0
+
+    def test_mismatched_n(self):
+        with pytest.raises(ValueError):
+            traffic_stats(FatTree(8), MessageSet([0], [1], 16))
+
+
+class TestScheduleStats:
+    def test_empty_schedule(self):
+        ft = FatTree(8)
+        sched = schedule_theorem1(ft, MessageSet.empty(8))
+        ss = schedule_stats(ft, sched)
+        assert ss.cycles == 0
+        assert ss.mean_peak_utilisation == 0.0
+
+    def test_saturating_schedule_hits_peak_one(self):
+        """Theorem 1 halves until pieces fit; on unit capacities every
+        cycle saturates some channel."""
+        ft = FatTree(16, ConstantCapacity(4, 1))
+        m = MessageSet([0] * 6, [15] * 6, 16)
+        sched = schedule_theorem1(ft, m)
+        ss = schedule_stats(ft, sched)
+        assert ss.mean_peak_utilisation == 1.0
+
+    def test_counts_match_schedule(self):
+        ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+        m = uniform_random(32, 200, seed=1)
+        sched = schedule_theorem1(ft, m)
+        ss = schedule_stats(ft, sched)
+        assert ss.cycles == sched.num_cycles
+        assert ss.messages == sched.total_messages()
+        lo, mean, hi = ss.cycle_sizes
+        assert lo <= mean <= hi
+
+    def test_level_utilisation_bounded(self):
+        ft = FatTree(32)
+        m = uniform_random(32, 300, seed=2)
+        sched = schedule_theorem1(ft, m)
+        ss = schedule_stats(ft, sched)
+        for k, util in ss.level_utilisation.items():
+            assert 0.0 <= util <= 1.0, k
+
+    def test_utilisation_higher_on_tight_trees(self):
+        """Narrower channels are driven harder by the same traffic."""
+        m = uniform_random(64, 400, seed=3)
+        wide = FatTree(64)
+        narrow = FatTree(64, UniversalCapacity(64, 16))
+        u_wide = schedule_stats(wide, schedule_theorem1(wide, m))
+        u_narrow = schedule_stats(narrow, schedule_theorem1(narrow, m))
+        assert (
+            u_narrow.level_utilisation[1] >= u_wide.level_utilisation[1]
+        )

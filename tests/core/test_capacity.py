@@ -1,0 +1,169 @@
+"""Unit tests for capacity profiles (§IV definitions)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ConstantCapacity,
+    DoublingCapacity,
+    ExplicitCapacity,
+    ScaledCapacity,
+    UniversalCapacity,
+)
+
+
+class TestUniversalCapacity:
+    def test_root_capacity_is_w(self):
+        for n, w in [(64, 16), (64, 64), (256, 64), (1024, 128)]:
+            assert UniversalCapacity(n, w).cap(0) == w
+
+    def test_leaf_capacity_is_one(self):
+        # cap(lg n) = ceil(min(1, w/n^{2/3})) = 1 since w >= n^{2/3}
+        for n, w in [(64, 16), (256, 64), (1024, 1024)]:
+            prof = UniversalCapacity(n, w)
+            assert prof.cap(prof.depth) == 1
+
+    def test_doubling_regime_near_leaves(self):
+        # With w = n the doubling branch wins everywhere: cap(k) = n/2^k.
+        prof = UniversalCapacity(256, 256)
+        for k in range(9):
+            assert prof.cap(k) == 256 >> k
+
+    def test_cuberoot4_regime_near_root(self):
+        # For k < 3·lg(n/w) the branch w/4^{k/3} governs.
+        n, w = 4096, 256  # 3·lg(16) = 12 = depth: root regime everywhere
+        prof = UniversalCapacity(n, w)
+        for k in range(prof.depth + 1):
+            expected = math.ceil(w / 4 ** (k / 3) - 1e-9)
+            assert prof.cap(k) == expected
+
+    def test_regimes_meet_at_crossover(self):
+        # At k* = 3·lg(n/w) both formulas give w^3/n^2.
+        n, w = 4096, 1024
+        kstar = 3 * int(math.log2(n / w))
+        prof = UniversalCapacity(n, w)
+        assert prof.cap(kstar) == w ** 3 // n ** 2
+        assert prof.crossover_level == kstar
+
+    def test_capacities_nonincreasing_down_the_tree(self):
+        prof = UniversalCapacity(1024, 128)
+        caps = prof.caps()
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+    def test_strict_rejects_small_w(self):
+        with pytest.raises(ValueError):
+            UniversalCapacity(4096, 64)  # 64^3 < 4096^2
+
+    def test_relaxed_allows_small_w(self):
+        prof = UniversalCapacity(4096, 64, strict=False)
+        assert prof.cap(0) == 64
+
+    def test_rejects_w_out_of_range(self):
+        with pytest.raises(ValueError):
+            UniversalCapacity(64, 65)
+        with pytest.raises(ValueError):
+            UniversalCapacity(64, 0)
+
+    def test_rejects_non_power_of_two_n(self):
+        with pytest.raises(ValueError):
+            UniversalCapacity(100, 50)
+
+
+class TestOtherProfiles:
+    def test_constant(self):
+        prof = ConstantCapacity(5, 3)
+        assert prof.caps() == [3] * 6
+
+    def test_constant_default_is_plain_tree(self):
+        assert ConstantCapacity(4).caps() == [1] * 5
+
+    def test_doubling_equals_universal_with_w_n(self):
+        n = 512
+        assert DoublingCapacity(n).caps() == UniversalCapacity(n, n).caps()
+
+    def test_explicit(self):
+        prof = ExplicitCapacity([8, 4, 2, 1])
+        assert prof.depth == 3
+        assert prof.cap(1) == 4
+
+    def test_scaled(self):
+        base = DoublingCapacity(16)
+        prof = ScaledCapacity(base, lambda c: 2 * c)
+        assert prof.caps() == [2 * c for c in base.caps()]
+
+    def test_nonpositive_capacity_rejected(self):
+        prof = ScaledCapacity(ConstantCapacity(3, 1), lambda c: c - 1)
+        with pytest.raises(ValueError):
+            prof.cap(0)
+
+    def test_level_bounds_checked(self):
+        prof = ConstantCapacity(3)
+        with pytest.raises(ValueError):
+            prof.cap(4)
+        with pytest.raises(ValueError):
+            prof.cap(-1)
+
+    def test_cap_is_cached(self):
+        calls = []
+
+        class Probe(ConstantCapacity):
+            def _raw_cap(self, level):
+                calls.append(level)
+                return 1
+
+        prof = Probe(3)
+        prof.cap(2)
+        prof.cap(2)
+        assert calls == [2]
+
+
+class TestTaperedCapacity:
+    """The oversubscription parameterisation modern fabrics quote."""
+
+    def test_ratio_one_is_full_bandwidth(self):
+        from repro.core import DoublingCapacity, TaperedCapacity
+
+        assert TaperedCapacity(256, 1.0).caps() == DoublingCapacity(256).caps()
+
+    def test_measured_oversubscription_matches_request(self):
+        from repro.core import TaperedCapacity
+
+        for r in (1.0, 2.0, 4.0, 8.0):
+            prof = TaperedCapacity(1024, r)
+            assert prof.oversubscription() == pytest.approx(r, rel=0.05)
+
+    def test_leaf_cap_scales_everything(self):
+        from repro.core import TaperedCapacity
+
+        one = TaperedCapacity(64, 2.0, leaf_cap=1)
+        four = TaperedCapacity(64, 2.0, leaf_cap=4)
+        assert four.cap(one.depth) == 4
+        assert four.cap(0) == pytest.approx(4 * one.cap(0), rel=0.05)
+
+    def test_capacities_monotone_up_the_tree(self):
+        from repro.core import TaperedCapacity
+
+        caps = TaperedCapacity(512, 4.0).caps()
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+    def test_validation(self):
+        from repro.core import TaperedCapacity
+
+        with pytest.raises(ValueError):
+            TaperedCapacity(64, 0.5)
+        with pytest.raises(ValueError):
+            TaperedCapacity(64, 2.0, leaf_cap=0)
+
+    def test_taper_raises_load_factor_on_global_traffic(self):
+        from repro.core import FatTree, TaperedCapacity, load_factor
+        from repro.workloads import butterfly_exchange
+
+        n = 256
+        m = butterfly_exchange(n, 7)  # every message crosses the root
+        lams = [
+            load_factor(FatTree(n, TaperedCapacity(n, r)), m)
+            for r in (1.0, 2.0, 4.0)
+        ]
+        assert lams == sorted(lams)
+        assert lams[-1] > lams[0]

@@ -1,0 +1,139 @@
+"""Unit tests for the FatTree structure and path routing (§II)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Channel,
+    ConstantCapacity,
+    Direction,
+    FatTree,
+    UniversalCapacity,
+)
+
+
+class TestConstruction:
+    def test_default_is_full_bandwidth(self):
+        ft = FatTree(16)
+        assert ft.root_capacity == 16
+        assert ft.depth == 4
+
+    def test_depth_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(16, ConstantCapacity(3))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(12)
+
+    def test_with_capacity(self):
+        ft = FatTree(16)
+        ft2 = ft.with_capacity(ConstantCapacity(4, 7))
+        assert ft2.cap(2) == 7 and ft.cap(2) == 4  # original unchanged
+
+
+class TestChannels:
+    def test_channel_count(self):
+        ft = FatTree(8)
+        # 2 channels per tree edge; a complete tree on 8 leaves has 14 edges
+        assert ft.num_channels() == 28
+        assert ft.num_channels(include_external=True) == 30
+        assert len(list(ft.channels())) == 28
+        assert len(list(ft.channels(include_external=True))) == 30
+
+    def test_channels_come_in_up_down_pairs(self):
+        ft = FatTree(8)
+        chans = list(ft.channels())
+        ups = {(c.level, c.index) for c in chans if c.direction is Direction.UP}
+        downs = {(c.level, c.index) for c in chans if c.direction is Direction.DOWN}
+        assert ups == downs
+
+    def test_total_wires_full_bandwidth(self):
+        # With cap(k) = n/2^k each level carries 2·2^k·(n/2^k) = 2n wires.
+        ft = FatTree(16)
+        assert ft.total_wires() == 2 * 16 * 4
+        assert ft.total_wires(include_external=True) == 2 * 16 * 4 + 2 * 16
+
+    def test_node_incident_wires(self):
+        ft = FatTree(16, UniversalCapacity(16, 8))
+        for level in range(ft.depth):
+            m = ft.node_incident_wires(level)
+            assert m == 2 * ft.cap(level) + 4 * ft.cap(level + 1)
+
+    def test_node_incident_wires_rejects_leaf_level(self):
+        ft = FatTree(16)
+        with pytest.raises(ValueError):
+            ft.node_incident_wires(4)
+
+
+class TestPaths:
+    def test_self_message_uses_no_channels(self):
+        ft = FatTree(16)
+        assert ft.path_channels(5, 5) == []
+        assert ft.path_length(5, 5) == 0
+
+    def test_sibling_path(self):
+        ft = FatTree(8)
+        path = ft.path_channels(2, 3)
+        assert path == [
+            Channel(3, 2, Direction.UP),
+            Channel(3, 3, Direction.DOWN),
+        ]
+
+    def test_cross_root_path(self):
+        ft = FatTree(8)
+        path = ft.path_channels(0, 7)
+        ups = [c for c in path if c.direction is Direction.UP]
+        downs = [c for c in path if c.direction is Direction.DOWN]
+        assert [c.level for c in ups] == [3, 2, 1]
+        assert [c.level for c in downs] == [1, 2, 3]
+        assert ups[-1].index == 0 and downs[0].index == 1
+
+    def test_path_goes_up_then_down(self):
+        ft = FatTree(32)
+        path = ft.path_channels(3, 25)
+        directions = [c.direction for c in path]
+        switch = directions.index(Direction.DOWN)
+        assert all(d is Direction.UP for d in directions[:switch])
+        assert all(d is Direction.DOWN for d in directions[switch:])
+
+    def test_path_length_formula(self):
+        ft = FatTree(32)
+        assert ft.path_length(0, 31) == 2 * 5
+        assert ft.path_length(0, 1) == 2
+
+    def test_path_validates_processors(self):
+        ft = FatTree(8)
+        with pytest.raises(ValueError):
+            ft.path_channels(0, 8)
+        with pytest.raises(ValueError):
+            ft.path_channels(-1, 0)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_path_channel_levels_descend_then_ascend(self, src, dst):
+        """Every path visits each level's channel at most once per
+        direction, in the unique up-to-LCA-then-down order."""
+        ft = FatTree(64)
+        path = ft.path_channels(src, dst)
+        assert len(path) == ft.path_length(src, dst)
+        ups = [c for c in path if c.direction is Direction.UP]
+        downs = [c for c in path if c.direction is Direction.DOWN]
+        # Up channels sit above src's ancestors, down above dst's.
+        for c in ups:
+            assert c.index == src >> (ft.depth - c.level)
+        for c in downs:
+            assert c.index == dst >> (ft.depth - c.level)
+        assert len(ups) == len(downs)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_reverse_path_mirrors(self, src, dst):
+        ft = FatTree(64)
+        fwd = ft.path_channels(src, dst)
+        rev = ft.path_channels(dst, src)
+        flip = {
+            Channel(c.level, c.index, Direction.DOWN
+                    if c.direction is Direction.UP else Direction.UP)
+            for c in fwd
+        }
+        assert flip == set(rev)

@@ -1,0 +1,149 @@
+"""Unit tests for channel loads and load factors (§III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Channel,
+    ConstantCapacity,
+    Direction,
+    FatTree,
+    MessageSet,
+    channel_load,
+    channel_loads,
+    is_one_cycle,
+    load_factor,
+)
+
+
+def brute_force_load(ft, messages, channel):
+    """Oracle: count messages whose explicit path uses the channel."""
+    return sum(
+        1
+        for s, d in messages
+        if channel in ft.path_channels(s, d)
+    )
+
+
+class TestChannelLoads:
+    def test_empty_message_set(self):
+        ft = FatTree(8)
+        loads = channel_loads(ft, MessageSet.empty(8))
+        assert loads.total() == 0
+        assert load_factor(ft, MessageSet.empty(8)) == 0.0
+
+    def test_single_message(self):
+        ft = FatTree(8)
+        m = MessageSet([0], [7], 8)
+        loads = channel_loads(ft, m)
+        # climbs three up channels, descends three down channels
+        assert loads.total() == 6
+        assert loads.load(Channel(1, 0, Direction.UP)) == 1
+        assert loads.load(Channel(1, 1, Direction.DOWN)) == 1
+        assert loads.load(Channel(1, 1, Direction.UP)) == 0
+
+    def test_self_messages_add_no_load(self):
+        ft = FatTree(8)
+        m = MessageSet([3, 3], [3, 4], 8)
+        loads = channel_loads(ft, m)
+        # only (3, 4) contributes; 3=011 and 4=100 meet at the root, so its
+        # path uses 3 up + 3 down channels
+        assert loads.total() == 6
+
+    def test_level0_external_channel_carries_nothing(self):
+        ft = FatTree(8)
+        m = MessageSet([0], [7], 8)
+        loads = channel_loads(ft, m)
+        assert loads.load(Channel(0, 0, Direction.UP)) == 0
+
+    def test_matches_brute_force_on_random_traffic(self):
+        ft = FatTree(16)
+        rng = np.random.default_rng(7)
+        m = MessageSet(rng.integers(0, 16, 200), rng.integers(0, 16, 200), 16)
+        loads = channel_loads(ft, m)
+        for ch in ft.channels():
+            assert loads.load(ch) == brute_force_load(ft, m, ch), str(ch)
+
+    def test_channel_load_single_matches_bulk(self):
+        ft = FatTree(16)
+        rng = np.random.default_rng(3)
+        m = MessageSet(rng.integers(0, 16, 50), rng.integers(0, 16, 50), 16)
+        loads = channel_loads(ft, m)
+        for ch in ft.channels():
+            assert channel_load(ft, m, ch) == loads.load(ch)
+
+    def test_rejects_mismatched_n(self):
+        with pytest.raises(ValueError):
+            channel_loads(FatTree(8), MessageSet([0], [1], 16))
+
+    def test_max_per_level(self):
+        ft = FatTree(8)
+        m = MessageSet([0, 1], [7, 6], 8)
+        per = channel_loads(ft, m).max_per_level()
+        assert per[1] == 2  # both cross the root edge channels
+        assert per[3] == 1
+
+
+class TestLoadFactor:
+    def test_permutation_on_full_fat_tree_is_one_cycle(self):
+        ft = FatTree(32)  # cap(k) = n/2^k can carry any permutation
+        m = MessageSet.from_permutation(np.random.default_rng(0).permutation(32))
+        assert load_factor(ft, m) <= 1.0
+        assert is_one_cycle(ft, m)
+
+    def test_hotspot_overloads_plain_tree(self):
+        n = 16
+        ft = FatTree(n, ConstantCapacity(4, 1))
+        # everyone sends to processor 0: the down channel above leaf 0
+        # carries n-1 messages of capacity 1
+        m = MessageSet(list(range(1, n)), [0] * (n - 1), n)
+        assert load_factor(ft, m) == n - 1
+
+    def test_load_factor_scales_inversely_with_capacity(self):
+        n = 16
+        m = MessageSet(list(range(1, n)), [0] * (n - 1), n)
+        lam1 = load_factor(FatTree(n, ConstantCapacity(4, 1)), m)
+        lam3 = load_factor(FatTree(n, ConstantCapacity(4, 3)), m)
+        assert lam1 == 3 * lam3
+
+    def test_load_factor_is_max_over_channels(self):
+        ft = FatTree(8, ConstantCapacity(3, 2))
+        m = MessageSet([0, 1, 2], [4, 5, 6], 8)  # 3 messages cross the root
+        assert load_factor(ft, m) == 1.5
+
+    def test_is_one_cycle_boundary(self):
+        ft = FatTree(8, ConstantCapacity(3, 2))
+        two = MessageSet([0, 1], [4, 5], 8)
+        three = MessageSet([0, 1, 2], [4, 5, 6], 8)
+        assert is_one_cycle(ft, two)
+        assert not is_one_cycle(ft, three)
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=60),
+)
+def test_loads_decompose_additively(pairs):
+    """load(A ∪ B, c) = load(A, c) + load(B, c) for every channel."""
+    ft = FatTree(32)
+    m = MessageSet.from_pairs(pairs, 32)
+    half = len(m) // 2
+    idx = np.arange(len(m))
+    a, b = m.take(idx[:half]), m.take(idx[half:])
+    la, lb, lm = channel_loads(ft, a), channel_loads(ft, b), channel_loads(ft, m)
+    for k in range(1, ft.depth + 1):
+        assert np.array_equal(la.up[k] + lb.up[k], lm.up[k])
+        assert np.array_equal(la.down[k] + lb.down[k], lm.down[k])
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+def test_loads_match_paths_property(pairs):
+    """Vectorised loads equal path-enumeration loads on every channel."""
+    ft = FatTree(16)
+    m = MessageSet.from_pairs(pairs, 16)
+    loads = channel_loads(ft, m)
+    for ch in ft.channels():
+        assert loads.load(ch) == brute_force_load(ft, m, ch)

@@ -1,0 +1,120 @@
+"""Unit tests for MessageSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MessageSet
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = MessageSet([0, 1, 2], [3, 2, 1], 4)
+        assert len(m) == 3
+        assert m.n == 4
+        assert list(m) == [(0, 3), (1, 2), (2, 1)]
+
+    def test_from_pairs(self):
+        m = MessageSet.from_pairs([(0, 1), (1, 0)], 2)
+        assert list(m) == [(0, 1), (1, 0)]
+
+    def test_from_pairs_empty(self):
+        m = MessageSet.from_pairs([], 8)
+        assert len(m) == 0 and m.n == 8
+
+    def test_empty(self):
+        m = MessageSet.empty(16)
+        assert len(m) == 0
+
+    def test_from_permutation(self):
+        m = MessageSet.from_permutation([2, 0, 1, 3])
+        assert list(m) == [(0, 2), (1, 0), (2, 1), (3, 3)]
+
+    def test_from_permutation_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            MessageSet.from_permutation([0, 0, 1, 2])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MessageSet([0], [4], 4)
+        with pytest.raises(ValueError):
+            MessageSet([-1], [0], 4)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            MessageSet([0, 1], [1], 4)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            MessageSet([], [], 0)
+
+    def test_multiset_semantics_allowed(self):
+        m = MessageSet([0, 0], [1, 1], 2)
+        assert len(m) == 2
+        assert m.counter()[(0, 1)] == 2
+
+
+class TestImmutability:
+    def test_arrays_not_writable(self):
+        m = MessageSet([0], [1], 2)
+        with pytest.raises(ValueError):
+            m.src[0] = 1
+
+    def test_attributes_frozen(self):
+        m = MessageSet([0], [1], 2)
+        with pytest.raises(AttributeError):
+            m.n = 5
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(MessageSet([0], [1], 2))
+
+
+class TestOperations:
+    def test_take_mask(self):
+        m = MessageSet([0, 1, 2, 3], [1, 2, 3, 0], 4)
+        sub = m.take(m.src >= 2)
+        assert list(sub) == [(2, 3), (3, 0)]
+
+    def test_take_indices(self):
+        m = MessageSet([0, 1, 2], [1, 2, 0], 3)
+        sub = m.take(np.array([2, 0]))
+        assert list(sub) == [(2, 0), (0, 1)]
+
+    def test_concat(self):
+        a = MessageSet([0], [1], 4)
+        b = MessageSet([2], [3], 4)
+        assert list(a.concat(b)) == [(0, 1), (2, 3)]
+
+    def test_concat_rejects_different_n(self):
+        with pytest.raises(ValueError):
+            MessageSet([0], [1], 4).concat(MessageSet([0], [1], 8))
+
+    def test_without_self_messages(self):
+        m = MessageSet([0, 1, 2], [0, 2, 2], 4)
+        assert list(m.without_self_messages()) == [(1, 2)]
+
+    def test_equality_is_order_insensitive(self):
+        a = MessageSet([0, 1], [1, 0], 2)
+        b = MessageSet([1, 0], [0, 1], 2)
+        assert a == b
+
+    def test_equality_respects_multiplicity(self):
+        a = MessageSet([0, 0], [1, 1], 2)
+        b = MessageSet([0], [1], 2)
+        assert a != b
+
+    def test_repr(self):
+        assert "n=4" in repr(MessageSet([0], [1], 4))
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=50)
+)
+def test_concat_take_roundtrip_property(pairs):
+    """Splitting by any mask and concatenating preserves the multiset."""
+    m = MessageSet.from_pairs(pairs, 16)
+    mask = m.src % 2 == 0
+    rejoined = m.take(mask).concat(m.take(~mask))
+    assert rejoined == m

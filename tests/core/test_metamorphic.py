@@ -1,0 +1,137 @@
+"""Metamorphic properties of load factors and schedulers.
+
+These tests check invariances the theory implies but no single direct
+test would catch:
+
+* swapping the two children of any tree node is an automorphism of the
+  fat-tree, so it preserves load factors exactly;
+* adding capacity can never increase the load factor;
+* splitting a message set can never increase the per-part load factor;
+* scheduling is invariant in *count bounds* under message duplication
+  scaling (λ scales linearly).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExplicitCapacity,
+    FatTree,
+    MessageSet,
+    ScaledCapacity,
+    UniversalCapacity,
+    load_factor,
+    schedule_theorem1,
+)
+
+
+def subtree_swap(leaves: np.ndarray, depth: int, level: int, index: int) -> np.ndarray:
+    """Relabel leaves by swapping the two children of node (level, index)."""
+    shift = depth - level - 1
+    mask = 1 << shift
+    prefix = leaves >> (shift + 1)
+    inside = prefix == index
+    return np.where(inside, leaves ^ mask, leaves)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=80),
+    st.integers(0, 4),
+    st.integers(0, 1000),
+)
+def test_subtree_swap_preserves_load_factor(pairs, level, seed):
+    """Tree automorphisms leave λ(M) unchanged."""
+    depth = 5
+    ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+    m = MessageSet.from_pairs(pairs, 32)
+    index = seed % (1 << level)
+    swapped = MessageSet(
+        subtree_swap(m.src, depth, level, index),
+        subtree_swap(m.dst, depth, level, index),
+        32,
+    )
+    assert load_factor(ft, m) == pytest.approx(load_factor(ft, swapped))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=80),
+    st.integers(2, 5),
+)
+def test_more_capacity_never_hurts(pairs, factor):
+    m = MessageSet.from_pairs(pairs, 32)
+    base = FatTree(32, UniversalCapacity(32, 16, strict=False))
+    fat = base.with_capacity(ScaledCapacity(base.capacity, lambda c: c * factor))
+    assert load_factor(fat, m) <= load_factor(base, m)
+    assert load_factor(fat, m) == pytest.approx(load_factor(base, m) / factor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=80),
+    st.integers(0, 2 ** 31 - 1),
+)
+def test_subset_load_factor_monotone(pairs, seed):
+    ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+    m = MessageSet.from_pairs(pairs, 32)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(len(m)) < 0.5
+    assert load_factor(ft, m.take(mask)) <= load_factor(ft, m)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(2, 4),
+)
+def test_duplication_scales_lambda_linearly(pairs, k):
+    ft = FatTree(16, UniversalCapacity(16, 8, strict=False))
+    m = MessageSet.from_pairs(pairs, 16)
+    dup = MessageSet.from_pairs(pairs * k, 16)
+    assert load_factor(ft, dup) == pytest.approx(k * load_factor(ft, m))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=50),
+    st.integers(0, 3),
+    st.integers(0, 7),
+)
+def test_schedule_of_swapped_traffic_same_length_bounds(pairs, level, index_seed):
+    """Scheduling a relabelled workload yields the same cycle count (the
+    algorithm is structural, so automorphic inputs behave identically)."""
+    depth = 4
+    ft = FatTree(16, UniversalCapacity(16, 8, strict=False))
+    m = MessageSet.from_pairs(pairs, 16)
+    index = index_seed % (1 << level)
+    swapped = MessageSet(
+        subtree_swap(m.src, depth, level, index),
+        subtree_swap(m.dst, depth, level, index),
+        16,
+    )
+    d1 = schedule_theorem1(ft, m).num_cycles
+    d2 = schedule_theorem1(ft, swapped).num_cycles
+    assert d1 == d2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_explicit_profile_dominance(data):
+    """Channel-wise dominant capacity profiles give dominated λ."""
+    depth = 4
+    caps_lo = [data.draw(st.integers(1, 6)) for _ in range(depth + 1)]
+    caps_hi = [c + data.draw(st.integers(0, 4)) for c in caps_lo]
+    pairs = data.draw(
+        st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40)
+    )
+    m = MessageSet.from_pairs(pairs, 16)
+    lam_lo = load_factor(FatTree(16, ExplicitCapacity(caps_lo)), m)
+    lam_hi = load_factor(FatTree(16, ExplicitCapacity(caps_hi)), m)
+    assert lam_hi <= lam_lo + 1e-12

@@ -1,0 +1,99 @@
+"""Tests for the random-rank on-line router (§VI / ref [8] direction)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantCapacity,
+    FatTree,
+    MessageSet,
+    UniversalCapacity,
+    load_factor,
+    online_cycle_bound,
+    schedule_random_rank,
+)
+from repro.workloads import hotspot, random_permutation, uniform_random
+
+
+class TestRandomRank:
+    def test_valid_schedule(self):
+        ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+        m = uniform_random(32, 300, seed=0)
+        sched = schedule_random_rank(ft, m, seed=1)
+        sched.validate(ft, m)
+
+    def test_empty(self):
+        sched = schedule_random_rank(FatTree(8), MessageSet.empty(8))
+        assert sched.num_cycles == 0
+
+    def test_self_messages_skipped(self):
+        ft = FatTree(8)
+        sched = schedule_random_rank(ft, MessageSet([1, 2], [1, 3], 8))
+        assert sched.n_self_messages == 1
+        assert sched.num_cycles == 1
+
+    def test_permutation_one_cycle_on_full_tree(self):
+        ft = FatTree(64)
+        m = random_permutation(64, seed=2)
+        sched = schedule_random_rank(ft, m, seed=0)
+        assert sched.num_cycles == 1  # λ <= 1: nobody can lose
+
+    def test_deterministic_given_seed(self):
+        ft = FatTree(16)
+        m = uniform_random(16, 80, seed=3)
+        a = schedule_random_rank(ft, m, seed=7)
+        b = schedule_random_rank(ft, m, seed=7)
+        assert [list(c) for c in a] == [list(c) for c in b]
+
+    def test_progress_guard(self):
+        ft = FatTree(8, ConstantCapacity(3, 1))
+        m = MessageSet([0] * 20, [7] * 20, 8)
+        sched = schedule_random_rank(ft, m)
+        assert sched.num_cycles == 20  # serialised through the leaf wire
+
+    def test_max_cycles(self):
+        ft = FatTree(8, ConstantCapacity(3, 1))
+        m = MessageSet([0] * 20, [7] * 20, 8)
+        with pytest.raises(RuntimeError):
+            schedule_random_rank(ft, m, max_cycles=3)
+
+    def test_mismatched_n(self):
+        with pytest.raises(ValueError):
+            schedule_random_rank(FatTree(8), MessageSet([0], [1], 16))
+
+    def test_within_announced_bound(self):
+        """The [8] shape: cycles = O(λ + lg n·lg lg n), sampled over
+        seeds and workloads."""
+        for n, seed in [(64, 0), (128, 1), (256, 2)]:
+            ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+            for m in (
+                uniform_random(n, 4 * n, seed=seed),
+                hotspot(n, 2 * n, seed=seed),
+            ):
+                lam = load_factor(ft, m)
+                sched = schedule_random_rank(ft, m, seed=seed)
+                sched.validate(ft, m)
+                assert sched.num_cycles <= online_cycle_bound(ft, lam)
+
+    def test_beats_nothing_below_lower_bound(self):
+        ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+        m = uniform_random(32, 400, seed=5)
+        lam = load_factor(ft, m)
+        sched = schedule_random_rank(ft, m, seed=5)
+        assert sched.num_cycles >= math.ceil(lam)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=80),
+    st.integers(0, 1000),
+)
+def test_random_rank_property(pairs, seed):
+    ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+    m = MessageSet.from_pairs(pairs, 32)
+    sched = schedule_random_rank(ft, m, seed=seed)
+    sched.validate(ft, m)

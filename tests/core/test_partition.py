@@ -1,0 +1,204 @@
+"""Tests for the even-split partitioner (matching + tracing, Thm 1 proof).
+
+The load-balance invariant is the crux of the whole paper's scheduling
+result, so it gets the heaviest property-based coverage in the suite:
+for a same-LCA same-direction group, *every channel's* load must split
+to within one message.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FatTree, MessageSet, channel_loads, even_split, even_split_all
+from repro.core.partition import (
+    even_split_indices,
+    group_indices,
+    message_group_keys,
+)
+
+
+def make_crossing_group(n, srcs, dsts):
+    """A group of messages from left half to right half of an n-leaf tree."""
+    return MessageSet([s % (n // 2) for s in srcs],
+                      [n // 2 + (d % (n // 2)) for d in dsts], n)
+
+
+def assert_even_on_all_channels(ft, whole, part_a, part_b):
+    la = channel_loads(ft, part_a)
+    lb = channel_loads(ft, part_b)
+    lw = channel_loads(ft, whole)
+    for k in range(1, ft.depth + 1):
+        assert np.array_equal(la.up[k] + lb.up[k], lw.up[k])
+        assert np.abs(la.up[k] - lb.up[k]).max(initial=0) <= 1, f"up level {k}"
+        assert np.abs(la.down[k] - lb.down[k]).max(initial=0) <= 1, f"down level {k}"
+
+
+class TestGroupKeys:
+    def test_self_messages_get_key_minus_one(self):
+        m = MessageSet([3, 0], [3, 1], 8)
+        keys, _ = message_group_keys(m, 3)
+        assert keys[0] == -1 and keys[1] != -1
+
+    def test_same_lca_same_direction_share_keys(self):
+        m = MessageSet([0, 1, 4, 5], [6, 7, 2, 3], 8)
+        keys, _ = message_group_keys(m, 3)
+        assert keys[0] == keys[1]  # both L->R through the root
+        assert keys[2] == keys[3]  # both R->L through the root
+        assert keys[0] != keys[2]
+
+    def test_different_lcas_differ(self):
+        m = MessageSet([0, 0], [1, 2], 8)  # LCAs at levels 2 and 1
+        keys, levels = message_group_keys(m, 3)
+        assert keys[0] != keys[1]
+        assert levels[0] == 2 and levels[1] == 1
+
+    def test_group_indices_partition_everything_but_self(self):
+        rng = np.random.default_rng(0)
+        m = MessageSet(rng.integers(0, 32, 100), rng.integers(0, 32, 100), 32)
+        groups = group_indices(m, 5)
+        covered = np.sort(np.concatenate(list(groups.values())))
+        not_self = np.flatnonzero(m.src != m.dst)
+        assert np.array_equal(covered, not_self)
+
+    def test_group_indices_empty(self):
+        assert group_indices(MessageSet.empty(8), 3) == {}
+
+
+class TestEvenSplitValidation:
+    def test_rejects_mixed_lca(self):
+        m = MessageSet([0, 0], [4, 1], 8)
+        with pytest.raises(ValueError):
+            even_split(FatTree(8), m)
+
+    def test_rejects_mixed_direction(self):
+        m = MessageSet([0, 4], [4, 0], 8)
+        with pytest.raises(ValueError):
+            even_split(FatTree(8), m)
+
+    def test_rejects_self_messages(self):
+        m = MessageSet([0, 0], [0, 0], 8)
+        with pytest.raises(ValueError):
+            even_split(FatTree(8), m)
+
+    def test_singleton_splits_to_one_and_zero(self):
+        m = MessageSet([0], [4], 8)
+        a, b = even_split(FatTree(8), m)
+        assert len(a) == 1 and len(b) == 0
+
+    def test_empty_group(self):
+        a, b = even_split_indices(
+            MessageSet.empty(8), np.empty(0, dtype=np.int64), 3
+        )
+        assert a.size == 0 and b.size == 0
+
+
+class TestEvenSplitBalance:
+    def test_two_identical_messages_split(self):
+        ft = FatTree(8)
+        m = MessageSet([0, 0], [4, 4], 8)
+        a, b = even_split(ft, m)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_sizes_split_in_half(self):
+        ft = FatTree(16)
+        m = make_crossing_group(16, range(7), range(7))
+        a, b = even_split(ft, m)
+        assert {len(a), len(b)} == {3, 4}
+
+    def test_concentrated_source(self):
+        """All messages from one processor: its up channels must split."""
+        ft = FatTree(16)
+        m = MessageSet([0] * 10, [8 + (i % 8) for i in range(10)], 16)
+        a, b = even_split(ft, m)
+        assert_even_on_all_channels(ft, m, a, b)
+
+    def test_concentrated_destination(self):
+        ft = FatTree(16)
+        m = MessageSet([i % 8 for i in range(10)], [8] * 10, 16)
+        a, b = even_split(ft, m)
+        assert_even_on_all_channels(ft, m, a, b)
+
+    def test_deep_lca_group(self):
+        """Group crossing a level-2 node of a 32-leaf tree."""
+        ft = FatTree(32)
+        # subtree leaves 8..15; left half 8..11, right half 12..15
+        m = MessageSet([8, 9, 8, 10, 11], [12, 13, 14, 15, 12], 32)
+        a, b = even_split(ft, m)
+        assert_even_on_all_channels(ft, m, a, b)
+
+    @settings(max_examples=80)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_even_split_property(self, pairs):
+        """The paper's exact claim: for every channel c,
+        load(Q_a, c) = ceil(load(Q, c)/2) and load(Q_b, c) = floor(...)."""
+        ft = FatTree(32)
+        m = make_crossing_group(32, [p[0] for p in pairs], [p[1] for p in pairs])
+        a, b = even_split(ft, m)
+        assert len(a) + len(b) == len(m)
+        assert abs(len(a) - len(b)) <= 1
+        assert_even_on_all_channels(ft, m, a, b)
+
+    @settings(max_examples=40)
+    @given(st.data())
+    def test_even_split_at_every_lca_level(self, data):
+        """Balance holds for groups at any depth, not just root-crossing."""
+        depth = 5
+        n = 1 << depth
+        ft = FatTree(n)
+        lca_level = data.draw(st.integers(0, depth - 1))
+        lca_index = data.draw(st.integers(0, (1 << lca_level) - 1))
+        span = 1 << (depth - lca_level - 1)
+        left_lo = lca_index * 2 * span
+        right_lo = left_lo + span
+        k = data.draw(st.integers(1, 40))
+        srcs = data.draw(
+            st.lists(st.integers(0, span - 1), min_size=k, max_size=k)
+        )
+        dsts = data.draw(
+            st.lists(st.integers(0, span - 1), min_size=k, max_size=k)
+        )
+        m = MessageSet(
+            [left_lo + s for s in srcs], [right_lo + d for d in dsts], n
+        )
+        a, b = even_split(ft, m)
+        assert_even_on_all_channels(ft, m, a, b)
+
+
+class TestEvenSplitAll:
+    def test_splits_mixed_traffic(self):
+        ft = FatTree(32)
+        rng = np.random.default_rng(5)
+        m = MessageSet(rng.integers(0, 32, 300), rng.integers(0, 32, 300), 32)
+        m = m.without_self_messages()
+        a, b = even_split_all(ft, m)
+        assert a.concat(b) == m
+
+    def test_drops_self_messages(self):
+        ft = FatTree(8)
+        m = MessageSet([1, 2], [1, 5], 8)
+        a, b = even_split_all(ft, m)
+        assert len(a) + len(b) == 1
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=100)
+    )
+    def test_per_channel_error_bounded_by_group_count(self, pairs):
+        """Splitting group-by-group bounds each channel's imbalance by the
+        number of groups crossing it, which is at most its level <= lg n
+        (the Corollary 2 error argument)."""
+        ft = FatTree(32)
+        m = MessageSet.from_pairs(pairs, 32).without_self_messages()
+        a, b = even_split_all(ft, m)
+        la, lb = channel_loads(ft, a), channel_loads(ft, b)
+        for k in range(1, ft.depth + 1):
+            assert np.abs(la.up[k] - lb.up[k]).max(initial=0) <= k
+            assert np.abs(la.down[k] - lb.down[k]).max(initial=0) <= k

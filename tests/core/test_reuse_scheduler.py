@@ -1,0 +1,128 @@
+"""Tests for the Corollary 2 scheduler (wide channels, no lg n factor)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantCapacity,
+    FatTree,
+    MessageSet,
+    ScaledCapacity,
+    UniversalCapacity,
+    capacity_ratio,
+    corollary2_cycle_bound,
+    load_factor,
+    schedule_corollary2,
+    schedule_theorem1,
+)
+
+
+def wide_fat_tree(n, factor):
+    """Universal fat-tree with every capacity scaled by ``factor·lg n``."""
+    base = UniversalCapacity(n, n)
+    depth = base.depth
+    return FatTree(n, ScaledCapacity(base, lambda c: c * factor * depth))
+
+
+def check(ft, m):
+    sched = schedule_corollary2(ft, m)
+    sched.validate(ft, m)
+    lam = load_factor(ft, m)
+    assert sched.num_cycles >= math.ceil(lam)
+    assert sched.num_cycles <= corollary2_cycle_bound(ft, lam)
+    return sched
+
+
+class TestHypothesisChecking:
+    def test_capacity_ratio(self):
+        n = 16
+        ft = FatTree(n, ConstantCapacity(4, 12))
+        assert capacity_ratio(ft) == 3.0
+
+    def test_narrow_tree_rejected(self):
+        ft = FatTree(16)  # leaf channels have capacity 1 < lg n
+        with pytest.raises(ValueError):
+            schedule_corollary2(ft, MessageSet([0], [1], 16))
+
+    def test_bound_requires_a_above_one(self):
+        ft = FatTree(16, ConstantCapacity(4, 4))  # a = 1 exactly
+        with pytest.raises(ValueError):
+            corollary2_cycle_bound(ft, 1.0)
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_corollary2(wide_fat_tree(16, 2), MessageSet([0], [1], 8))
+
+
+class TestScheduling:
+    def test_empty(self):
+        sched = check(wide_fat_tree(16, 2), MessageSet.empty(16))
+        assert sched.num_cycles == 0
+
+    def test_permutation_is_single_cycle(self):
+        """On a wide fat-tree a permutation has λ << 1 and routes in one
+        delivery cycle."""
+        n = 64
+        ft = wide_fat_tree(n, 2)
+        m = MessageSet.from_permutation(np.random.default_rng(0).permutation(n))
+        sched = check(ft, m)
+        assert sched.num_cycles == 1
+
+    def test_heavy_random_traffic(self):
+        n = 64
+        ft = wide_fat_tree(n, 2)
+        rng = np.random.default_rng(1)
+        m = MessageSet(rng.integers(0, n, 5000), rng.integers(0, n, 5000), n)
+        check(ft, m)
+
+    def test_hotspot(self):
+        n = 32
+        ft = wide_fat_tree(n, 3)
+        m = MessageSet(list(range(1, n)) * 8, [0] * (8 * (n - 1)), n)
+        check(ft, m)
+
+    def test_self_messages_counted(self):
+        ft = wide_fat_tree(16, 2)
+        m = MessageSet([3, 4], [3, 5], 16)
+        sched = check(ft, m)
+        assert sched.n_self_messages == 1
+
+    def test_beats_theorem1_on_wide_trees(self):
+        """The whole point of Corollary 2: no lg n factor when channels
+        are wide.  On heavy traffic the reuse scheduler should need at
+        most as many cycles as the level-by-level scheduler."""
+        n = 64
+        ft = wide_fat_tree(n, 2)
+        rng = np.random.default_rng(3)
+        m = MessageSet(rng.integers(0, n, 8000), rng.integers(0, n, 8000), n)
+        d_cor2 = schedule_corollary2(ft, m).num_cycles
+        d_thm1 = schedule_theorem1(ft, m).num_cycles
+        assert d_cor2 <= d_thm1
+
+    def test_near_optimal_on_saturating_traffic(self):
+        """With a >= 2 the bound is 2·ceil(2λ) = within a small constant
+        of the λ lower bound."""
+        n = 32
+        ft = wide_fat_tree(n, 4)
+        rng = np.random.default_rng(7)
+        m = MessageSet(rng.integers(0, n, 20000), rng.integers(0, n, 20000), n)
+        lam = load_factor(ft, m)
+        sched = check(ft, m)
+        assert lam > 4  # genuinely saturating
+        assert sched.num_cycles <= 4 * math.ceil(lam)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=300),
+    st.sampled_from([2, 3]),
+)
+def test_corollary2_property(pairs, factor):
+    n = 32
+    ft = wide_fat_tree(n, factor)
+    m = MessageSet.from_pairs(pairs, n)
+    check(ft, m)

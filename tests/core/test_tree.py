@@ -1,0 +1,156 @@
+"""Unit tests for complete-binary-tree arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import tree
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two_accepts_powers(self):
+        for k in range(20):
+            assert tree.is_power_of_two(1 << k)
+
+    def test_is_power_of_two_rejects_non_powers(self):
+        for v in [0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023]:
+            assert not tree.is_power_of_two(v)
+
+    def test_ilog2_exact(self):
+        for k in range(20):
+            assert tree.ilog2(1 << k) == k
+
+    def test_ilog2_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            tree.ilog2(12)
+        with pytest.raises(ValueError):
+            tree.ilog2(0)
+
+    def test_lg_matches_paper_footnote(self):
+        # lg m = max(1, ceil(log2 m))
+        assert tree.lg(1) == 1
+        assert tree.lg(2) == 1
+        assert tree.lg(3) == 2
+        assert tree.lg(4) == 2
+        assert tree.lg(5) == 3
+        assert tree.lg(1024) == 10
+
+    def test_lg_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tree.lg(0)
+
+
+class TestFlatIds:
+    def test_num_nodes(self):
+        assert tree.num_nodes(0) == 1
+        assert tree.num_nodes(3) == 15
+
+    def test_flat_roundtrip(self):
+        for level in range(6):
+            for index in range(1 << level):
+                flat = tree.flat_id(level, index)
+                assert tree.level_of_flat(flat) == level
+                assert tree.index_of_flat(flat) == index
+
+    def test_flat_ids_are_contiguous_bfs(self):
+        flats = [
+            tree.flat_id(level, index)
+            for level in range(5)
+            for index in range(1 << level)
+        ]
+        assert flats == list(range(tree.num_nodes(4)))
+
+    def test_flat_id_validates(self):
+        with pytest.raises(ValueError):
+            tree.flat_id(2, 4)
+        with pytest.raises(ValueError):
+            tree.flat_id(-1, 0)
+
+
+class TestNavigation:
+    def test_parent_child_inverse(self):
+        for level in range(1, 6):
+            for index in range(1 << level):
+                p = tree.parent(level, index)
+                assert tree.left_child(*p) == (level, index & ~1)
+                assert tree.right_child(*p) == (level, (index & ~1) | 1)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            tree.parent(0, 0)
+
+    def test_ancestor_at_level_scalar(self):
+        depth = 4
+        # leaf 13 = 0b1101: ancestors 13, 6, 3, 1, 0 going up
+        assert [tree.ancestor_at_level(13, depth, l) for l in range(5)] == [
+            0,
+            1,
+            3,
+            6,
+            13,
+        ]
+
+    def test_ancestor_at_level_vectorised(self):
+        depth = 5
+        leaves = np.arange(32)
+        anc = tree.ancestor_at_level(leaves, depth, 2)
+        assert anc.shape == (32,)
+        assert list(anc[:8]) == [0] * 8
+        assert list(anc[24:]) == [3] * 8
+
+
+class TestLCA:
+    def test_lca_of_identical_leaves_is_the_leaf(self):
+        assert tree.lca_level(5, 5, 4) == 4
+        assert tree.lca(5, 5, 4) == (4, 5)
+
+    def test_lca_of_siblings(self):
+        assert tree.lca(6, 7, 4) == (3, 3)
+
+    def test_lca_of_extremes_is_root(self):
+        depth = 6
+        assert tree.lca(0, (1 << depth) - 1, depth) == (0, 0)
+
+    def test_lca_is_symmetric(self):
+        depth = 5
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            a, b = rng.integers(0, 1 << depth, 2)
+            assert tree.lca(int(a), int(b), depth) == tree.lca(int(b), int(a), depth)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_lca_is_common_ancestor_property(self, a, b):
+        depth = 8
+        level, index = tree.lca(a, b, depth)
+        assert tree.ancestor_at_level(a, depth, level) == index
+        assert tree.ancestor_at_level(b, depth, level) == index
+        # and it is the *least* one: one level down they differ (if a != b)
+        if a != b:
+            assert tree.ancestor_at_level(a, depth, level + 1) != tree.ancestor_at_level(
+                b, depth, level + 1
+            )
+
+
+class TestSubtrees:
+    def test_leaves_under_root_is_everything(self):
+        assert list(tree.leaves_under(0, 0, 3)) == list(range(8))
+
+    def test_leaves_under_leaf_is_singleton(self):
+        assert list(tree.leaves_under(3, 5, 3)) == [5]
+
+    def test_subtree_size(self):
+        assert tree.subtree_size(0, 5) == 32
+        assert tree.subtree_size(5, 5) == 1
+
+    def test_path_to_root(self):
+        path = tree.path_to_root(6, 3)
+        assert path == [(3, 6), (2, 3), (1, 1), (0, 0)]
+
+    def test_leaves_under_partitions_by_level(self):
+        depth = 4
+        for level in range(depth + 1):
+            seen = []
+            for index in range(1 << level):
+                seen.extend(tree.leaves_under(level, index, depth))
+            assert seen == list(range(1 << depth))

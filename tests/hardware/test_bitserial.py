@@ -1,0 +1,86 @@
+"""Tests for the Fig. 2 bit-serial message format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import BitSerialMessage, decode_destination, encode_address
+
+
+class TestEncoding:
+    def test_self_message_has_empty_address(self):
+        assert encode_address(5, 5, 4) == []
+
+    def test_sibling_message_is_single_turn_bit(self):
+        # 2 -> 3 meets at the level-(depth-1) node: just the turn bit
+        assert encode_address(2, 3, 3) == [0]
+
+    def test_cross_root_address(self):
+        # 0 -> 7 in an 8-leaf tree: climb 2, turn, descend 2
+        bits = encode_address(0, 7, 3)
+        assert bits == [1, 1, 0, 1, 1]
+
+    def test_address_length_is_path_node_count(self):
+        depth = 5
+        for src, dst in [(0, 31), (0, 1), (12, 19), (7, 6)]:
+            lca = depth - (src ^ dst).bit_length()
+            assert len(encode_address(src, dst, depth)) == 2 * (depth - lca) - 1
+
+    def test_address_length_at_most_2_lg_n(self):
+        depth = 6
+        for src in range(0, 64, 7):
+            for dst in range(0, 64, 5):
+                assert len(encode_address(src, dst, depth)) <= 2 * depth
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_address(0, 8, 3)
+        with pytest.raises(ValueError):
+            encode_address(-1, 0, 3)
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_roundtrip_property(self, src, dst):
+        bits = encode_address(src, dst, 8)
+        assert decode_destination(src, bits, 8) == dst
+
+    def test_decode_rejects_climb_past_root(self):
+        with pytest.raises(ValueError):
+            decode_destination(0, [1, 1, 1, 1], 3)
+
+    def test_decode_rejects_short_descent(self):
+        with pytest.raises(ValueError):
+            decode_destination(0, [1, 1, 0], 3)
+
+
+class TestMessage:
+    def test_make(self):
+        m = BitSerialMessage.make(0, 7, 3, payload=(1, 0, 1))
+        assert m.src == 0 and m.dst == 7
+        assert m.payload == (1, 0, 1)
+
+    def test_wire_bits_lead_with_m_bit(self):
+        m = BitSerialMessage.make(0, 3, 2, payload=(1,))
+        assert m.wire_bits()[0] == 1
+        assert m.frame_length() == 1 + len(m.address) + 1
+
+    def test_strip_bit_progresses(self):
+        m = BitSerialMessage.make(0, 7, 3)
+        n_bits = len(m.address)
+        for _ in range(n_bits):
+            assert not m.arrived
+            bit = m.peek_bit()
+            assert bit in (0, 1)
+            m = m.strip_bit()
+        assert m.arrived
+
+    def test_peek_on_arrived_raises(self):
+        m = BitSerialMessage.make(3, 3, 3)
+        with pytest.raises(ValueError):
+            m.peek_bit()
+
+    def test_strip_is_pure(self):
+        m = BitSerialMessage.make(0, 7, 3)
+        before = list(m.address)
+        m.strip_bit()
+        assert m.address == before

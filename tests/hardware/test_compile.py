@@ -1,0 +1,83 @@
+"""Tests for the off-line switch-setting compiler (§II, §IV)."""
+
+import pytest
+
+from repro.core import (
+    ConstantCapacity,
+    FatTree,
+    MessageSet,
+    UniversalCapacity,
+    schedule_theorem1,
+)
+from repro.hardware import compile_cycle, compile_schedule
+from repro.workloads import random_permutation, uniform_random
+
+
+class TestCompileCycle:
+    def test_empty(self):
+        c = compile_cycle(FatTree(8), MessageSet.empty(8))
+        assert c.settings == {}
+
+    def test_single_message_path_length(self):
+        ft = FatTree(8)
+        c = compile_cycle(ft, MessageSet([0], [7], 8))
+        (wires,) = c.wire_of
+        assert len(wires) == 2 * 3  # one wire per channel of the path
+
+    def test_permutation_compiles(self):
+        ft = FatTree(32)
+        c = compile_cycle(ft, random_permutation(32, seed=0))
+        c.validate()
+        assert len(c.wire_of) <= 32  # fixed points excluded
+
+    def test_settings_are_injective(self):
+        ft = FatTree(16)
+        c = compile_cycle(ft, random_permutation(16, seed=1))
+        for mapping in c.settings.values():
+            outs = list(mapping.values())
+            assert len(set(outs)) == len(outs)
+
+    def test_rejects_overloaded_set(self):
+        ft = FatTree(8, ConstantCapacity(3, 1))
+        overloaded = MessageSet([0, 1], [4, 5], 8)  # load 2 on cap-1 channel
+        with pytest.raises(ValueError):
+            compile_cycle(ft, overloaded)
+
+    def test_rejects_mismatched_n(self):
+        with pytest.raises(ValueError):
+            compile_cycle(FatTree(8), MessageSet([0], [1], 16))
+
+    def test_self_messages_skipped(self):
+        ft = FatTree(8)
+        c = compile_cycle(ft, MessageSet([3, 0], [3, 7], 8))
+        assert len(c.wire_of) == 1
+
+    def test_turning_messages_share_nothing(self):
+        """Sibling exchanges: both directions through one node, disjoint
+        wires on both channels."""
+        ft = FatTree(8, ConstantCapacity(3, 2))
+        m = MessageSet([0, 1, 2, 3], [2, 3, 0, 1], 8)
+        c = compile_cycle(ft, m)
+        c.validate()
+
+
+class TestCompileSchedule:
+    def test_theorem1_schedule_compiles(self):
+        n = 64
+        ft = FatTree(n, UniversalCapacity(n, 16))
+        m = uniform_random(n, 5 * n, seed=2)
+        sched = schedule_theorem1(ft, m)
+        compiled = compile_schedule(ft, sched)
+        assert len(compiled) == sched.num_cycles
+        total_msgs = sum(len(c.wire_of) for c in compiled)
+        assert total_msgs == len(m.without_self_messages())
+
+    def test_each_cycle_independent(self):
+        """Settings reset between cycles (the switches are re-set each
+        delivery cycle, §II)."""
+        ft = FatTree(16)
+        m = MessageSet([0, 0], [15, 15], 16)  # must split: leaf cap 1
+        sched = schedule_theorem1(ft, m)
+        assert sched.num_cycles == 2
+        compiled = compile_schedule(ft, sched)
+        assert all(len(c.wire_of) == 1 for c in compiled)

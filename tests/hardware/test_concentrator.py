@@ -1,0 +1,125 @@
+"""Tests for ideal, partial, and cascaded concentrators (§IV)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    CascadedConcentrator,
+    IdealConcentrator,
+    PartialConcentrator,
+    PIPPENGER_INPUT_DEGREE,
+    PIPPENGER_OUTPUT_DEGREE,
+)
+
+
+class TestIdeal:
+    def test_routes_up_to_s(self):
+        c = IdealConcentrator(10, 6)
+        routed = c.route([1, 3, 5, 7])
+        assert len(routed) == 4
+        assert len(set(routed.values())) == 4
+
+    def test_congestion_drops_excess(self):
+        c = IdealConcentrator(10, 3)
+        routed = c.route(list(range(10)))
+        assert len(routed) == 3
+
+    def test_guaranteed(self):
+        assert IdealConcentrator(10, 6).guaranteed() == 6
+
+    def test_crossbar_component_cost(self):
+        assert IdealConcentrator(10, 6).components() == 60
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            IdealConcentrator(5, 6)
+        with pytest.raises(ValueError):
+            IdealConcentrator(5, 3).route([5])
+
+
+class TestPartial:
+    def test_pippenger_shape(self):
+        pc = PartialConcentrator(96, rng=0)
+        assert pc.s == 64  # ceil(2r/3)
+        assert pc.input_degree() <= PIPPENGER_INPUT_DEGREE
+        assert pc.output_degree() <= PIPPENGER_OUTPUT_DEGREE
+        assert pc.guaranteed() == 48  # floor(3/4 · s)
+
+    def test_linear_components(self):
+        """O(m) components — the property Theorem 4 needs."""
+        for r in (24, 96, 384):
+            pc = PartialConcentrator(r, rng=r)
+            assert pc.components() <= PIPPENGER_INPUT_DEGREE * r
+
+    def test_routing_is_vertex_disjoint(self):
+        pc = PartialConcentrator(48, rng=1)
+        routed = pc.route(list(range(30)))
+        assert len(set(routed.values())) == len(routed)
+        for u, v in routed.items():
+            assert v in pc.adjacency[u]
+
+    def test_alpha_guarantee_sampled(self):
+        """Monte-Carlo certification of the (r, s, α) property: every
+        sampled set of floor(α·s) inputs routes completely."""
+        pc = PartialConcentrator(96, rng=2)
+        k = pc.guaranteed()
+        for trial in range(40):
+            rng = np.random.default_rng(trial)
+            active = rng.choice(96, size=k, replace=False).tolist()
+            assert pc.satisfies_alpha_for(active), f"trial {trial}"
+
+    def test_adversarial_clustered_inputs(self):
+        """Consecutive input blocks (the worst case for naive wirings)."""
+        pc = PartialConcentrator(96, rng=3)
+        k = pc.guaranteed()
+        for start in range(0, 96 - k, 7):
+            assert pc.satisfies_alpha_for(list(range(start, start + k)))
+
+    def test_overload_degrades_gracefully(self):
+        pc = PartialConcentrator(48, rng=4)
+        routed = pc.route(list(range(48)))  # all inputs active
+        assert len(routed) >= pc.guaranteed()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            PartialConcentrator(1)
+
+    def test_custom_s(self):
+        pc = PartialConcentrator(32, s=8, rng=5)
+        assert pc.s == 8
+
+
+class TestCascade:
+    def test_reaches_target_width(self):
+        cc = CascadedConcentrator(96, 20, rng=0)
+        assert cc.s <= 20 * 3 // 2  # within one stage granularity
+        assert cc.depth >= 2
+
+    def test_constant_depth_for_constant_ratio(self):
+        """Halving needs the same number of stages at every scale."""
+        depths = {
+            CascadedConcentrator(r, r // 2, rng=r).depth for r in (48, 96, 384)
+        }
+        assert len(depths) == 1
+
+    def test_route_chains_stages(self):
+        cc = CascadedConcentrator(96, 24, rng=1)
+        active = list(range(0, 30, 2))
+        routed = cc.route(active)
+        assert set(routed) <= set(active)
+        assert len(set(routed.values())) == len(routed)
+        assert all(v < cc.s for v in routed.values())
+
+    def test_guaranteed_load_routes_fully(self):
+        cc = CascadedConcentrator(96, 48, rng=2)
+        k = min(cc.guaranteed(), 30)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            active = rng.choice(96, size=k, replace=False).tolist()
+            assert len(cc.route(active)) == k
+
+    def test_validates_target(self):
+        with pytest.raises(ValueError):
+            CascadedConcentrator(10, 0)
+        with pytest.raises(ValueError):
+            CascadedConcentrator(10, 11)

@@ -1,0 +1,97 @@
+"""Failure-injection tests: the retry loop under transient switch faults.
+
+§VII lists fault tolerance among the unsolved problems of parallel
+supercomputing; the §II acknowledgment mechanism is the baseline answer
+— anything a faulty switch drops is simply retried.  These tests verify
+the delivery loop converges under fault injection and quantify the cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FatTree, MessageSet, UniversalCapacity
+from repro.hardware import run_delivery_cycle, run_until_delivered
+from repro.workloads import random_permutation, uniform_random
+
+
+class TestFaultyCycle:
+    def test_zero_rate_equals_ideal(self):
+        ft = FatTree(32)
+        m = random_permutation(32, seed=0)
+        faulty = run_delivery_cycle(ft, m, concentrators="faulty", fault_rate=0.0)
+        assert faulty.losses == 0
+        assert len(faulty.delivered) == 32
+
+    def test_faults_drop_messages(self):
+        ft = FatTree(64)
+        m = random_permutation(64, seed=1)
+        r = run_delivery_cycle(
+            ft, m, concentrators="faulty", fault_rate=0.3, seed=2
+        )
+        assert r.losses > 0
+        assert len(r.delivered) + r.losses == 64
+
+    def test_fault_rate_validated(self):
+        ft = FatTree(8)
+        m = MessageSet([0], [7], 8)
+        with pytest.raises(ValueError):
+            run_delivery_cycle(ft, m, concentrators="faulty", fault_rate=1.0)
+        with pytest.raises(ValueError):
+            run_delivery_cycle(ft, m, fault_rate=0.1)  # needs faulty mode
+
+    def test_faults_are_reproducible(self):
+        ft = FatTree(32)
+        m = random_permutation(32, seed=3)
+        a = run_delivery_cycle(ft, m, concentrators="faulty",
+                               fault_rate=0.2, seed=5)
+        b = run_delivery_cycle(ft, m, concentrators="faulty",
+                               fault_rate=0.2, seed=5)
+        assert len(a.delivered) == len(b.delivered)
+
+
+class TestRetryUnderFaults:
+    @pytest.mark.parametrize("rate", [0.05, 0.2, 0.5])
+    def test_retry_converges(self, rate):
+        ft = FatTree(32)
+        m = random_permutation(32, seed=4)
+        out = run_until_delivered(
+            ft, m, concentrators="faulty", fault_rate=rate, seed=0
+        )
+        delivered = sum(len(r.delivered) for r in out.reports)
+        assert delivered == 32
+
+    def test_cost_grows_with_fault_rate(self):
+        ft = FatTree(64)
+        m = uniform_random(64, 128, seed=5)
+        cycles = []
+        for rate in (0.0, 0.3):
+            out = run_until_delivered(
+                ft, m, concentrators="faulty", fault_rate=rate, seed=1
+            )
+            cycles.append(out.cycles)
+        assert cycles[1] >= cycles[0]
+
+    def test_geometric_retry_cost(self):
+        """Per-hop drop probability p means survival (1-p)^hops; the
+        expected cycle count is within a small factor of 1/survival."""
+        ft = FatTree(64)
+        m = random_permutation(64, seed=6)
+        rate = 0.1
+        hops = 2 * ft.depth - 1
+        survival = (1 - rate) ** hops
+        out = run_until_delivered(
+            ft, m, concentrators="faulty", fault_rate=rate, seed=2
+        )
+        # cycles needed ~ geometric tail over 64 messages
+        assert out.cycles <= 10 / survival
+
+    def test_heavy_faults_on_congested_traffic(self):
+        ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+        m = uniform_random(32, 200, seed=7)
+        out = run_until_delivered(
+            ft, m, concentrators="faulty", fault_rate=0.25, seed=3,
+            max_cycles=5000,
+        )
+        assert sum(len(r.delivered) for r in out.reports) == len(
+            m.without_self_messages()
+        ) + sum(1 for s, d in m if s == d)

@@ -1,0 +1,133 @@
+"""Tests for the gate-level Fig. 3 node."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import BitSerialMessage, GateLevelNode, Port
+
+
+def climb_msg():
+    """A message whose next bit says: keep climbing (to U)."""
+    return BitSerialMessage(0, 0, [1, 0], ())
+
+
+def turn_msg():
+    """A message whose next bit says: turn at this node."""
+    return BitSerialMessage(0, 0, [0], ())
+
+
+def descend_msg(bit):
+    """A message arriving from above choosing child ``bit``."""
+    return BitSerialMessage(0, 0, [bit], ())
+
+
+class TestConstruction:
+    def test_validates_capacities(self):
+        with pytest.raises(ValueError):
+            GateLevelNode(0, 4)
+        with pytest.raises(ValueError):
+            GateLevelNode(4, 0)
+
+    def test_components_linear_in_wires(self):
+        small = GateLevelNode(8, 6, rng=0)
+        big = GateLevelNode(32, 24, rng=0)
+        ratio = big.components() / small.components()
+        wire_ratio = big.incident_wires() / small.incident_wires()
+        assert ratio <= 1.6 * wire_ratio  # O(m) components
+
+    def test_port_widths(self):
+        node = GateLevelNode(10, 7, rng=1)
+        assert node.port_width(Port.U) == 10
+        assert node.port_width(Port.L0) == 7
+
+
+class TestSwitching:
+    def test_selector_routing(self):
+        node = GateLevelNode(8, 8, rng=2)
+        fwd, drop = node.switch(
+            [
+                (Port.L0, 0, climb_msg()),
+                (Port.L1, 0, turn_msg()),
+                (Port.U, 0, descend_msg(0)),
+                (Port.U, 1, descend_msg(1)),
+            ]
+        )
+        assert not drop
+        ports = sorted((p.value for p, _, _ in fwd))
+        assert ports == ["L0", "L0", "L1", "U"]
+
+    def test_address_bit_stripped(self):
+        node = GateLevelNode(8, 8, rng=3)
+        fwd, _ = node.switch([(Port.L0, 0, climb_msg())])
+        (out, wire, msg), = fwd
+        assert msg.address == [0]
+
+    def test_output_wires_distinct(self):
+        node = GateLevelNode(16, 12, rng=4)
+        arrivals = [(Port.L0, w, climb_msg()) for w in range(12)]
+        fwd, _ = node.switch(arrivals)
+        wires = [(p, w) for p, w, _ in fwd]
+        assert len(set(wires)) == len(wires)
+
+    def test_alpha_load_never_drops(self):
+        """Up to α·s contenders always get through — the §IV guarantee,
+        here exercised through the full selector+concentrator pipeline."""
+        node = GateLevelNode(16, 12, rng=5)
+        guaranteed = node.concentrators[Port.U].guaranteed()
+        arrivals = [
+            (Port.L0, w, climb_msg()) for w in range(min(12, guaranteed))
+        ]
+        fwd, drop = node.switch(arrivals)
+        assert not drop
+
+    def test_overload_drops_but_delivers_alpha(self):
+        node = GateLevelNode(8, 8, rng=6)
+        # 16 climbers for 8 up wires: at least α·8 = 6 must pass
+        arrivals = [(Port.L0, w, climb_msg()) for w in range(8)]
+        arrivals += [(Port.L1, w, climb_msg()) for w in range(8)]
+        fwd, drop = node.switch(arrivals)
+        assert len(fwd) + len(drop) == 16
+        assert len(fwd) >= node.concentrators[Port.U].guaranteed()
+
+    def test_wire_validation(self):
+        node = GateLevelNode(4, 4, rng=7)
+        with pytest.raises(ValueError):
+            node.switch([(Port.L0, 4, climb_msg())])
+        with pytest.raises(ValueError):
+            node.switch(
+                [(Port.L0, 0, climb_msg()), (Port.L0, 0, climb_msg())]
+            )
+
+    def test_empty(self):
+        node = GateLevelNode(4, 4, rng=8)
+        assert node.switch([]) == ([], [])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_gate_node_conservation_property(data):
+    """Messages are conserved: forwarded + dropped = arrivals, and every
+    forwarded message sits on a legal, exclusive output wire."""
+    cap_up = data.draw(st.integers(2, 12))
+    cap_down = data.draw(st.integers(2, 12))
+    node = GateLevelNode(cap_up, cap_down, rng=data.draw(st.integers(0, 99)))
+    arrivals = []
+    for port, width in ((Port.L0, cap_down), (Port.L1, cap_down), (Port.U, cap_up)):
+        wires = data.draw(
+            st.lists(st.integers(0, width - 1), unique=True, max_size=width)
+        )
+        for w in wires:
+            if port is Port.U:
+                msg = descend_msg(data.draw(st.integers(0, 1)))
+            else:
+                msg = data.draw(st.sampled_from([climb_msg(), turn_msg()]))
+            arrivals.append((port, w, msg))
+    fwd, drop = node.switch(arrivals)
+    assert len(fwd) + len(drop) == len(arrivals)
+    used = set()
+    for port, wire, _ in fwd:
+        assert 0 <= wire < node.port_width(port)
+        assert (port, wire) not in used
+        used.add((port, wire))

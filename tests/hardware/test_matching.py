@@ -1,0 +1,85 @@
+"""Tests for Hopcroft-Karp, including a brute-force oracle."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import hopcroft_karp
+
+
+def brute_force_max_matching(adjacency, num_right):
+    """Exponential oracle for small instances."""
+    best = 0
+    n = len(adjacency)
+    rights = list(range(num_right))
+    for perm in permutations(rights, min(n, num_right)):
+        size = sum(1 for u, v in zip(range(n), perm) if v in adjacency[u])
+        # permutations fix an assignment order; also try subsets implicitly
+        best = max(best, size)
+    return best
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adj = [[0, 1], [1, 2], [2, 0]]
+        m = hopcroft_karp(adj, 3)
+        assert len(m) == 3
+        assert len(set(m.values())) == 3
+
+    def test_empty_graph(self):
+        assert hopcroft_karp([], 5) == {}
+        assert hopcroft_karp([[], []], 3) == {}
+
+    def test_star_contention(self):
+        adj = [[0], [0], [0]]
+        m = hopcroft_karp(adj, 1)
+        assert len(m) == 1
+
+    def test_matching_is_valid(self):
+        rng = np.random.default_rng(0)
+        adj = [
+            sorted(rng.choice(20, size=3, replace=False).tolist())
+            for _ in range(15)
+        ]
+        m = hopcroft_karp(adj, 20)
+        for u, v in m.items():
+            assert v in adj[u]
+        assert len(set(m.values())) == len(m)
+
+    def test_hall_violation_limits_matching(self):
+        # 3 left vertices all confined to 2 right vertices
+        adj = [[0, 1], [0, 1], [0, 1]]
+        assert len(hopcroft_karp(adj, 2)) == 2
+
+    def test_bipartite_chain(self):
+        adj = [[0], [0, 1], [1, 2], [2, 3]]
+        assert len(hopcroft_karp(adj, 4)) == 4
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_against_networkx_oracle(self, data):
+        nx = pytest.importorskip("networkx")
+        n_left = data.draw(st.integers(1, 8))
+        n_right = data.draw(st.integers(1, 8))
+        adj = [
+            sorted(
+                set(
+                    data.draw(
+                        st.lists(st.integers(0, n_right - 1), max_size=4)
+                    )
+                )
+            )
+            for _ in range(n_left)
+        ]
+        ours = hopcroft_karp(adj, n_right)
+        g = nx.Graph()
+        g.add_nodes_from(range(n_left), bipartite=0)
+        g.add_nodes_from(range(n_left, n_left + n_right), bipartite=1)
+        for u, vs in enumerate(adj):
+            for v in vs:
+                g.add_edge(u, n_left + v)
+        theirs = nx.bipartite.maximum_matching(g, top_nodes=range(n_left))
+        assert len(ours) == len(theirs) // 2

@@ -1,0 +1,133 @@
+"""Tests for the fat-tree-as-network and the k-ary n-tree descendant."""
+
+import numpy as np
+import pytest
+
+from repro.networks import (
+    FatTreeNetwork,
+    KAryNTree,
+    simulate_store_and_forward,
+)
+from repro.workloads import random_permutation
+
+
+class TestFatTreeNetwork:
+    def test_node_count(self):
+        f = FatTreeNetwork(64)
+        assert f.num_nodes == 64 + 63
+
+    def test_adjacency_symmetric(self):
+        f = FatTreeNetwork(32, 8)
+        for u in range(f.num_nodes):
+            for v in f.neighbors(u):
+                assert u in f.neighbors(v)
+
+    def test_leaves_have_one_link(self):
+        f = FatTreeNetwork(16)
+        for leaf in range(16):
+            assert len(f.neighbors(leaf)) == 1
+
+    def test_route_is_tree_path(self):
+        f = FatTreeNetwork(16)
+        path = f.route(0, 15)
+        assert len(path) == 2 + 2 * 4 - 1  # leaves + 7 switches
+
+    def test_routes_valid(self):
+        f = FatTreeNetwork(64, 16)
+        rng = np.random.default_rng(0)
+        for s, d in rng.integers(0, 64, (40, 2)):
+            f.verify_route(int(s), int(d))
+
+    def test_locate_roundtrip(self):
+        f = FatTreeNetwork(32)
+        for level in range(f.depth):
+            for index in range(1 << level):
+                node = f.switch_id(level, index)
+                assert f.locate(node) == (level, index)
+        assert f.locate(7) == (f.depth, 7)
+
+    def test_bisection_is_root_channel_capacity(self):
+        f = FatTreeNetwork(64, 16)
+        assert f.bisection_width() == f.fat_tree.cap(1)
+
+    def test_self_simulation(self):
+        """The closing-the-loop check: a fat-tree network embeds into a
+        universal fat-tree of its own volume with bounded slowdown."""
+        from repro.universality import simulate_network_on_fattree
+
+        net = FatTreeNetwork(64, 16)
+        m = random_permutation(64, seed=0)
+        res = simulate_network_on_fattree(net, m)
+        assert res.slowdown <= res.bound()
+
+
+class TestKAryNTree:
+    def test_sizes(self):
+        t = KAryNTree(2, 3)
+        assert t.n == 8
+        assert t.switches_per_stage == 4
+        assert t.total_switches() == 12
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            KAryNTree(1, 3)
+        with pytest.raises(ValueError):
+            KAryNTree(2, 0)
+
+    def test_adjacency_symmetric(self):
+        for k, lv in [(2, 3), (4, 2), (3, 2)]:
+            t = KAryNTree(k, lv)
+            for u in range(t.num_nodes):
+                for v in t.neighbors(u):
+                    assert u in t.neighbors(v), (k, lv, u, v)
+
+    def test_switch_degrees(self):
+        t = KAryNTree(4, 3)
+        # internal stages: k down + k up; root stage: k down only
+        root = t.switch_id(0, 0)
+        assert len(t.neighbors(root)) == 4
+        mid = t.switch_id(1, 0)
+        assert len(t.neighbors(mid)) == 8
+
+    @pytest.mark.parametrize("k,lv", [(2, 2), (2, 4), (4, 3), (3, 3)])
+    def test_routes_valid(self, k, lv):
+        t = KAryNTree(k, lv)
+        rng = np.random.default_rng(k * lv)
+        for s, d in rng.integers(0, t.n, (40, 2)):
+            t.verify_route(int(s), int(d))
+
+    def test_same_edge_switch_routes_locally(self):
+        t = KAryNTree(4, 3)
+        path = t.route(0, 3)  # same edge switch
+        assert len(path) == 3  # proc -> edge switch -> proc
+
+    def test_up_choice_gives_disjoint_climbs(self):
+        t = KAryNTree(2, 4)
+        paths = [t.route(0, 15, up_choice=c) for c in range(2)]
+        # the two climbs diverge at the first up step
+        assert paths[0] != paths[1]
+        for p in paths:
+            assert p[0] == 0 and p[-1] == 15
+
+    def test_path_diversity(self):
+        t = KAryNTree(2, 4)
+        assert t.path_diversity(0, 1) == 1  # same edge switch
+        assert t.path_diversity(0, 15) == 8  # full climb: k^(n-1)
+        assert t.path_diversity(5, 5) == 1
+
+    def test_full_bisection(self):
+        assert KAryNTree(4, 3).bisection_width() == 32
+
+    def test_neighbor_round_one_step(self):
+        t = KAryNTree(2, 3)
+        m = t.neighbor_message_set()
+        if len(m):
+            assert simulate_store_and_forward(t, m) == 1
+
+    def test_permutation_routes_fast(self):
+        """Path diversity + logarithmic depth: any permutation finishes
+        in a small number of store-and-forward steps."""
+        t = KAryNTree(2, 4)
+        m = random_permutation(16, seed=1)
+        steps = simulate_store_and_forward(t, m)
+        assert steps <= 6 * t.n_levels

@@ -1,0 +1,325 @@
+"""Shared structural tests across all network families.
+
+Every network must have a symmetric connection graph, valid routes for
+all (or sampled) processor pairs, a layout with one position per
+processor, and a one-step-deliverable neighbour message set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.networks import (
+    Benes,
+    BinaryTreeNetwork,
+    Butterfly,
+    Hypercube,
+    Mesh2D,
+    Mesh3D,
+    Multigrid,
+    ShuffleExchange,
+    Torus2D,
+    TreeOfMeshes,
+    simulate_store_and_forward,
+)
+
+NETWORKS = [
+    Hypercube(32),
+    Mesh2D(36),
+    Mesh3D(27),
+    Torus2D(25),
+    BinaryTreeNetwork(32),
+    Multigrid(64),
+    Butterfly(16),
+    Benes(16),
+    ShuffleExchange(32),
+    TreeOfMeshes(64),
+]
+
+
+@pytest.mark.parametrize("net", NETWORKS, ids=lambda n: n.name)
+class TestNetworkContract:
+    def test_adjacency_is_symmetric(self, net):
+        for u in range(net.num_nodes):
+            for v in net.neighbors(u):
+                assert u in net.neighbors(v), f"{net.name}: edge ({u},{v}) one-way"
+
+    def test_no_self_loops(self, net):
+        for u in range(net.num_nodes):
+            assert u not in net.neighbors(u)
+
+    def test_routes_are_valid_paths(self, net):
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, net.n, size=(30, 2))
+        for s, d in pairs:
+            net.verify_route(int(s), int(d))
+
+    def test_route_to_self_is_trivial(self, net):
+        assert net.route(0, 0) == [0]
+
+    def test_layout_shape(self, net):
+        lay = net.layout()
+        assert lay.n == net.n
+        assert lay.volume > 0
+        # all positions inside the box
+        for axis in range(3):
+            assert lay.positions[:, axis].min() >= 0
+            assert lay.positions[:, axis].max() <= lay.box[axis] + 1e-9
+
+    def test_layout_positions_distinct(self, net):
+        lay = net.layout()
+        rounded = {tuple(np.round(p, 6)) for p in lay.positions}
+        assert len(rounded) == net.n
+
+    def test_neighbor_message_set_delivers_in_one_step(self, net):
+        m = net.neighbor_message_set()
+        if len(m) == 0:
+            pytest.skip("no processor-to-processor links")
+        assert simulate_store_and_forward(net, m) == 1
+
+    def test_degree_positive_and_bounded(self, net):
+        deg = net.degree()
+        assert 1 <= deg <= max(8, 2 * int(np.log2(net.n)) + 2)
+
+
+class TestHypercube:
+    def test_neighbors_differ_in_one_bit(self):
+        h = Hypercube(16)
+        for u in range(16):
+            for v in h.neighbors(u):
+                assert bin(u ^ v).count("1") == 1
+
+    def test_ecube_route_length_is_hamming_distance(self):
+        h = Hypercube(64)
+        rng = np.random.default_rng(1)
+        for s, d in rng.integers(0, 64, size=(50, 2)):
+            path = h.route(int(s), int(d))
+            assert len(path) - 1 == bin(int(s) ^ int(d)).count("1")
+
+    def test_bisection_width(self):
+        assert Hypercube(64).bisection_width() == 32
+
+    def test_wiring_volume_scales_as_n_to_three_halves(self):
+        v1, v2 = Hypercube(64).wiring_volume(), Hypercube(256).wiring_volume()
+        assert v2 / v1 == pytest.approx(4 ** 1.5)
+
+
+class TestMesh:
+    def test_mesh2d_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Mesh2D(10)
+
+    def test_mesh3d_rejects_non_cube(self):
+        with pytest.raises(ValueError):
+            Mesh3D(10)
+
+    def test_xy_route_is_shortest(self):
+        m = Mesh2D(25)
+        path = m.route(0, 24)
+        assert len(path) - 1 == 8  # manhattan distance corner to corner
+
+    def test_torus_wraps(self):
+        t = Torus2D(25)
+        # 0 and 4 are adjacent through the wraparound
+        assert t._node(4, 0) in t.neighbors(t._node(0, 0))
+        assert len(t.route(t._node(0, 0), t._node(4, 0))) == 2
+
+    def test_torus_shortest_direction(self):
+        t = Torus2D(49)
+        path = t.route(0, 5)  # wrap (2 hops) beats forward (5 hops)
+        assert len(path) - 1 == 2
+
+    def test_mesh_volume_is_linear(self):
+        assert Mesh2D(64).wiring_volume() == 64
+
+
+class TestTreeNetworks:
+    def test_tree_route_is_unique_tree_path(self):
+        t = BinaryTreeNetwork(16)
+        path = t.route(0, 15)
+        assert len(path) - 1 == 8  # up 4 edges, down 4 edges
+
+    def test_tree_bisection_is_one(self):
+        assert BinaryTreeNetwork(64).bisection_width() == 1
+
+    def test_multigrid_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Multigrid(36)  # side 6 not a power of two
+
+    def test_multigrid_levels(self):
+        mg = Multigrid(64)
+        assert mg.level_sides == [8, 4, 2, 1]
+        assert mg.num_nodes == 64 + 16 + 4 + 1
+
+    def test_multigrid_local_routes_stay_low(self):
+        mg = Multigrid(64)
+        path = mg.route(0, 1)
+        assert len(path) == 2  # mesh neighbours route directly
+
+    def test_tree_of_meshes_vertex_count(self):
+        tom = TreeOfMeshes(64)
+        assert tom.vertices_per_level() == [64] * 7
+        assert tom.num_nodes == 64 * 7
+
+    def test_tree_of_meshes_dims_alternate(self):
+        tom = TreeOfMeshes(64)
+        assert tom.dims == [
+            (8, 8), (8, 4), (4, 4), (4, 2), (2, 2), (2, 1), (1, 1),
+        ]
+
+    def test_tree_of_meshes_rejects_non_4k(self):
+        with pytest.raises(ValueError):
+            TreeOfMeshes(32)
+
+    def test_tree_of_meshes_connected(self):
+        tom = TreeOfMeshes(16)
+        # BFS from node 0 must reach every vertex
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in tom.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        assert len(seen) == tom.num_nodes
+
+
+class TestButterfly:
+    def test_structure(self):
+        b = Butterfly(8)
+        assert b.num_nodes == 4 * 8
+
+    def test_route_length(self):
+        b = Butterfly(16)
+        path = b.route(0, 15)
+        assert len(path) - 1 == 2 * b.dim
+
+    def test_descending_phase_fixes_msb_first(self):
+        b = Butterfly(8)
+        path = b.route(0, 7)
+        rows = [b.level_row(p)[1] for p in path[: b.dim + 1]]
+        assert rows == [0, 4, 6, 7]
+
+
+class TestBenes:
+    def test_levels(self):
+        assert Benes(8).levels == 6
+
+    def test_permutation_paths_identity(self):
+        b = Benes(8)
+        b.verify_permutation_paths(list(range(8)))
+
+    def test_permutation_paths_reversal(self):
+        b = Benes(8)
+        b.verify_permutation_paths(list(range(7, -1, -1)))
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_random_permutations(self, n):
+        b = Benes(n)
+        rng = np.random.default_rng(n)
+        for _ in range(5):
+            b.verify_permutation_paths(rng.permutation(n))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Benes(4).permutation_paths([0, 0, 1, 2])
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            Benes(8).permutation_paths([0, 1])
+
+
+class TestShuffleExchange:
+    def test_route_length_bounded(self):
+        se = ShuffleExchange(64)
+        rng = np.random.default_rng(2)
+        for s, d in rng.integers(0, 64, size=(40, 2)):
+            path = se.route(int(s), int(d))
+            assert len(path) - 1 <= 2 * se.dim
+
+    def test_rotations_are_inverse(self):
+        se = ShuffleExchange(32)
+        for x in range(32):
+            assert se._rotr(se._rotl(x)) == x
+
+
+class TestStoreAndForward:
+    def test_contention_serialises(self):
+        """Two messages over the same directed link take two steps."""
+        m2 = Mesh2D(4)
+        from repro.core import MessageSet
+
+        msgs = MessageSet([0, 0], [1, 1], 4)
+        assert simulate_store_and_forward(m2, msgs) == 2
+
+    def test_step_guard(self):
+        m2 = Mesh2D(4)
+        from repro.core import MessageSet
+
+        msgs = MessageSet([0] * 10, [3] * 10, 4)
+        with pytest.raises(RuntimeError):
+            simulate_store_and_forward(m2, msgs, max_steps=2)
+
+    def test_empty_messages(self):
+        from repro.core import MessageSet
+
+        assert simulate_store_and_forward(Mesh2D(4), MessageSet.empty(4)) == 0
+
+
+class TestCubeConnectedCycles:
+    """The §VI bounded-degree competitor (Galil-Paul's substrate)."""
+
+    def test_sizes(self):
+        from repro.networks import CubeConnectedCycles
+
+        c = CubeConnectedCycles(4)
+        assert c.n == 4 * 16
+        assert c.degree() == 3
+
+    def test_rejects_small_d(self):
+        from repro.networks import CubeConnectedCycles
+
+        with pytest.raises(ValueError):
+            CubeConnectedCycles(2)
+
+    def test_locate_roundtrip(self):
+        from repro.networks import CubeConnectedCycles
+
+        c = CubeConnectedCycles(4)
+        for x in range(c.cube_size):
+            for p in range(c.d):
+                assert c.locate(c.node_id(x, p)) == (x, p)
+
+    def test_cycle_and_cube_edges(self):
+        from repro.networks import CubeConnectedCycles
+
+        c = CubeConnectedCycles(4)
+        nbrs = c.neighbors(c.node_id(0, 2))
+        assert c.node_id(0, 1) in nbrs
+        assert c.node_id(0, 3) in nbrs
+        assert c.node_id(4, 2) in nbrs  # across dimension 2
+
+    def test_route_length_is_o_d(self):
+        from repro.networks import CubeConnectedCycles
+
+        c = CubeConnectedCycles(5)
+        rng = np.random.default_rng(0)
+        for s, d_ in rng.integers(0, c.n, (100, 2)):
+            path = c.verify_route(int(s), int(d_))
+            assert len(path) - 1 <= 3 * c.d
+
+    def test_bisection_matches_hypercube(self):
+        from repro.networks import CubeConnectedCycles, Hypercube
+
+        c = CubeConnectedCycles(4)
+        assert c.bisection_width() == Hypercube(16).bisection_width()
+
+    def test_theorem10_within_bound(self):
+        """CCC vs the equal-volume fat-tree (the Galil-Paul comparison
+        through Leiserson's lens)."""
+        from repro.networks import CubeConnectedCycles
+        from repro.universality import simulate_network_on_fattree
+
+        c = CubeConnectedCycles(4)  # n = 64, a power of two
+        res = simulate_network_on_fattree(c, c.neighbor_message_set(), t=1)
+        assert res.slowdown <= res.bound()

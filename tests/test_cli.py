@@ -1,0 +1,93 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestTopology:
+    def test_default(self, capsys):
+        code, out = run(capsys, "topology", "--n", "32")
+        assert code == 0
+        assert "total wires" in out
+        assert "cap(c)" in out
+
+    def test_skinny_tree_reports_volume(self, capsys):
+        _, out = run(capsys, "topology", "--n", "64", "--w", "16")
+        assert "volume (Thm 4)" in out
+
+    def test_sub_universal_w_handled(self, capsys):
+        _, out = run(capsys, "topology", "--n", "4096", "--w", "64")
+        assert "n/a" in out
+
+
+class TestSchedule:
+    def test_random_traffic(self, capsys):
+        code, out = run(
+            capsys, "schedule", "--n", "32", "--traffic", "random",
+            "--messages", "100",
+        )
+        assert code == 0
+        assert "Theorem 1" in out
+        assert "λ(M)" in out
+
+    def test_narrow_tree_omits_corollary2(self, capsys):
+        _, out = run(
+            capsys, "schedule", "--n", "64", "--w", "16",
+            "--traffic", "permutation",
+        )
+        assert "Corollary 2" not in out
+
+    @pytest.mark.parametrize(
+        "traffic", ["random", "permutation", "bit-reversal", "hotspot", "local"]
+    )
+    def test_all_traffic_kinds(self, capsys, traffic):
+        code, _ = run(
+            capsys, "schedule", "--n", "32", "--traffic", traffic,
+            "--messages", "64",
+        )
+        assert code == 0
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "network", ["mesh", "hypercube", "shuffle", "tree", "torus"]
+    )
+    def test_networks(self, capsys, network):
+        code, out = run(capsys, "simulate", "--n", "64", "--network", network)
+        assert code == 0
+        assert "slowdown" in out
+
+
+class TestHardware:
+    def test_ideal(self, capsys):
+        code, out = run(
+            capsys, "hardware", "--n", "32", "--traffic", "random",
+            "--messages", "80",
+        )
+        assert code == 0
+        assert "delivered" in out
+
+    def test_pippenger(self, capsys):
+        code, out = run(
+            capsys, "hardware", "--n", "32", "--traffic", "hotspot",
+            "--messages", "60", "--concentrators", "pippenger",
+        )
+        assert code == 0
+        assert "pippenger concentrators" in out

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs clean and prints its story.
+
+Deliverable (b) — the examples are part of the public surface, so CI
+keeps them green.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+EXPECTED_PHRASES = {
+    "quickstart.py": ["load factor", "Theorem 1", "switch simulator"],
+    "finite_element.py": ["planar FEM", "hypercube", "volume"],
+    "universality_demo.py": ["slowdown", "equal-volume"],
+    "permutation_routing.py": ["Beneš", "permutation"],
+    "capacity_planning.py": ["volume budget", "speedup"],
+    "fft_application.py": ["fft", "stencil"],
+    "decomposition_pipeline.py": ["Theorem 5", "Theorem 8", "Theorem 10"],
+}
+
+
+def test_all_examples_covered():
+    assert {s.name for s in SCRIPTS} == set(EXPECTED_PHRASES)
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for phrase in EXPECTED_PHRASES[script.name]:
+        assert phrase in result.stdout, f"{script.name} missing {phrase!r}"

@@ -1,0 +1,47 @@
+"""Tests for the experiment registry (the `python -m repro experiment`
+backend)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_twenty_experiments_registered(self):
+        assert experiment_ids() == [f"e{i:02d}" for i in range(1, 22)]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("e99")
+
+    def test_every_experiment_documented(self):
+        for eid, fn in EXPERIMENTS.items():
+            assert fn.__doc__, eid
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENTS), ids=str)
+def test_experiment_produces_tables(eid):
+    """Every experiment runs and yields non-empty, well-formed sections."""
+    sections = run_experiment(eid)
+    assert sections, eid
+    for title, rows in sections:
+        assert title.startswith("E"), title
+        assert rows, title
+        keys = set(rows[0])
+        assert all(set(r) == keys for r in rows), title
+
+
+def test_cli_experiment_command(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "e01"]) == 0
+    out = capsys.readouterr().out
+    assert "E1 / Fig. 1" in out
+
+
+def test_cli_unknown_experiment_fails_cleanly(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "e99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err

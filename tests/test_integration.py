@@ -1,0 +1,169 @@
+"""Cross-package integration tests.
+
+Each test threads one scenario through several subsystems and checks the
+pieces agree with each other — the repo-level invariants no single
+package test can see.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import schedule_stats, traffic_stats
+from repro.core import (
+    FatTree,
+    UniversalCapacity,
+    exact_minimum_cycles,
+    load_factor,
+    schedule_corollary2,
+    schedule_greedy_first_fit,
+    schedule_random_rank,
+    schedule_theorem1,
+    simulate_online_retry,
+    ScaledCapacity,
+)
+from repro.hardware import run_schedule, run_store_and_forward, run_until_delivered
+from repro.networks import Hypercube, Mesh2D
+from repro.universality import embed_network, simulate_network_on_fattree
+from repro.vlsi import (
+    balance_decomposition,
+    build_fattree_layout,
+    cutting_plane_tree,
+    universal_fattree_for_volume,
+)
+from repro.workloads import fem_message_set, grid_fem_edges, uniform_random
+
+
+class TestSchedulerAgreement:
+    """All five schedulers on the same instance: consistent partitions,
+    consistent ordering of quality."""
+
+    def test_all_schedulers_valid_and_ordered(self):
+        n = 64
+        base = UniversalCapacity(n, n)
+        ft = FatTree(n, ScaledCapacity(base, lambda c: 2 * c * base.depth))
+        m = uniform_random(n, 10 * n, seed=0)
+        lam = math.ceil(load_factor(ft, m))
+
+        results = {}
+        for name, fn in (
+            ("thm1", schedule_theorem1),
+            ("cor2", schedule_corollary2),
+            ("greedy", schedule_greedy_first_fit),
+            ("rank", lambda f, mm: schedule_random_rank(f, mm, seed=1)),
+            ("retry", lambda f, mm: simulate_online_retry(f, mm, seed=1)),
+        ):
+            sched = fn(ft, m)
+            sched.validate(ft, m)
+            results[name] = sched.num_cycles
+        assert all(d >= lam for d in results.values())
+        assert results["cor2"] <= results["thm1"]
+
+    def test_exact_beats_everyone_on_small_instance(self):
+        ft = FatTree(16, UniversalCapacity(16, 8, strict=False))
+        m = uniform_random(16, 22, seed=3)
+        opt = exact_minimum_cycles(ft, m)
+        for sched in (
+            schedule_theorem1(ft, m),
+            schedule_greedy_first_fit(ft, m),
+            schedule_random_rank(ft, m, seed=0),
+        ):
+            assert sched.num_cycles >= opt
+
+
+class TestScheduleMeetsHardware:
+    """Schedules, the switch simulator, and the buffered design must
+    agree on what gets delivered."""
+
+    def test_offline_schedule_runs_clean_on_switches(self):
+        n = 128
+        ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+        m = uniform_random(n, 6 * n, seed=4)
+        sched = schedule_theorem1(ft, m)
+        reports = run_schedule(ft, sched)
+        delivered = sum(len(r.delivered) for r in reports)
+        assert delivered == len(m.without_self_messages())
+
+    def test_three_delivery_mechanisms_agree_on_message_count(self):
+        n = 64
+        ft = FatTree(n, UniversalCapacity(n, 16))
+        m = uniform_random(n, 3 * n, seed=5).without_self_messages()
+        sched_total = sum(
+            len(c) for c in schedule_theorem1(ft, m).cycles
+        )
+        retry_total = sum(
+            len(r.delivered)
+            for r in run_until_delivered(ft, m, seed=0).reports
+        )
+        buffered = run_store_and_forward(ft, m)
+        assert sched_total == retry_total == len(m)
+        assert buffered.latencies.size == len(m)
+
+    def test_schedule_stats_consistent_with_simulator(self):
+        """A schedule whose stats say peak utilisation <= 1 must route
+        with zero drops — and does."""
+        n = 64
+        ft = FatTree(n, UniversalCapacity(n, 16))
+        m = uniform_random(n, 4 * n, seed=6)
+        sched = schedule_theorem1(ft, m)
+        stats = schedule_stats(ft, sched)
+        assert stats.mean_peak_utilisation <= 1.0
+        run_schedule(ft, sched)  # raises on any loss
+
+
+class TestGeometryMeetsScheduling:
+    """The VLSI pipeline and the scheduler compose."""
+
+    def test_constructed_layout_through_theorem10(self):
+        """Build a fat-tree's own 3-D layout, cut it, balance it, embed
+        its traffic into another fat-tree of that volume: the whole loop
+        stays within the Theorem 10 bound."""
+        lay = build_fattree_layout(64, 16)
+        lay.validate_disjoint()
+        tree = cutting_plane_tree(lay.processor_layout())
+        bal = balance_decomposition(tree)
+        bal.validate_balance()
+        ft = universal_fattree_for_volume(64, lay.volume)
+        assert ft.root_capacity >= math.ceil(64 ** (2 / 3))
+
+    def test_embedding_preserves_load_semantics(self):
+        """λ of translated traffic equals λ computed after manual
+        relabeling by the same leaf map."""
+        net = Mesh2D(64)
+        ft = universal_fattree_for_volume(64, net.layout().volume)
+        emb = embed_network(net, ft)
+        m = uniform_random(64, 200, seed=7)
+        translated = emb.translate(m)
+        manual = np.array(emb.leaf_of)
+        assert np.array_equal(translated.src, manual[m.src])
+        assert load_factor(ft, translated) >= 0
+
+    def test_fem_to_hardware_end_to_end(self):
+        """§I story end to end: planar FEM traffic → skinny fat-tree →
+        schedule → bit-serial switches, zero drops."""
+        n = 256
+        m = fem_message_set(grid_fem_edges(n), n, placement="hilbert")
+        ft = FatTree(n, UniversalCapacity(n, math.ceil(n ** (2 / 3))))
+        sched = schedule_theorem1(ft, m)
+        sched.validate(ft, m)
+        run_schedule(ft, sched)
+        ts = traffic_stats(ft, m)
+        assert ts.locality > 0.4  # Hilbert placement keeps it local
+
+
+class TestUniversalityCoherence:
+    def test_simulation_result_pieces_multiply(self):
+        net = Hypercube(64)
+        res = simulate_network_on_fattree(net, net.neighbor_message_set(), t=1)
+        assert res.fat_tree_time == res.delivery_cycles * res.switch_ticks
+        assert res.slowdown == pytest.approx(res.fat_tree_time / res.t)
+
+    def test_more_volume_never_slows_the_simulation(self):
+        net = Mesh2D(64)
+        m = net.neighbor_message_set()
+        small = simulate_network_on_fattree(net, m, t=1)
+        big = simulate_network_on_fattree(
+            net, m, t=1, volume=4 * net.layout().volume
+        )
+        assert big.delivery_cycles <= small.delivery_cycles

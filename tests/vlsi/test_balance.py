@@ -1,0 +1,91 @@
+"""Tests for Theorem 8 / Corollary 9 (balanced decomposition trees)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube, Layout, Mesh2D
+from repro.vlsi import (
+    balance_decomposition,
+    corollary9_factor,
+    cutting_plane_tree,
+    theorem8_bound,
+)
+
+
+def tree_for(n, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 16.0, (n, 3))
+    return cutting_plane_tree(Layout(pos, (16.0, 16.0, 16.0)))
+
+
+class TestBalance:
+    def test_balanced_splits(self):
+        bal = balance_decomposition(tree_for(37))
+        bal.validate_balance()
+
+    def test_depth_is_log_n(self):
+        for n in (16, 33, 64, 100):
+            bal = balance_decomposition(tree_for(n, seed=n))
+            bal.validate_balance()
+            assert bal.depth <= math.ceil(math.log2(n)) + 1
+
+    def test_leaf_order_is_permutation(self):
+        bal = balance_decomposition(tree_for(50, seed=1))
+        order = bal.leaf_order()
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_theorem8_bandwidth_bound(self):
+        """w'_j <= 4·Σ_{i>=j} w_i at every balanced level."""
+        tree = tree_for(128, seed=2)
+        bal = balance_decomposition(tree)
+        for j, wj in enumerate(bal.level_bandwidths):
+            bound = theorem8_bound(tree.level_bandwidths, min(j, tree.depth))
+            assert wj <= bound + 1e-6, (j, wj, bound)
+
+    def test_each_node_at_most_two_runs(self):
+        bal = balance_decomposition(tree_for(90, seed=3))
+        bal.validate_balance()  # includes the <= 2 runs check
+
+    def test_single_processor(self):
+        bal = balance_decomposition(tree_for(1))
+        assert bal.depth == 0
+        assert bal.root.is_leaf
+
+    def test_two_processors(self):
+        bal = balance_decomposition(tree_for(2, seed=4))
+        bal.validate_balance()
+        assert bal.depth == 1
+
+    @pytest.mark.parametrize(
+        "net", [Hypercube(64), Mesh2D(64)], ids=lambda n: n.name
+    )
+    def test_real_network_layouts(self, net):
+        tree = cutting_plane_tree(net.layout())
+        bal = balance_decomposition(tree)
+        bal.validate_balance()
+        assert len(bal.leaf_order()) == net.n
+
+
+class TestCorollary9:
+    def test_factor(self):
+        assert corollary9_factor(2.0) == 8.0
+        assert corollary9_factor(4 ** (1 / 3)) == pytest.approx(
+            4 * 4 ** (1 / 3) / (4 ** (1 / 3) - 1)
+        )
+
+    def test_factor_range_validated(self):
+        with pytest.raises(ValueError):
+            corollary9_factor(1.0)
+        with pytest.raises(ValueError):
+            corollary9_factor(2.5)
+
+    def test_geometric_tree_blowup_within_corollary9(self):
+        """For the (w, ∛4) trees of Theorem 5, the measured balanced
+        bandwidth blow-up at the root is at most 4a/(a−1)·w."""
+        tree = tree_for(256, seed=5)
+        bal = balance_decomposition(tree)
+        a = 4 ** (1 / 3)
+        w0 = tree.level_bandwidths[0]
+        assert bal.level_bandwidths[0] <= corollary9_factor(a) * w0 * 1.01

@@ -1,0 +1,141 @@
+"""Tests for decomposition trees and the Theorem 5 construction."""
+
+import numpy as np
+import pytest
+
+from repro.networks import Hypercube, Layout, Mesh2D, Mesh3D
+from repro.vlsi import (
+    CUBE_ROOT_4,
+    cutting_plane_tree,
+    theorem5_bandwidth,
+)
+
+
+def random_layout(n, seed=0, side=16.0):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, side, (n, 3))
+    return Layout(pos, (side, side, side))
+
+
+class TestCuttingPlaneTree:
+    def test_terminal_regions_hold_at_most_one(self):
+        tree = cutting_plane_tree(random_layout(50))
+        tree.validate()
+
+    def test_root_holds_everything(self):
+        tree = cutting_plane_tree(random_layout(30))
+        assert tree.root.processors.size == 30
+
+    def test_children_partition(self):
+        tree = cutting_plane_tree(random_layout(40, seed=3))
+        tree.validate()  # includes the partition check
+
+    def test_bandwidths_follow_surface_area(self):
+        lay = random_layout(20, seed=1)
+        tree = cutting_plane_tree(lay, gamma=2.0)
+        assert tree.root.bandwidth == pytest.approx(
+            2.0 * tree.root.box.surface_area
+        )
+
+    def test_level_bandwidth_decay_approaches_cube_root_4(self):
+        """Theorem 5: bandwidth decays by ∛4 per level (averaged over
+        three levels it is exactly 4, since three cuts halve each side)."""
+        tree = cutting_plane_tree(random_layout(512, seed=2))
+        w = tree.level_bandwidths
+        for i in range(0, min(len(w) - 3, 6)):
+            assert w[i] / w[i + 3] == pytest.approx(4.0, rel=0.01)
+
+    def test_matches_theorem5_closed_form(self):
+        lay = random_layout(256, seed=4)
+        tree = cutting_plane_tree(lay)
+        v = lay.volume
+        for i, wi in enumerate(tree.level_bandwidths[:6]):
+            assert wi <= theorem5_bandwidth(v, i) * 1.01
+
+    def test_processor_leaf_positions_distinct_and_ordered(self):
+        tree = cutting_plane_tree(random_layout(64, seed=5))
+        pos = tree.processor_leaf_positions()
+        assert len(set(pos.tolist())) == 64
+        assert pos.min() >= 0 and pos.max() < (1 << tree.depth)
+
+    def test_coincident_points_terminate(self):
+        """Physically coincident processors fall back to index splits."""
+        pos = np.zeros((8, 3)) + 1.0
+        tree = cutting_plane_tree(Layout(pos, (4.0, 4.0, 4.0)))
+        tree.validate()
+
+    def test_single_processor(self):
+        tree = cutting_plane_tree(random_layout(1))
+        assert tree.root.is_leaf
+        assert tree.depth == 0
+
+
+class TestRealLayouts:
+    @pytest.mark.parametrize(
+        "net", [Hypercube(64), Mesh2D(64), Mesh3D(64)], ids=lambda n: n.name
+    )
+    def test_network_layouts_decompose(self, net):
+        tree = cutting_plane_tree(net.layout())
+        tree.validate()
+        pos = tree.processor_leaf_positions()
+        assert len(set(pos.tolist())) == net.n
+
+    def test_root_bandwidth_scales_as_v_two_thirds(self):
+        """Theorem 5's root bandwidth O(v^{2/3}) measured across sizes."""
+        ratios = []
+        for n in (64, 512, 4096):
+            h = Hypercube(n)
+            lay = h.layout()
+            tree = cutting_plane_tree(lay)
+            ratios.append(tree.level_bandwidths[0] / lay.volume ** (2 / 3))
+        assert max(ratios) / min(ratios) < 1.5  # flat ratio = right exponent
+
+    def test_cube_root_4_constant(self):
+        assert CUBE_ROOT_4 == pytest.approx(4 ** (1 / 3))
+
+
+class TestTwoDimensionalCuts:
+    """The axes parameter: Thompson-model (perimeter) decomposition."""
+
+    def test_axes_validated(self):
+        from repro.networks import Mesh2D
+
+        with pytest.raises(ValueError):
+            cutting_plane_tree(Mesh2D(64).layout(), axes=())
+        with pytest.raises(ValueError):
+            cutting_plane_tree(Mesh2D(64).layout(), axes=(0, 3))
+
+    def test_perimeter_bandwidth(self):
+        from repro.networks import Mesh2D
+
+        lay = Mesh2D(64).layout()
+        tree = cutting_plane_tree(lay, axes=(0, 1), gamma=2.0)
+        assert tree.root.bandwidth == pytest.approx(
+            2.0 * 2.0 * (lay.box[0] + lay.box[1])
+        )
+
+    def test_sqrt2_decay_over_two_levels(self):
+        from repro.networks import Mesh2D
+
+        tree = cutting_plane_tree(Mesh2D(256).layout(), axes=(0, 1))
+        w = tree.level_bandwidths
+        for i in range(0, min(6, len(w) - 2)):
+            assert w[i] / w[i + 2] == pytest.approx(2.0, rel=0.01)
+
+    def test_2d_root_within_closed_form(self):
+        from repro.networks import Mesh2D
+        from repro.vlsi import square_decomposition_bandwidth
+
+        lay = Mesh2D(256).layout()
+        tree = cutting_plane_tree(lay, axes=(0, 1))
+        area = lay.box[0] * lay.box[1]
+        assert tree.level_bandwidths[0] <= square_decomposition_bandwidth(area, 0)
+
+    def test_2d_tree_balances(self):
+        from repro.networks import Mesh2D
+        from repro.vlsi import balance_decomposition
+
+        tree = cutting_plane_tree(Mesh2D(64).layout(), axes=(0, 1))
+        bal = balance_decomposition(tree)
+        bal.validate_balance()
+        assert len(bal.leaf_order()) == 64

@@ -1,0 +1,51 @@
+"""Tests for Lemma 7 (forest of complete subtrees covering a leaf run)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vlsi import subtree_forest
+from repro.vlsi.forest import verify_forest
+
+
+class TestForest:
+    def test_full_tree_is_one_subtree(self):
+        assert subtree_forest(0, 16, 4) == [(0, 0)]
+
+    def test_single_leaf(self):
+        assert subtree_forest(5, 6, 4) == [(4, 5)]
+
+    def test_empty_run(self):
+        assert subtree_forest(3, 3, 4) == []
+
+    def test_unaligned_run(self):
+        # [1, 9) over depth 4: blocks 1 + 2 + 4 + 1
+        forest = subtree_forest(1, 9, 4)
+        sizes = [1 << (4 - lvl) for lvl, _ in forest]
+        assert sizes == [1, 2, 4, 1]
+        verify_forest(forest, 1, 9, 4)
+
+    def test_aligned_half(self):
+        assert subtree_forest(8, 16, 4) == [(1, 1)]
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            subtree_forest(0, 17, 4)
+        with pytest.raises(ValueError):
+            subtree_forest(-1, 4, 4)
+
+    def test_verify_catches_bad_forest(self):
+        with pytest.raises(AssertionError):
+            verify_forest([(4, 0), (4, 2)], 0, 2, 4)  # gap at leaf 1
+
+
+@settings(max_examples=300)
+@given(st.data())
+def test_lemma7_properties(data):
+    """All three Lemma 7 claims for random runs in random-depth trees."""
+    depth = data.draw(st.integers(0, 10))
+    n_leaves = 1 << depth
+    lo = data.draw(st.integers(0, n_leaves))
+    hi = data.draw(st.integers(lo, n_leaves))
+    forest = subtree_forest(lo, hi, depth)
+    verify_forest(forest, lo, hi, depth)

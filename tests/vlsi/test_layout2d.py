@@ -1,0 +1,61 @@
+"""Tests for the 2-D H-tree constructive layout."""
+
+import pytest
+
+from repro.vlsi import Rect, area_bound, build_fattree_layout_2d
+
+
+class TestRect:
+    def test_area_perimeter(self):
+        r = Rect((0, 0), (3.0, 4.0))
+        assert r.area == 12.0
+        assert r.perimeter == 14.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Rect((0, 0), (0.0, 1.0))
+
+
+class TestConstruction:
+    def test_every_element_placed(self):
+        lay = build_fattree_layout_2d(64, 16)
+        assert len(lay.processor_rects) == 64
+        assert len(lay.switch_rects) == 63
+
+    def test_disjoint(self):
+        for n, w in [(16, 8), (64, 16), (64, 64), (256, 32)]:
+            build_fattree_layout_2d(n, w).validate_disjoint()
+
+    def test_occupied_below_bounding(self):
+        lay = build_fattree_layout_2d(64, 16)
+        assert lay.occupied_area() <= lay.area
+
+    def test_root_switch_is_largest(self):
+        lay = build_fattree_layout_2d(64, 64)
+        root = lay.switch_rects[(0, 0)].area
+        assert all(
+            root >= r.area for r in lay.switch_rects.values()
+        )
+
+    def test_validate_catches_overlap(self):
+        lay = build_fattree_layout_2d(16, 8)
+        lay.processor_rects[0] = lay.processor_rects[1]
+        with pytest.raises(AssertionError):
+            lay.validate_disjoint()
+
+
+class TestAreaShape:
+    def test_area_tracks_2d_theorem4(self):
+        """Occupied area / (w·lg(n/w))² is flat across a 64x sweep —
+        the 2-D Theorem 4 analogue holds constructively."""
+        ratios = [
+            build_fattree_layout_2d(n, n).occupied_area()
+            / area_bound(n, n, 1.0)
+            for n in (64, 256, 1024)
+        ]
+        assert max(ratios) / min(ratios) < 1.2
+
+    def test_skinny_tree_cheaper(self):
+        full = build_fattree_layout_2d(256, 256)
+        skinny = build_fattree_layout_2d(256, 32)
+        assert skinny.area < full.area

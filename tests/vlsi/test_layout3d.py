@@ -1,0 +1,96 @@
+"""Tests for the constructive 3-D fat-tree layout."""
+
+import pytest
+
+from repro.vlsi import (
+    balance_decomposition,
+    build_fattree_layout,
+    cutting_plane_tree,
+    volume_bound,
+)
+
+
+class TestConstruction:
+    def test_every_element_placed(self):
+        lay = build_fattree_layout(64, 16)
+        assert len(lay.processor_boxes) == 64
+        assert len(lay.switch_boxes) == 63
+
+    def test_boxes_disjoint(self):
+        for n, w in [(16, 8), (64, 16), (64, 64), (128, 32)]:
+            build_fattree_layout(n, w).validate_disjoint()
+
+    def test_occupied_below_bounding(self):
+        lay = build_fattree_layout(64, 16)
+        assert lay.occupied_volume() <= lay.volume
+
+    def test_switch_boxes_grow_toward_root(self):
+        lay = build_fattree_layout(64, 64)
+        root_vol = lay.switch_boxes[(0, 0)].volume
+        leaf_switch_vol = lay.switch_boxes[(5, 0)].volume
+        assert root_vol > leaf_switch_vol
+
+    def test_h_parameter_flattens(self):
+        thin = build_fattree_layout(64, 16, h=2.0)
+        cube = build_fattree_layout(64, 16, h=1.0)
+        # larger h trades height for footprint in each node box
+        root_thin = thin.switch_boxes[(0, 0)]
+        root_cube = cube.switch_boxes[(0, 0)]
+        assert min(root_thin.sides) < min(root_cube.sides)
+
+
+class TestVolumeShape:
+    def test_occupied_volume_tracks_theorem4(self):
+        """The placed boxes' total volume scales as (w·lg(n/w))^{3/2}:
+        flat ratio against the closed form across a 64x sweep."""
+        ratios = []
+        for n in (64, 256, 1024, 4096):
+            lay = build_fattree_layout(n, n)
+            ratios.append(lay.occupied_volume() / volume_bound(n, n, 1.0))
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_bounding_volume_same_order(self):
+        """Packing slack grows at most logarithmically."""
+        ratios = []
+        for n in (64, 256, 1024, 4096):
+            lay = build_fattree_layout(n, n)
+            ratios.append(lay.volume / volume_bound(n, n, 1.0))
+        assert max(ratios) / min(ratios) < 2.0
+
+
+class TestSelfConsistency:
+    def test_processor_layout_shape(self):
+        lay = build_fattree_layout(64, 16)
+        pl = lay.processor_layout()
+        assert pl.n == 64
+        assert pl.volume == pytest.approx(lay.volume)
+
+    def test_fattree_layout_decomposes_and_balances(self):
+        """Feed the fat-tree's own physical layout back through the
+        Theorem 5 / Theorem 8 pipeline."""
+        lay = build_fattree_layout(64, 16)
+        tree = cutting_plane_tree(lay.processor_layout())
+        tree.validate()
+        bal = balance_decomposition(tree)
+        bal.validate_balance()
+        assert len(bal.leaf_order()) == 64
+
+    def test_validate_catches_overlap(self):
+        lay = build_fattree_layout(16, 8)
+        # corrupt: move a processor box onto another
+        from repro.vlsi import Box
+
+        lay.processor_boxes[0] = Box(
+            lay.processor_boxes[1].origin, lay.processor_boxes[1].sides
+        )
+        with pytest.raises(AssertionError):
+            lay.validate_disjoint()
+
+    def test_validate_catches_escape(self):
+        lay = build_fattree_layout(16, 8)
+        from repro.vlsi import Box
+
+        bx, by, bz = lay.bounding.sides
+        lay.processor_boxes[0] = Box((bx + 1, 0, 0), (1, 1, 1))
+        with pytest.raises(AssertionError):
+            lay.validate_disjoint()

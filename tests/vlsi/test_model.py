@@ -1,0 +1,83 @@
+"""Tests for the 3-D VLSI model primitives."""
+
+import numpy as np
+import pytest
+
+from repro.vlsi import Box, cube_for_volume, surface_bandwidth
+
+
+class TestBox:
+    def test_volume_and_surface(self):
+        b = Box((0, 0, 0), (2.0, 3.0, 4.0))
+        assert b.volume == 24.0
+        assert b.surface_area == 2 * (6 + 12 + 8)
+
+    def test_cube(self):
+        c = Box.cube(3.0)
+        assert c.volume == 27.0
+        assert c.surface_area == 54.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (1.0, 0.0, 1.0))
+
+    def test_split_halves_volume(self):
+        b = Box.cube(4.0)
+        lo, hi = b.split(0)
+        assert lo.volume == hi.volume == b.volume / 2
+        assert lo.origin == (0, 0, 0)
+        assert hi.origin == (2.0, 0, 0)
+
+    def test_split_axis_validation(self):
+        with pytest.raises(ValueError):
+            Box.cube(1.0).split(3)
+
+    def test_split_partitions_points(self):
+        b = Box.cube(2.0)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 2, (100, 3))
+        for axis in range(3):
+            lo, hi = b.split(axis)
+            in_lo = lo.contains(pts)
+            in_hi = hi.contains(pts)
+            assert np.all(in_lo ^ in_hi)
+
+    def test_contains_is_half_open(self):
+        b = Box.cube(1.0)
+        assert b.contains(np.array([[0.0, 0.0, 0.0]]))[0]
+        assert not b.contains(np.array([[1.0, 0.5, 0.5]]))[0]
+
+    def test_longest_axis(self):
+        assert Box((0, 0, 0), (1, 5, 2)).longest_axis() == 1
+
+    def test_cube_root_surface_decay(self):
+        """Two split levels shrink surface area by about 4^(1/3) each —
+        the decay constant of Theorem 5."""
+        b = Box.cube(8.0)
+        cur, areas = [b], [b.surface_area]
+        axis = 0
+        for _ in range(6):
+            cur = [piece for bx in cur for piece in bx.split(axis)]
+            axis = (axis + 1) % 3
+            areas.append(cur[0].surface_area)
+        # after every 3 cuts the box is a half-size cube: area / 4^(1/3)^3 = area/4
+        assert areas[3] == pytest.approx(areas[0] / 4)
+        assert areas[6] == pytest.approx(areas[3] / 4)
+
+
+class TestBandwidth:
+    def test_linear_in_area(self):
+        assert surface_bandwidth(10.0) == 10.0
+        assert surface_bandwidth(10.0, gamma=2.5) == 25.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            surface_bandwidth(-1.0)
+
+    def test_cube_for_volume(self):
+        c = cube_for_volume(27.0)
+        assert c.sides == (3.0, 3.0, 3.0)
+
+    def test_cube_for_volume_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cube_for_volume(0.0)

@@ -1,0 +1,108 @@
+"""Tests for the Lemma 6 pearl-splitting construction (Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vlsi import split_two_strings
+
+
+def materialise(pieces, L, S):
+    """Collect the pearls of a piece list."""
+    strings = (list(L), list(S))
+    out = []
+    for s, lo, hi in pieces:
+        out.extend(strings[s][lo:hi])
+    return out
+
+
+def assert_valid_split(L, S, *, strict=False):
+    sp = split_two_strings(L, S, strict_even=strict)
+    a = materialise(sp.set_a, L, S)
+    b = materialise(sp.set_b, L, S)
+    total, blacks = len(L) + len(S), sum(L) + sum(S)
+    whites = total - blacks
+    assert len(a) + len(b) == total
+    assert sorted(a + b) == sorted(list(L) + list(S))
+    assert len(sp.set_a) <= 2 and len(sp.set_b) <= 2
+    if strict:
+        assert sum(a) == blacks // 2 and sum(b) == blacks // 2
+        assert (len(a) - sum(a)) == whites // 2
+    else:
+        assert abs(sum(a) - sum(b)) <= 1
+        assert abs((len(a) - sum(a)) - (len(b) - sum(b))) <= 1
+    return sp
+
+
+class TestStrictLemma6:
+    def test_simple_even_split(self):
+        assert_valid_split([1, 0, 1, 0], [1, 0, 1, 0], strict=True)
+
+    def test_all_black(self):
+        assert_valid_split([1, 1], [1, 1], strict=True)
+
+    def test_empty_short_string(self):
+        assert_valid_split([1, 0, 0, 1], [], strict=True)
+
+    def test_both_empty(self):
+        sp = split_two_strings([], [], strict_even=True)
+        assert sp.set_a == [] and sp.set_b == []
+
+    def test_rejects_odd_counts(self):
+        with pytest.raises(ValueError):
+            split_two_strings([1, 0, 0], [0], strict_even=True)
+
+    def test_adversarial_clustered(self):
+        """All blacks at one end of one string — forces a middle cut."""
+        assert_valid_split([1, 1, 1, 1, 0, 0, 0, 0], [0, 0, 1, 1], strict=True)
+
+    def test_alternating(self):
+        assert_valid_split([1, 0] * 8, [0, 1] * 4, strict=True)
+
+    def test_interleaved_lengths(self):
+        assert_valid_split([1] * 5 + [0] * 5, [0, 1], strict=True)
+
+
+class TestRelaxedSplit:
+    def test_odd_blacks(self):
+        assert_valid_split([1, 0, 1], [0, 1])
+
+    def test_single_pearl(self):
+        sp = split_two_strings([1], [])
+        assert sp.pieces() >= 1
+
+    def test_short_longer_than_long_is_swapped(self):
+        sp = split_two_strings([1, 0], [1, 0, 1, 0])
+        assert sp.family.endswith("-swapped")
+        assert_valid_split([1, 0], [1, 0, 1, 0])
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.lists(st.integers(0, 1), max_size=40),
+    st.lists(st.integers(0, 1), max_size=40),
+)
+def test_split_always_exists_property(L, S):
+    """Lemma 6 (relaxed): a two-cut balanced split exists for *any* pair
+    of strings; each side gets each colour to within one and at most two
+    contiguous pieces."""
+    assert_valid_split(L, S)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_strict_split_property(data):
+    """The literal lemma: even colour counts -> exactly-half split."""
+    rng_bits = data.draw(st.lists(st.integers(0, 1), min_size=0, max_size=60))
+    # pad to even counts of each colour
+    blacks = sum(rng_bits)
+    whites = len(rng_bits) - blacks
+    pad = []
+    if blacks % 2:
+        pad.append(1)
+    if whites % 2:
+        pad.append(0)
+    combined = rng_bits + pad
+    cut = data.draw(st.integers(0, len(combined)))
+    assert_valid_split(combined[:cut], combined[cut:], strict=True)

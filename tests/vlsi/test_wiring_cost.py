@@ -1,0 +1,142 @@
+"""Tests for Lemma 3 wiring boxes and Theorem 4 cost accounting."""
+
+import math
+
+import pytest
+
+from repro.core import FatTree, UniversalCapacity
+from repro.vlsi import (
+    component_bound,
+    constructive_volume,
+    crossbar_area,
+    cubic_node_box,
+    max_volume,
+    min_volume,
+    node_box,
+    node_components,
+    root_capacity_for_volume,
+    total_components,
+    universal_fattree_for_volume,
+    volume_bound,
+)
+
+
+class TestLemma3:
+    def test_crossbar_area_quadratic(self):
+        assert crossbar_area(10) == 100.0
+        assert crossbar_area(20) / crossbar_area(10) == 4.0
+
+    def test_cubic_box_sides_sqrt_m(self):
+        b = cubic_node_box(100)
+        assert b.sides == (10.0, 10.0, 10.0)
+
+    def test_node_box_dimensions(self):
+        b = node_box(100, h=2.0)
+        assert b.sides == (20.0, 20.0, 5.0)
+
+    def test_node_box_h1_is_cubic(self):
+        assert node_box(64, 1.0).sides == cubic_node_box(64).sides
+
+    def test_h_range_validated(self):
+        with pytest.raises(ValueError):
+            node_box(16, 0.5)
+        with pytest.raises(ValueError):
+            node_box(16, 5.0)
+
+    def test_volume_grows_with_h(self):
+        """Height compression costs volume: V(h) = h·m^{3/2}."""
+        assert node_box(100, 2.0).volume == 2 * node_box(100, 1.0).volume
+
+    def test_rejects_nonpositive_m(self):
+        for fn in (crossbar_area, cubic_node_box, node_components):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    def test_node_components_linear(self):
+        assert node_components(40) == 40
+        assert node_components(40, 2.5) == 100
+
+
+class TestTheorem4Components:
+    def test_exact_count_within_closed_form(self):
+        for n, w in [(64, 16), (256, 64), (1024, 128), (1024, 1024)]:
+            ft = FatTree(n, UniversalCapacity(n, w))
+            measured = total_components(ft)
+            assert measured <= component_bound(n, w)
+
+    def test_leaf_levels_dominate(self):
+        """Per Theorem 4's proof: the levels between the crossover and
+        the leaves each contribute Θ(n), dominating the near-root
+        geometric series."""
+        n, w = 4096, 4096  # crossover at 0: all levels are leaf-regime
+        ft = FatTree(n, UniversalCapacity(n, w))
+        per_level = [
+            (1 << lvl) * ft.node_incident_wires(lvl) for lvl in range(ft.depth)
+        ]
+        # each level carries close to the same total (within 2x)
+        assert max(per_level) <= 2 * min(per_level)
+
+    def test_component_count_scales_linearly_at_fixed_ratio(self):
+        """With w = n (ratio fixed) components grow as n·lg n... / n
+        stays within a lg factor: measure n -> 4n quadruples + lg."""
+        c1 = total_components(FatTree(256, UniversalCapacity(256, 256)))
+        c2 = total_components(FatTree(1024, UniversalCapacity(1024, 1024)))
+        ratio = c2 / c1
+        assert 4.0 <= ratio <= 4.0 * (math.log2(1024 ** 3 / 1024 ** 2)
+                                      / math.log2(256 ** 3 / 256 ** 2))
+
+    def test_bound_rejects_illegal_w(self):
+        with pytest.raises(ValueError):
+            component_bound(4096, 64)
+        with pytest.raises(ValueError):
+            volume_bound(64, 128)
+
+
+class TestTheorem4Volume:
+    def test_constructive_volume_within_closed_form_shape(self):
+        """The constructive packing and the closed form must scale the
+        same way: their ratio stays bounded across a sweep."""
+        ratios = []
+        for n in (64, 256, 1024, 4096):
+            w = round(n ** (5 / 6))
+            ratios.append(constructive_volume(n, w) / volume_bound(n, w, 1.0))
+        assert max(ratios) / min(ratios) < 8.0
+
+    def test_volume_bound_increases_with_w(self):
+        # w·lg(n/w) is only weakly monotone (doubling w can exactly offset
+        # a halving log), so compare across a 4x capacity gap
+        assert volume_bound(1024, 512) > volume_bound(1024, 128)
+        assert volume_bound(1024, 512) >= volume_bound(1024, 256)
+
+    def test_volume_range(self):
+        assert min_volume(1024) == 1024 * 10
+        assert max_volume(1024) == 1024 ** 1.5
+
+
+class TestVolumeToCapacity:
+    def test_round_trip_shape(self):
+        """volume -> w -> volume stays within a polylog factor."""
+        n = 4096
+        for v in (n * 12.0, n ** 1.2, n ** 1.45):
+            w = root_capacity_for_volume(n, v)
+            back = volume_bound(n, w, 1.0)
+            assert back / v < 40.0 and v / back < 40.0
+
+    def test_clamped_to_legal_range(self):
+        n = 4096
+        assert root_capacity_for_volume(n, 1.0) == math.ceil(n ** (2 / 3))
+        assert root_capacity_for_volume(n, 1e12) == n
+
+    def test_monotone_in_volume(self):
+        n = 4096
+        ws = [root_capacity_for_volume(n, v) for v in (1e4, 1e5, 1e6, 1e7)]
+        assert ws == sorted(ws)
+
+    def test_universal_fattree_for_volume(self):
+        ft = universal_fattree_for_volume(256, 5000.0)
+        assert ft.n == 256
+        assert ft.root_capacity == root_capacity_for_volume(256, 5000.0)
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ValueError):
+            root_capacity_for_volume(256, 0.0)

@@ -1,0 +1,128 @@
+"""Tests for multi-round application traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import FatTree, UniversalCapacity, load_factor
+from repro.workloads import (
+    Trace,
+    allreduce_trace,
+    bitonic_sort_trace,
+    fft_trace,
+    schedule_trace,
+    sparse_matvec_trace,
+    stencil_trace,
+)
+
+ALL_TRACES = [
+    fft_trace(64),
+    bitonic_sort_trace(64),
+    stencil_trace(64, iterations=3),
+    sparse_matvec_trace(64, seed=1),
+    allreduce_trace(64),
+]
+
+
+@pytest.mark.parametrize("trace", ALL_TRACES, ids=lambda t: t.name)
+class TestTraceContract:
+    def test_nonempty_rounds(self, trace):
+        assert len(trace) >= 1
+        assert all(len(r) > 0 for r in trace.rounds)
+
+    def test_consistent_n(self, trace):
+        assert all(r.n == trace.n for r in trace.rounds)
+
+    def test_schedulable(self, trace):
+        ft = FatTree(trace.n, UniversalCapacity(trace.n, 16))
+        schedules, total = schedule_trace(ft, trace)
+        assert len(schedules) == len(trace)
+        assert total == sum(s.num_cycles for s in schedules)
+        for r, s in zip(trace.rounds, schedules):
+            s.validate(ft, r)
+
+
+class TestFFT:
+    def test_round_count(self):
+        assert len(fft_trace(256)) == 8
+
+    def test_each_round_is_permutation(self):
+        for r in fft_trace(64).rounds:
+            assert sorted(r.dst.tolist()) == list(range(64))
+
+    def test_round_k_flips_bit_k(self):
+        tr = fft_trace(16)
+        for k, r in enumerate(tr.rounds):
+            for s, d in r:
+                assert s ^ d == 1 << k
+
+    def test_whole_fft_is_one_cycle_per_round_on_full_tree(self):
+        ft = FatTree(64)
+        for r in fft_trace(64).rounds:
+            assert load_factor(ft, r) <= 1.0
+
+
+class TestBitonic:
+    def test_round_count_is_lg_squared(self):
+        # lg n (lg n + 1) / 2 rounds
+        assert len(bitonic_sort_trace(64)) == 6 * 7 // 2
+
+    def test_message_volume(self):
+        tr = bitonic_sort_trace(16)
+        assert tr.total_messages() == len(tr) * 16
+
+
+class TestStencil:
+    def test_identical_rounds(self):
+        tr = stencil_trace(64, iterations=5)
+        assert len(tr) == 5
+        assert all(r == tr.rounds[0] for r in tr.rounds)
+
+    def test_local_structure(self):
+        """Stencil partners are grid neighbours: λ is set by the stencil
+        degree at the unit leaf channels, and the root load stays within
+        the planar O(√n) bound."""
+        from repro.core import channel_loads
+        from repro.workloads import planar_bisection_bound
+
+        ft = FatTree(256)
+        r = stencil_trace(256).rounds[0]
+        assert load_factor(ft, r) <= 4.0  # 4-point stencil degree
+        root_load = int(channel_loads(ft, r).up[1].max())
+        assert root_load <= planar_bisection_bound(256)
+
+
+class TestSparseMatvec:
+    def test_no_self_messages(self):
+        tr = sparse_matvec_trace(32, seed=0)
+        r = tr.rounds[0]
+        assert np.all(r.src != r.dst)
+
+    def test_row_demand_bounded(self):
+        tr = sparse_matvec_trace(32, nnz_per_row=4, seed=0)
+        r = tr.rounds[0]
+        counts = np.bincount(r.dst, minlength=32)
+        assert counts.max() <= 4
+
+    def test_seeded(self):
+        a = sparse_matvec_trace(32, seed=5).rounds[0]
+        b = sparse_matvec_trace(32, seed=5).rounds[0]
+        assert a == b
+
+
+class TestAllreduce:
+    def test_matches_fft_shape(self):
+        a = allreduce_trace(64)
+        f = fft_trace(64)
+        assert len(a) == len(f)
+        for ra, rf in zip(a.rounds, f.rounds):
+            assert ra == rf
+
+
+class TestTraceAggregate:
+    def test_total_messages(self):
+        tr = Trace("x", [stencil_trace(64).rounds[0]] * 2)
+        assert tr.total_messages() == 2 * len(stencil_trace(64).rounds[0])
+
+    def test_empty_trace(self):
+        tr = Trace("empty", [])
+        assert tr.n == 0 and len(tr) == 0

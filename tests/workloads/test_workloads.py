@@ -1,0 +1,191 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FatTree, MessageSet, channel_loads, load_factor
+from repro.workloads import (
+    all_to_all,
+    bisection_stress,
+    bit_reversal,
+    butterfly_exchange,
+    cyclic_shift,
+    fem_message_set,
+    grid_fem_edges,
+    hotspot,
+    local_traffic,
+    planar_bisection_bound,
+    random_permutation,
+    tornado,
+    transpose,
+    triangulated_fem_edges,
+    uniform_random,
+)
+
+
+class TestPermutations:
+    def test_random_permutation_is_permutation(self):
+        m = random_permutation(64, seed=0)
+        assert sorted(m.dst.tolist()) == list(range(64))
+
+    def test_random_permutation_seeded(self):
+        assert list(random_permutation(32, 1)) == list(random_permutation(32, 1))
+
+    def test_bit_reversal_involution(self):
+        m = bit_reversal(64)
+        rev = {s: d for s, d in m}
+        for s, d in m:
+            assert rev[d] == s
+
+    def test_bit_reversal_known_values(self):
+        m = bit_reversal(8)
+        mapping = dict(m)
+        assert mapping[1] == 4 and mapping[3] == 6 and mapping[7] == 7
+
+    def test_transpose_involution(self):
+        m = transpose(16)
+        mp = dict(m)
+        for s, d in m:
+            assert mp[d] == s
+
+    def test_transpose_needs_square(self):
+        with pytest.raises(ValueError):
+            transpose(8)
+
+    def test_cyclic_shift(self):
+        m = cyclic_shift(8, 3)
+        assert dict(m)[7] == 2
+
+    def test_butterfly_exchange(self):
+        m = butterfly_exchange(8, 1)
+        assert dict(m)[0] == 2
+
+    def test_butterfly_stage_validated(self):
+        with pytest.raises(ValueError):
+            butterfly_exchange(8, 3)
+
+    def test_tornado_is_permutation(self):
+        m = tornado(16)
+        assert sorted(m.dst.tolist()) == list(range(16))
+
+
+class TestRandomTraffic:
+    def test_uniform_random_shape(self):
+        m = uniform_random(32, 500, seed=0)
+        assert len(m) == 500 and m.n == 32
+
+    def test_hotspot_concentrates(self):
+        m = hotspot(32, 1000, target=5, fraction=0.7, seed=0)
+        hot_share = np.mean(m.dst == 5)
+        assert hot_share > 0.6
+
+    def test_hotspot_fraction_validated(self):
+        with pytest.raises(ValueError):
+            hotspot(8, 10, fraction=1.5)
+
+    def test_all_to_all_count(self):
+        m = all_to_all(8)
+        assert len(m) == 8 * 7
+        assert len(set(m.as_pairs())) == 56
+
+    def test_bisection_stress_crosses_root(self):
+        n = 32
+        m = bisection_stress(n, seed=1)
+        assert np.all((m.src < 16) != (m.dst < 16))
+
+    def test_bisection_stress_saturates_root_channels(self):
+        n = 32
+        ft = FatTree(n)
+        m = bisection_stress(n, m_per_proc=4, seed=2)
+        loads = channel_loads(ft, m)
+        assert loads.up[1].min() > 0  # both root channels loaded
+
+
+class TestLocality:
+    def test_decay_controls_root_traffic(self):
+        """Lower decay = more local traffic = lighter root load."""
+        n = 256
+        ft = FatTree(n)
+        local = local_traffic(n, 4000, decay=0.25, seed=0)
+        globl = local_traffic(n, 4000, decay=2.0, seed=0)
+        root_local = channel_loads(ft, local).up[1].sum()
+        root_global = channel_loads(ft, globl).up[1].sum()
+        assert root_local < root_global / 3
+
+    def test_endpoints_in_range(self):
+        m = local_traffic(64, 1000, decay=0.5, seed=1)
+        assert m.dst.min() >= 0 and m.dst.max() < 64
+
+    def test_no_self_messages(self):
+        m = local_traffic(64, 500, seed=2)
+        assert np.all(m.src != m.dst)  # the LCA-level flip guarantees it
+
+    def test_decay_validated(self):
+        with pytest.raises(ValueError):
+            local_traffic(16, 10, decay=0.0)
+
+
+class TestPlanarFEM:
+    def test_grid_edge_count(self):
+        # side k grid: 2·k·(k-1) edges
+        assert len(grid_fem_edges(16)) == 2 * 4 * 3
+
+    def test_grid_needs_square(self):
+        with pytest.raises(ValueError):
+            grid_fem_edges(8)
+
+    def test_triangulation_is_planar_sized(self):
+        n = 128
+        edges = triangulated_fem_edges(n, seed=0)
+        assert len(edges) <= 3 * n - 6  # Euler bound for planar graphs
+
+    def test_fem_message_set_is_symmetric(self):
+        m = fem_message_set(grid_fem_edges(16), 16)
+        pairs = set(m.as_pairs())
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_hilbert_placement_beats_random(self):
+        """The §I point: with a good partitioner, planar traffic loads
+        the fat-tree root far below a scrambled placement."""
+        n = 256
+        ft = FatTree(n)
+        edges = grid_fem_edges(n)
+        good = fem_message_set(edges, n, placement="hilbert")
+        bad = fem_message_set(edges, n, placement="random", seed=3)
+        assert load_factor(ft, good) <= load_factor(ft, bad)
+        root_good = channel_loads(ft, good).up[1].max()
+        root_bad = channel_loads(ft, bad).up[1].max()
+        assert root_good < root_bad
+
+    def test_hilbert_root_load_is_o_sqrt_n(self):
+        """Planar + locality-preserving placement ⇒ O(√n) crosses the
+        bisection (Lipton-Tarjan)."""
+        for n in (64, 256, 1024):
+            ft = FatTree(n)
+            m = fem_message_set(grid_fem_edges(n), n, placement="hilbert")
+            root_load = int(channel_loads(ft, m).up[1].max())
+            assert root_load <= planar_bisection_bound(n)
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            fem_message_set(grid_fem_edges(16), 16, placement="bogus")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 10_000))
+def test_generators_produce_valid_message_sets(log_n, seed):
+    n = 1 << log_n
+    gens = [
+        random_permutation(n, seed),
+        bit_reversal(n),
+        cyclic_shift(n, seed % n),
+        tornado(n),
+        uniform_random(n, 50, seed),
+        hotspot(n, 50, target=seed % n, seed=seed),
+        local_traffic(n, 50, decay=0.5, seed=seed),
+    ]
+    for m in gens:
+        assert isinstance(m, MessageSet)
+        assert m.n == n
