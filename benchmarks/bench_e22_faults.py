@@ -1,0 +1,173 @@
+"""E22 — extension: delivery-cycle inflation under injected faults.
+
+§VII lists fault tolerance among the open problems of the paper.  This
+bench quantifies the natural answer the architecture already contains:
+capacities are per channel, so a fat-tree with dead wires is just a
+smaller fat-tree, and the off-line/on-line machinery routes against the
+surviving hardware unchanged.
+
+Shape assertions:
+
+* killing a fraction f ≤ 1/4 of every channel's wires inflates the
+  Theorem 1 delivery count by at most a constant factor that does NOT
+  grow with n (n ∈ {64, 256, 1024}) — degradation is graceful;
+* transient loss makes the retry/backoff loop slower but it always
+  terminates, and a too-small budget raises ``DeliveryTimeout`` rather
+  than hanging;
+* a dead switch severs exactly its subtree's root-crossing traffic; the
+  remaining messages still deliver and the accounting partitions.
+"""
+
+import pytest
+
+from repro.core import (
+    DeliveryTimeout,
+    FatTree,
+    UniversalCapacity,
+    load_factor,
+    schedule_theorem1,
+)
+from repro.faults import DegradedFatTree, FaultModel
+from repro.hardware import run_until_delivered
+from repro.workloads import butterfly_exchange, uniform_random
+
+FRACTIONS = (0.0, 0.125, 0.25)
+SIZES = (64, 256, 1024)
+
+
+def skinny(n):
+    """A tapered tree (w = n/4) whose bottleneck sits in the upper
+    levels, where channels are wide enough for fractional kills to
+    remove wires (a leaf channel of cap 1 loses floor(f·1) = 0)."""
+    return FatTree(n, UniversalCapacity(n, n // 4, strict=False))
+
+
+def degrade(ft, fraction, seed=0):
+    if fraction == 0.0:
+        return ft
+    model = FaultModel(seed=seed).kill_wire_fraction(ft, fraction)
+    return DegradedFatTree(ft, model)
+
+
+def cycles_at(n, fraction):
+    ft = degrade(skinny(n), fraction)
+    m = butterfly_exchange(n, n.bit_length() - 2)  # every message crosses the root
+    return schedule_theorem1(ft, m).num_cycles
+
+
+def test_slowdown_constant_in_n(report, benchmark):
+    rows = []
+    slowdowns = {}
+    for n in SIZES:
+        base = cycles_at(n, 0.0)
+        row = {"n": n, "cycles (pristine)": base}
+        for f in FRACTIONS[1:]:
+            c = cycles_at(n, f)
+            row[f"cycles (f={f})"] = c
+            slowdowns[(n, f)] = c / base
+            row[f"slowdown (f={f})"] = round(c / base, 3)
+        rows.append(row)
+    report(rows, title="E22 — Theorem 1 cycles vs fraction of wires killed")
+    # graceful degradation: killing ≤ 1/4 of every channel's wires costs
+    # at most a constant factor...
+    assert all(s <= 2.0 for s in slowdowns.values())
+    # ...and that factor does not grow with n (O(1) in n at fixed f)
+    for f in FRACTIONS[1:]:
+        per_n = [slowdowns[(n, f)] for n in SIZES]
+        assert max(per_n) <= 1.5 * min(per_n) + 0.5
+    # more faults never help
+    for n in SIZES:
+        assert cycles_at(n, 0.25) >= cycles_at(n, 0.0)
+    benchmark(cycles_at, 256, 0.25)
+
+
+def test_load_factor_inflation_tracks_surviving_capacity(report):
+    """λ(M) on the degraded tree stays within 1/(1-f) of pristine —
+    the inflation a proportional capacity loss predicts."""
+    rows = []
+    for n in SIZES:
+        ft = skinny(n)
+        m = uniform_random(n, 4 * n, seed=1)
+        lam0 = load_factor(ft, m)
+        for f in FRACTIONS[1:]:
+            lam = load_factor(degrade(ft, f), m)
+            rows.append(
+                {
+                    "n": n,
+                    "f": f,
+                    "λ pristine": round(lam0, 3),
+                    "λ degraded": round(lam, 3),
+                    "bound λ/(1-f)": round(lam0 / (1 - f), 3),
+                }
+            )
+            assert lam0 <= lam <= lam0 / (1 - f) + 1e-9
+    report(rows, title="E22 — λ(M) inflation under wire kills")
+
+
+def test_transient_loss_terminates(report, benchmark):
+    """Retry + capped exponential backoff always converges under
+    Bernoulli corruption, at a cost geometric in the loss rate."""
+    n = 64
+    ft = skinny(n)
+    m = uniform_random(n, 2 * n, seed=2)
+    rows = []
+    prev = 0
+    for loss in (0.0, 0.1, 0.3):
+        model = FaultModel(seed=3, loss_rate=loss).kill_wire_fraction(ft, 0.125)
+        dft = DegradedFatTree(ft, model)
+        out = run_until_delivered(dft, m, seed=4, max_cycles=20_000)
+        rows.append(
+            {
+                "loss rate": loss,
+                "delivery cycles": out.cycles,
+                "max attempts": out.max_attempts(),
+            }
+        )
+        assert out.cycles >= prev
+        prev = out.cycles
+    report(rows, title="E22 — retry cost under transient loss (n = 64)")
+    benchmark(
+        run_until_delivered,
+        DegradedFatTree(ft, FaultModel(seed=3, loss_rate=0.1)),
+        m,
+        seed=4,
+    )
+
+
+def test_timeout_raises_instead_of_hanging():
+    n = 64
+    ft = skinny(n)
+    model = FaultModel(seed=5, loss_rate=0.4)
+    dft = DegradedFatTree(ft, model)
+    m = uniform_random(n, 2 * n, seed=6)
+    with pytest.raises(DeliveryTimeout) as exc:
+        run_until_delivered(dft, m, seed=7, max_cycles=2)
+    assert exc.value.cycles == 2
+    assert len(exc.value.undelivered) > 0
+
+
+def test_dead_switch_degrades_gracefully(report):
+    n = 256
+    ft = FatTree(n)
+    model = FaultModel(seed=8).kill_switch(2, 1)
+    dft = DegradedFatTree(ft, model)
+    m = uniform_random(n, 4 * n, seed=9)
+    live = m.without_self_messages()
+    mask = dft.routable_mask(live)
+    survivors = live.take(mask)
+    out = run_until_delivered(dft, survivors, seed=10)
+    delivered = sum(len(r.delivered) for r in out.reports)
+    report(
+        [
+            {
+                "messages": len(live),
+                "unroutable": int((~mask).sum()),
+                "delivered": delivered,
+                "cycles": out.cycles,
+            }
+        ],
+        title="E22 — dead switch (level 2, index 1) on n = 256",
+    )
+    assert delivered == len(survivors)
+    assert delivered + int((~mask).sum()) == len(live)
+    assert 0 < int((~mask).sum()) < len(live)

@@ -22,12 +22,16 @@ universality:
 workloads:
     Message-set generators: permutations, random traffic, planar
     finite-element meshes, locality-parameterised traffic.
+faults:
+    Fault injection and degraded-mode routing: seeded wire/switch/
+    transient fault models and fat-trees routed against their surviving
+    hardware.
 analysis:
     The paper's closed-form bounds, log-log fitting, sweeps, and table
     rendering for the benchmark harnesses.
 """
 
-from . import core
+from . import core, faults
 from .core import (
     FatTree,
     MessageSet,
@@ -37,12 +41,16 @@ from .core import (
     schedule_corollary2,
     schedule_theorem1,
 )
+from .faults import DegradedFatTree, FaultModel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "faults",
+    "DegradedFatTree",
     "FatTree",
+    "FaultModel",
     "MessageSet",
     "Schedule",
     "UniversalCapacity",

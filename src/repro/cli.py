@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four inspection commands mirroring the library's main entry points:
+Five inspection commands mirroring the library's main entry points:
 
 * ``topology``  — print a universal fat-tree's per-level capacities and
   hardware cost (Fig. 1 / Theorem 4);
@@ -9,7 +9,10 @@ Four inspection commands mirroring the library's main entry points:
 * ``simulate``  — Theorem 10: run a competitor network's traffic on the
   equal-volume fat-tree and report the slowdown;
 * ``hardware``  — run a delivery cycle through the bit-serial switch
-  simulator and report ticks/losses.
+  simulator and report ticks/losses;
+* ``faults``    — inject wire/switch/transient faults and measure the
+  degraded tree: surviving capacities, λ inflation, schedule and retry
+  cost, per-message attempt histogram.
 """
 
 from __future__ import annotations
@@ -179,6 +182,80 @@ def cmd_hardware(args) -> int:
     return 0
 
 
+def _parse_switch(spec: str) -> tuple[int, int]:
+    try:
+        level_s, index_s = spec.split(":", 1)
+        return int(level_s), int(index_s)
+    except ValueError:
+        raise SystemExit(
+            f"--kill-switch expects LEVEL:INDEX (e.g. 2:1), got {spec!r}"
+        )
+
+
+def cmd_faults(args) -> int:
+    from .core import DeliveryTimeout, load_factor, schedule_theorem1
+    from .faults import DegradedFatTree, FaultModel
+    from .hardware import run_until_delivered
+
+    ft = _make_fattree(args.n, args.w)
+    m = _make_traffic(args.traffic, args.n, args.messages, args.seed)
+    try:
+        model = FaultModel(seed=args.seed, loss_rate=args.loss_rate)
+        if args.kill_wires:
+            model.kill_wire_fraction(ft, args.kill_wires)
+        for spec in args.kill_switch or []:
+            model.kill_switch(*_parse_switch(spec))
+        dft = DegradedFatTree(ft, model)
+    except ValueError as exc:
+        print(f"invalid fault scenario: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        format_table(
+            dft.summary(),
+            title=f"degraded fat-tree n={ft.n} w={ft.root_capacity} — "
+            f"{dft.surviving_fraction():.1%} of wires survive",
+        )
+    )
+
+    mask = dft.routable_mask(m)
+    n_unroutable = int((~mask).sum())
+    routable = m.take(mask)
+    lam0 = load_factor(ft, m)
+    lam1 = load_factor(dft, routable)
+    d0 = schedule_theorem1(ft, m).num_cycles
+    d1 = schedule_theorem1(dft, routable).num_cycles
+    rows = [
+        {"": "pristine", "messages": len(m), "λ(M)": round(lam0, 3), "Thm 1 cycles": d0},
+        {
+            "": "degraded",
+            "messages": len(routable),
+            "λ(M)": round(lam1, 3),
+            "Thm 1 cycles": d1,
+        },
+    ]
+    print()
+    print(format_table(rows, title=f"{args.traffic} traffic; {n_unroutable} unroutable message(s) dropped"))
+
+    print()
+    try:
+        out = run_until_delivered(
+            dft, routable, seed=args.seed, max_cycles=args.max_cycles
+        )
+    except DeliveryTimeout as exc:
+        print(f"DeliveryTimeout: {exc}", file=sys.stderr)
+        return 3
+    hist = sorted(out.attempt_histogram().items())
+    print(
+        format_table(
+            [{"attempts": a, "messages": c} for a, c in hist],
+            title=f"retry/backoff delivery: {out.cycles} delivery cycles, "
+            f"max {out.max_attempts()} attempts",
+        )
+    )
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from .experiments import run_experiment
 
@@ -236,6 +313,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--concentrators", default="ideal", choices=["ideal", "pippenger"]
     )
     p.set_defaults(fn=cmd_hardware)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault injection: degraded capacities, λ inflation, retry cost",
+    )
+    common(p, traffic=True)
+    p.add_argument(
+        "--kill-wires",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="kill floor(FRAC·cap) wires of every channel (e.g. 0.25)",
+    )
+    p.add_argument(
+        "--kill-switch",
+        action="append",
+        metavar="LEVEL:INDEX",
+        help="kill the switch at LEVEL:INDEX (repeatable)",
+    )
+    p.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="per-traversal transient corruption probability in [0, 1)",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=10_000,
+        help="delivery-cycle budget before DeliveryTimeout",
+    )
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"

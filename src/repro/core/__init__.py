@@ -13,6 +13,7 @@ from .capacity import (
     TaperedCapacity,
     UniversalCapacity,
 )
+from .errors import DeliveryTimeout, UnroutableError
 from .exact import exact_minimum_cycles, exact_schedule
 from .fattree import Channel, Direction, FatTree
 from .greedy import schedule_greedy_first_fit, simulate_online_retry
@@ -37,8 +38,10 @@ __all__ = [
     "TaperedCapacity",
     "UniversalCapacity",
     "Channel",
+    "DeliveryTimeout",
     "Direction",
     "FatTree",
+    "UnroutableError",
     "exact_minimum_cycles",
     "exact_schedule",
     "MessageSet",

@@ -1,0 +1,67 @@
+"""Structured routing errors for degraded fat-trees.
+
+Fault injection (:mod:`repro.faults`) can leave a fat-tree with channels
+of zero surviving capacity, which makes some messages *unroutable* (the
+tree gives every message a unique path, so there is no rerouting around
+a severed channel), and transient faults can keep a retry loop from
+finishing within its cycle budget.  Both conditions must surface as
+structured exceptions — never as silent miscounts or unbounded loops.
+
+``DeliveryTimeout`` subclasses ``RuntimeError`` (what the retry loops
+historically raised) and ``UnroutableError`` subclasses ``ValueError``,
+so pre-existing callers that caught the broad types keep working.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["UnroutableError", "DeliveryTimeout"]
+
+
+class UnroutableError(ValueError):
+    """Some messages have no surviving path through the fat-tree.
+
+    Attributes
+    ----------
+    pairs:
+        The unroutable ``(src, dst)`` message pairs.
+    count:
+        How many messages are affected (``len(pairs)``).
+    """
+
+    def __init__(self, pairs):
+        self.pairs = [(int(s), int(d)) for s, d in pairs]
+        self.count = len(self.pairs)
+        preview = ", ".join(f"{s}->{d}" for s, d in self.pairs[:8])
+        if self.count > 8:
+            preview += ", …"
+        super().__init__(
+            f"{self.count} message(s) cross a dead channel and cannot be "
+            f"routed on the degraded fat-tree: {preview}"
+        )
+
+
+class DeliveryTimeout(RuntimeError):
+    """A retry loop exhausted its cycle budget with messages pending.
+
+    Attributes
+    ----------
+    undelivered:
+        ``(src, dst)`` pairs still pending when the budget ran out.
+    cycles:
+        Delivery cycles spent before giving up.
+    attempts:
+        ``Counter`` mapping attempt counts to how many pending messages
+        made that many attempts.
+    """
+
+    def __init__(self, undelivered, cycles: int, attempts=None):
+        self.undelivered = [(int(s), int(d)) for s, d in undelivered]
+        self.cycles = int(cycles)
+        self.attempts = Counter(attempts) if attempts is not None else Counter()
+        worst = max(self.attempts, default=0)
+        super().__init__(
+            f"{len(self.undelivered)} message(s) undelivered after "
+            f"{self.cycles} delivery cycles (max attempts per message: {worst})"
+        )

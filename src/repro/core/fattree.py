@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 
+import numpy as np
+
 from . import tree
 from .capacity import CapacityProfile, UniversalCapacity
 
@@ -75,6 +77,11 @@ class FatTree:
     """
 
     def __init__(self, n: int, capacity: CapacityProfile | None = None):
+        if not tree.is_power_of_two(n):
+            raise ValueError(
+                f"fat-tree processor count must be a positive power of two, "
+                f"got n={n!r}"
+            )
         depth = tree.ilog2(n)
         if capacity is None:
             capacity = UniversalCapacity(n, n)
@@ -86,12 +93,47 @@ class FatTree:
         self.n = n
         self.depth = depth
         self.capacity = capacity
+        self._cap_vectors: dict[tuple[int, Direction], np.ndarray] = {}
 
     # -- structure ---------------------------------------------------------
 
     def cap(self, level: int) -> int:
         """Capacity of any channel at the given level."""
         return self.capacity.cap(level)
+
+    def chan_cap(self, level: int, index: int, direction: Direction) -> int:
+        """Effective capacity of one specific channel.
+
+        On a pristine fat-tree every channel at a level has the same
+        capacity, so this is just :meth:`cap`.  Fault-degraded trees
+        (:class:`repro.faults.DegradedFatTree`) override it with the
+        per-channel surviving wire counts; 0 marks a severed channel.
+        """
+        return self.cap(level)
+
+    def cap_vector(self, level: int, direction: Direction) -> np.ndarray:
+        """Per-channel effective capacities for a whole level.
+
+        A read-only int64 array of length ``2**level``, indexed by channel
+        index; the vectorised counterpart of :meth:`chan_cap` used by load
+        computation and the schedulers.  Copy before mutating.
+        """
+        key = (level, direction)
+        vec = self._cap_vectors.get(key)
+        if vec is None:
+            vec = np.full(1 << level, self.cap(level), dtype=np.int64)
+            vec.setflags(write=False)
+            self._cap_vectors[key] = vec
+        return vec
+
+    def routable_mask(self, messages) -> np.ndarray:
+        """Boolean mask: True where a message still has a usable path.
+
+        On a pristine fat-tree every message is routable.  Degraded trees
+        override this to mark messages whose unique tree path crosses a
+        channel with zero surviving capacity.
+        """
+        return np.ones(len(messages), dtype=bool)
 
     @property
     def root_capacity(self) -> int:

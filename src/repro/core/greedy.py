@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .fattree import FatTree
+from .errors import UnroutableError
+from .fattree import Direction, FatTree
 from .message import MessageSet
 from .schedule import Schedule
 
@@ -46,10 +47,13 @@ class _ResidualCycles:
 
     def _new_cycle(self) -> int:
         caps_up = {
-            k: np.full(1 << k, self.ft.cap(k), dtype=np.int64)
+            k: self.ft.cap_vector(k, Direction.UP).copy()
             for k in range(1, self.ft.depth + 1)
         }
-        caps_down = {k: v.copy() for k, v in caps_up.items()}
+        caps_down = {
+            k: self.ft.cap_vector(k, Direction.DOWN).copy()
+            for k in range(1, self.ft.depth + 1)
+        }
         self.up.append(caps_up)
         self.down.append(caps_down)
         return len(self.up) - 1
@@ -86,6 +90,9 @@ def schedule_greedy_first_fit(
     order), or ``"random"``.
     """
     routable = messages.without_self_messages()
+    mask = ft.routable_mask(routable)
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     m = len(routable)
     if order == "given":
@@ -125,6 +132,9 @@ def simulate_online_retry(
     """
     rng = np.random.default_rng(seed)
     routable = messages.without_self_messages()
+    mask = ft.routable_mask(routable)
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     pending = list(range(len(routable)))
     paths = [

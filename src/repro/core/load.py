@@ -15,6 +15,7 @@ channels.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -96,23 +97,39 @@ def channel_load(ft: FatTree, messages: MessageSet, channel: Channel) -> int:
 def load_factor(ft: FatTree, messages: MessageSet) -> float:
     """The load factor ``λ(M) = max_c load(M, c) / cap(c)``.
 
-    Returns 0.0 for a message set that uses no channels.
+    Capacities are taken per channel (:meth:`FatTree.cap_vector`), so a
+    fault-degraded tree is measured against its surviving hardware.  A
+    message crossing a channel with zero surviving capacity makes the
+    load factor ``inf``.  Returns 0.0 for a message set that uses no
+    channels.
     """
     loads = channel_loads(ft, messages)
     lam = 0.0
     for k in range(1, ft.depth + 1):
-        cap = ft.cap(k)
-        peak = max(loads.up[k].max(initial=0), loads.down[k].max(initial=0))
-        lam = max(lam, peak / cap)
+        for direction, table in (
+            (Direction.UP, loads.up),
+            (Direction.DOWN, loads.down),
+        ):
+            caps = ft.cap_vector(k, direction)
+            arr = table[k]
+            dead = caps == 0
+            if bool((arr[dead] > 0).any()):
+                return math.inf
+            live = ~dead
+            if bool(live.any()):
+                peak = (arr[live] / caps[live]).max(initial=0.0)
+                lam = max(lam, float(peak))
     return float(lam)
 
 
 def is_one_cycle(ft: FatTree, messages: MessageSet) -> bool:
     """True iff ``messages`` is a one-cycle set: ``load(M, c) <= cap(c)``
-    for every channel ``c`` (i.e. ``λ(M) <= 1``)."""
+    for every channel ``c`` (i.e. ``λ(M) <= 1``), against the per-channel
+    effective capacities."""
     loads = channel_loads(ft, messages)
     for k in range(1, ft.depth + 1):
-        cap = ft.cap(k)
-        if loads.up[k].max(initial=0) > cap or loads.down[k].max(initial=0) > cap:
+        if bool((loads.up[k] > ft.cap_vector(k, Direction.UP)).any()):
+            return False
+        if bool((loads.down[k] > ft.cap_vector(k, Direction.DOWN)).any()):
             return False
     return True

@@ -44,13 +44,14 @@ class MessageSet:
                 f"src and dst lengths differ: {src_arr.size} vs {dst_arr.size}"
             )
         if n <= 0:
-            raise ValueError("n must be positive")
-        if src_arr.size:
-            lo = min(src_arr.min(), dst_arr.min())
-            hi = max(src_arr.max(), dst_arr.max())
-            if lo < 0 or hi >= n:
+            raise ValueError(f"n must be positive, got n={n!r}")
+        for name, arr in (("src", src_arr), ("dst", dst_arr)):
+            bad = (arr < 0) | (arr >= n)
+            if bad.any():
+                i = int(np.argmax(bad))
                 raise ValueError(
-                    f"endpoints must lie in [0, {n}); saw range [{lo}, {hi}]"
+                    f"message endpoints must lie in [0, {n}): "
+                    f"{name}[{i}] = {int(arr[i])} is out of range"
                 )
         src_arr.setflags(write=False)
         dst_arr.setflags(write=False)

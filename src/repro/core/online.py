@@ -17,15 +17,27 @@ of its path (consistent ranks make the winner sets coherent down a
 path).  Losers retry next cycle with fresh ranks — fully on-line: no
 global knowledge, only per-channel comparisons, exactly what a switch
 can do in hardware.
+
+Degraded-mode extensions (:mod:`repro.faults`): capacities are read per
+channel, so a :class:`~repro.faults.DegradedFatTree` is routed against
+its surviving wires; messages whose path is severed raise
+:class:`~repro.core.errors.UnroutableError` up front.  A positive
+``loss_rate`` (taken from the tree's fault model when not given)
+corrupts each would-be delivery independently; corrupted and congested
+messages are NACKed and re-injected after a capped binary exponential
+backoff, and exhausting ``max_cycles`` raises a structured
+:class:`~repro.core.errors.DeliveryTimeout` instead of looping forever.
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 
 import numpy as np
 
-from .fattree import FatTree
+from .errors import DeliveryTimeout, UnroutableError
+from .fattree import Direction, FatTree
 from .message import MessageSet
 from .schedule import Schedule
 
@@ -55,45 +67,100 @@ def schedule_random_rank(
     *,
     seed: int = 0,
     max_cycles: int = 100_000,
+    loss_rate: float | None = None,
+    max_backoff: int = 16,
 ) -> Schedule:
     """Deliver ``messages`` with random-rank on-line contention
     resolution; returns the per-cycle delivery trace as a
     :class:`Schedule` (each cycle is a valid one-cycle set by
-    construction)."""
+    construction).
+
+    ``loss_rate`` is the per-delivery-attempt corruption probability
+    (``None`` reads the tree's fault model, defaulting to 0).  A
+    corrupted or congested message backs off for a uniformly random
+    number of cycles within a window that doubles per failed attempt,
+    capped at ``max_backoff`` — cycles where every pending message is
+    backing off appear as empty delivery cycles in the schedule.  Raises
+    :class:`DeliveryTimeout` when ``max_cycles`` delivery cycles pass
+    with messages still pending.
+    """
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
+    if loss_rate is None:
+        model = getattr(ft, "faults", None)
+        loss_rate = model.loss_rate if model is not None else 0.0
+    if not (0.0 <= loss_rate < 1.0):
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if max_backoff < 1:
+        raise ValueError("max_backoff must be >= 1")
     rng = np.random.default_rng(seed)
     routable = messages.without_self_messages()
+    mask = ft.routable_mask(routable)
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     paths = [
         _path_channel_keys(ft, int(s), int(d)) for s, d in routable
     ]
-    pending = list(range(len(routable)))
+    caps = {
+        (k, d): ft.cap_vector(k, Direction.UP if d == 0 else Direction.DOWN)
+        for k in range(1, ft.depth + 1)
+        for d in (0, 1)
+    }
+    m = len(routable)
+    attempts = [0] * m
+    next_try = [0] * m
+    pending = list(range(m))
     cycles: list[MessageSet] = []
     while pending:
-        if len(cycles) >= max_cycles:
-            raise RuntimeError(f"did not converge within {max_cycles} cycles")
-        ranks = rng.random(len(pending))
+        t = len(cycles)
+        if t >= max_cycles:
+            pairs = routable.as_pairs()
+            raise DeliveryTimeout(
+                [pairs[i] for i in pending],
+                t,
+                Counter(attempts[i] for i in pending),
+            )
+        eligible = [i for i in pending if next_try[i] <= t]
+        if not eligible:
+            cycles.append(MessageSet.empty(ft.n))  # everyone backing off
+            continue
+        for i in eligible:
+            attempts[i] += 1
+        ranks = rng.random(len(eligible))
         # per-channel grant: lowest cap(c) ranks win each channel
         contenders: dict[tuple[int, int, int], list[tuple[float, int]]] = {}
-        for pos, i in enumerate(pending):
+        for pos, i in enumerate(eligible):
             for key in paths[i]:
                 contenders.setdefault(key, []).append((ranks[pos], i))
         winners_per_channel: dict[tuple[int, int, int], set[int]] = {}
         for key, lst in contenders.items():
-            cap = ft.cap(key[0])
+            cap = int(caps[(key[0], key[2])][key[1]])
             lst.sort()
             winners_per_channel[key] = {i for _, i in lst[:cap]}
         delivered = [
             i
-            for i in pending
+            for i in eligible
             if all(i in winners_per_channel[key] for key in paths[i])
         ]
-        if not delivered:
+        if loss_rate:
+            # transient corruption: a won path can still deliver garbage,
+            # which the destination NACKs — the source must retry
+            survived = rng.random(len(delivered)) >= loss_rate
+            delivered = [i for i, ok in zip(delivered, survived) if ok]
+        elif not delivered:
             # with positive capacities the globally lowest-ranked pending
             # message always wins all its channels, so this cannot happen
             raise AssertionError("random-rank cycle made no progress")
         delivered_set = set(delivered)
         cycles.append(routable.take(np.array(sorted(delivered), dtype=np.int64)))
+        for i in eligible:
+            if i not in delivered_set:
+                if loss_rate:
+                    window = min(max_backoff, 1 << min(attempts[i] - 1, 30))
+                    next_try[i] = t + 1 + int(rng.integers(0, window))
+                else:
+                    next_try[i] = t + 1  # pure contention: retry immediately
+
         pending = [i for i in pending if i not in delivered_set]
     return Schedule(cycles=cycles, n_self_messages=n_self)

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .fattree import FatTree
+from .errors import UnroutableError
+from .fattree import Direction, FatTree
 from .load import channel_loads
 from .message import MessageSet
 from .partition import even_split_indices, group_indices
@@ -50,8 +51,9 @@ def _group_is_one_cycle(ft: FatTree, messages: MessageSet, idx: np.ndarray) -> b
     intermediate MessageSets during the halving loop)."""
     loads = channel_loads(ft, messages.take(idx))
     for k in range(1, ft.depth + 1):
-        cap = ft.cap(k)
-        if loads.up[k].max(initial=0) > cap or loads.down[k].max(initial=0) > cap:
+        if bool((loads.up[k] > ft.cap_vector(k, Direction.UP)).any()):
+            return False
+        if bool((loads.down[k] > ft.cap_vector(k, Direction.DOWN)).any()):
             return False
     return True
 
@@ -96,6 +98,9 @@ def schedule_theorem1(ft: FatTree, messages: MessageSet) -> Schedule:
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     routable = messages.without_self_messages()
+    mask = ft.routable_mask(routable)
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     groups = group_indices(routable, ft.depth)
 

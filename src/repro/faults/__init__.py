@@ -1,0 +1,34 @@
+"""Fault injection and degraded-mode routing (§IV's robustness claim).
+
+The paper's partial-concentrator argument tolerates losing a constant
+fraction of every port's wires "which changes the results by only a
+constant factor".  This package makes the claim exercisable end to end:
+
+* :class:`FaultModel` — a seeded, reproducible record of wire faults,
+  dead switches, and a transient per-attempt corruption rate;
+* :class:`DegradedFatTree` — a :class:`~repro.core.FatTree` subclass
+  exposing per-channel *effective* capacities, so the entire routing
+  stack (load factors, the Theorem 1 scheduler, on-line random-rank
+  routing, the buffered design, the bit-serial switch simulator) routes
+  against the surviving hardware through its unmodified APIs;
+* structured errors — :class:`UnroutableError` when a message's unique
+  path is severed, :class:`DeliveryTimeout` when retry/backoff exhausts
+  its cycle budget (re-exported from :mod:`repro.core.errors`).
+
+Experiment E22 (``benchmarks/bench_e22_faults.py``) measures the
+delivery-cycle inflation against the fraction of wires killed and checks
+the constant-factor shape.
+"""
+
+from ..core.errors import DeliveryTimeout, UnroutableError
+from .degraded import DegradedFatTree
+from .model import FaultModel, SwitchFault, WireFault
+
+__all__ = [
+    "FaultModel",
+    "WireFault",
+    "SwitchFault",
+    "DegradedFatTree",
+    "UnroutableError",
+    "DeliveryTimeout",
+]

@@ -1,0 +1,182 @@
+"""A fat-tree routed against its surviving hardware.
+
+:class:`DegradedFatTree` wraps a pristine :class:`~repro.core.FatTree`
+and a :class:`~repro.faults.FaultModel` and exposes the *effective*
+per-channel capacities — pristine capacity minus dead wires, with every
+channel incident to a dead switch at zero.  It subclasses ``FatTree``
+and overrides the per-channel capacity hooks (:meth:`chan_cap`,
+:meth:`cap_vector`, :meth:`routable_mask`), so the whole routing stack —
+``load_factor``, ``schedule_theorem1``, ``schedule_random_rank``, the
+buffered store-and-forward design and the bit-serial switch simulator —
+routes against the degraded tree through its unmodified theory-facing
+APIs.
+
+Semantics of the level-uniform :meth:`cap`: the *minimum* effective
+capacity over the level's channels (possibly 0).  Code that still thinks
+in per-level capacities therefore sees a conservative value and never
+oversubscribes a damaged channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import UnroutableError
+from ..core.fattree import Direction, FatTree
+from ..core.message import MessageSet
+from .model import FaultModel
+
+__all__ = ["DegradedFatTree"]
+
+
+class DegradedFatTree(FatTree):
+    """A fat-tree with some of its hardware dead.
+
+    Parameters
+    ----------
+    base:
+        The pristine fat-tree (kept as :attr:`base`; its capacity
+        profile defines the pre-fault wire counts).
+    faults:
+        The :class:`FaultModel` to apply.  Raises ``ValueError`` if a
+        fault names a channel or switch outside the tree, or kills more
+        wires than a channel has.
+    """
+
+    def __init__(self, base: FatTree, faults: FaultModel):
+        super().__init__(base.n, base.capacity)
+        self.base = base
+        self.faults = faults
+        eff: dict[tuple[int, Direction], np.ndarray] = {
+            (k, d): np.full(1 << k, base.cap(k), dtype=np.int64)
+            for k in range(self.depth + 1)
+            for d in (Direction.UP, Direction.DOWN)
+        }
+        for fault in faults.wire_faults:
+            if not (0 <= fault.level <= self.depth) or fault.index >= (
+                1 << fault.level
+            ):
+                raise ValueError(
+                    f"wire fault names channel ({fault.level}, {fault.index}) "
+                    f"outside the depth-{self.depth} tree"
+                )
+            vec = eff[(fault.level, fault.direction)]
+            if fault.count > base.cap(fault.level):
+                raise ValueError(
+                    f"wire fault kills {fault.count} wires of a "
+                    f"cap-{base.cap(fault.level)} channel at level {fault.level}"
+                )
+            vec[fault.index] -= fault.count
+        for fault in faults.switch_faults:
+            if not (0 <= fault.level < self.depth) or fault.index >= (
+                1 << fault.level
+            ):
+                raise ValueError(
+                    f"switch fault names node ({fault.level}, {fault.index}) "
+                    f"outside the depth-{self.depth} tree (switches live at "
+                    f"levels 0..{self.depth - 1})"
+                )
+            for d in (Direction.UP, Direction.DOWN):
+                eff[(fault.level, d)][fault.index] = 0
+                eff[(fault.level + 1, d)][2 * fault.index] = 0
+                eff[(fault.level + 1, d)][2 * fault.index + 1] = 0
+        for vec in eff.values():
+            vec.setflags(write=False)
+        self._effective = eff
+
+    # -- per-channel capacity hooks ---------------------------------------
+
+    def cap(self, level: int) -> int:
+        """Minimum effective capacity over the level's channels.
+
+        Level-uniform consumers see the worst surviving channel, which
+        keeps them conservative; per-channel consumers should use
+        :meth:`chan_cap` / :meth:`cap_vector`.
+        """
+        return int(
+            min(
+                self._effective[(level, Direction.UP)].min(),
+                self._effective[(level, Direction.DOWN)].min(),
+            )
+        )
+
+    def chan_cap(self, level: int, index: int, direction: Direction) -> int:
+        """Surviving wires of one specific channel (0 = severed)."""
+        return int(self._effective[(level, direction)][index])
+
+    def cap_vector(self, level: int, direction: Direction) -> np.ndarray:
+        """Read-only int64 array of surviving per-channel capacities."""
+        return self._effective[(level, direction)]
+
+    # -- routability -------------------------------------------------------
+
+    def routable_mask(self, messages: MessageSet) -> np.ndarray:
+        """True per message iff every channel on its path survives.
+
+        Vectorised over the whole message set, one pass per level —
+        the same ancestor arithmetic as the load computation.
+        """
+        src, dst = messages.src, messages.dst
+        ok = np.ones(src.size, dtype=bool)
+        for k in range(1, self.depth + 1):
+            shift = self.depth - k
+            s_anc = src >> shift
+            d_anc = dst >> shift
+            crossing = s_anc != d_anc
+            up = self._effective[(k, Direction.UP)]
+            down = self._effective[(k, Direction.DOWN)]
+            ok &= ~(crossing & ((up[s_anc] == 0) | (down[d_anc] == 0)))
+        return ok
+
+    def unroutable(self, messages: MessageSet) -> MessageSet:
+        """The sub-multiset of messages with no surviving path."""
+        return messages.take(~self.routable_mask(messages))
+
+    def check_routable(self, messages: MessageSet) -> None:
+        """Raise :class:`UnroutableError` if any message is unroutable."""
+        mask = self.routable_mask(messages)
+        if not mask.all():
+            raise UnroutableError(messages.take(~mask).as_pairs())
+
+    # -- accounting --------------------------------------------------------
+
+    def total_wires(self, *, include_external: bool = False) -> int:
+        """Total *surviving* wires (the pristine count is on ``base``)."""
+        start = 0 if include_external else 1
+        return int(
+            sum(
+                self._effective[(k, d)].sum()
+                for k in range(start, self.depth + 1)
+                for d in (Direction.UP, Direction.DOWN)
+            )
+        )
+
+    def surviving_fraction(self) -> float:
+        """Surviving wires as a fraction of the pristine wire count."""
+        pristine = self.base.total_wires()
+        return self.total_wires() / pristine if pristine else 1.0
+
+    def summary(self) -> list[dict]:
+        """Per-level degradation rows (for tables and the CLI)."""
+        rows = []
+        for k in range(1, self.depth + 1):
+            up = self._effective[(k, Direction.UP)]
+            down = self._effective[(k, Direction.DOWN)]
+            pristine = 2 * (1 << k) * self.base.cap(k)
+            surviving = int(up.sum() + down.sum())
+            rows.append(
+                {
+                    "level": k,
+                    "cap(c)": self.base.cap(k),
+                    "min eff": int(min(up.min(), down.min())),
+                    "dead channels": int((up == 0).sum() + (down == 0).sum()),
+                    "wires": f"{surviving}/{pristine}",
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedFatTree(n={self.n}, surviving="
+            f"{self.surviving_fraction():.3f}, faults={self.faults!r})"
+        )

@@ -1,0 +1,210 @@
+"""Seeded, reproducible fault models for fat-trees.
+
+Leiserson's §IV partial-concentrator argument already prices in losing a
+constant fraction of each port's wires (α = 3/4 of a capacity-c channel
+suffices, "which changes the results by only a constant factor").  A
+:class:`FaultModel` makes that claim exercisable: it records three kinds
+of hardware damage, which :class:`~repro.faults.DegradedFatTree` then
+applies to a pristine tree:
+
+* **wire faults** — a specific channel at level k loses j of its
+  ``cap(k)`` wires (or a fraction of every channel's wires);
+* **switch faults** — an internal node drops dead, severing every
+  channel incident to it (its own up-pair and both children's pairs),
+  which cuts the unique up-path out of its subtree;
+* **transient faults** — a per-delivery-attempt Bernoulli corruption
+  probability (``loss_rate``) that the retry/backoff loops in
+  :mod:`repro.core.online` and :mod:`repro.hardware.switchsim` must
+  absorb.
+
+All randomness flows through one ``numpy`` generator seeded at
+construction, so a fault scenario is reproducible from
+``(seed, sequence of kill_* calls)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fattree import Direction, FatTree
+
+__all__ = ["WireFault", "SwitchFault", "FaultModel"]
+
+
+def _as_direction(direction) -> Direction:
+    if isinstance(direction, Direction):
+        return direction
+    return Direction(direction)
+
+
+@dataclass(frozen=True, slots=True)
+class WireFault:
+    """``count`` wires of channel ``(level, index, direction)`` are dead."""
+
+    level: int
+    index: int
+    direction: Direction
+    count: int
+
+    def __str__(self) -> str:
+        return f"-{self.count}w@{self.direction.value}({self.level},{self.index})"
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchFault:
+    """The switch at node ``(level, index)`` is dead."""
+
+    level: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"dead({self.level},{self.index})"
+
+
+class FaultModel:
+    """A reproducible record of injected hardware faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed for every random ``kill_*`` helper (one generator, so the
+        scenario is a pure function of the seed and the call sequence).
+    loss_rate:
+        Transient-fault probability in ``[0, 1)``: each delivery attempt
+        of a message is independently corrupted with this probability
+        and must be retried.
+
+    The ``kill_*`` mutators return ``self`` so scenarios chain::
+
+        faults = FaultModel(seed=7).kill_switch(2, 1).kill_wires(1, 0, 3)
+    """
+
+    def __init__(self, *, seed: int = 0, loss_rate: float = 0.0):
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.seed = int(seed)
+        self.loss_rate = float(loss_rate)
+        self.rng = np.random.default_rng(seed)
+        self._wires: dict[tuple[int, int, Direction], int] = {}
+        self._switches: set[tuple[int, int]] = set()
+
+    # -- injection ---------------------------------------------------------
+
+    def kill_wires(
+        self, level: int, index: int, count: int, *, direction=None
+    ) -> "FaultModel":
+        """Kill ``count`` wires of the channel at ``(level, index)``.
+
+        ``direction`` is ``Direction.UP``/``"up"``/``Direction.DOWN``/
+        ``"down"``, or ``None`` to damage both directions equally.
+        Counts accumulate across calls; bounds against the actual channel
+        capacity are checked when a ``DegradedFatTree`` is built.
+        """
+        if level < 0 or index < 0:
+            raise ValueError(f"invalid channel ({level}, {index})")
+        if count < 0:
+            raise ValueError(f"wire-fault count must be >= 0, got {count}")
+        directions = (
+            (Direction.UP, Direction.DOWN)
+            if direction is None
+            else (_as_direction(direction),)
+        )
+        for d in directions:
+            key = (level, index, d)
+            self._wires[key] = self._wires.get(key, 0) + count
+        return self
+
+    def kill_switch(self, level: int, index: int) -> "FaultModel":
+        """Mark the internal node at ``(level, index)`` dead.
+
+        Every channel incident to the node loses all its wires, severing
+        the up-path of the node's subtree.  Idempotent.
+        """
+        if level < 0 or index < 0:
+            raise ValueError(f"invalid switch ({level}, {index})")
+        self._switches.add((level, index))
+        return self
+
+    def kill_wire_fraction(
+        self, ft: FatTree, fraction: float, *, levels=None
+    ) -> "FaultModel":
+        """Deterministically kill ``floor(fraction·cap(k))`` wires of
+        every channel (both directions) at the given ``levels`` (default:
+        all internal levels ``1..depth``).
+
+        This is the §IV knob: for any ``fraction <= 1/4`` the surviving
+        capacity stays at least ``ceil(3/4·cap)`` per port, matching the
+        partial-concentrator guarantee.
+        """
+        if not (0.0 <= fraction < 1.0):
+            raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+        if levels is None:
+            levels = range(1, ft.depth + 1)
+        for k in levels:
+            dead = int(fraction * ft.cap(k))
+            if dead == 0:
+                continue
+            for index in range(1 << k):
+                self.kill_wires(k, index, dead)
+        return self
+
+    def kill_random_wires(self, ft: FatTree, fraction: float) -> "FaultModel":
+        """Kill each wire of each internal channel independently with
+        probability ``fraction`` (seeded Bernoulli per wire)."""
+        if not (0.0 <= fraction < 1.0):
+            raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+        for k in range(1, ft.depth + 1):
+            cap = ft.cap(k)
+            for d in (Direction.UP, Direction.DOWN):
+                dead = self.rng.binomial(cap, fraction, size=1 << k)
+                for index in np.flatnonzero(dead):
+                    self.kill_wires(k, int(index), int(dead[index]), direction=d)
+        return self
+
+    def kill_random_switches(self, ft: FatTree, count: int) -> "FaultModel":
+        """Kill ``count`` distinct internal switches chosen uniformly at
+        random (seeded) among levels ``0..depth-1``."""
+        total = (1 << ft.depth) - 1
+        if not (0 <= count <= total):
+            raise ValueError(f"count must be in [0, {total}], got {count}")
+        flats = self.rng.choice(total, size=count, replace=False)
+        for flat in flats:
+            level = int(flat + 1).bit_length() - 1
+            index = int(flat) - ((1 << level) - 1)
+            self.kill_switch(level, index)
+        return self
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def wire_faults(self) -> list[WireFault]:
+        """The accumulated wire faults, in a deterministic order."""
+        return [
+            WireFault(level, index, d, count)
+            for (level, index, d), count in sorted(
+                self._wires.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2].value)
+            )
+            if count > 0
+        ]
+
+    @property
+    def switch_faults(self) -> list[SwitchFault]:
+        """The dead switches, in a deterministic order."""
+        return [SwitchFault(level, index) for level, index in sorted(self._switches)]
+
+    def killed_wires(self, level: int, index: int, direction) -> int:
+        """Wires recorded dead on one channel (excluding switch faults)."""
+        return self._wires.get((level, index, _as_direction(direction)), 0)
+
+    def is_dead_switch(self, level: int, index: int) -> bool:
+        """True iff the switch at ``(level, index)`` is marked dead."""
+        return (level, index) in self._switches
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultModel(seed={self.seed}, loss_rate={self.loss_rate}, "
+            f"wire_faults={len(self.wire_faults)}, "
+            f"switch_faults={len(self._switches)})"
+        )

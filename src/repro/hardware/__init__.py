@@ -17,6 +17,7 @@ from .matching import hopcroft_karp
 from .node import Port, concentrate, select_output
 from .switchsim import (
     DeliveryReport,
+    RetryOutcome,
     run_delivery_cycle,
     run_schedule,
     run_until_delivered,
@@ -44,6 +45,7 @@ __all__ = [
     "concentrate",
     "select_output",
     "DeliveryReport",
+    "RetryOutcome",
     "run_delivery_cycle",
     "run_schedule",
     "run_until_delivered",

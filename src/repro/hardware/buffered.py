@@ -25,7 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.fattree import FatTree
+from ..core.errors import UnroutableError
+from ..core.fattree import Direction, FatTree
 from ..core.message import MessageSet
 
 __all__ = ["BufferedRun", "run_store_and_forward"]
@@ -80,15 +81,26 @@ def run_store_and_forward(
 
     Each step, every channel independently forwards up to ``cap(c)`` of
     the oldest messages queued at its tail that want to cross it.
+    Capacities are per channel, so degraded trees serve only their
+    surviving wires; messages with a severed path raise
+    :class:`~repro.core.errors.UnroutableError` up front.
     """
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     routable = messages.without_self_messages()
+    mask = ft.routable_mask(routable)
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
     paths = _message_paths(ft, routable)
     m = len(paths)
     if m == 0:
         return BufferedRun(0, np.empty(0, dtype=np.int64), 0)
 
+    caps = {
+        (k, d): ft.cap_vector(k, Direction.UP if d == 0 else Direction.DOWN)
+        for k in range(1, ft.depth + 1)
+        for d in (0, 1)
+    }
     progress = [0] * m
     # queue per channel: message ids waiting to cross it, FIFO by age
     queues: dict[tuple[int, int, int], deque] = {}
@@ -105,7 +117,7 @@ def run_store_and_forward(
         step += 1
         moves: list[tuple[int, tuple[int, int, int]]] = []
         for key, queue in queues.items():
-            cap = ft.cap(key[0])
+            cap = int(caps[(key[0], key[2])][key[1]])
             for _ in range(min(cap, len(queue))):
                 moves.append((queue.popleft(), key))
         for i, key in moves:

@@ -15,6 +15,22 @@ Two fidelity levels for the concentrators:
   capacity as α times the wire count, "which changes the results by only
   a constant factor".)
 
+Channel capacities are read *per channel* (:meth:`FatTree.chan_cap`), so
+a :class:`~repro.faults.DegradedFatTree` is simulated against its
+surviving wires; a tree whose fault model carries a transient
+``loss_rate`` corrupts each switch traversal with that probability, in
+addition to the explicit ``fault_rate`` knob.  Every delivery cycle
+asserts the conservation invariant — delivered + congested + deferred
+partitions the injected multiset — so losses can never go silently
+unaccounted.
+
+The retry loop (:func:`run_until_delivered`) NACKs congested and
+corrupted messages and re-injects them under capped binary exponential
+backoff (when transient faults are active), tracks per-message attempt
+counts, and raises a structured
+:class:`~repro.core.errors.DeliveryTimeout` instead of looping past its
+cycle budget.
+
 The simulator is the end-to-end check on the scheduling theory: a
 one-cycle message set must route with zero congestion drops under ideal
 concentrators (:func:`run_schedule` asserts exactly that for every cycle
@@ -24,11 +40,13 @@ of a Theorem 1 / Corollary 2 schedule).
 from __future__ import annotations
 
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.fattree import FatTree
+from ..core.errors import DeliveryTimeout, UnroutableError
+from ..core.fattree import Direction, FatTree
 from ..core.message import MessageSet
 from ..core.schedule import Schedule
 from .bitserial import BitSerialMessage
@@ -58,11 +76,36 @@ class DeliveryReport:
 
 
 def _effective_capacity(cap: int, concentrators: str) -> int:
+    if cap <= 0:
+        return 0  # a severed channel carries nothing under any model
     if concentrators in ("ideal", "faulty"):
         return cap
     if concentrators == "pippenger":
         return max(1, math.floor(0.75 * cap))
     raise ValueError(f"unknown concentrator model {concentrators!r}")
+
+
+def _assert_conserved(
+    messages: MessageSet,
+    delivered: list[BitSerialMessage],
+    congested: list[BitSerialMessage],
+    deferred: list[BitSerialMessage],
+) -> None:
+    """The accounting invariant: every injected message ends the cycle in
+    exactly one of delivered / congested / deferred."""
+    injected = Counter(zip(messages.src.tolist(), messages.dst.tolist()))
+    accounted: Counter = Counter()
+    for group in (delivered, congested, deferred):
+        for f in group:
+            accounted[(f.src, f.dst)] += 1
+    if accounted != injected:
+        missing = injected - accounted
+        extra = accounted - injected
+        raise AssertionError(
+            "delivery-cycle accounting violated: delivered + congested + "
+            f"deferred must partition the injected multiset "
+            f"(missing={dict(missing)}, extra={dict(extra)})"
+        )
 
 
 def run_delivery_cycle(
@@ -83,11 +126,14 @@ def run_delivery_cycle(
     ``concentrators="faulty"`` (with ``fault_rate`` > 0) models transient
     switch faults: each switch traversal independently drops the message
     with the given probability, exercising the §II acknowledge-and-retry
-    mechanism beyond pure congestion (fault tolerance is §VII's open
-    problem; retry is the baseline answer).
+    mechanism beyond pure congestion.  A degraded tree whose
+    :class:`~repro.faults.FaultModel` carries a ``loss_rate`` applies the
+    same per-traversal corruption under any concentrator model.
     """
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
+    if concentrators not in ("ideal", "pippenger", "faulty"):
+        raise ValueError(f"unknown concentrator model {concentrators!r}")
     if concentrators == "faulty":
         if not (0.0 <= fault_rate < 1.0):
             raise ValueError("fault_rate must be in [0, 1)")
@@ -95,6 +141,13 @@ def run_delivery_cycle(
             seed = 0
     elif fault_rate:
         raise ValueError('fault_rate requires concentrators="faulty"')
+    loss_rate = fault_rate
+    if not loss_rate:
+        model = getattr(ft, "faults", None)
+        if model is not None and model.loss_rate:
+            loss_rate = model.loss_rate
+            if seed is None:
+                seed = 0
     depth = ft.depth
     rng = np.random.default_rng(seed) if seed is not None else None
 
@@ -105,12 +158,14 @@ def run_delivery_cycle(
     delivered = [f for f in frames if f.arrived]  # self-messages
     pending = [f for f in frames if not f.arrived]
 
-    # Injection: each processor's up channel admits cap(depth) heads.
-    inject_cap = _effective_capacity(ft.cap(depth), concentrators)
+    # Injection: each processor's up channel admits its surviving heads.
     per_leaf: dict[int, int] = {}
     wavefront: list[tuple[int, int, Port, BitSerialMessage]] = []
     deferred: list[BitSerialMessage] = []
     for f in pending:
+        inject_cap = _effective_capacity(
+            ft.chan_cap(depth, f.src, Direction.UP), concentrators
+        )
         count = per_leaf.get(f.src, 0)
         if count >= inject_cap:
             deferred.append(f)
@@ -139,14 +194,18 @@ def run_delivery_cycle(
             buckets.setdefault((level, index, out), []).append(msg)
         nxt: list[tuple[int, int, Port, BitSerialMessage]] = []
         for (level, index, out), cands in buckets.items():
-            chan_level = level if out is Port.U else level + 1
-            cap = _effective_capacity(ft.cap(chan_level), concentrators)
+            if out is Port.U:
+                chan = (level, index, Direction.UP)
+            else:
+                child = (index << 1) | (0 if out is Port.L0 else 1)
+                chan = (level + 1, child, Direction.DOWN)
+            cap = _effective_capacity(ft.chan_cap(*chan), concentrators)
             free = cap - used.get((level, index, out), 0)
             winners, losers = concentrate(cands, max(0, free), rng=rng)
-            if fault_rate and winners:
+            if loss_rate and winners:
                 healthy = []
                 for msg in winners:
-                    if rng.random() < fault_rate:
+                    if rng.random() < loss_rate:
                         losers.append(msg)  # transient switch fault
                     else:
                         healthy.append(msg)
@@ -171,6 +230,7 @@ def run_delivery_cycle(
                     else:
                         nxt.append((level + 1, child, Port.U, fwd))
         wavefront = nxt
+    _assert_conserved(messages, delivered, congested, deferred)
     return DeliveryReport(
         delivered=delivered,
         congested=congested,
@@ -186,9 +246,19 @@ class RetryOutcome:
 
     cycles: int
     reports: list[DeliveryReport] = field(default_factory=list)
+    attempts: list[int] = field(default_factory=list)
 
     def total_bit_time(self) -> int:
+        """Wall-clock bit-times summed over all delivery cycles."""
         return sum(r.cycle_bit_time() for r in self.reports)
+
+    def attempt_histogram(self) -> Counter:
+        """``Counter`` mapping attempt counts to number of messages."""
+        return Counter(self.attempts)
+
+    def max_attempts(self) -> int:
+        """Most delivery attempts any single message needed."""
+        return max(self.attempts, default=0)
 
 
 def run_until_delivered(
@@ -200,34 +270,91 @@ def run_until_delivered(
     payload_bits: int = 0,
     fault_rate: float = 0.0,
     max_cycles: int = 10_000,
+    max_backoff: int = 8,
 ) -> RetryOutcome:
-    """Deliver ``messages`` with the §II acknowledge-and-retry loop."""
-    outcome = RetryOutcome(cycles=0)
-    pending = messages
+    """Deliver ``messages`` with the §II acknowledge-and-retry loop.
+
+    Congestion losses are NACKed and retried next cycle.  When transient
+    faults are active (``fault_rate`` > 0 or a degraded tree's
+    ``loss_rate``), each failed message instead backs off for a uniform
+    number of cycles within a window that doubles per failed attempt,
+    capped at ``max_backoff`` — the classic remedy for random loss.
+    Per-message attempt counts are returned on the outcome.  Messages
+    with no surviving path raise
+    :class:`~repro.core.errors.UnroutableError` up front, and exhausting
+    ``max_cycles`` raises :class:`~repro.core.errors.DeliveryTimeout`
+    with the pending messages and their attempt counts — the loop can
+    never hang.
+    """
+    if max_backoff < 1:
+        raise ValueError("max_backoff must be >= 1")
+    mask = ft.routable_mask(messages)
+    if not mask.all():
+        raise UnroutableError(messages.take(~mask).as_pairs())
+    model = getattr(ft, "faults", None)
+    lossy = bool(fault_rate) or (model is not None and model.loss_rate > 0)
+    srcs, dsts = messages.src, messages.dst
+    m = len(messages)
+    attempts = [0] * m
+    next_try = [0] * m
+    pending = list(range(m))
+    backoff_rng = np.random.default_rng((seed + 1) * 0x9E3779B1)
+    outcome = RetryOutcome(cycles=0, attempts=attempts)
     cycle_seed = seed
-    while len(pending):
-        if outcome.cycles >= max_cycles:
-            raise RuntimeError(f"not delivered within {max_cycles} cycles")
-        report = run_delivery_cycle(
-            ft,
-            pending,
-            concentrators=concentrators,
-            seed=cycle_seed,
-            payload_bits=payload_bits,
-            fault_rate=fault_rate,
-        )
+    t = 0
+    while pending:
+        if t >= max_cycles:
+            raise DeliveryTimeout(
+                [(int(srcs[i]), int(dsts[i])) for i in pending],
+                t,
+                Counter(attempts[i] for i in pending),
+            )
+        eligible = [i for i in pending if next_try[i] <= t]
+        if eligible:
+            take = np.array(eligible, dtype=np.int64)
+            report = run_delivery_cycle(
+                ft,
+                MessageSet(srcs[take], dsts[take], ft.n),
+                concentrators=concentrators,
+                seed=cycle_seed,
+                payload_bits=payload_bits,
+                fault_rate=fault_rate,
+            )
+        else:  # every pending message is backing off this cycle
+            report = DeliveryReport([], [], [], 0, payload_bits)
         outcome.reports.append(report)
         outcome.cycles += 1
         cycle_seed += 1
-        retry = report.congested + report.deferred
-        if len(retry) == len(pending) and not fault_rate:
+        t += 1
+        if not eligible:
+            continue
+        if len(report.delivered) == 0 and not lossy and len(eligible) == len(pending):
             # no progress: only possible if a single message cannot fit,
             # which positive capacities rule out (with faults, a fully
             # unlucky cycle is legitimate and the retry continues)
             raise RuntimeError("delivery made no progress")
-        pending = MessageSet(
-            [m.src for m in retry], [m.dst for m in retry], ft.n
-        )
+        # map report frames back to message indices ((src, dst) multiset)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for i in eligible:
+            buckets.setdefault((int(srcs[i]), int(dsts[i])), []).append(i)
+        done: set[int] = set()
+        for f in report.delivered:
+            i = buckets[(f.src, f.dst)].pop()
+            attempts[i] += 1
+            done.add(i)
+        for f in report.congested:
+            i = buckets[(f.src, f.dst)].pop()
+            attempts[i] += 1
+            if lossy:
+                window = min(max_backoff, 1 << min(attempts[i] - 1, 30))
+                next_try[i] = t + int(backoff_rng.integers(0, window))
+            else:
+                next_try[i] = t  # deterministic congestion: retry next cycle
+        for f in report.deferred:
+            # never entered the network: no attempt consumed, no backoff
+            i = buckets[(f.src, f.dst)].pop()
+            next_try[i] = t
+        pending = [i for i in pending if i not in done]
     return outcome
 
 
@@ -242,6 +369,9 @@ def run_schedule(
     With ideal concentrators every cycle of a valid schedule must route
     with **zero** congestion losses — the end-to-end confirmation that
     one-cycle sets and the Fig. 3 switching agree.  Raises on any loss.
+    (On a degraded tree the guarantee holds for schedules built against
+    the same degraded capacities — the surviving wires are exactly what
+    the one-cycle property was checked on.)
     """
     reports = []
     for t, cycle in enumerate(schedule.cycles):

@@ -1,0 +1,50 @@
+"""Input-validation hardening: malformed inputs fail fast and loudly.
+
+Negative-path tests: every rejected input must raise ``ValueError`` with
+a message naming the offending value, so a user who mis-builds a
+workload or tree gets pointed at their bug instead of a downstream
+index error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FatTree, MessageSet
+
+
+class TestMessageSetEndpoints:
+    def test_src_out_of_range_named(self):
+        with pytest.raises(ValueError) as exc:
+            MessageSet([0, 97], [1, 2], 64)
+        assert "src[1] = 97" in str(exc.value)
+
+    def test_dst_out_of_range_named(self):
+        with pytest.raises(ValueError) as exc:
+            MessageSet([0, 1], [1, 64], 64)
+        assert "dst[1] = 64" in str(exc.value)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            MessageSet([-3], [1], 8)
+        assert "-3" in str(exc.value)
+
+    def test_boundary_values_accepted(self):
+        m = MessageSet([0, 63], [63, 0], 64)
+        assert len(m) == 2
+
+    def test_numpy_arrays_validated_too(self):
+        with pytest.raises(ValueError):
+            MessageSet(np.array([5]), np.array([200]), 64)
+
+
+class TestFatTreeSize:
+    @pytest.mark.parametrize("n", [0, -4, 3, 12, 100])
+    def test_non_power_of_two_rejected(self, n):
+        with pytest.raises(ValueError) as exc:
+            FatTree(n)
+        assert str(n) in str(exc.value)
+        assert "power of two" in str(exc.value)
+
+    @pytest.mark.parametrize("n", [2, 4, 64, 1024])
+    def test_powers_of_two_accepted(self, n):
+        assert FatTree(n).n == n

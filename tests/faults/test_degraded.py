@@ -1,0 +1,188 @@
+"""DegradedFatTree: effective capacities, routability, and the stack.
+
+The central contract: a degraded tree is a drop-in ``FatTree`` — every
+consumer (load factor, Theorem 1, on-line, buffered, switch simulator)
+routes against the surviving hardware through the unchanged APIs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FatTree,
+    MessageSet,
+    UnroutableError,
+    UniversalCapacity,
+    load_factor,
+    schedule_theorem1,
+)
+from repro.core.fattree import Direction
+from repro.faults import DegradedFatTree, FaultModel
+from repro.hardware import run_schedule, run_store_and_forward
+from repro.workloads import random_permutation, uniform_random
+
+
+class TestEffectiveCapacities:
+    def test_wire_fault_subtracts(self):
+        ft = FatTree(64)  # cap(2) = 16
+        dft = DegradedFatTree(ft, FaultModel().kill_wires(2, 1, 5))
+        assert dft.chan_cap(2, 1, Direction.UP) == 11
+        assert dft.chan_cap(2, 1, Direction.DOWN) == 11
+        assert dft.chan_cap(2, 0, Direction.UP) == 16
+
+    def test_level_cap_is_min_over_channels(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(ft, FaultModel().kill_wires(2, 3, 10))
+        assert dft.cap(2) == 6
+        assert dft.cap(1) == ft.cap(1)
+
+    def test_cap_vector_is_read_only(self):
+        dft = DegradedFatTree(FatTree(16), FaultModel().kill_wires(1, 0, 1))
+        vec = dft.cap_vector(1, Direction.UP)
+        with pytest.raises(ValueError):
+            vec[0] = 99
+
+    def test_dead_switch_severs_own_and_child_channels(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(2, 1))
+        for d in (Direction.UP, Direction.DOWN):
+            assert dft.chan_cap(2, 1, d) == 0
+            assert dft.chan_cap(3, 2, d) == 0
+            assert dft.chan_cap(3, 3, d) == 0
+            assert dft.chan_cap(2, 0, d) == ft.cap(2)
+
+    def test_pristine_model_changes_nothing(self):
+        ft = FatTree(32)
+        dft = DegradedFatTree(ft, FaultModel())
+        for k in range(1, ft.depth + 1):
+            assert dft.cap(k) == ft.cap(k)
+        assert dft.total_wires() == ft.total_wires()
+        assert dft.surviving_fraction() == 1.0
+
+
+class TestValidation:
+    def test_out_of_tree_channel_rejected(self):
+        ft = FatTree(16)  # depth 4
+        with pytest.raises(ValueError):
+            DegradedFatTree(ft, FaultModel().kill_wires(9, 0, 1))
+        with pytest.raises(ValueError):
+            DegradedFatTree(ft, FaultModel().kill_wires(2, 4, 1))
+
+    def test_switch_at_leaf_level_rejected(self):
+        ft = FatTree(16)
+        with pytest.raises(ValueError):
+            DegradedFatTree(ft, FaultModel().kill_switch(ft.depth, 0))
+
+    def test_overkill_rejected(self):
+        ft = FatTree(16)  # cap(2) = 4
+        with pytest.raises(ValueError):
+            DegradedFatTree(ft, FaultModel().kill_wires(2, 0, 5))
+
+
+class TestRoutability:
+    def test_dead_switch_blocks_subtree_crossings(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(2, 1))
+        # subtree of node (2, 1) = leaves 16..31
+        crossing = MessageSet([17], [40], 64)
+        inside = MessageSet([17], [18], 64)  # below the dead switch
+        outside = MessageSet([0], [63], 64)
+        assert not dft.routable_mask(crossing)[0]
+        assert dft.routable_mask(inside)[0]
+        assert dft.routable_mask(outside)[0]
+
+    def test_unroutable_and_check(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(2, 1))
+        m = MessageSet([17, 0], [40, 1], 64)
+        bad = dft.unroutable(m)
+        assert bad.as_pairs() == [(17, 40)]
+        with pytest.raises(UnroutableError) as exc:
+            dft.check_routable(m)
+        assert exc.value.pairs == [(17, 40)]
+        assert exc.value.count == 1
+
+    def test_pristine_mask_is_all_true(self):
+        dft = DegradedFatTree(FatTree(32), FaultModel().kill_wires(1, 0, 2))
+        m = uniform_random(32, 100, seed=0)
+        assert dft.routable_mask(m).all()
+
+
+class TestStackIntegration:
+    def test_load_factor_sees_surviving_wires(self):
+        n = 64
+        ft = FatTree(n, UniversalCapacity(n, 16, strict=False))
+        m = uniform_random(n, 4 * n, seed=1)
+        lam0 = load_factor(ft, m)
+        dft = DegradedFatTree(ft, FaultModel().kill_wire_fraction(ft, 0.25))
+        assert load_factor(dft, m) >= lam0
+
+    def test_load_factor_infinite_over_severed_channel(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(2, 1))
+        m = MessageSet([17], [40], 64)
+        assert load_factor(dft, m) == float("inf")
+
+    def test_theorem1_schedule_validates_on_degraded_tree(self):
+        n = 64
+        ft = FatTree(n, UniversalCapacity(n, 16, strict=False))
+        dft = DegradedFatTree(ft, FaultModel().kill_wire_fraction(ft, 0.25))
+        m = uniform_random(n, 200, seed=2)
+        sched = schedule_theorem1(dft, m)
+        sched.validate(dft, m)
+
+    def test_theorem1_raises_unroutable(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(1, 0))
+        m = MessageSet([0], [63], 64)
+        with pytest.raises(UnroutableError):
+            schedule_theorem1(dft, m)
+
+    def test_degraded_schedule_runs_clean_on_hardware(self):
+        n = 64
+        ft = FatTree(n, UniversalCapacity(n, 16, strict=False))
+        dft = DegradedFatTree(ft, FaultModel().kill_wire_fraction(ft, 0.25))
+        m = random_permutation(n, seed=3)
+        sched = schedule_theorem1(dft, m)
+        reports = run_schedule(dft, sched)
+        assert all(r.losses == 0 for r in reports)
+        assert sum(len(r.delivered) for r in reports) == len(
+            m.without_self_messages()
+        )
+
+    def test_buffered_design_routes_degraded(self):
+        n = 32
+        ft = FatTree(n)
+        dft = DegradedFatTree(ft, FaultModel().kill_wires(1, 0, 8))
+        m = random_permutation(n, seed=4)
+        run = run_store_and_forward(dft, m)
+        assert run.makespan > 0
+        assert len(run.latencies) == len(m.without_self_messages())
+
+    def test_buffered_design_raises_unroutable(self):
+        ft = FatTree(32)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(0, 0))
+        with pytest.raises(UnroutableError):
+            run_store_and_forward(dft, MessageSet([0], [31], 32))
+
+
+class TestAccounting:
+    def test_summary_and_wire_totals_agree(self):
+        ft = FatTree(64)
+        dft = DegradedFatTree(
+            ft, FaultModel().kill_wires(1, 0, 4).kill_switch(3, 0)
+        )
+        rows = dft.summary()
+        surviving = sum(int(r["wires"].split("/")[0]) for r in rows)
+        pristine = sum(int(r["wires"].split("/")[1]) for r in rows)
+        assert surviving == dft.total_wires()
+        assert pristine == ft.total_wires()
+        assert 0 < dft.surviving_fraction() < 1.0
+
+    def test_effective_never_negative(self):
+        ft = FatTree(32)
+        model = FaultModel().kill_wire_fraction(ft, 0.5).kill_switch(1, 1)
+        dft = DegradedFatTree(ft, model)
+        for k in range(dft.depth + 1):
+            for d in (Direction.UP, Direction.DOWN):
+                assert int(dft.cap_vector(k, d).min()) >= 0

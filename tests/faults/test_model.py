@@ -1,0 +1,101 @@
+"""FaultModel unit tests: injection bookkeeping and reproducibility."""
+
+import pytest
+
+from repro.core import FatTree
+from repro.core.fattree import Direction
+from repro.faults import FaultModel, SwitchFault, WireFault
+
+
+class TestWireFaults:
+    def test_kill_wires_hits_both_directions_by_default(self):
+        model = FaultModel().kill_wires(2, 1, 3)
+        assert model.killed_wires(2, 1, Direction.UP) == 3
+        assert model.killed_wires(2, 1, Direction.DOWN) == 3
+
+    def test_kill_wires_single_direction(self):
+        model = FaultModel().kill_wires(2, 1, 3, direction="up")
+        assert model.killed_wires(2, 1, Direction.UP) == 3
+        assert model.killed_wires(2, 1, Direction.DOWN) == 0
+
+    def test_counts_accumulate(self):
+        model = FaultModel().kill_wires(1, 0, 2).kill_wires(1, 0, 1)
+        assert model.killed_wires(1, 0, Direction.UP) == 3
+
+    def test_wire_faults_listing_is_sorted(self):
+        model = FaultModel().kill_wires(3, 2, 1).kill_wires(1, 0, 2)
+        faults = model.wire_faults
+        assert all(isinstance(f, WireFault) for f in faults)
+        keys = [(f.level, f.index) for f in faults]
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize("level,index,count", [(-1, 0, 1), (0, -2, 1), (0, 0, -1)])
+    def test_invalid_arguments_rejected(self, level, index, count):
+        with pytest.raises(ValueError):
+            FaultModel().kill_wires(level, index, count)
+
+
+class TestSwitchFaults:
+    def test_kill_switch_is_idempotent(self):
+        model = FaultModel().kill_switch(2, 1).kill_switch(2, 1)
+        assert model.switch_faults == [SwitchFault(2, 1)]
+        assert model.is_dead_switch(2, 1)
+        assert not model.is_dead_switch(2, 0)
+
+    def test_invalid_switch_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel().kill_switch(-1, 0)
+
+
+class TestBulkKills:
+    def test_kill_wire_fraction_is_deterministic_floor(self):
+        ft = FatTree(64)  # cap(1) = 32, cap(2) = 16, ...
+        model = FaultModel().kill_wire_fraction(ft, 0.25)
+        assert model.killed_wires(1, 0, Direction.UP) == 8
+        assert model.killed_wires(2, 3, Direction.DOWN) == 4
+        # leaf channels have cap 1: floor(0.25·1) = 0, untouched
+        assert model.killed_wires(ft.depth, 5, Direction.UP) == 0
+
+    def test_kill_wire_fraction_levels_subset(self):
+        ft = FatTree(64)
+        model = FaultModel().kill_wire_fraction(ft, 0.25, levels=[1])
+        assert model.killed_wires(1, 1, Direction.UP) == 8
+        assert model.killed_wires(2, 0, Direction.UP) == 0
+
+    def test_random_wires_reproducible(self):
+        ft = FatTree(64)
+        a = FaultModel(seed=11).kill_random_wires(ft, 0.3)
+        b = FaultModel(seed=11).kill_random_wires(ft, 0.3)
+        assert a.wire_faults == b.wire_faults
+        c = FaultModel(seed=12).kill_random_wires(ft, 0.3)
+        assert a.wire_faults != c.wire_faults
+
+    def test_random_switches_distinct_and_in_range(self):
+        ft = FatTree(64)
+        model = FaultModel(seed=3).kill_random_switches(ft, 10)
+        faults = model.switch_faults
+        assert len(faults) == 10
+        assert len(set(faults)) == 10
+        for f in faults:
+            assert 0 <= f.level < ft.depth
+            assert 0 <= f.index < (1 << f.level)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.0, 1.5])
+    def test_fraction_bounds_enforced(self, fraction):
+        ft = FatTree(8)
+        with pytest.raises(ValueError):
+            FaultModel().kill_wire_fraction(ft, fraction)
+        with pytest.raises(ValueError):
+            FaultModel().kill_random_wires(ft, fraction)
+
+
+class TestTransient:
+    @pytest.mark.parametrize("rate", [-0.01, 1.0, 2.0])
+    def test_loss_rate_validated(self, rate):
+        with pytest.raises(ValueError):
+            FaultModel(loss_rate=rate)
+
+    def test_repr_mentions_scenario(self):
+        model = FaultModel(seed=5, loss_rate=0.1).kill_switch(1, 0)
+        assert "loss_rate=0.1" in repr(model)
+        assert "switch_faults=1" in repr(model)

@@ -1,0 +1,109 @@
+"""Property-based tests (seeded random, no external dependencies).
+
+Two monotonicity laws the degraded-mode design must obey, checked over
+randomly generated fault scenarios:
+
+* *capacity dominance* — the degraded tree's effective capacities are
+  levelwise ≤ the pristine tree's, and never negative;
+* *load-factor monotonicity* — λ(M) is non-decreasing as wires are
+  removed (killing hardware can only concentrate load).
+
+Plus two consequences: routability only shrinks under further damage,
+and a schedule valid on the degraded tree is valid on the pristine one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FatTree, UniversalCapacity, load_factor, schedule_theorem1
+from repro.core.fattree import Direction
+from repro.faults import DegradedFatTree, FaultModel
+from repro.workloads import uniform_random
+
+SEEDS = range(6)
+
+
+def random_scenario(ft, seed):
+    """A seeded random mix of wire and switch faults."""
+    rng = np.random.default_rng(seed)
+    model = FaultModel(seed=seed)
+    model.kill_random_wires(ft, float(rng.uniform(0.0, 0.5)))
+    model.kill_random_switches(ft, int(rng.integers(0, 4)))
+    return model
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_effective_capacities_dominated_by_pristine(seed):
+    ft = FatTree(64, UniversalCapacity(64, 32, strict=False))
+    dft = DegradedFatTree(ft, random_scenario(ft, seed))
+    for k in range(ft.depth + 1):
+        for d in (Direction.UP, Direction.DOWN):
+            eff = dft.cap_vector(k, d)
+            assert (eff <= ft.cap(k)).all()
+            assert (eff >= 0).all()
+        assert dft.cap(k) <= ft.cap(k)
+    assert dft.total_wires() <= ft.total_wires()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_load_factor_monotone_under_wire_removal(seed):
+    """Kill wires in increasing fractions; λ(M) never decreases."""
+    n = 64
+    ft = FatTree(n, UniversalCapacity(n, 16, strict=False))
+    m = uniform_random(n, 4 * n, seed=seed)
+    lams = []
+    for fraction in (0.0, 0.1, 0.2, 0.3, 0.4):
+        model = FaultModel(seed=seed).kill_wire_fraction(ft, fraction)
+        tree = DegradedFatTree(ft, model) if fraction else ft
+        lams.append(load_factor(tree, m))
+    assert lams == sorted(lams)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_load_factor_monotone_under_incremental_random_damage(seed):
+    """A growing random fault set (superset chain) never lowers λ(M)."""
+    n = 32
+    ft = FatTree(n, UniversalCapacity(n, 16, strict=False))
+    m = uniform_random(n, 3 * n, seed=seed + 100)
+    model = FaultModel(seed=seed)
+    prev = load_factor(ft, m)
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        level = int(rng.integers(1, 3))  # wide channels only
+        index = int(rng.integers(0, 1 << level))
+        model.kill_wires(level, index, 1)
+        lam = load_factor(DegradedFatTree(ft, model), m)
+        assert lam >= prev - 1e-12
+        prev = lam
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_routability_shrinks_under_more_damage(seed):
+    """Messages routable after extra faults were routable before."""
+    ft = FatTree(64)
+    m = uniform_random(64, 300, seed=seed)
+    rng = np.random.default_rng(seed)
+    less = FaultModel(seed=seed).kill_random_switches(ft, 2)
+    mask_less = DegradedFatTree(ft, less).routable_mask(m)
+    # add two more dead switches on top of the same scenario
+    more = FaultModel(seed=seed).kill_random_switches(ft, 2)
+    for _ in range(2):
+        level = int(rng.integers(1, 4))
+        more.kill_switch(level, int(rng.integers(0, 1 << level)))
+    mask_more = DegradedFatTree(ft, more).routable_mask(m)
+    assert (mask_more <= mask_less).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_degraded_schedule_is_valid_on_pristine_tree(seed):
+    """Degraded capacities under-approximate pristine ones, so any
+    schedule built for the degraded tree also respects the pristine
+    tree's capacities."""
+    n = 64
+    ft = FatTree(n, UniversalCapacity(n, 16, strict=False))
+    model = FaultModel(seed=seed).kill_wire_fraction(ft, 0.25)
+    dft = DegradedFatTree(ft, model)
+    m = uniform_random(n, 150, seed=seed)
+    sched = schedule_theorem1(dft, m)
+    sched.validate(dft, m)
+    sched.validate(ft, m)

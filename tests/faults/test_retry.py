@@ -1,0 +1,113 @@
+"""Retry/backoff under transient faults, and the structured timeout.
+
+Covers both delivery loops — the bit-serial hardware simulator
+(``run_until_delivered``) and the on-line random-rank scheduler
+(``schedule_random_rank``) — under a degraded tree with a positive
+``loss_rate``: convergence, attempt accounting, reproducibility, and
+``DeliveryTimeout`` instead of an unbounded spin.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    DeliveryTimeout,
+    FatTree,
+    MessageSet,
+    UnroutableError,
+    UniversalCapacity,
+    schedule_random_rank,
+)
+from repro.faults import DegradedFatTree, FaultModel
+from repro.hardware import run_until_delivered
+from repro.workloads import random_permutation, uniform_random
+
+
+def lossy_tree(n=32, *, loss=0.2, kill=0.0, seed=0):
+    ft = FatTree(n, UniversalCapacity(n, n // 2, strict=False))
+    model = FaultModel(seed=seed, loss_rate=loss)
+    if kill:
+        model.kill_wire_fraction(ft, kill)
+    return DegradedFatTree(ft, model)
+
+
+class TestHardwareRetry:
+    def test_lossy_delivery_converges_with_attempt_counts(self):
+        dft = lossy_tree(loss=0.2, kill=0.125)
+        m = random_permutation(32, seed=1)
+        out = run_until_delivered(dft, m, seed=2)
+        delivered = sum(len(r.delivered) for r in out.reports)
+        assert delivered == len(m)  # self-messages deliver trivially
+        assert len(out.attempts) == len(m)
+        assert all(a >= 1 for a in out.attempts)
+        assert out.max_attempts() >= 2  # something was actually lost
+        assert sum(out.attempt_histogram().values()) == len(out.attempts)
+
+    def test_loss_rate_read_from_fault_model(self):
+        """No explicit fault_rate: the tree's loss_rate drives the loop."""
+        dft = lossy_tree(loss=0.3)
+        m = random_permutation(32, seed=3)
+        out = run_until_delivered(dft, m, seed=4)
+        assert out.cycles > 1  # a single clean cycle would suffice loss-free
+
+    def test_reproducible_given_seed(self):
+        dft = lossy_tree(loss=0.25)
+        m = uniform_random(32, 64, seed=5)
+        a = run_until_delivered(dft, m, seed=6)
+        b = run_until_delivered(dft, m, seed=6)
+        assert a.cycles == b.cycles
+        assert a.attempts == b.attempts
+
+    def test_timeout_is_structured(self):
+        dft = lossy_tree(loss=0.5)
+        m = uniform_random(32, 64, seed=7)
+        with pytest.raises(DeliveryTimeout) as exc:
+            run_until_delivered(dft, m, seed=8, max_cycles=3)
+        err = exc.value
+        assert err.cycles == 3
+        assert len(err.undelivered) > 0
+        assert isinstance(err.attempts, Counter)
+        assert isinstance(err, RuntimeError)
+
+    def test_unroutable_raises_before_simulating(self):
+        ft = FatTree(32)
+        dft = DegradedFatTree(ft, FaultModel().kill_switch(0, 0))
+        with pytest.raises(UnroutableError):
+            run_until_delivered(dft, MessageSet([0], [31], 32))
+
+    def test_zero_loss_degraded_matches_pristine_cycle_count(self):
+        """With no transient faults and no dead wires the degraded
+        wrapper is behaviourally identical to the pristine tree."""
+        ft = FatTree(32)
+        m = uniform_random(32, 128, seed=9)
+        base = run_until_delivered(ft, m, seed=10)
+        dft = DegradedFatTree(ft, FaultModel())
+        wrapped = run_until_delivered(dft, m, seed=10)
+        assert wrapped.cycles == base.cycles
+
+
+class TestOnlineRetry:
+    def test_lossy_online_converges(self):
+        dft = lossy_tree(loss=0.2)
+        m = uniform_random(32, 96, seed=11)
+        sched = schedule_random_rank(dft, m, seed=12)
+        sched.validate(dft, m)
+
+    def test_online_timeout(self):
+        dft = lossy_tree(loss=0.5)
+        m = uniform_random(32, 96, seed=13)
+        with pytest.raises(DeliveryTimeout):
+            schedule_random_rank(dft, m, seed=14, max_cycles=2)
+
+    def test_online_unroutable(self):
+        dft = DegradedFatTree(FatTree(32), FaultModel().kill_switch(0, 0))
+        with pytest.raises(UnroutableError):
+            schedule_random_rank(dft, MessageSet([0], [31], 32))
+
+    def test_explicit_loss_rate_overrides_model(self):
+        """Passing loss_rate=0 on a lossy tree gives a clean run."""
+        dft = lossy_tree(loss=0.4)
+        m = random_permutation(32, seed=15)
+        sched = schedule_random_rank(dft, m, seed=16, loss_rate=0.0)
+        sched.validate(dft, m)

@@ -73,14 +73,17 @@ class TestRetryUnderFaults:
 
     def test_geometric_retry_cost(self):
         """Per-hop drop probability p means survival (1-p)^hops; the
-        expected cycle count is within a small factor of 1/survival."""
+        expected cycle count is within a small factor of 1/survival.
+        (max_backoff=1 disables the backoff delay, whose extra idle
+        cycles this geometric analysis does not model.)"""
         ft = FatTree(64)
         m = random_permutation(64, seed=6)
         rate = 0.1
         hops = 2 * ft.depth - 1
         survival = (1 - rate) ** hops
         out = run_until_delivered(
-            ft, m, concentrators="faulty", fault_rate=rate, seed=2
+            ft, m, concentrators="faulty", fault_rate=rate, seed=2,
+            max_backoff=1,
         )
         # cycles needed ~ geometric tail over 64 messages
         assert out.cycles <= 10 / survival

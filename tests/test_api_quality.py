@@ -16,6 +16,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.faults",
     "repro.hardware",
     "repro.vlsi",
     "repro.networks",

@@ -91,3 +91,63 @@ class TestHardware:
         )
         assert code == 0
         assert "pippenger concentrators" in out
+
+
+class TestFaults:
+    def test_pristine_run(self, capsys):
+        code, out = run(capsys, "faults", "--n", "32", "--messages", "64")
+        assert code == 0
+        assert "100.0% of wires survive" in out
+        assert "retry/backoff delivery" in out
+
+    def test_kill_wires_shows_degradation(self, capsys):
+        code, out = run(
+            capsys, "faults", "--n", "64", "--w", "16",
+            "--kill-wires", "0.25", "--messages", "128",
+        )
+        assert code == 0
+        assert "degraded fat-tree" in out
+        assert "min eff" in out
+        assert "λ(M)" in out
+
+    def test_kill_switch_reports_unroutable(self, capsys):
+        code, out = run(
+            capsys, "faults", "--n", "64", "--kill-switch", "2:1",
+            "--messages", "100",
+        )
+        assert code == 0
+        assert "dead channels" in out
+        assert "unroutable" in out
+
+    def test_loss_rate_prints_histogram(self, capsys):
+        code, out = run(
+            capsys, "faults", "--n", "32", "--loss-rate", "0.2",
+            "--messages", "64",
+        )
+        assert code == 0
+        assert "attempts" in out
+
+    def test_max_cycles_timeout_exit_code(self, capsys):
+        code = main(
+            [
+                "faults", "--n", "32", "--loss-rate", "0.5",
+                "--messages", "128", "--max-cycles", "2",
+            ]
+        )
+        assert code == 3
+
+    def test_bad_switch_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--n", "32", "--kill-switch", "nonsense"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["faults", "--n", "32", "--kill-wires", "1.5"],
+            ["faults", "--n", "32", "--kill-switch", "9:0"],
+            ["faults", "--n", "32", "--loss-rate", "1.0"],
+        ],
+    )
+    def test_invalid_scenario_exit_code(self, capsys, argv):
+        assert main(argv) == 2
+        assert "invalid fault scenario" in capsys.readouterr().err

@@ -21,6 +21,7 @@ EXPECTED_PHRASES = {
     "capacity_planning.py": ["volume budget", "speedup"],
     "fft_application.py": ["fft", "stencil"],
     "decomposition_pipeline.py": ["Theorem 5", "Theorem 8", "Theorem 10"],
+    "fault_tolerance.py": ["degraded", "λ(M)", "retry histogram"],
 }
 
 
