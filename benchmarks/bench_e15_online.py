@@ -31,23 +31,28 @@ def run_online(n, load_per_proc, seed=0):
     return ft, m, lam, sched
 
 
-def test_online_tracks_lambda(report, benchmark):
-    rows = []
-    for n in (64, 256, 1024):
-        for load in (2, 8):
-            ft, m, lam, sched = run_online(n, load, seed=n + load)
-            bound = online_cycle_bound(ft, lam)
-            rows.append(
-                {
-                    "n": n,
-                    "msgs/proc": load,
-                    "λ(M)": lam,
-                    "online cycles": sched.num_cycles,
-                    "c·(λ+lg n·lglg n)": bound,
-                    "cycles/λ": sched.num_cycles / max(lam, 1.0),
-                }
-            )
-            assert math.ceil(lam) <= sched.num_cycles <= bound
+def measure_online(n, load):
+    """One sweep point (module-level so a parallel sweep can pickle it)."""
+    ft, m, lam, sched = run_online(n, load, seed=n + load)
+    return {
+        "λ(M)": lam,
+        "online cycles": sched.num_cycles,
+        "c·(λ+lg n·lglg n)": online_cycle_bound(ft, lam),
+        "cycles/λ": sched.num_cycles / max(lam, 1.0),
+    }
+
+
+def test_online_tracks_lambda(report, benchmark, sweep):
+    rows = sweep(
+        measure_online,
+        [{"n": n, "load": load} for n in (64, 256, 1024) for load in (2, 8)],
+    )
+    for r in rows:
+        assert (
+            math.ceil(r["λ(M)"])
+            <= r["online cycles"]
+            <= r["c·(λ+lg n·lglg n)"]
+        )
     report(rows, title="E15 — random-rank on-line routing vs the [8] shape")
     # the overhead over λ stays bounded as n grows 16x
     ratios = [r["cycles/λ"] for r in rows]

@@ -1,0 +1,153 @@
+"""PERF — old-vs-new wall-clock for the vectorised routing kernels.
+
+Times the vectorised kernels (:func:`repro.core.schedule_random_rank`,
+:func:`repro.core.schedule_greedy_first_fit`, riding the shared
+:class:`repro.perf.PathIndex`) against the retained pure-Python
+``_reference_*`` oracles on identical inputs, asserts the schedules are
+identical, and records the measurements into ``BENCH_PERF.json`` at the
+repository root.
+
+Acceptance gate: ≥5× on ``schedule_random_rank`` at ``n = 1024`` with a
+random permutation (seed 0).  The path-index cache is cleared before
+every timed call, so the vectorised numbers are *cold* — cache hits
+across schedulers only widen the gap in real use.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_perf.py``
+(``--quick`` for the CI smoke subset) or via pytest as a bench.
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
+REPEATS = 3
+
+
+def _build_case(kind, n, w=None, msgs_per_proc=None, seed=0):
+    from repro.core import FatTree, UniversalCapacity
+    from repro.workloads import random_permutation, uniform_random
+
+    ft = FatTree(n) if w is None else FatTree(n, UniversalCapacity(n, w, strict=False))
+    if msgs_per_proc is None:
+        m = random_permutation(n, seed=seed)
+        workload = "permutation"
+    else:
+        m = uniform_random(n, msgs_per_proc * n, seed=seed)
+        workload = f"uniform x{msgs_per_proc}"
+    return ft, m, workload
+
+
+def _time(fn, ft, m, *, repeats=REPEATS, **kw):
+    from repro.perf import clear_path_index_cache
+
+    best, result = math.inf, None
+    for _ in range(repeats):
+        clear_path_index_cache(ft)
+        t0 = time.perf_counter()
+        result = fn(ft, m, **kw)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _run_case(label, kind, n, w=None, msgs_per_proc=None, repeats=REPEATS):
+    from repro.core.greedy import (
+        _reference_schedule_greedy_first_fit,
+        schedule_greedy_first_fit,
+    )
+    from repro.core.online import (
+        _reference_schedule_random_rank,
+        schedule_random_rank,
+    )
+
+    ft, m, workload = _build_case(kind, n, w, msgs_per_proc)
+    if kind == "random_rank":
+        new_fn = lambda ft, m: schedule_random_rank(ft, m, seed=0)
+        old_fn = lambda ft, m: _reference_schedule_random_rank(ft, m, seed=0)
+    else:
+        new_fn = schedule_greedy_first_fit
+        old_fn = _reference_schedule_greedy_first_fit
+    new_s, new_sched = _time(new_fn, ft, m, repeats=repeats)
+    old_s, old_sched = _time(old_fn, ft, m, repeats=repeats)
+    assert [sorted(c) for c in new_sched.cycles] == [
+        sorted(c) for c in old_sched.cycles
+    ], f"{label}: vectorised kernel diverged from reference"
+    return {
+        "case": label,
+        "kernel": kind,
+        "n": n,
+        "workload": workload,
+        "cycles": new_sched.num_cycles,
+        "reference_s": round(old_s, 6),
+        "vectorised_s": round(new_s, 6),
+        "speedup": round(old_s / new_s, 2),
+    }
+
+
+def run_bench(quick=False):
+    """All timed cases; the first row is the acceptance configuration."""
+    if quick:
+        cases = [
+            ("random_rank perm n=256", "random_rank", 256, None, None),
+            ("random_rank uniform n=256", "random_rank", 256, 40, 4),
+            ("greedy uniform n=128", "greedy", 128, 26, 4),
+        ]
+        repeats = 1
+    else:
+        cases = [
+            ("random_rank perm n=1024", "random_rank", 1024, None, None),
+            ("random_rank uniform n=512", "random_rank", 512, 64, 6),
+            ("random_rank uniform n=1024", "random_rank", 1024, 102, 4),
+            ("greedy uniform n=256", "greedy", 256, 40, 4),
+            ("greedy perm n=1024", "greedy", 1024, None, None),
+        ]
+        repeats = REPEATS
+    rows = [
+        _run_case(label, kind, n, w, mpp, repeats=repeats)
+        for label, kind, n, w, mpp in cases
+    ]
+    RESULTS_PATH.write_text(
+        json.dumps({"quick": quick, "results": rows}, indent=2) + "\n"
+    )
+    return rows
+
+
+def test_vectorised_kernels_speedup(report):
+    """The PR 2 acceptance gate: ≥5× on schedule_random_rank at n=1024
+    with a random permutation (seed 0), schedules bit-identical."""
+    rows = run_bench(quick=False)
+    report(rows, title="PERF — vectorised kernels vs pure-Python reference")
+    headline = rows[0]
+    assert headline["kernel"] == "random_rank" and headline["n"] == 1024
+    assert headline["speedup"] >= 5.0, (
+        f"acceptance: expected >=5x on random_rank n=1024 permutation, "
+        f"measured {headline['speedup']}x"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, single repeat (CI smoke); skips the 5x gate",
+    )
+    args = parser.parse_args(argv)
+    rows = run_bench(quick=args.quick)
+    from repro.analysis import format_table
+
+    print(format_table(rows, title="PERF — vectorised kernels vs reference"))
+    print(f"wrote {RESULTS_PATH}")
+    if not args.quick:
+        headline = rows[0]
+        if headline["speedup"] < 5.0:
+            print(f"FAIL: headline speedup {headline['speedup']}x < 5x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,15 @@ the rows a reader would compare with the paper (via the ``report``
 fixture, which bypasses pytest's capture so tables appear in the bench
 log) and *asserts* the shape properties, so a red bench means the
 reproduction regressed.
+
+Parameter sweeps route through :func:`repro.analysis.sweep` (the
+``sweep`` fixture): set ``REPRO_SWEEP_JOBS=N`` to fan a bench's
+parameter sets out over N worker processes — rows come back in input
+order, so the printed tables are identical either way.
 """
+
+import functools
+import os
 
 import pytest
 
@@ -22,3 +30,12 @@ def report(capsys):
             print(format_table(rows, columns, title=title))
 
     return _report
+
+
+@pytest.fixture
+def sweep():
+    """The repro.analysis sweep runner, parallelised via REPRO_SWEEP_JOBS."""
+    from repro.analysis import sweep as _sweep
+
+    n_jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
+    return functools.partial(_sweep, n_jobs=max(1, n_jobs))

@@ -1,4 +1,14 @@
-"""Parameter-sweep runner producing row-oriented results."""
+"""Parameter-sweep runner producing row-oriented results.
+
+:func:`sweep` is how the benches regenerate their experiment tables: one
+callable, many parameter sets, one merged row per run.  ``n_jobs``
+fans the runs out over a ``ProcessPoolExecutor`` — parameter sets are
+independent by construction, so sweeps scale with cores — while results
+are merged back **in input order** regardless of completion order, so a
+parallel sweep produces byte-identical tables to a serial one.
+``on_error="capture"`` turns a failing run into a row with an
+``"error"`` column instead of aborting the whole sweep.
+"""
 
 from __future__ import annotations
 
@@ -7,16 +17,73 @@ from collections.abc import Callable, Iterable, Mapping
 __all__ = ["sweep"]
 
 
+def _call(fn: Callable[..., Mapping], params: Mapping) -> Mapping:
+    """Top-level trampoline so (fn, params) pickles into worker processes."""
+    return fn(**params)
+
+
+def _merge(params: Mapping, result: Mapping | None, error: str | None) -> dict:
+    row = dict(params)
+    if result is not None:
+        row.update(result)
+    if error is not None:
+        row["error"] = error
+    return row
+
+
 def sweep(
     fn: Callable[..., Mapping],
     param_sets: Iterable[Mapping],
+    *,
+    n_jobs: int | None = None,
+    on_error: str = "raise",
 ) -> list[dict]:
     """Run ``fn(**params)`` for each parameter set; each call returns a
-    mapping of measured values, merged with its parameters into one row."""
+    mapping of measured values, merged with its parameters into one row.
+
+    Parameters
+    ----------
+    n_jobs:
+        ``None`` or 1 runs serially in-process.  Larger values run the
+        parameter sets on a process pool of that many workers (``fn``
+        and the parameter values must then be picklable, i.e. ``fn``
+        must be a module-level function).  Rows always come back in the
+        order of ``param_sets``.
+    on_error:
+        ``"raise"`` (default) propagates the first exception.
+        ``"capture"`` records ``"error": "ExcType: message"`` on the
+        failing row and keeps sweeping.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f'on_error must be "raise" or "capture", got {on_error!r}')
+    param_sets = [dict(p) for p in param_sets]
+    if n_jobs is not None and n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+
     rows = []
-    for params in param_sets:
-        result = fn(**params)
-        row = dict(params)
-        row.update(result)
-        rows.append(row)
+    if n_jobs is None or n_jobs == 1:
+        for params in param_sets:
+            try:
+                result = _call(fn, params)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                rows.append(_merge(params, None, f"{type(exc).__name__}: {exc}"))
+            else:
+                rows.append(_merge(params, result, None))
+        return rows
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        futures = [pool.submit(_call, fn, params) for params in param_sets]
+        for params, future in zip(param_sets, futures):
+            try:
+                result = future.result()
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                rows.append(_merge(params, None, f"{type(exc).__name__}: {exc}"))
+            else:
+                rows.append(_merge(params, result, None))
     return rows

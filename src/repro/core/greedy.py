@@ -12,6 +12,14 @@ for the even-split partitioner:
   drop the excess; dropped messages are retried next cycle (the
   acknowledgment mechanism).  Randomised priority, so results vary with
   the seed.
+
+Both route over the shared :class:`~repro.perf.PathIndex`.  First-fit
+residual tracking is one 2-D ``(cycles, channels)`` int64 matrix over
+flat channel gids — the fit test and the path decrement are each a
+single vectorised operation — replacing the per-level dict-of-arrays
+bookkeeping, which is retained in
+:func:`_reference_schedule_greedy_first_fit` as the equality oracle
+(identical placements for every input and order).
 """
 
 from __future__ import annotations
@@ -22,23 +30,88 @@ from .errors import UnroutableError
 from .fattree import Direction, FatTree
 from .message import MessageSet
 from .schedule import Schedule
+from .tree import path_up_down
 
-__all__ = ["schedule_greedy_first_fit", "simulate_online_retry"]
+__all__ = [
+    "schedule_greedy_first_fit",
+    "simulate_online_retry",
+    "_reference_schedule_greedy_first_fit",
+]
 
 
-def _path_levels(ft: FatTree, src: int, dst: int) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
-    """(level, node-index) pairs of the up- and down-channels of a path."""
-    depth = ft.depth
-    diff = src ^ dst
-    bitlen = diff.bit_length()
-    lca_level = depth - bitlen
-    ups = [(k, src >> (depth - k)) for k in range(lca_level + 1, depth + 1)]
-    downs = [(k, dst >> (depth - k)) for k in range(lca_level + 1, depth + 1)]
-    return ups, downs
+def _placement_order(ft: FatTree, routable: MessageSet, order: str) -> np.ndarray:
+    m = len(routable)
+    if order == "given":
+        return np.arange(m)
+    if order == "random":
+        return np.random.default_rng(0).permutation(m)
+    if order == "longest-first":
+        lengths = np.array(
+            [ft.path_length(int(s), int(d)) for s, d in routable], dtype=np.int64
+        )
+        return np.argsort(-lengths, kind="stable")
+    raise ValueError(f"unknown order {order!r}")
+
+
+def schedule_greedy_first_fit(
+    ft: FatTree, messages: MessageSet, *, order: str = "longest-first"
+) -> Schedule:
+    """Off-line first-fit scheduler.
+
+    ``order`` controls message placement order: ``"longest-first"`` (by
+    path length, a standard bin-packing heuristic), ``"given"`` (input
+    order), or ``"random"``.
+    """
+    from ..perf import get_path_index
+
+    routable = messages.without_self_messages()
+    index = get_path_index(ft, routable)
+    mask = index.routable_mask()
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
+    n_self = len(messages) - len(routable)
+    m = len(routable)
+    perm = _placement_order(ft, routable, order)
+
+    # residual[t, gid] = wires of channel gid still free in cycle t; rows
+    # are appended lazily and grown geometrically.  The padding slot's
+    # huge capacity lets whole padded path rows index it untested.
+    fresh = index.caps
+    residual = np.empty((0, index.num_slots), dtype=np.int64)
+    num_cycles = 0
+    assignment = np.zeros(m, dtype=np.int64)
+    for i in perm:
+        path = index.paths[i]
+        # first-fit scan in blocks of cycles: keeps the early exit of the
+        # scalar scan while testing a whole block per vector op
+        t = num_cycles
+        for start in range(0, num_cycles, 64):
+            fits = (residual[start : min(start + 64, num_cycles), path] > 0).all(
+                axis=1
+            )
+            if fits.any():
+                t = start + int(np.argmax(fits))
+                break
+        if t == num_cycles:
+            if num_cycles == residual.shape[0]:
+                grown = np.empty(
+                    (max(4, 2 * residual.shape[0]), index.num_slots), dtype=np.int64
+                )
+                grown[: residual.shape[0]] = residual
+                residual = grown
+            residual[num_cycles] = fresh
+            num_cycles += 1
+        # a path never repeats a channel, so fancy-index decrement is exact
+        residual[t, path] -= 1
+        assignment[i] = t
+
+    cycles = [routable.take(assignment == t) for t in range(num_cycles)]
+    return Schedule(cycles=cycles, n_self_messages=n_self)
 
 
 class _ResidualCycles:
-    """Residual up/down capacities for a growing list of delivery cycles."""
+    """Residual up/down capacities for a growing list of delivery cycles
+    (the pre-vectorisation bookkeeping, kept for the reference oracle)."""
 
     def __init__(self, ft: FatTree):
         self.ft = ft
@@ -80,38 +153,25 @@ class _ResidualCycles:
         return t
 
 
-def schedule_greedy_first_fit(
+def _reference_schedule_greedy_first_fit(
     ft: FatTree, messages: MessageSet, *, order: str = "longest-first"
 ) -> Schedule:
-    """Off-line first-fit scheduler.
-
-    ``order`` controls message placement order: ``"longest-first"`` (by
-    path length, a standard bin-packing heuristic), ``"given"`` (input
-    order), or ``"random"``.
-    """
+    """Pure-Python first-fit, kept as the equality oracle for the
+    vectorised :func:`schedule_greedy_first_fit` (identical placements,
+    hence identical schedules, for every input and order)."""
     routable = messages.without_self_messages()
     mask = ft.routable_mask(routable)
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     m = len(routable)
-    if order == "given":
-        perm = np.arange(m)
-    elif order == "random":
-        perm = np.random.default_rng(0).permutation(m)
-    elif order == "longest-first":
-        lengths = np.array(
-            [ft.path_length(int(s), int(d)) for s, d in routable], dtype=np.int64
-        )
-        perm = np.argsort(-lengths, kind="stable")
-    else:
-        raise ValueError(f"unknown order {order!r}")
+    perm = _placement_order(ft, routable, order)
 
     residual = _ResidualCycles(ft)
     assignment = np.zeros(m, dtype=np.int64)
     for i in perm:
         src, dst = int(routable.src[i]), int(routable.dst[i])
-        ups, downs = _path_levels(ft, src, dst)
+        ups, downs = path_up_down(src, dst, ft.depth)
         assignment[i] = residual.place_first_fit(ups, downs)
 
     num_cycles = len(residual.up)
@@ -130,29 +190,30 @@ def simulate_online_retry(
     next cycle.  Models ideal concentrators (no drops without congestion)
     and instant acknowledgments.
     """
+    from ..perf import get_path_index
+
     rng = np.random.default_rng(seed)
     routable = messages.without_self_messages()
-    mask = ft.routable_mask(routable)
+    index = get_path_index(ft, routable)
+    mask = index.routable_mask()
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     pending = list(range(len(routable)))
-    paths = [
-        _path_levels(ft, int(s), int(d)) for s, d in routable
-    ]
+    paths = index.paths
+    fresh = index.caps
     cycles: list[MessageSet] = []
     while pending:
         if len(cycles) >= max_cycles:
             raise RuntimeError(f"online retry did not converge in {max_cycles} cycles")
-        residual = _ResidualCycles(ft)
-        t = residual._new_cycle()
+        residual = fresh.copy()
         rng.shuffle(pending)
         delivered: list[int] = []
         still: list[int] = []
         for i in pending:
-            ups, downs = paths[i]
-            if residual.fits(t, ups, downs):
-                residual.commit(t, ups, downs)
+            path = paths[i]
+            if (residual[path] > 0).all():
+                residual[path] -= 1
                 delivered.append(i)
             else:
                 still.append(i)

@@ -60,6 +60,47 @@ class LevelLoads:
                 for k in range(1, self.depth + 1))
         )
 
+    def apply_delta(
+        self,
+        added: "MessageSet | None" = None,
+        removed: "MessageSet | None" = None,
+    ) -> "LevelLoads":
+        """Loads after adding/removing messages, computed incrementally.
+
+        Returns a new :class:`LevelLoads` equal to
+        ``channel_loads(ft, M + added - removed)`` at the cost of one
+        bincount pass over just the delta — so loops that repeatedly
+        shrink or grow a working set (the Theorem 1 halving loop, retry
+        loops) stop recomputing loads of the full set from scratch.
+        Raises ``ValueError`` if ``removed`` is not a sub-multiset (some
+        load would go negative).
+        """
+        up = {k: self.up[k].copy() for k in range(1, self.depth + 1)}
+        down = {k: self.down[k].copy() for k in range(1, self.depth + 1)}
+        for sign, delta in ((1, added), (-1, removed)):
+            if delta is None or len(delta) == 0:
+                continue
+            src, dst = delta.src, delta.dst
+            for k in range(1, self.depth + 1):
+                shift = self.depth - k
+                s_anc = src >> shift
+                d_anc = dst >> shift
+                crossing = s_anc != d_anc
+                width = 1 << k
+                up[k] += sign * np.bincount(
+                    s_anc[crossing], minlength=width
+                ).astype(np.int64)
+                down[k] += sign * np.bincount(
+                    d_anc[crossing], minlength=width
+                ).astype(np.int64)
+        for k in range(1, self.depth + 1):
+            if bool((up[k] < 0).any()) or bool((down[k] < 0).any()):
+                raise ValueError(
+                    "apply_delta removed messages that are not in the set "
+                    f"(negative load at level {k})"
+                )
+        return LevelLoads(up=up, down=down, depth=self.depth)
+
 
 def channel_loads(ft: FatTree, messages: MessageSet) -> LevelLoads:
     """Loads of every channel of ``ft`` under ``messages``."""

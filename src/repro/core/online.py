@@ -18,6 +18,14 @@ path).  Losers retry next cycle with fresh ranks — fully on-line: no
 global knowledge, only per-channel comparisons, exactly what a switch
 can do in hardware.
 
+:func:`schedule_random_rank` is a vectorised kernel over the shared
+:class:`~repro.perf.PathIndex`: each cycle is one lexsort of the
+``(channel gid, rank)`` pairs of the eligible messages' path entries
+plus a grouped prefix count, with delivered/backoff state in flat
+arrays.  The pure-Python predecessor is retained as
+:func:`_reference_schedule_random_rank`; the two are bit-identical for
+any seed (property-tested), so every published cycle count is unchanged.
+
 Degraded-mode extensions (:mod:`repro.faults`): capacities are read per
 channel, so a :class:`~repro.faults.DegradedFatTree` is routed against
 its surviving wires; messages whose path is severed raise
@@ -25,8 +33,11 @@ its surviving wires; messages whose path is severed raise
 ``loss_rate`` (taken from the tree's fault model when not given)
 corrupts each would-be delivery independently; corrupted and congested
 messages are NACKed and re-injected after a capped binary exponential
-backoff, and exhausting ``max_cycles`` raises a structured
-:class:`~repro.core.errors.DeliveryTimeout` instead of looping forever.
+backoff.  Exhausting ``max_cycles`` — or reaching a state from which it
+*must* be exhausted: every pending message backed off past the remaining
+cycle budget, or a cycle that cannot make progress — raises a structured
+:class:`~repro.core.errors.DeliveryTimeout` carrying the backoff
+(attempt-count) histogram instead of looping forever.
 """
 
 from __future__ import annotations
@@ -40,8 +51,13 @@ from .errors import DeliveryTimeout, UnroutableError
 from .fattree import Direction, FatTree
 from .message import MessageSet
 from .schedule import Schedule
+from .tree import path_channel_keys
 
-__all__ = ["schedule_random_rank", "online_cycle_bound"]
+__all__ = [
+    "schedule_random_rank",
+    "online_cycle_bound",
+    "_reference_schedule_random_rank",
+]
 
 
 def online_cycle_bound(ft: FatTree, lam: float, constant: float = 8.0) -> float:
@@ -50,15 +66,19 @@ def online_cycle_bound(ft: FatTree, lam: float, constant: float = 8.0) -> float:
     return constant * (max(lam, 1.0) + lg * max(1.0, math.log2(lg)))
 
 
-def _path_channel_keys(ft: FatTree, src: int, dst: int) -> list[tuple[int, int, int]]:
-    """(level, index, direction) keys of a message's channels; direction
-    0 = up, 1 = down."""
-    depth = ft.depth
-    bitlen = (src ^ dst).bit_length()
-    turn = depth - bitlen
-    keys = [(k, src >> (depth - k), 0) for k in range(turn + 1, depth + 1)]
-    keys += [(k, dst >> (depth - k), 1) for k in range(turn + 1, depth + 1)]
-    return keys
+def _validate_args(
+    ft: FatTree, messages: MessageSet, loss_rate: float | None, max_backoff: int
+) -> float:
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    if loss_rate is None:
+        model = getattr(ft, "faults", None)
+        loss_rate = model.loss_rate if model is not None else 0.0
+    if not (0.0 <= loss_rate < 1.0):
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    if max_backoff < 1:
+        raise ValueError("max_backoff must be >= 1")
+    return loss_rate
 
 
 def schedule_random_rank(
@@ -81,48 +101,143 @@ def schedule_random_rank(
     number of cycles within a window that doubles per failed attempt,
     capped at ``max_backoff`` — cycles where every pending message is
     backing off appear as empty delivery cycles in the schedule.  Raises
-    :class:`DeliveryTimeout` when ``max_cycles`` delivery cycles pass
-    with messages still pending.
+    :class:`DeliveryTimeout` (with the attempt histogram) when
+    ``max_cycles`` delivery cycles pass with messages still pending, or
+    as soon as every pending message has backed off past the remaining
+    cycle budget.
+
+    This is the vectorised kernel; it is bit-identical, seed for seed,
+    to :func:`_reference_schedule_random_rank`.
     """
-    if messages.n != ft.n:
-        raise ValueError("message set and fat-tree disagree on n")
-    if loss_rate is None:
-        model = getattr(ft, "faults", None)
-        loss_rate = model.loss_rate if model is not None else 0.0
-    if not (0.0 <= loss_rate < 1.0):
-        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
-    if max_backoff < 1:
-        raise ValueError("max_backoff must be >= 1")
+    from ..perf import get_path_index
+
+    loss_rate = _validate_args(ft, messages, loss_rate, max_backoff)
+    rng = np.random.default_rng(seed)
+    routable = messages.without_self_messages()
+    index = get_path_index(ft, routable)
+    mask = index.routable_mask()
+    if not mask.all():
+        raise UnroutableError(routable.take(~mask).as_pairs())
+    n_self = len(messages) - len(routable)
+    m = len(routable)
+    width = index.paths.shape[1]
+    caps = index.caps
+    attempts = np.zeros(m, dtype=np.int64)
+    next_try = np.zeros(m, dtype=np.int64)
+    pending = np.ones(m, dtype=bool)
+    n_pending = m
+    cycles: list[MessageSet] = []
+
+    def _timeout(t: int) -> DeliveryTimeout:
+        return DeliveryTimeout(
+            routable.take(np.flatnonzero(pending)).as_pairs(),
+            t,
+            Counter(attempts[pending].tolist()),
+        )
+
+    while n_pending:
+        t = len(cycles)
+        if t >= max_cycles:
+            raise _timeout(t)
+        eligible = np.flatnonzero(pending & (next_try <= t))
+        if eligible.size == 0:
+            if int(next_try[pending].min()) >= max_cycles:
+                # livelock: nobody becomes eligible within the budget
+                raise _timeout(t)
+            cycles.append(MessageSet.empty(ft.n))  # everyone backing off
+            continue
+        attempts[eligible] += 1
+        ranks = rng.random(eligible.size)
+        # one lexsort over (gid, rank, arrival order) resolves every
+        # channel's grant at once: within each gid group the first
+        # cap(c) entries win a wire
+        gids = index.paths[eligible].ravel()
+        entry_msg = np.repeat(np.arange(eligible.size), width)
+        order = np.lexsort((entry_msg, ranks[entry_msg], gids))
+        sg = gids[order]
+        starts = np.flatnonzero(np.r_[True, sg[1:] != sg[:-1]])
+        counts = np.diff(np.r_[starts, sg.size])
+        pos_in_group = np.arange(sg.size) - np.repeat(starts, counts)
+        won = pos_in_group < caps[sg]
+        wins = np.bincount(entry_msg[order][won], minlength=eligible.size)
+        delivered_pos = np.flatnonzero(wins == width)  # won every channel
+        if loss_rate:
+            # transient corruption: a won path can still deliver garbage,
+            # which the destination NACKs — the source must retry
+            survived = rng.random(delivered_pos.size) >= loss_rate
+            delivered_pos = delivered_pos[survived]
+        elif delivered_pos.size == 0:
+            # with positive capacities the globally lowest-ranked pending
+            # message always wins all its channels; a no-progress cycle
+            # means the tree cannot make progress at all
+            raise _timeout(t)
+        delivered_idx = eligible[delivered_pos]
+        cycles.append(routable.take(delivered_idx))
+        del_mask = np.zeros(eligible.size, dtype=bool)
+        del_mask[delivered_pos] = True
+        failed = eligible[~del_mask]
+        if loss_rate:
+            for i in failed.tolist():
+                window = min(max_backoff, 1 << min(int(attempts[i]) - 1, 30))
+                next_try[i] = t + 1 + int(rng.integers(0, window))
+        else:
+            next_try[failed] = t + 1  # pure contention: retry immediately
+        pending[delivered_idx] = False
+        n_pending -= delivered_idx.size
+    return Schedule(cycles=cycles, n_self_messages=n_self)
+
+
+def _reference_schedule_random_rank(
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    seed: int = 0,
+    max_cycles: int = 100_000,
+    loss_rate: float | None = None,
+    max_backoff: int = 16,
+) -> Schedule:
+    """Pure-Python random-rank router, kept as the equality oracle for
+    the vectorised :func:`schedule_random_rank` (identical semantics,
+    identical RNG consumption, identical schedules for any seed)."""
+    loss_rate = _validate_args(ft, messages, loss_rate, max_backoff)
     rng = np.random.default_rng(seed)
     routable = messages.without_self_messages()
     mask = ft.routable_mask(routable)
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
+    depth = ft.depth
     paths = [
-        _path_channel_keys(ft, int(s), int(d)) for s, d in routable
+        path_channel_keys(int(s), int(d), depth) for s, d in routable
     ]
+    directions = (Direction.UP, Direction.DOWN)
     caps = {
-        (k, d): ft.cap_vector(k, Direction.UP if d == 0 else Direction.DOWN)
-        for k in range(1, ft.depth + 1)
-        for d in (0, 1)
+        key: ft.chan_cap(key[0], key[1], directions[key[2]])
+        for path in paths
+        for key in path
     }
     m = len(routable)
     attempts = [0] * m
     next_try = [0] * m
     pending = list(range(m))
     cycles: list[MessageSet] = []
+
+    def _timeout(t: int) -> DeliveryTimeout:
+        pairs = routable.as_pairs()
+        return DeliveryTimeout(
+            [pairs[i] for i in pending],
+            t,
+            Counter(attempts[i] for i in pending),
+        )
+
     while pending:
         t = len(cycles)
         if t >= max_cycles:
-            pairs = routable.as_pairs()
-            raise DeliveryTimeout(
-                [pairs[i] for i in pending],
-                t,
-                Counter(attempts[i] for i in pending),
-            )
+            raise _timeout(t)
         eligible = [i for i in pending if next_try[i] <= t]
         if not eligible:
+            if min(next_try[i] for i in pending) >= max_cycles:
+                raise _timeout(t)
             cycles.append(MessageSet.empty(ft.n))  # everyone backing off
             continue
         for i in eligible:
@@ -132,28 +247,25 @@ def schedule_random_rank(
         contenders: dict[tuple[int, int, int], list[tuple[float, int]]] = {}
         for pos, i in enumerate(eligible):
             for key in paths[i]:
-                contenders.setdefault(key, []).append((ranks[pos], i))
+                contenders.setdefault(key, []).append((ranks[pos], pos))
         winners_per_channel: dict[tuple[int, int, int], set[int]] = {}
         for key, lst in contenders.items():
-            cap = int(caps[(key[0], key[2])][key[1]])
             lst.sort()
-            winners_per_channel[key] = {i for _, i in lst[:cap]}
+            winners_per_channel[key] = {p for _, p in lst[: caps[key]]}
         delivered = [
-            i
-            for i in eligible
-            if all(i in winners_per_channel[key] for key in paths[i])
+            pos
+            for pos, i in enumerate(eligible)
+            if all(pos in winners_per_channel[key] for key in paths[i])
         ]
         if loss_rate:
-            # transient corruption: a won path can still deliver garbage,
-            # which the destination NACKs — the source must retry
             survived = rng.random(len(delivered)) >= loss_rate
-            delivered = [i for i, ok in zip(delivered, survived) if ok]
+            delivered = [p for p, ok in zip(delivered, survived) if ok]
         elif not delivered:
-            # with positive capacities the globally lowest-ranked pending
-            # message always wins all its channels, so this cannot happen
-            raise AssertionError("random-rank cycle made no progress")
-        delivered_set = set(delivered)
-        cycles.append(routable.take(np.array(sorted(delivered), dtype=np.int64)))
+            raise _timeout(t)
+        delivered_set = {eligible[p] for p in delivered}
+        cycles.append(
+            routable.take(np.array(sorted(delivered_set), dtype=np.int64))
+        )
         for i in eligible:
             if i not in delivered_set:
                 if loss_rate:

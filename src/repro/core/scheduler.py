@@ -46,10 +46,8 @@ def theorem1_cycle_bound(ft: FatTree, lam: float) -> int:
     return 2 * max(1, math.ceil(lam)) * max(1, ft.depth)
 
 
-def _group_is_one_cycle(ft: FatTree, messages: MessageSet, idx: np.ndarray) -> bool:
-    """One-cycle test for a subset given by indices (avoids building
-    intermediate MessageSets during the halving loop)."""
-    loads = channel_loads(ft, messages.take(idx))
+def _loads_fit(ft: FatTree, loads) -> bool:
+    """One-cycle test against precomputed per-channel loads."""
     for k in range(1, ft.depth + 1):
         if bool((loads.up[k] > ft.cap_vector(k, Direction.UP)).any()):
             return False
@@ -66,15 +64,18 @@ def partition_group(
     Repeatedly halves any piece that exceeds some channel's capacity.
     Every halving is an *even* split, so a group of load factor λ_g needs
     at most ``ceil(lg λ_g)`` rounds and yields at most ``2·ceil(λ_g)``
-    pieces.
+    pieces.  Each piece carries its channel loads down the halving tree:
+    one half is counted fresh, the other is derived incrementally
+    (:meth:`~repro.core.load.LevelLoads.apply_delta`), so every split
+    costs one bincount pass over half the piece instead of two.
     """
-    pending = [idx]
+    pending = [(idx, channel_loads(ft, messages.take(idx)))]
     done: list[np.ndarray] = []
     while pending:
-        piece = pending.pop()
+        piece, loads = pending.pop()
         if piece.size == 0:
             continue
-        if _group_is_one_cycle(ft, messages, piece):
+        if _loads_fit(ft, loads):
             done.append(piece)
         else:
             a, b = even_split_indices(messages, piece, ft.depth)
@@ -83,8 +84,10 @@ def partition_group(
                     "a single message exceeds channel capacity; "
                     "capacities must be >= 1 on every level"
                 )
-            pending.append(a)
-            pending.append(b)
+            loads_a = channel_loads(ft, messages.take(a))
+            loads_b = loads.apply_delta(removed=messages.take(a))
+            pending.append((a, loads_a))
+            pending.append((b, loads_b))
     return done
 
 

@@ -41,6 +41,8 @@ __all__ = [
     "leaves_under",
     "subtree_size",
     "path_to_root",
+    "path_up_down",
+    "path_channel_keys",
 ]
 
 
@@ -160,3 +162,33 @@ def subtree_size(level: int, depth: int) -> int:
 def path_to_root(leaf: int, depth: int) -> list[tuple[int, int]]:
     """All nodes on the path from leaf ``leaf`` (inclusive) to the root."""
     return [(lvl, leaf >> (depth - lvl)) for lvl in range(depth, -1, -1)]
+
+
+def path_up_down(
+    src: int, dst: int, depth: int
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """The ``(level, index)`` pairs of the up- and down-channels used by
+    message ``(src, dst)``.
+
+    This is the canonical single-message path derivation shared by every
+    scheduler: the message climbs the up channels above ``src`` to the
+    LCA and descends the down channels to ``dst``.  Both lists run from
+    level ``lca + 1`` to ``depth`` (empty for a self-message); the up
+    list in *reverse* path order, the down list in path order.  Bulk
+    consumers should use :class:`repro.perf.PathIndex` instead, which
+    derives all paths of a message set in a few vectorised passes.
+    """
+    if src == dst:
+        return [], []
+    turn = depth - (src ^ dst).bit_length()
+    ups = [(k, src >> (depth - k)) for k in range(turn + 1, depth + 1)]
+    downs = [(k, dst >> (depth - k)) for k in range(turn + 1, depth + 1)]
+    return ups, downs
+
+
+def path_channel_keys(src: int, dst: int, depth: int) -> list[tuple[int, int, int]]:
+    """``(level, index, direction)`` keys of a message's channels, with
+    direction 0 = up and 1 = down (the packed convention of
+    :class:`repro.perf.PathIndex`)."""
+    ups, downs = path_up_down(src, dst, depth)
+    return [(k, x, 0) for k, x in ups] + [(k, x, 1) for k, x in downs]

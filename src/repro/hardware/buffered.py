@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.errors import UnroutableError
-from ..core.fattree import Direction, FatTree
+from ..core.fattree import FatTree
 from ..core.message import MessageSet
 
 __all__ = ["BufferedRun", "run_store_and_forward"]
@@ -49,28 +49,6 @@ class BufferedRun:
         return int(self.latencies.max()) if self.latencies.size else 0
 
 
-def _message_paths(ft: FatTree, messages: MessageSet):
-    """Per message: list of (channel key, next node) hops.
-
-    Nodes are (level, index); leaves are at level ``depth``.  A channel
-    key is (level, index, direction) as elsewhere.
-    """
-    depth = ft.depth
-    paths = []
-    for s, d in messages:
-        bitlen = (s ^ d).bit_length()
-        turn = depth - bitlen
-        hops = []
-        # climb: from (k, s>>(depth-k)) over its up channel
-        for k in range(depth, turn, -1):
-            node_above = (k - 1, s >> (depth - k + 1))
-            hops.append(((k, s >> (depth - k), 0), node_above))
-        for k in range(turn + 1, depth + 1):
-            hops.append(((k, d >> (depth - k), 1), (k, d >> (depth - k))))
-        paths.append(hops)
-    return paths
-
-
 def run_store_and_forward(
     ft: FatTree,
     messages: MessageSet,
@@ -85,27 +63,27 @@ def run_store_and_forward(
     surviving wires; messages with a severed path raise
     :class:`~repro.core.errors.UnroutableError` up front.
     """
+    from ..perf import get_path_index
+
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     routable = messages.without_self_messages()
-    mask = ft.routable_mask(routable)
+    index = get_path_index(ft, routable)
+    mask = index.routable_mask()
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
-    paths = _message_paths(ft, routable)
+    # the shared PathIndex row layout yields hops in exact path order
+    paths = [index.hops(i) for i in range(len(routable))]
     m = len(paths)
     if m == 0:
         return BufferedRun(0, np.empty(0, dtype=np.int64), 0)
 
-    caps = {
-        (k, d): ft.cap_vector(k, Direction.UP if d == 0 else Direction.DOWN)
-        for k in range(1, ft.depth + 1)
-        for d in (0, 1)
-    }
+    caps = index.caps
     progress = [0] * m
-    # queue per channel: message ids waiting to cross it, FIFO by age
-    queues: dict[tuple[int, int, int], deque] = {}
+    # queue per channel gid: message ids waiting to cross it, FIFO by age
+    queues: dict[int, deque] = {}
     for i, hops in enumerate(paths):
-        queues.setdefault(hops[0][0], deque()).append(i)
+        queues.setdefault(hops[0], deque()).append(i)
 
     latencies = np.zeros(m, dtype=np.int64)
     remaining = m
@@ -115,19 +93,18 @@ def run_store_and_forward(
         if step >= max_steps:
             raise RuntimeError(f"not delivered within {max_steps} steps")
         step += 1
-        moves: list[tuple[int, tuple[int, int, int]]] = []
-        for key, queue in queues.items():
-            cap = int(caps[(key[0], key[2])][key[1]])
+        moves: list[int] = []
+        for gid, queue in queues.items():
+            cap = int(caps[gid])
             for _ in range(min(cap, len(queue))):
-                moves.append((queue.popleft(), key))
-        for i, key in moves:
+                moves.append(queue.popleft())
+        for i in moves:
             progress[i] += 1
             if progress[i] == len(paths[i]):
                 latencies[i] = step
                 remaining -= 1
             else:
-                next_key = paths[i][progress[i]][0]
-                queues.setdefault(next_key, deque()).append(i)
+                queues.setdefault(paths[i][progress[i]], deque()).append(i)
         depth_now = max((len(q) for q in queues.values()), default=0)
         max_depth = max(max_depth, depth_now)
     return BufferedRun(

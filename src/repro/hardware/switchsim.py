@@ -286,9 +286,15 @@ def run_until_delivered(
     with the pending messages and their attempt counts — the loop can
     never hang.
     """
+    from ..perf import get_path_index
+
     if max_backoff < 1:
         raise ValueError("max_backoff must be >= 1")
-    mask = ft.routable_mask(messages)
+    if messages.n != ft.n:
+        raise ValueError("message set and fat-tree disagree on n")
+    # the shared PathIndex both answers routability and primes the cache
+    # for any scheduler later run on the same (tree, message set) pair
+    mask = get_path_index(ft, messages).routable_mask()
     if not mask.all():
         raise UnroutableError(messages.take(~mask).as_pairs())
     model = getattr(ft, "faults", None)

@@ -1,0 +1,26 @@
+"""Performance layer: shared path index and vectorised routing kernels.
+
+See :mod:`repro.perf.pathindex` for the design.  The vectorised kernels
+themselves live next to the algorithms they accelerate
+(:mod:`repro.core.online`, :mod:`repro.core.greedy`), each keeping its
+pure-Python predecessor as a ``_reference_*`` oracle that the property
+tests hold the kernels bit-identical to.
+"""
+
+from .pathindex import (
+    PAD_GID,
+    PathIndex,
+    clear_path_index_cache,
+    get_path_index,
+    pack_gid,
+    unpack_gid,
+)
+
+__all__ = [
+    "PAD_GID",
+    "PathIndex",
+    "clear_path_index_cache",
+    "get_path_index",
+    "pack_gid",
+    "unpack_gid",
+]

@@ -1,0 +1,198 @@
+"""A shared, vectorised path index for fat-tree routing (perf layer).
+
+Every scheduler in this package routes the same way — message ``(i, j)``
+climbs to the LCA and descends — yet historically each one re-derived
+the per-message channel lists in its own Python loop, which made the
+routing stack CPU-bound far below the sizes where the paper's bounds
+(§IV–§V) separate from noise.  :class:`PathIndex` derives *all* paths of
+a ``(FatTree, MessageSet)`` pair once, in a few vectorised passes, and a
+small per-tree LRU cache lets the greedy, on-line, buffered and
+switch-simulator entry points share the result instead of recomputing
+it.
+
+Channel ids
+-----------
+A channel ``(level, index, direction)`` is packed into one flat int — a
+*gid* — as ``(flat_node_id << 1) | direction`` where ``flat_node_id =
+2**level - 1 + index`` is the heap-order id of the node beneath the
+channel (:func:`repro.core.tree.flat_id`) and direction is 0 for up,
+1 for down.  Gids 0 and 1 name the level-0 external-interface channels,
+which internal routing never uses; gid 0 doubles as the **padding
+slot**: every message row of the path matrix has exactly ``2·depth``
+entries, with non-crossed levels padded by gid 0, and the flat capacity
+vector gives the padding slot effectively infinite capacity so kernels
+can scatter whole rows without masking.
+
+Row layout
+----------
+For a tree of depth ``d``, column ``j < d`` holds the up channel at
+level ``d - j`` (first hop first) and column ``d + k - 1`` holds the
+down channel at level ``k`` (so down hops appear in ascending-level =
+path order).  Scanning a row left to right and skipping padding
+therefore yields the hops of the message in exact path order, which the
+buffered store-and-forward simulator relies on.
+
+Capacities are read through :meth:`FatTree.cap_vector`, so the index of
+a :class:`~repro.faults.DegradedFatTree` is automatically built against
+its surviving per-channel wire counts.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from hashlib import blake2b
+
+import numpy as np
+
+from ..core.fattree import Direction, FatTree
+from ..core.message import MessageSet
+
+__all__ = [
+    "PAD_GID",
+    "PathIndex",
+    "get_path_index",
+    "clear_path_index_cache",
+    "pack_gid",
+    "unpack_gid",
+]
+
+PAD_GID = 0
+_PAD_CAP = np.int64(2) ** 62  # never binds: no run makes 2**62 traversals
+_CACHE_ATTR = "_path_index_cache"
+_CACHE_MAXSIZE = 16
+
+
+def pack_gid(level, index, direction):
+    """Pack ``(level, index, direction)`` into a flat channel gid.
+
+    Works elementwise on numpy arrays; ``direction`` is 0 (up) or 1
+    (down), matching :func:`repro.core.tree.path_channel_keys`.
+    """
+    return ((((1 << level) - 1) + index) << 1) | direction
+
+
+def unpack_gid(gid: int) -> tuple[int, int, int]:
+    """Invert :func:`pack_gid` for one scalar gid."""
+    direction = gid & 1
+    flat = gid >> 1
+    level = (flat + 1).bit_length() - 1
+    return level, flat - ((1 << level) - 1), direction
+
+
+class PathIndex:
+    """All channel paths of a message set, as one padded gid matrix.
+
+    Attributes
+    ----------
+    paths:
+        Read-only ``(m, 2·depth)`` int64 matrix of channel gids, padded
+        with :data:`PAD_GID` (see the module docstring for the layout).
+    caps:
+        Read-only flat int64 vector over all gids: the effective
+        capacity of each channel, with the padding slot set high enough
+        to never bind.
+    path_len:
+        Read-only ``(m,)`` int64 vector of true path lengths
+        (``2·(depth − lca_level)``, 0 for self-messages).
+    """
+
+    __slots__ = ("n", "depth", "m", "num_slots", "paths", "caps", "path_len")
+
+    def __init__(self, ft: FatTree, messages: MessageSet):
+        if messages.n != ft.n:
+            raise ValueError("message set and fat-tree disagree on n")
+        depth = ft.depth
+        m = len(messages)
+        self.n = ft.n
+        self.depth = depth
+        self.m = m
+        self.num_slots = ((1 << (depth + 1)) - 1) << 1
+        src, dst = messages.src, messages.dst
+        paths = np.full((m, max(1, 2 * depth)), PAD_GID, dtype=np.int64)
+        caps = np.full(self.num_slots, _PAD_CAP, dtype=np.int64)
+        lengths = np.zeros(m, dtype=np.int64)
+        for k in range(1, depth + 1):
+            shift = depth - k
+            s_anc = src >> shift
+            d_anc = dst >> shift
+            crossing = s_anc != d_anc
+            base = np.int64((1 << k) - 1)
+            np.copyto(
+                paths[:, depth - k], (base + s_anc) << 1, where=crossing
+            )
+            np.copyto(
+                paths[:, depth + k - 1], ((base + d_anc) << 1) | 1, where=crossing
+            )
+            lengths += 2 * crossing
+            idx = np.arange(1 << k, dtype=np.int64)
+            caps[(base + idx) << 1] = ft.cap_vector(k, Direction.UP)
+            caps[((base + idx) << 1) | 1] = ft.cap_vector(k, Direction.DOWN)
+        for arr in (paths, caps, lengths):
+            arr.setflags(write=False)
+        self.paths = paths
+        self.caps = caps
+        self.path_len = lengths
+
+    # -- derived views ----------------------------------------------------
+
+    def rows(self, idx=None) -> np.ndarray:
+        """Padded gid rows for a subset (or all) of the messages."""
+        return self.paths if idx is None else self.paths[idx]
+
+    def routable_mask(self) -> np.ndarray:
+        """True per message iff no channel on its path has capacity 0."""
+        return ~(self.caps[self.paths] == 0).any(axis=1)
+
+    def hops(self, i: int) -> list[int]:
+        """The gids of message ``i`` in exact path order (pads removed)."""
+        row = self.paths[i]
+        return [int(g) for g in row if g != PAD_GID]
+
+    def load_vector(self, idx=None) -> np.ndarray:
+        """Per-gid channel loads of a subset (pads land in slot 0)."""
+        return np.bincount(
+            self.rows(idx).ravel(), minlength=self.num_slots
+        ).astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"PathIndex(n={self.n}, m={self.m}, depth={self.depth})"
+
+
+def _digest(messages: MessageSet) -> bytes:
+    h = blake2b(digest_size=16)
+    h.update(messages.n.to_bytes(8, "little"))
+    h.update(np.ascontiguousarray(messages.src).tobytes())
+    h.update(np.ascontiguousarray(messages.dst).tobytes())
+    return h.digest()
+
+
+def get_path_index(ft: FatTree, messages: MessageSet) -> PathIndex:
+    """The :class:`PathIndex` of ``(ft, messages)``, cached on the tree.
+
+    The cache lives on the ``FatTree`` instance (so identity of the tree
+    — including a degraded tree's surviving capacities, which are fixed
+    at construction — is implied) and is keyed by a digest of the
+    message arrays, with LRU eviction beyond a small size.  All
+    schedulers route through this accessor, so scheduling the same
+    message set with several algorithms derives the paths once.
+    """
+    cache: OrderedDict[bytes, PathIndex] | None = getattr(ft, _CACHE_ATTR, None)
+    if cache is None:
+        cache = OrderedDict()
+        setattr(ft, _CACHE_ATTR, cache)
+    key = _digest(messages)
+    index = cache.get(key)
+    if index is None:
+        index = PathIndex(ft, messages)
+        cache[key] = index
+        if len(cache) > _CACHE_MAXSIZE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return index
+
+
+def clear_path_index_cache(ft: FatTree) -> None:
+    """Drop any cached path indexes held by ``ft``."""
+    if getattr(ft, _CACHE_ATTR, None) is not None:
+        delattr(ft, _CACHE_ATTR)

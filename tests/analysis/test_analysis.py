@@ -76,10 +76,53 @@ class TestFit:
             growth_ratios([1, 0])
 
 
+def _double(n):
+    """Module-level so the process-pool sweep can pickle it."""
+    return {"double": 2 * n}
+
+
+def _fail_on_two(n):
+    if n == 2:
+        raise RuntimeError("boom")
+    return {"double": 2 * n}
+
+
 class TestSweepAndTables:
     def test_sweep_merges_params_and_results(self):
         rows = sweep(lambda n: {"double": 2 * n}, [{"n": 1}, {"n": 3}])
         assert rows == [{"n": 1, "double": 2}, {"n": 3, "double": 6}]
+
+    def test_parallel_sweep_matches_serial_in_order(self):
+        params = [{"n": i} for i in range(8)]
+        assert sweep(_double, params, n_jobs=2) == sweep(_double, params)
+
+    def test_serial_error_capture(self):
+        rows = sweep(
+            _fail_on_two, [{"n": 1}, {"n": 2}, {"n": 3}], on_error="capture"
+        )
+        assert rows[0] == {"n": 1, "double": 2}
+        assert rows[1] == {"n": 2, "error": "RuntimeError: boom"}
+        assert rows[2] == {"n": 3, "double": 6}
+
+    def test_parallel_error_capture(self):
+        rows = sweep(
+            _fail_on_two,
+            [{"n": 1}, {"n": 2}, {"n": 3}],
+            n_jobs=2,
+            on_error="capture",
+        )
+        assert rows[1]["error"] == "RuntimeError: boom"
+        assert rows[2] == {"n": 3, "double": 6}
+
+    def test_error_raises_by_default(self):
+        with pytest.raises(RuntimeError):
+            sweep(_fail_on_two, [{"n": 2}])
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(_double, [], on_error="ignore")
+        with pytest.raises(ValueError):
+            sweep(_double, [], n_jobs=0)
 
     def test_format_table_alignment(self):
         out = format_table(

@@ -27,6 +27,80 @@ def brute_force_load(ft, messages, channel):
     )
 
 
+class TestLevelLoadsEdgeCases:
+    def test_empty_message_set_totals(self):
+        ft = FatTree(8)
+        loads = channel_loads(ft, MessageSet.empty(8))
+        assert loads.total() == 0
+        assert loads.max_per_level() == {1: 0, 2: 0, 3: 0}
+
+    def test_depth_zero_single_leaf_tree(self):
+        """n=1: depth 0, no channels at all — the aggregates must still
+        answer sensibly (empty dict / zero), not raise."""
+        ft = FatTree(1)
+        for m in (MessageSet.empty(1), MessageSet([0], [0], 1)):
+            loads = channel_loads(ft, m)
+            assert loads.max_per_level() == {}
+            assert loads.total() == 0
+            assert load_factor(ft, m) == 0.0
+            assert is_one_cycle(ft, m)
+
+    def test_self_messages_only(self):
+        ft = FatTree(8)
+        loads = channel_loads(ft, MessageSet([3, 5], [3, 5], 8))
+        assert loads.total() == 0
+        assert loads.max_per_level() == {1: 0, 2: 0, 3: 0}
+
+
+class TestApplyDelta:
+    def test_add_matches_recompute(self):
+        ft = FatTree(16)
+        rng = np.random.default_rng(0)
+        base = MessageSet(rng.integers(0, 16, 40), rng.integers(0, 16, 40), 16)
+        extra = MessageSet(rng.integers(0, 16, 15), rng.integers(0, 16, 15), 16)
+        incr = channel_loads(ft, base).apply_delta(added=extra)
+        full = channel_loads(ft, base.concat(extra))
+        for k in range(1, ft.depth + 1):
+            assert np.array_equal(incr.up[k], full.up[k])
+            assert np.array_equal(incr.down[k], full.down[k])
+
+    def test_remove_matches_recompute(self):
+        ft = FatTree(16)
+        rng = np.random.default_rng(1)
+        base = MessageSet(rng.integers(0, 16, 40), rng.integers(0, 16, 40), 16)
+        head = base.take(np.arange(25))
+        tail = base.take(np.arange(25, 40))
+        incr = channel_loads(ft, base).apply_delta(removed=tail)
+        full = channel_loads(ft, head)
+        for k in range(1, ft.depth + 1):
+            assert np.array_equal(incr.up[k], full.up[k])
+            assert np.array_equal(incr.down[k], full.down[k])
+        assert incr.total() == full.total()
+
+    def test_add_and_remove_together(self):
+        ft = FatTree(8)
+        base = MessageSet([0, 1, 2], [7, 6, 5], 8)
+        out = channel_loads(ft, base).apply_delta(
+            added=MessageSet([3], [4], 8), removed=MessageSet([0], [7], 8)
+        )
+        expected = channel_loads(ft, MessageSet([1, 2, 3], [6, 5, 4], 8))
+        for k in range(1, ft.depth + 1):
+            assert np.array_equal(out.up[k], expected.up[k])
+            assert np.array_equal(out.down[k], expected.down[k])
+
+    def test_noop_delta(self):
+        ft = FatTree(8)
+        loads = channel_loads(ft, MessageSet([0], [7], 8))
+        out = loads.apply_delta()
+        assert out.total() == loads.total()
+
+    def test_removing_nonmember_raises(self):
+        ft = FatTree(8)
+        loads = channel_loads(ft, MessageSet([0], [1], 8))
+        with pytest.raises(ValueError):
+            loads.apply_delta(removed=MessageSet([0, 0], [7, 7], 8))
+
+
 class TestChannelLoads:
     def test_empty_message_set(self):
         ft = FatTree(8)

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     ConstantCapacity,
+    DeliveryTimeout,
     FatTree,
     MessageSet,
     UniversalCapacity,
@@ -16,6 +17,7 @@ from repro.core import (
     online_cycle_bound,
     schedule_random_rank,
 )
+from repro.core.online import _reference_schedule_random_rank
 from repro.workloads import hotspot, random_permutation, uniform_random
 
 
@@ -78,6 +80,48 @@ class TestRandomRank:
                 sched = schedule_random_rank(ft, m, seed=seed)
                 sched.validate(ft, m)
                 assert sched.num_cycles <= online_cycle_bound(ft, lam)
+
+    def test_backoff_livelock_raises_before_burning_budget(self):
+        """Regression: with loss_rate > 0 and a large max_backoff, every
+        pending message can back off past the remaining max_cycles
+        headroom.  That livelock must raise DeliveryTimeout immediately
+        (with the backoff histogram) instead of appending empty cycles
+        until the budget runs out."""
+        ft = FatTree(8, ConstantCapacity(3, 1))
+        m = MessageSet([0] * 2, [7] * 2, 8)
+        for fn in (schedule_random_rank, _reference_schedule_random_rank):
+            with pytest.raises(DeliveryTimeout) as exc:
+                fn(ft, m, seed=1, loss_rate=0.97, max_backoff=4096, max_cycles=8)
+            assert exc.value.cycles < 8  # raised early, not at the budget
+            assert sum(exc.value.attempts.values()) == len(exc.value.undelivered)
+            assert max(exc.value.attempts) >= 1  # histogram is populated
+
+    def test_lossy_budget_exhaustion_carries_histogram(self):
+        """The plain budget-exhaustion branch also reports the backoff
+        (attempt-count) histogram."""
+        ft = FatTree(8, ConstantCapacity(3, 1))
+        m = MessageSet([0] * 12, [7] * 12, 8)
+        with pytest.raises(DeliveryTimeout) as exc:
+            schedule_random_rank(
+                ft, m, seed=0, loss_rate=0.95, max_backoff=4096, max_cycles=12
+            )
+        assert exc.value.cycles == 12
+        assert sum(exc.value.attempts.values()) == len(exc.value.undelivered)
+
+    def test_no_progress_raises_delivery_timeout(self):
+        """Regression: a cycle that cannot make progress (possible only on
+        a pathological tree whose capacities are all zero while its
+        routable mask claims otherwise) must raise DeliveryTimeout with
+        the attempt histogram — it used to trip a bare AssertionError."""
+
+        class LyingTree(FatTree):
+            def chan_cap(self, level, index, direction):
+                return 0
+
+        ft = LyingTree(8, ConstantCapacity(3, 1))
+        with pytest.raises(DeliveryTimeout) as exc:
+            _reference_schedule_random_rank(ft, MessageSet([0], [7], 8))
+        assert exc.value.attempts == {1: 1}
 
     def test_beats_nothing_below_lower_bound(self):
         ft = FatTree(32, UniversalCapacity(32, 16, strict=False))

@@ -1,0 +1,164 @@
+"""Property tests: the vectorised kernels are seed-for-seed identical to
+the retained pure-Python ``_reference_*`` oracles.
+
+These are the equality guarantees the perf layer rests on — every cycle
+count published by the benches is unchanged by vectorisation.  The CI
+smoke job fails if these tests are skipped.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantCapacity,
+    DeliveryTimeout,
+    FatTree,
+    MessageSet,
+    UniversalCapacity,
+    schedule_greedy_first_fit,
+    schedule_random_rank,
+    simulate_online_retry,
+)
+from repro.core.greedy import _reference_schedule_greedy_first_fit
+from repro.core.online import _reference_schedule_random_rank
+from repro.faults import DegradedFatTree, FaultModel
+from repro.workloads import random_permutation, uniform_random
+
+
+def _cycles(schedule):
+    return [sorted(c) for c in schedule.cycles]
+
+
+def assert_schedules_identical(a, b):
+    assert a.n_self_messages == b.n_self_messages
+    assert _cycles(a) == _cycles(b)  # same messages in the same cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=80),
+    st.integers(0, 1000),
+)
+def test_random_rank_matches_reference(pairs, seed):
+    ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+    m = MessageSet.from_pairs(pairs, 32)
+    assert_schedules_identical(
+        schedule_random_rank(ft, m, seed=seed),
+        _reference_schedule_random_rank(ft, m, seed=seed),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60),
+    st.integers(0, 500),
+    st.floats(0.05, 0.6),
+)
+def test_random_rank_matches_reference_lossy(pairs, seed, loss_rate):
+    """The lossy path exercises the corruption draw and the per-message
+    exponential-backoff draws, which must consume the RNG identically."""
+    ft = FatTree(16, ConstantCapacity(4, 2))
+    m = MessageSet.from_pairs(pairs, 16)
+    assert_schedules_identical(
+        schedule_random_rank(ft, m, seed=seed, loss_rate=loss_rate),
+        _reference_schedule_random_rank(ft, m, seed=seed, loss_rate=loss_rate),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31)), max_size=80),
+    st.sampled_from(["given", "random", "longest-first"]),
+)
+def test_greedy_first_fit_matches_reference(pairs, order):
+    ft = FatTree(32, UniversalCapacity(32, 8, strict=False))
+    m = MessageSet.from_pairs(pairs, 32)
+    assert_schedules_identical(
+        schedule_greedy_first_fit(ft, m, order=order),
+        _reference_schedule_greedy_first_fit(ft, m, order=order),
+    )
+
+
+class TestAtScale:
+    def test_random_rank_permutation_n1024(self):
+        """The acceptance configuration: n=1024, random permutation, seed 0."""
+        ft = FatTree(1024)
+        m = random_permutation(1024, seed=0)
+        fast = schedule_random_rank(ft, m, seed=0)
+        slow = _reference_schedule_random_rank(ft, m, seed=0)
+        assert_schedules_identical(fast, slow)
+        fast.validate(ft, m)
+
+    def test_random_rank_contended(self):
+        n = 256
+        ft = FatTree(n, UniversalCapacity(n, 40, strict=False))
+        m = uniform_random(n, 6 * n, seed=4)
+        assert_schedules_identical(
+            schedule_random_rank(ft, m, seed=4),
+            _reference_schedule_random_rank(ft, m, seed=4),
+        )
+
+    def test_greedy_contended(self):
+        n = 128
+        ft = FatTree(n, UniversalCapacity(n, 26, strict=False))
+        m = uniform_random(n, 4 * n, seed=9)
+        assert_schedules_identical(
+            schedule_greedy_first_fit(ft, m),
+            _reference_schedule_greedy_first_fit(ft, m),
+        )
+
+
+class TestDegraded:
+    def _tree(self):
+        base = FatTree(32, ConstantCapacity(5, 3))
+        faults = (
+            FaultModel(seed=2)
+            .kill_wires(1, 0, 2, direction="up")
+            .kill_wires(2, 3, 1)
+            .kill_switch(3, 5)
+        )
+        return DegradedFatTree(base, faults)
+
+    def test_random_rank_matches_on_degraded_tree(self):
+        ft = self._tree()
+        m = uniform_random(32, 150, seed=6)
+        routable = m.take(ft.routable_mask(m))
+        assert_schedules_identical(
+            schedule_random_rank(ft, routable, seed=6),
+            _reference_schedule_random_rank(ft, routable, seed=6),
+        )
+
+    def test_greedy_matches_on_degraded_tree(self):
+        ft = self._tree()
+        m = uniform_random(32, 150, seed=8)
+        routable = m.take(ft.routable_mask(m))
+        assert_schedules_identical(
+            schedule_greedy_first_fit(ft, routable),
+            _reference_schedule_greedy_first_fit(ft, routable),
+        )
+
+
+class TestTimeoutParity:
+    def test_both_raise_delivery_timeout_at_budget(self):
+        ft = FatTree(8, ConstantCapacity(3, 1))
+        m = MessageSet([0] * 20, [7] * 20, 8)
+        for fn in (schedule_random_rank, _reference_schedule_random_rank):
+            with pytest.raises(DeliveryTimeout) as exc:
+                fn(ft, m, max_cycles=3)
+            assert exc.value.cycles == 3
+            assert len(exc.value.undelivered) == 17  # 3 delivered, 17 left
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60))
+def test_online_retry_still_valid_on_shared_index(pairs):
+    """simulate_online_retry moved onto the PathIndex; its schedules stay
+    valid and deterministic."""
+    ft = FatTree(16, ConstantCapacity(4, 2))
+    m = MessageSet.from_pairs(pairs, 16)
+    a = simulate_online_retry(ft, m, seed=1)
+    b = simulate_online_retry(ft, m, seed=1)
+    a.validate(ft, m)
+    assert _cycles(a) == _cycles(b)

@@ -1,0 +1,166 @@
+"""Tests for the shared path index (repro.perf.pathindex)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Channel,
+    ConstantCapacity,
+    Direction,
+    FatTree,
+    MessageSet,
+    UniversalCapacity,
+    channel_loads,
+)
+from repro.faults import DegradedFatTree, FaultModel
+from repro.perf import (
+    PAD_GID,
+    PathIndex,
+    clear_path_index_cache,
+    get_path_index,
+    pack_gid,
+    unpack_gid,
+)
+from repro.workloads import uniform_random
+
+
+class TestGidPacking:
+    def test_roundtrip_all_channels(self):
+        ft = FatTree(32)
+        for ch in ft.channels(include_external=True):
+            d = 0 if ch.direction is Direction.UP else 1
+            gid = pack_gid(ch.level, ch.index, d)
+            assert unpack_gid(gid) == (ch.level, ch.index, d)
+
+    def test_gids_are_unique(self):
+        ft = FatTree(16)
+        gids = [
+            pack_gid(ch.level, ch.index, 0 if ch.direction is Direction.UP else 1)
+            for ch in ft.channels(include_external=True)
+        ]
+        assert len(set(gids)) == len(gids)
+
+    def test_pad_gid_is_external(self):
+        # gid 0 is the level-0 external up channel, never used internally
+        assert unpack_gid(PAD_GID) == (0, 0, 0)
+
+    def test_pack_vectorises(self):
+        levels = np.array([1, 2, 3])
+        idx = np.array([1, 3, 7])
+        packed = pack_gid(levels, idx, 1)
+        assert [unpack_gid(int(g)) for g in packed] == [
+            (1, 1, 1),
+            (2, 3, 1),
+            (3, 7, 1),
+        ]
+
+
+class TestPathIndex:
+    def test_paths_match_path_channels(self):
+        ft = FatTree(64)
+        m = uniform_random(64, 200, seed=0)
+        index = PathIndex(ft, m)
+        for i, (s, d) in enumerate(m):
+            expected = [
+                pack_gid(
+                    ch.level, ch.index, 0 if ch.direction is Direction.UP else 1
+                )
+                for ch in ft.path_channels(s, d)
+            ]
+            assert index.hops(i) == expected  # same channels, same order
+            assert int(index.path_len[i]) == ft.path_length(s, d)
+
+    def test_row_is_padded_to_twice_depth(self):
+        ft = FatTree(16)
+        m = MessageSet([0, 5], [1, 5], 16)
+        index = PathIndex(ft, m)
+        assert index.paths.shape == (2, 2 * ft.depth)
+        # self-message row is all padding
+        assert (index.paths[1] == PAD_GID).all()
+        assert int(index.path_len[1]) == 0
+
+    def test_caps_match_chan_cap(self):
+        ft = FatTree(32, UniversalCapacity(32, 16, strict=False))
+        index = PathIndex(ft, MessageSet.empty(32))
+        for ch in ft.channels():
+            d = 0 if ch.direction is Direction.UP else 1
+            assert int(index.caps[pack_gid(ch.level, ch.index, d)]) == ft.chan_cap(
+                ch.level, ch.index, ch.direction
+            )
+
+    def test_degraded_caps_and_routability(self):
+        base = FatTree(16, ConstantCapacity(4, 2))
+        faults = FaultModel().kill_wires(1, 0, 2, direction="up")
+        ft = DegradedFatTree(base, faults)
+        m = uniform_random(16, 120, seed=3)
+        index = PathIndex(ft, m)
+        assert int(index.caps[pack_gid(1, 0, 0)]) == 0
+        assert np.array_equal(index.routable_mask(), ft.routable_mask(m))
+        assert not index.routable_mask().all()  # the fault severs something
+
+    def test_load_vector_matches_channel_loads(self):
+        ft = FatTree(32)
+        m = uniform_random(32, 250, seed=1)
+        index = PathIndex(ft, m)
+        vec = index.load_vector()
+        loads = channel_loads(ft, m)
+        for k in range(1, ft.depth + 1):
+            for x in range(1 << k):
+                assert vec[pack_gid(k, x, 0)] == loads.load(
+                    Channel(k, x, Direction.UP)
+                )
+                assert vec[pack_gid(k, x, 1)] == loads.load(
+                    Channel(k, x, Direction.DOWN)
+                )
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(ValueError):
+            PathIndex(FatTree(8), MessageSet([0], [1], 16))
+
+    def test_depth_zero_tree(self):
+        ft = FatTree(1)
+        index = PathIndex(ft, MessageSet([0], [0], 1))
+        assert index.hops(0) == []
+        assert index.routable_mask().all()
+
+
+class TestCache:
+    def test_same_content_hits_cache(self):
+        ft = FatTree(16)
+        a = get_path_index(ft, MessageSet([0, 1], [3, 2], 16))
+        b = get_path_index(ft, MessageSet([0, 1], [3, 2], 16))
+        assert a is b  # digest-keyed: equal content, same index object
+
+    def test_different_messages_miss(self):
+        ft = FatTree(16)
+        a = get_path_index(ft, MessageSet([0], [3], 16))
+        b = get_path_index(ft, MessageSet([0], [2], 16))
+        assert a is not b
+
+    def test_per_tree_isolation(self):
+        m = MessageSet([0, 2], [1, 3], 16)
+        a = get_path_index(FatTree(16), m)
+        b = get_path_index(FatTree(16, ConstantCapacity(4, 1)), m)
+        assert a is not b
+        assert int(a.caps.max()) != int(b.caps.max()) or not np.array_equal(
+            a.caps, b.caps
+        )
+
+    def test_clear(self):
+        ft = FatTree(16)
+        m = MessageSet([0], [5], 16)
+        a = get_path_index(ft, m)
+        clear_path_index_cache(ft)
+        assert get_path_index(ft, m) is not a
+        clear_path_index_cache(ft)  # idempotent on an empty cache
+
+    def test_lru_eviction_is_bounded(self):
+        from repro.perf import pathindex as px
+
+        ft = FatTree(16)
+        first = get_path_index(ft, MessageSet([0], [1], 16))
+        for i in range(px._CACHE_MAXSIZE):
+            get_path_index(ft, MessageSet([0, i // 16], [1, i % 16], 16))
+        cache = getattr(ft, px._CACHE_ATTR)
+        assert len(cache) <= px._CACHE_MAXSIZE
+        assert get_path_index(ft, MessageSet([0], [1], 16)) is not first
