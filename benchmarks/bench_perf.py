@@ -87,6 +87,34 @@ def _run_case(label, kind, n, w=None, msgs_per_proc=None, repeats=REPEATS):
     }
 
 
+def _measure_obs_overhead(quick=False, repeats=REPEATS):
+    """Time the headline kernel with observability disabled (the default
+    NULL_OBS path every existing call site takes) and with a fully
+    enabled ``Obs``, on identical inputs.  The disabled number is what
+    the <5% regression gate watches; the enabled number is informational
+    (tracing is expected to cost real time)."""
+    from repro.core import schedule_random_rank
+    from repro.obs import Obs
+
+    n = 256 if quick else 1024
+    ft, m, workload = _build_case("random_rank", n)
+    disabled_s, _ = _time(
+        lambda ft, m: schedule_random_rank(ft, m, seed=0), ft, m, repeats=repeats
+    )
+    enabled_s, _ = _time(
+        lambda ft, m: schedule_random_rank(ft, m, seed=0, obs=Obs(enabled=True)),
+        ft,
+        m,
+        repeats=repeats,
+    )
+    return {
+        "case": f"random_rank {workload} n={n}",
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "enabled_over_disabled": round(enabled_s / disabled_s, 2),
+    }
+
+
 def run_bench(quick=False):
     """All timed cases; the first row is the acceptance configuration."""
     if quick:
@@ -109,8 +137,12 @@ def run_bench(quick=False):
         _run_case(label, kind, n, w, mpp, repeats=repeats)
         for label, kind, n, w, mpp in cases
     ]
+    overhead = _measure_obs_overhead(quick=quick, repeats=repeats)
     RESULTS_PATH.write_text(
-        json.dumps({"quick": quick, "results": rows}, indent=2) + "\n"
+        json.dumps(
+            {"quick": quick, "results": rows, "obs_overhead": overhead}, indent=2
+        )
+        + "\n"
     )
     return rows
 
@@ -135,16 +167,54 @@ def main(argv=None):
         action="store_true",
         help="small sizes, single repeat (CI smoke); skips the 5x gate",
     )
+    parser.add_argument(
+        "--obs-gate",
+        action="store_true",
+        help="gate the obs-disabled headline wall clock against the "
+        "BENCH_PERF.json written by a previous run on this machine "
+        "(<5%% regression, with a 10 ms absolute noise floor)",
+    )
     args = parser.parse_args(argv)
+    baseline = None
+    if args.obs_gate and RESULTS_PATH.exists():
+        # read the previous headline before run_bench overwrites the file
+        prev = json.loads(RESULTS_PATH.read_text())
+        if prev.get("quick") == args.quick and prev.get("results"):
+            baseline = prev["results"][0]
     rows = run_bench(quick=args.quick)
     from repro.analysis import format_table
 
     print(format_table(rows, title="PERF — vectorised kernels vs reference"))
+    overhead = json.loads(RESULTS_PATH.read_text())["obs_overhead"]
+    print(
+        f"obs overhead ({overhead['case']}): disabled {overhead['disabled_s']}s, "
+        f"enabled {overhead['enabled_s']}s "
+        f"({overhead['enabled_over_disabled']}x, informational)"
+    )
     print(f"wrote {RESULTS_PATH}")
     if not args.quick:
         headline = rows[0]
         if headline["speedup"] < 5.0:
             print(f"FAIL: headline speedup {headline['speedup']}x < 5x")
+            return 1
+    if args.obs_gate:
+        if baseline is None:
+            print(
+                "obs gate: no comparable baseline in BENCH_PERF.json "
+                "(run the bench once first on this machine)"
+            )
+            return 1
+        fresh = rows[0]["vectorised_s"]
+        old = baseline["vectorised_s"]
+        # 5% relative, with an absolute floor so millisecond-scale quick
+        # headlines don't flap on scheduler jitter
+        limit = max(1.05 * old, old + 0.010)
+        verdict = "OK" if fresh <= limit else "FAIL"
+        print(
+            f"obs gate: headline {baseline['case']} — baseline {old}s, "
+            f"fresh {fresh}s, limit {round(limit, 6)}s: {verdict}"
+        )
+        if verdict == "FAIL":
             return 1
     return 0
 

@@ -1,13 +1,23 @@
 """Parameter-sweep runner producing row-oriented results.
 
 :func:`sweep` is how the benches regenerate their experiment tables: one
-callable, many parameter sets, one merged row per run.  ``n_jobs``
-fans the runs out over a ``ProcessPoolExecutor`` — parameter sets are
+callable, many parameter sets, one merged row per run.  ``n_jobs`` fans
+the runs out over a ``ProcessPoolExecutor`` — parameter sets are
 independent by construction, so sweeps scale with cores — while results
 are merged back **in input order** regardless of completion order, so a
 parallel sweep produces byte-identical tables to a serial one.
 ``on_error="capture"`` turns a failing run into a row with an
-``"error"`` column instead of aborting the whole sweep.
+``"error"`` column instead of aborting the whole sweep; with the default
+``on_error="raise"`` a failure propagates immediately and **cancels**
+every parameter set that has not started yet (the pool only waits for
+runs already in flight, not for the whole remaining sweep).
+
+``metrics=True`` gives each run a fresh enabled
+:class:`~repro.obs.MetricsRegistry` installed as the scoped default
+observability, so anything the run routes through the instrumented
+schedulers is recorded; the registry's snapshot ships back with the row
+under the ``"metrics"`` key — including across process boundaries, since
+snapshots are plain picklable dicts.
 """
 
 from __future__ import annotations
@@ -17,17 +27,35 @@ from collections.abc import Callable, Iterable, Mapping
 __all__ = ["sweep"]
 
 
-def _call(fn: Callable[..., Mapping], params: Mapping) -> Mapping:
-    """Top-level trampoline so (fn, params) pickles into worker processes."""
-    return fn(**params)
+def _call(
+    fn: Callable[..., Mapping], params: Mapping, with_metrics: bool
+) -> tuple[Mapping, dict | None]:
+    """Top-level trampoline so (fn, params) pickles into worker processes;
+    returns the result plus the run's metrics snapshot when requested."""
+    if not with_metrics:
+        return fn(**params), None
+    from ..obs import MetricsRegistry, Obs, Tracer, use_obs
+
+    # metrics only: a tracer ring buffer would be dead weight in a worker
+    obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
+    with use_obs(obs):
+        result = fn(**params)
+    return result, obs.metrics.snapshot()
 
 
-def _merge(params: Mapping, result: Mapping | None, error: str | None) -> dict:
+def _merge(
+    params: Mapping,
+    result: Mapping | None,
+    error: str | None,
+    metrics: dict | None = None,
+) -> dict:
     row = dict(params)
     if result is not None:
         row.update(result)
     if error is not None:
         row["error"] = error
+    if metrics is not None:
+        row["metrics"] = metrics
     return row
 
 
@@ -37,6 +65,7 @@ def sweep(
     *,
     n_jobs: int | None = None,
     on_error: str = "raise",
+    metrics: bool = False,
 ) -> list[dict]:
     """Run ``fn(**params)`` for each parameter set; each call returns a
     mapping of measured values, merged with its parameters into one row.
@@ -50,9 +79,15 @@ def sweep(
         must be a module-level function).  Rows always come back in the
         order of ``param_sets``.
     on_error:
-        ``"raise"`` (default) propagates the first exception.
+        ``"raise"`` (default) propagates the first exception and cancels
+        the parameter sets that have not started yet.
         ``"capture"`` records ``"error": "ExcType: message"`` on the
         failing row and keeps sweeping.
+    metrics:
+        ``True`` runs each parameter set under a fresh scoped
+        observability default and adds its
+        :meth:`~repro.obs.MetricsRegistry.snapshot` to the row as
+        ``"metrics"`` (parallel workers ship theirs back with the row).
     """
     if on_error not in ("raise", "capture"):
         raise ValueError(f'on_error must be "raise" or "capture", got {on_error!r}')
@@ -64,26 +99,37 @@ def sweep(
     if n_jobs is None or n_jobs == 1:
         for params in param_sets:
             try:
-                result = _call(fn, params)
+                result, snapshot = _call(fn, params, metrics)
             except Exception as exc:
                 if on_error == "raise":
                     raise
                 rows.append(_merge(params, None, f"{type(exc).__name__}: {exc}"))
             else:
-                rows.append(_merge(params, result, None))
+                rows.append(_merge(params, result, None, snapshot))
         return rows
 
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        futures = [pool.submit(_call, fn, params) for params in param_sets]
-        for params, future in zip(param_sets, futures):
-            try:
-                result = future.result()
-            except Exception as exc:
-                if on_error == "raise":
-                    raise
-                rows.append(_merge(params, None, f"{type(exc).__name__}: {exc}"))
-            else:
-                rows.append(_merge(params, result, None))
+        futures = [
+            pool.submit(_call, fn, params, metrics) for params in param_sets
+        ]
+        try:
+            for params, future in zip(param_sets, futures):
+                try:
+                    result, snapshot = future.result()
+                except Exception as exc:
+                    if on_error == "raise":
+                        raise
+                    rows.append(
+                        _merge(params, None, f"{type(exc).__name__}: {exc}")
+                    )
+                else:
+                    rows.append(_merge(params, result, None, snapshot))
+        except BaseException:
+            # a propagating failure (or interrupt) must not leave the pool
+            # draining the whole remaining sweep: cancel everything that
+            # has not started, then only in-flight runs are awaited
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
     return rows

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five inspection commands mirroring the library's main entry points:
+Six inspection commands mirroring the library's main entry points:
 
 * ``topology``  — print a universal fat-tree's per-level capacities and
   hardware cost (Fig. 1 / Theorem 4);
@@ -12,7 +12,14 @@ Five inspection commands mirroring the library's main entry points:
   simulator and report ticks/losses;
 * ``faults``    — inject wire/switch/transient faults and measure the
   degraded tree: surviving capacities, λ inflation, schedule and retry
-  cost, per-message attempt histogram.
+  cost, per-message attempt histogram;
+* ``trace``     — run a workload with observability enabled
+  (:mod:`repro.obs`) and print the per-cycle accounting, per-level
+  channel utilisation, cache and kernel-timing summaries — or dump the
+  raw trace as JSONL (``--jsonl``).
+
+Routing failures (``UnroutableError``, ``DeliveryTimeout``) exit with a
+one-line ``error:`` message and status 3, never a traceback.
 """
 
 from __future__ import annotations
@@ -192,20 +199,27 @@ def _parse_switch(spec: str) -> tuple[int, int]:
         )
 
 
+def _build_degraded(args, ft):
+    """The fault-injection knobs shared by ``faults`` and ``trace``:
+    build the degraded tree, or raise ``ValueError`` on a bad scenario."""
+    from .faults import DegradedFatTree, FaultModel
+
+    model = FaultModel(seed=args.seed, loss_rate=args.loss_rate)
+    if args.kill_wires:
+        model.kill_wire_fraction(ft, args.kill_wires)
+    for spec in args.kill_switch or []:
+        model.kill_switch(*_parse_switch(spec))
+    return DegradedFatTree(ft, model)
+
+
 def cmd_faults(args) -> int:
     from .core import DeliveryTimeout, load_factor, schedule_theorem1
-    from .faults import DegradedFatTree, FaultModel
     from .hardware import run_until_delivered
 
     ft = _make_fattree(args.n, args.w)
     m = _make_traffic(args.traffic, args.n, args.messages, args.seed)
     try:
-        model = FaultModel(seed=args.seed, loss_rate=args.loss_rate)
-        if args.kill_wires:
-            model.kill_wire_fraction(ft, args.kill_wires)
-        for spec in args.kill_switch or []:
-            model.kill_switch(*_parse_switch(spec))
-        dft = DegradedFatTree(ft, model)
+        dft = _build_degraded(args, ft)
     except ValueError as exc:
         print(f"invalid fault scenario: {exc}", file=sys.stderr)
         return 2
@@ -253,6 +267,155 @@ def cmd_faults(args) -> int:
             f"max {out.max_attempts()} attempts",
         )
     )
+    return 0
+
+
+def _run_traced(args, ft, m, obs):
+    """Dispatch ``--scheduler`` with observability attached; returns the
+    label used in table titles."""
+    from .core import (
+        schedule_greedy_first_fit,
+        schedule_random_rank,
+        schedule_theorem1,
+        simulate_online_retry,
+    )
+    from .hardware import run_store_and_forward, run_until_delivered
+
+    if args.scheduler == "random-rank":
+        schedule_random_rank(
+            ft, m, seed=args.seed, max_cycles=args.max_cycles,
+            obs=obs,
+        )
+    elif args.scheduler == "theorem1":
+        schedule_theorem1(ft, m, obs=obs)
+    elif args.scheduler == "greedy":
+        schedule_greedy_first_fit(ft, m, obs=obs)
+    elif args.scheduler == "online-retry":
+        simulate_online_retry(ft, m, seed=args.seed, obs=obs)
+    elif args.scheduler == "switchsim":
+        run_until_delivered(
+            ft, m, seed=args.seed, max_cycles=args.max_cycles, obs=obs
+        )
+    elif args.scheduler == "buffered":
+        run_store_and_forward(ft, m, obs=obs)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(f"unknown scheduler {args.scheduler!r}")
+    return args.scheduler
+
+
+def cmd_trace(args) -> int:
+    from .obs import Obs
+
+    if args.quick:
+        args.n, args.messages = 64, 128
+    ft = _make_fattree(args.n, args.w)
+    if args.kill_wires or args.kill_switch or args.loss_rate:
+        try:
+            ft = _build_degraded(args, ft)
+        except ValueError as exc:
+            print(f"invalid fault scenario: {exc}", file=sys.stderr)
+            return 2
+    m = _make_traffic(args.traffic, args.n, args.messages, args.seed)
+    obs = Obs(enabled=True)
+    label = _run_traced(args, ft, m, obs)
+
+    if args.jsonl:
+        text = obs.tracer.to_jsonl()
+        if args.jsonl == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.jsonl, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {len(obs.tracer)} events to {args.jsonl}")
+        return 0
+
+    cycles = obs.tracer.select("cycle")
+    if cycles:
+        rows = [
+            {
+                "cycle": i,
+                "delivered": e["delivered"],
+                "congested": e["congested"],
+                "deferred": e["deferred"],
+            }
+            for i, e in enumerate(cycles[:12])
+        ]
+        totals = {
+            key: sum(e[key] for e in cycles)
+            for key in ("delivered", "congested", "deferred")
+        }
+        print(
+            format_table(
+                rows,
+                title=f"{label} on n={args.n}: {len(cycles)} delivery cycles — "
+                f"{totals['delivered']} delivered, {totals['congested']} congested, "
+                f"{totals['deferred']} deferred (message-cycles)",
+            )
+        )
+        if len(cycles) > 12:
+            print(f"… {len(cycles) - 12} more cycles")
+    else:
+        # the buffered simulator has no delivery cycles; it emits steps
+        steps = obs.tracer.select("step")
+        rows = [
+            {
+                "step": e["t"],
+                "moves": e["moves"],
+                "delivered": e["delivered"],
+                "queue depth": e["queue_depth"],
+            }
+            for e in steps[:12]
+        ]
+        print(
+            format_table(
+                rows,
+                title=f"{label} on n={args.n}: {len(steps)} steps — "
+                f"{sum(e['delivered'] for e in steps)} delivered, "
+                f"max queue depth "
+                f"{int(obs.metrics.gauge_value('queue.max_depth', simulator='store_and_forward'))}",
+            )
+        )
+        if len(steps) > 12:
+            print(f"… {len(steps) - 12} more steps")
+
+    util_rows = [
+        {
+            "level": labels["level"],
+            "dir": labels["direction"],
+            "mean util": f"{hist.mean:.1%}",
+            "max util": f"{hist.max:.1%}",
+            "cycles": hist.count,
+        }
+        for kind, name, labels, hist in obs.metrics.series()
+        if kind == "histogram" and name == "channel.utilization"
+    ]
+    if util_rows:
+        print()
+        print(format_table(util_rows, title="channel utilisation per level"))
+
+    hits = obs.metrics.counter_value("pathindex.cache", result="hit")
+    misses = obs.metrics.counter_value("pathindex.cache", result="miss")
+    kernel_rows = [
+        {
+            "kernel": labels["kernel"],
+            "calls": hist.count,
+            "total s": f"{hist.total:.4f}",
+        }
+        for kind, name, labels, hist in obs.metrics.series()
+        if kind == "histogram" and name == "kernel.seconds"
+    ]
+    if kernel_rows:
+        print()
+        print(
+            format_table(
+                kernel_rows,
+                title=f"kernel timings — path-index cache: "
+                f"{int(hits)} hit(s), {int(misses)} miss(es)",
+            )
+        )
+    retried = obs.metrics.counter_value("messages.retried", scheduler=label.replace("-", "_"))
+    if retried:
+        print(f"\nretries: {int(retried)} message-cycles NACKed and retried")
     return 0
 
 
@@ -314,37 +477,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_hardware)
 
+    def fault_opts(p):
+        p.add_argument(
+            "--kill-wires",
+            type=float,
+            default=0.0,
+            metavar="FRAC",
+            help="kill floor(FRAC·cap) wires of every channel (e.g. 0.25)",
+        )
+        p.add_argument(
+            "--kill-switch",
+            action="append",
+            metavar="LEVEL:INDEX",
+            help="kill the switch at LEVEL:INDEX (repeatable)",
+        )
+        p.add_argument(
+            "--loss-rate",
+            type=float,
+            default=0.0,
+            help="per-traversal transient corruption probability in [0, 1)",
+        )
+        p.add_argument(
+            "--max-cycles",
+            type=int,
+            default=10_000,
+            help="delivery-cycle budget before DeliveryTimeout",
+        )
+
     p = sub.add_parser(
         "faults",
         help="fault injection: degraded capacities, λ inflation, retry cost",
     )
     common(p, traffic=True)
-    p.add_argument(
-        "--kill-wires",
-        type=float,
-        default=0.0,
-        metavar="FRAC",
-        help="kill floor(FRAC·cap) wires of every channel (e.g. 0.25)",
-    )
-    p.add_argument(
-        "--kill-switch",
-        action="append",
-        metavar="LEVEL:INDEX",
-        help="kill the switch at LEVEL:INDEX (repeatable)",
-    )
-    p.add_argument(
-        "--loss-rate",
-        type=float,
-        default=0.0,
-        help="per-traversal transient corruption probability in [0, 1)",
-    )
-    p.add_argument(
-        "--max-cycles",
-        type=int,
-        default=10_000,
-        help="delivery-cycle budget before DeliveryTimeout",
-    )
+    fault_opts(p)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload with observability on; summary tables or JSONL",
+    )
+    common(p, traffic=True)
+    fault_opts(p)
+    p.add_argument(
+        "--scheduler",
+        default="random-rank",
+        choices=[
+            "random-rank",
+            "theorem1",
+            "greedy",
+            "online-retry",
+            "switchsim",
+            "buffered",
+        ],
+        help="which instrumented entry point to run",
+    )
+    p.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="dump the raw trace as JSONL to PATH ('-' for stdout) "
+        "instead of printing summary tables",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="small preset (n=64, 128 messages) for smoke tests / CI",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"
@@ -355,9 +553,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """Parse arguments and dispatch to the chosen command."""
+    """Parse arguments and dispatch to the chosen command.
+
+    Routing failures — traffic with no surviving path, or a run that
+    exhausts its delivery-cycle budget — exit with a one-line ``error:``
+    message and status 3, never a traceback.
+    """
+    from .core import DeliveryTimeout, UnroutableError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (UnroutableError, DeliveryTimeout) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

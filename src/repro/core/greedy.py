@@ -54,18 +54,25 @@ def _placement_order(ft: FatTree, routable: MessageSet, order: str) -> np.ndarra
 
 
 def schedule_greedy_first_fit(
-    ft: FatTree, messages: MessageSet, *, order: str = "longest-first"
+    ft: FatTree, messages: MessageSet, *, order: str = "longest-first", obs=None
 ) -> Schedule:
     """Off-line first-fit scheduler.
 
     ``order`` controls message placement order: ``"longest-first"`` (by
     path length, a standard bin-packing heuristic), ``"given"`` (input
     order), or ``"random"``.
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives a kernel wall-time
+    span, per-cycle ``cycle`` trace events (off-line placement: nothing
+    is ever congested or deferred) and per-level utilisation histograms.
     """
+    from ..obs import resolve_obs
     from ..perf import get_path_index
 
+    obs = resolve_obs(obs)
     routable = messages.without_self_messages()
-    index = get_path_index(ft, routable)
+    index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
@@ -80,32 +87,50 @@ def schedule_greedy_first_fit(
     residual = np.empty((0, index.num_slots), dtype=np.int64)
     num_cycles = 0
     assignment = np.zeros(m, dtype=np.int64)
-    for i in perm:
-        path = index.paths[i]
-        # first-fit scan in blocks of cycles: keeps the early exit of the
-        # scalar scan while testing a whole block per vector op
-        t = num_cycles
-        for start in range(0, num_cycles, 64):
-            fits = (residual[start : min(start + 64, num_cycles), path] > 0).all(
-                axis=1
-            )
-            if fits.any():
-                t = start + int(np.argmax(fits))
-                break
-        if t == num_cycles:
-            if num_cycles == residual.shape[0]:
-                grown = np.empty(
-                    (max(4, 2 * residual.shape[0]), index.num_slots), dtype=np.int64
+    with obs.kernel("schedule_greedy_first_fit", n=ft.n, m=m, order=order):
+        for i in perm:
+            path = index.paths[i]
+            # first-fit scan in blocks of cycles: keeps the early exit of the
+            # scalar scan while testing a whole block per vector op
+            t = num_cycles
+            for start in range(0, num_cycles, 64):
+                fits = (residual[start : min(start + 64, num_cycles), path] > 0).all(
+                    axis=1
                 )
-                grown[: residual.shape[0]] = residual
-                residual = grown
-            residual[num_cycles] = fresh
-            num_cycles += 1
-        # a path never repeats a channel, so fancy-index decrement is exact
-        residual[t, path] -= 1
-        assignment[i] = t
+                if fits.any():
+                    t = start + int(np.argmax(fits))
+                    break
+            if t == num_cycles:
+                if num_cycles == residual.shape[0]:
+                    grown = np.empty(
+                        (max(4, 2 * residual.shape[0]), index.num_slots),
+                        dtype=np.int64,
+                    )
+                    grown[: residual.shape[0]] = residual
+                    residual = grown
+                residual[num_cycles] = fresh
+                num_cycles += 1
+            # a path never repeats a channel, so fancy-index decrement is exact
+            residual[t, path] -= 1
+            assignment[i] = t
 
     cycles = [routable.take(assignment == t) for t in range(num_cycles)]
+    if obs.enabled:
+        from .online import _level_capacity_totals, _record_cycle
+
+        level_cap_totals = _level_capacity_totals(ft)
+        for t in range(num_cycles):
+            _record_cycle(
+                obs,
+                "greedy_first_fit",
+                t,
+                delivered=len(cycles[t]),
+                congested=0,
+                deferred=0,
+                index=index,
+                delivered_idx=np.flatnonzero(assignment == t),
+                level_cap_totals=level_cap_totals,
+            )
     return Schedule(cycles=cycles, n_self_messages=n_self)
 
 
@@ -180,7 +205,12 @@ def _reference_schedule_greedy_first_fit(
 
 
 def simulate_online_retry(
-    ft: FatTree, messages: MessageSet, *, seed: int = 0, max_cycles: int = 100_000
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    seed: int = 0,
+    max_cycles: int = 100_000,
+    obs=None,
 ) -> Schedule:
     """On-line delivery with congestion drops and retry (§II mechanism).
 
@@ -189,12 +219,20 @@ def simulate_online_retry(
     capacity this cycle.  Messages that lose a channel are retried in the
     next cycle.  Models ideal concentrators (no drops without congestion)
     and instant acknowledgments.
-    """
-    from ..perf import get_path_index
 
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives per-cycle ``cycle``
+    trace events (losers count as congested), retry counters,
+    utilisation histograms and a kernel wall-time span.
+    """
+    from ..obs import resolve_obs
+    from ..perf import get_path_index
+    from .online import _level_capacity_totals, _record_cycle
+
+    obs = resolve_obs(obs)
     rng = np.random.default_rng(seed)
     routable = messages.without_self_messages()
-    index = get_path_index(ft, routable)
+    index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
@@ -203,20 +241,39 @@ def simulate_online_retry(
     paths = index.paths
     fresh = index.caps
     cycles: list[MessageSet] = []
-    while pending:
-        if len(cycles) >= max_cycles:
-            raise RuntimeError(f"online retry did not converge in {max_cycles} cycles")
-        residual = fresh.copy()
-        rng.shuffle(pending)
-        delivered: list[int] = []
-        still: list[int] = []
-        for i in pending:
-            path = paths[i]
-            if (residual[path] > 0).all():
-                residual[path] -= 1
-                delivered.append(i)
-            else:
-                still.append(i)
-        cycles.append(routable.take(np.array(sorted(delivered), dtype=np.int64)))
-        pending = still
+    tracing = obs.enabled
+    if tracing:
+        level_cap_totals = _level_capacity_totals(ft)
+    with obs.kernel("simulate_online_retry", n=ft.n, m=len(routable), seed=seed):
+        while pending:
+            if len(cycles) >= max_cycles:
+                raise RuntimeError(
+                    f"online retry did not converge in {max_cycles} cycles"
+                )
+            residual = fresh.copy()
+            rng.shuffle(pending)
+            delivered: list[int] = []
+            still: list[int] = []
+            for i in pending:
+                path = paths[i]
+                if (residual[path] > 0).all():
+                    residual[path] -= 1
+                    delivered.append(i)
+                else:
+                    still.append(i)
+            delivered_idx = np.array(sorted(delivered), dtype=np.int64)
+            cycles.append(routable.take(delivered_idx))
+            if tracing:
+                _record_cycle(
+                    obs,
+                    "online_retry",
+                    len(cycles) - 1,
+                    delivered=len(delivered),
+                    congested=len(still),
+                    deferred=0,
+                    index=index,
+                    delivered_idx=delivered_idx,
+                    level_cap_totals=level_cap_totals,
+                )
+            pending = still
     return Schedule(cycles=cycles, n_self_messages=n_self)

@@ -89,6 +89,7 @@ def schedule_random_rank(
     max_cycles: int = 100_000,
     loss_rate: float | None = None,
     max_backoff: int = 16,
+    obs=None,
 ) -> Schedule:
     """Deliver ``messages`` with random-rank on-line contention
     resolution; returns the per-cycle delivery trace as a
@@ -106,15 +107,25 @@ def schedule_random_rank(
     as soon as every pending message has backed off past the remaining
     cycle budget.
 
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives one ``cycle`` trace
+    event per delivery cycle whose delivered / congested / deferred
+    counts partition the then-pending messages, per-level channel
+    utilisation histograms, retry counters and a kernel wall-time span.
+    Instrumentation never touches the RNG, so traced and untraced runs
+    produce bit-identical schedules.
+
     This is the vectorised kernel; it is bit-identical, seed for seed,
     to :func:`_reference_schedule_random_rank`.
     """
+    from ..obs import resolve_obs
     from ..perf import get_path_index
 
+    obs = resolve_obs(obs)
     loss_rate = _validate_args(ft, messages, loss_rate, max_backoff)
     rng = np.random.default_rng(seed)
     routable = messages.without_self_messages()
-    index = get_path_index(ft, routable)
+    index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
@@ -127,6 +138,9 @@ def schedule_random_rank(
     pending = np.ones(m, dtype=bool)
     n_pending = m
     cycles: list[MessageSet] = []
+    tracing = obs.enabled
+    if tracing:
+        level_cap_totals = _level_capacity_totals(ft)
 
     def _timeout(t: int) -> DeliveryTimeout:
         return DeliveryTimeout(
@@ -135,56 +149,144 @@ def schedule_random_rank(
             Counter(attempts[pending].tolist()),
         )
 
-    while n_pending:
-        t = len(cycles)
-        if t >= max_cycles:
-            raise _timeout(t)
-        eligible = np.flatnonzero(pending & (next_try <= t))
-        if eligible.size == 0:
-            if int(next_try[pending].min()) >= max_cycles:
-                # livelock: nobody becomes eligible within the budget
+    with obs.kernel("schedule_random_rank", n=ft.n, m=m, seed=seed):
+        while n_pending:
+            t = len(cycles)
+            if t >= max_cycles:
                 raise _timeout(t)
-            cycles.append(MessageSet.empty(ft.n))  # everyone backing off
-            continue
-        attempts[eligible] += 1
-        ranks = rng.random(eligible.size)
-        # one lexsort over (gid, rank, arrival order) resolves every
-        # channel's grant at once: within each gid group the first
-        # cap(c) entries win a wire
-        gids = index.paths[eligible].ravel()
-        entry_msg = np.repeat(np.arange(eligible.size), width)
-        order = np.lexsort((entry_msg, ranks[entry_msg], gids))
-        sg = gids[order]
-        starts = np.flatnonzero(np.r_[True, sg[1:] != sg[:-1]])
-        counts = np.diff(np.r_[starts, sg.size])
-        pos_in_group = np.arange(sg.size) - np.repeat(starts, counts)
-        won = pos_in_group < caps[sg]
-        wins = np.bincount(entry_msg[order][won], minlength=eligible.size)
-        delivered_pos = np.flatnonzero(wins == width)  # won every channel
-        if loss_rate:
-            # transient corruption: a won path can still deliver garbage,
-            # which the destination NACKs — the source must retry
-            survived = rng.random(delivered_pos.size) >= loss_rate
-            delivered_pos = delivered_pos[survived]
-        elif delivered_pos.size == 0:
-            # with positive capacities the globally lowest-ranked pending
-            # message always wins all its channels; a no-progress cycle
-            # means the tree cannot make progress at all
-            raise _timeout(t)
-        delivered_idx = eligible[delivered_pos]
-        cycles.append(routable.take(delivered_idx))
-        del_mask = np.zeros(eligible.size, dtype=bool)
-        del_mask[delivered_pos] = True
-        failed = eligible[~del_mask]
-        if loss_rate:
-            for i in failed.tolist():
-                window = min(max_backoff, 1 << min(int(attempts[i]) - 1, 30))
-                next_try[i] = t + 1 + int(rng.integers(0, window))
-        else:
-            next_try[failed] = t + 1  # pure contention: retry immediately
-        pending[delivered_idx] = False
-        n_pending -= delivered_idx.size
+            eligible = np.flatnonzero(pending & (next_try <= t))
+            if eligible.size == 0:
+                if int(next_try[pending].min()) >= max_cycles:
+                    # livelock: nobody becomes eligible within the budget
+                    raise _timeout(t)
+                cycles.append(MessageSet.empty(ft.n))  # everyone backing off
+                if tracing:
+                    obs.tracer.emit(
+                        "cycle",
+                        scheduler="random_rank",
+                        t=t,
+                        delivered=0,
+                        congested=0,
+                        deferred=n_pending,
+                    )
+                    obs.metrics.inc(
+                        "messages.deferred", n_pending, scheduler="random_rank"
+                    )
+                continue
+            attempts[eligible] += 1
+            ranks = rng.random(eligible.size)
+            # one lexsort over (gid, rank, arrival order) resolves every
+            # channel's grant at once: within each gid group the first
+            # cap(c) entries win a wire
+            gids = index.paths[eligible].ravel()
+            entry_msg = np.repeat(np.arange(eligible.size), width)
+            order = np.lexsort((entry_msg, ranks[entry_msg], gids))
+            sg = gids[order]
+            starts = np.flatnonzero(np.r_[True, sg[1:] != sg[:-1]])
+            counts = np.diff(np.r_[starts, sg.size])
+            pos_in_group = np.arange(sg.size) - np.repeat(starts, counts)
+            won = pos_in_group < caps[sg]
+            wins = np.bincount(entry_msg[order][won], minlength=eligible.size)
+            delivered_pos = np.flatnonzero(wins == width)  # won every channel
+            if loss_rate:
+                # transient corruption: a won path can still deliver garbage,
+                # which the destination NACKs — the source must retry
+                survived = rng.random(delivered_pos.size) >= loss_rate
+                delivered_pos = delivered_pos[survived]
+            elif delivered_pos.size == 0:
+                # with positive capacities the globally lowest-ranked pending
+                # message always wins all its channels; a no-progress cycle
+                # means the tree cannot make progress at all
+                raise _timeout(t)
+            delivered_idx = eligible[delivered_pos]
+            cycles.append(routable.take(delivered_idx))
+            del_mask = np.zeros(eligible.size, dtype=bool)
+            del_mask[delivered_pos] = True
+            failed = eligible[~del_mask]
+            if tracing:
+                _record_cycle(
+                    obs,
+                    "random_rank",
+                    t,
+                    delivered=delivered_idx.size,
+                    congested=failed.size,
+                    deferred=n_pending - eligible.size,
+                    index=index,
+                    delivered_idx=delivered_idx,
+                    level_cap_totals=level_cap_totals,
+                )
+            if loss_rate:
+                for i in failed.tolist():
+                    window = min(max_backoff, 1 << min(int(attempts[i]) - 1, 30))
+                    next_try[i] = t + 1 + int(rng.integers(0, window))
+            else:
+                next_try[failed] = t + 1  # pure contention: retry immediately
+            pending[delivered_idx] = False
+            n_pending -= delivered_idx.size
     return Schedule(cycles=cycles, n_self_messages=n_self)
+
+
+def _level_capacity_totals(ft: FatTree) -> list[tuple[int, int]]:
+    """Per-level ``(up, down)`` total wire counts, for utilisation."""
+    return [
+        (
+            int(ft.cap_vector(k, Direction.UP).sum()),
+            int(ft.cap_vector(k, Direction.DOWN).sum()),
+        )
+        for k in range(ft.depth + 1)
+    ]
+
+
+def _record_cycle(
+    obs,
+    scheduler: str,
+    t: int,
+    *,
+    delivered: int,
+    congested: int,
+    deferred: int,
+    index=None,
+    delivered_idx=None,
+    level_cap_totals=None,
+) -> None:
+    """Emit one delivery cycle's accounting: a ``cycle`` trace event
+    whose counts partition the pending messages, the matching counters,
+    and (when a path index is given) per-level utilisation histograms."""
+    obs.tracer.emit(
+        "cycle",
+        scheduler=scheduler,
+        t=t,
+        delivered=delivered,
+        congested=congested,
+        deferred=deferred,
+    )
+    if delivered:
+        obs.metrics.inc("messages.delivered", delivered, scheduler=scheduler)
+    if congested:
+        obs.metrics.inc("messages.congested", congested, scheduler=scheduler)
+        obs.metrics.inc("messages.retried", congested, scheduler=scheduler)
+    if deferred:
+        obs.metrics.inc("messages.deferred", deferred, scheduler=scheduler)
+    if index is not None and delivered_idx is not None and delivered:
+        loads = index.level_loads(delivered_idx)
+        for k in range(1, index.depth + 1):
+            up_total, down_total = level_cap_totals[k]
+            if up_total:
+                obs.metrics.observe(
+                    "channel.utilization",
+                    float(loads[k, 0]) / up_total,
+                    level=k,
+                    direction="up",
+                    scheduler=scheduler,
+                )
+            if down_total:
+                obs.metrics.observe(
+                    "channel.utilization",
+                    float(loads[k, 1]) / down_total,
+                    level=k,
+                    direction="down",
+                    scheduler=scheduler,
+                )
 
 
 def _reference_schedule_random_rank(

@@ -91,13 +91,21 @@ def partition_group(
     return done
 
 
-def schedule_theorem1(ft: FatTree, messages: MessageSet) -> Schedule:
+def schedule_theorem1(ft: FatTree, messages: MessageSet, *, obs=None) -> Schedule:
     """Schedule ``messages`` on ``ft`` per Theorem 1.
 
     Returns a validated-shape :class:`Schedule` with
     ``d <= 2·ceil(λ(M))·lg n`` delivery cycles.  Self-messages are
     excluded from the cycles (they use no channels).
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives a kernel wall-time
+    span, one ``partition`` trace event per LCA level (how many cycles
+    that level contributed) and per-cycle ``cycle`` events.
     """
+    from ..obs import resolve_obs
+
+    obs = resolve_obs(obs)
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     routable = messages.without_self_messages()
@@ -105,38 +113,58 @@ def schedule_theorem1(ft: FatTree, messages: MessageSet) -> Schedule:
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
-    groups = group_indices(routable, ft.depth)
+    with obs.kernel("schedule_theorem1", n=ft.n, m=len(routable)):
+        groups = group_indices(routable, ft.depth)
 
-    # node flat id -> list of one-cycle index sets, one list per direction
-    per_node: dict[int, list[list[np.ndarray]]] = {}
-    for key, idx in groups.items():
-        flat = key >> 1
-        direction = key & 1
-        slots = per_node.setdefault(flat, [[], []])
-        slots[direction] = partition_group(ft, routable, idx)
+        # node flat id -> list of one-cycle index sets, one list per direction
+        per_node: dict[int, list[list[np.ndarray]]] = {}
+        for key, idx in groups.items():
+            flat = key >> 1
+            direction = key & 1
+            slots = per_node.setdefault(flat, [[], []])
+            slots[direction] = partition_group(ft, routable, idx)
 
-    # Group nodes by level; within a level all nodes route concurrently,
-    # and the two directions of one node pair up in the same cycle.
-    levels: dict[int, list[int]] = {}
-    for flat in per_node:
-        levels.setdefault(level_of_flat(flat), []).append(flat)
+        # Group nodes by level; within a level all nodes route concurrently,
+        # and the two directions of one node pair up in the same cycle.
+        levels: dict[int, list[int]] = {}
+        for flat in per_node:
+            levels.setdefault(level_of_flat(flat), []).append(flat)
 
-    cycles: list[MessageSet] = []
-    per_level_cycles: dict[int, int] = {}
-    for level in sorted(levels):
-        node_sets = [per_node[flat] for flat in levels[level]]
-        width = max(max(len(lr), len(rl)) for lr, rl in node_sets)
-        per_level_cycles[level] = width
-        for t in range(width):
-            chunks = []
-            for lr, rl in node_sets:
-                if t < len(lr):
-                    chunks.append(lr[t])
-                if t < len(rl):
-                    chunks.append(rl[t])
-            take = np.concatenate(chunks)
-            cycles.append(routable.take(take))
+        cycles: list[MessageSet] = []
+        per_level_cycles: dict[int, int] = {}
+        for level in sorted(levels):
+            node_sets = [per_node[flat] for flat in levels[level]]
+            width = max(max(len(lr), len(rl)) for lr, rl in node_sets)
+            per_level_cycles[level] = width
+            for t in range(width):
+                chunks = []
+                for lr, rl in node_sets:
+                    if t < len(lr):
+                        chunks.append(lr[t])
+                    if t < len(rl):
+                        chunks.append(rl[t])
+                take = np.concatenate(chunks)
+                cycles.append(routable.take(take))
+            if obs.enabled:
+                obs.tracer.emit(
+                    "partition",
+                    scheduler="theorem1",
+                    level=level,
+                    nodes=len(node_sets),
+                    cycles=width,
+                )
+                obs.metrics.inc(
+                    "theorem1.level_cycles", width, level=level
+                )
 
+    if obs.enabled:
+        from .online import _record_cycle
+
+        for t, cycle in enumerate(cycles):
+            _record_cycle(
+                obs, "theorem1", t, delivered=len(cycle), congested=0, deferred=0
+            )
+        obs.metrics.inc("messages.self", n_self, scheduler="theorem1")
     return Schedule(
         cycles=cycles, n_self_messages=n_self, per_level_cycles=per_level_cycles
     )

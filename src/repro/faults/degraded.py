@@ -43,10 +43,19 @@ class DegradedFatTree(FatTree):
         wires than a channel has.
     """
 
-    def __init__(self, base: FatTree, faults: FaultModel):
+    def __init__(self, base: FatTree, faults: FaultModel, *, obs=None):
         super().__init__(base.n, base.capacity)
         self.base = base
         self.faults = faults
+        self._effective = self._build_effective(faults)
+        self._emit_degrade(obs, "construct")
+
+    def _build_effective(
+        self, faults: FaultModel
+    ) -> dict[tuple[int, "Direction"], np.ndarray]:
+        """Validate ``faults`` against the base tree and produce the
+        per-channel surviving-capacity vectors."""
+        base = self.base
         eff: dict[tuple[int, Direction], np.ndarray] = {
             (k, d): np.full(1 << k, base.cap(k), dtype=np.int64)
             for k in range(self.depth + 1)
@@ -82,7 +91,44 @@ class DegradedFatTree(FatTree):
                 eff[(fault.level + 1, d)][2 * fault.index + 1] = 0
         for vec in eff.values():
             vec.setflags(write=False)
-        self._effective = eff
+        return eff
+
+    def apply_faults(self, faults: FaultModel, *, obs=None) -> "DegradedFatTree":
+        """Replace this tree's fault scenario **in place** and return it.
+
+        The new :class:`FaultModel` is applied against the pristine
+        :attr:`base` capacities (scenarios replace, they do not stack),
+        and any cached :class:`~repro.perf.PathIndex` built against the
+        old capacities is dropped.  The shared path-index cache also
+        keys on a capacity fingerprint, so even an external cache
+        reference can never serve paths for the old scenario.
+        """
+        from ..perf import clear_path_index_cache
+
+        effective = self._build_effective(faults)  # validate before mutating
+        self.faults = faults
+        self._effective = effective
+        clear_path_index_cache(self)
+        self._emit_degrade(obs, "apply_faults")
+        return self
+
+    def _emit_degrade(self, obs, origin: str) -> None:
+        from ..obs import resolve_obs
+
+        obs = resolve_obs(obs)
+        if not obs.enabled:
+            return
+        obs.tracer.emit(
+            "degrade",
+            origin=origin,
+            n=self.n,
+            surviving_fraction=self.surviving_fraction(),
+            wire_faults=len(self.faults.wire_faults),
+            switch_faults=len(self.faults.switch_faults),
+            loss_rate=self.faults.loss_rate,
+        )
+        obs.metrics.inc("faults.applied", origin=origin)
+        obs.metrics.set_gauge("faults.surviving_fraction", self.surviving_fraction())
 
     # -- per-channel capacity hooks ---------------------------------------
 

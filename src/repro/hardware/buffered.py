@@ -54,6 +54,7 @@ def run_store_and_forward(
     messages: MessageSet,
     *,
     max_steps: int = 1_000_000,
+    obs=None,
 ) -> BufferedRun:
     """Dynamically deliver ``messages``; oldest-first channel service.
 
@@ -62,13 +63,20 @@ def run_store_and_forward(
     Capacities are per channel, so degraded trees serve only their
     surviving wires; messages with a severed path raise
     :class:`~repro.core.errors.UnroutableError` up front.
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives one ``step`` trace
+    event per time step (hops moved, deliveries, live queue depth), a
+    queue-depth histogram and a kernel wall-time span.
     """
+    from ..obs import resolve_obs
     from ..perf import get_path_index
 
+    obs = resolve_obs(obs)
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     routable = messages.without_self_messages()
-    index = get_path_index(ft, routable)
+    index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
     if not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
@@ -89,24 +97,50 @@ def run_store_and_forward(
     remaining = m
     max_depth = max(len(q) for q in queues.values())
     step = 0
-    while remaining:
-        if step >= max_steps:
-            raise RuntimeError(f"not delivered within {max_steps} steps")
-        step += 1
-        moves: list[int] = []
-        for gid, queue in queues.items():
-            cap = int(caps[gid])
-            for _ in range(min(cap, len(queue))):
-                moves.append(queue.popleft())
-        for i in moves:
-            progress[i] += 1
-            if progress[i] == len(paths[i]):
-                latencies[i] = step
-                remaining -= 1
-            else:
-                queues.setdefault(paths[i][progress[i]], deque()).append(i)
-        depth_now = max((len(q) for q in queues.values()), default=0)
-        max_depth = max(max_depth, depth_now)
+    tracing = obs.enabled
+    with obs.kernel("run_store_and_forward", n=ft.n, m=m):
+        while remaining:
+            if step >= max_steps:
+                raise RuntimeError(f"not delivered within {max_steps} steps")
+            step += 1
+            moves: list[int] = []
+            for gid, queue in queues.items():
+                cap = int(caps[gid])
+                for _ in range(min(cap, len(queue))):
+                    moves.append(queue.popleft())
+            delivered_now = 0
+            for i in moves:
+                progress[i] += 1
+                if progress[i] == len(paths[i]):
+                    latencies[i] = step
+                    remaining -= 1
+                    delivered_now += 1
+                else:
+                    queues.setdefault(paths[i][progress[i]], deque()).append(i)
+            depth_now = max((len(q) for q in queues.values()), default=0)
+            max_depth = max(max_depth, depth_now)
+            if tracing:
+                obs.tracer.emit(
+                    "step",
+                    simulator="store_and_forward",
+                    t=step,
+                    moves=len(moves),
+                    delivered=delivered_now,
+                    queue_depth=depth_now,
+                )
+                obs.metrics.observe(
+                    "queue.depth", depth_now, simulator="store_and_forward"
+                )
+                if delivered_now:
+                    obs.metrics.inc(
+                        "messages.delivered",
+                        delivered_now,
+                        scheduler="store_and_forward",
+                    )
+    if tracing:
+        obs.metrics.set_gauge(
+            "queue.max_depth", max_depth, simulator="store_and_forward"
+        )
     return BufferedRun(
         makespan=step, latencies=latencies, max_queue_depth=max_depth
     )

@@ -116,6 +116,7 @@ def run_delivery_cycle(
     seed: int | None = None,
     payload_bits: int = 0,
     fault_rate: float = 0.0,
+    obs=None,
 ) -> DeliveryReport:
     """Simulate one delivery cycle of ``messages`` on ``ft``.
 
@@ -129,6 +130,11 @@ def run_delivery_cycle(
     mechanism beyond pure congestion.  A degraded tree whose
     :class:`~repro.faults.FaultModel` carries a ``loss_rate`` applies the
     same per-traversal corruption under any concentrator model.
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives one ``cycle`` trace
+    event with the delivered / congested / deferred partition and wave
+    tick count, plus the matching counters and a wave-tick histogram.
     """
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
@@ -231,13 +237,37 @@ def run_delivery_cycle(
                         nxt.append((level + 1, child, Port.U, fwd))
         wavefront = nxt
     _assert_conserved(messages, delivered, congested, deferred)
-    return DeliveryReport(
+    report = DeliveryReport(
         delivered=delivered,
         congested=congested,
         deferred=deferred,
         wave_ticks=ticks,
         payload_bits=payload_bits,
     )
+    from ..obs import resolve_obs
+
+    obs = resolve_obs(obs)
+    if obs.enabled:
+        obs.tracer.emit(
+            "cycle",
+            scheduler="switchsim",
+            delivered=len(report.delivered),
+            congested=len(report.congested),
+            deferred=len(report.deferred),
+            wave_ticks=report.wave_ticks,
+            concentrators=concentrators,
+        )
+        for kind, group in (
+            ("delivered", report.delivered),
+            ("congested", report.congested),
+            ("deferred", report.deferred),
+        ):
+            if group:
+                obs.metrics.inc(
+                    f"messages.{kind}", len(group), scheduler="switchsim"
+                )
+        obs.metrics.observe("switchsim.wave_ticks", report.wave_ticks)
+    return report
 
 
 @dataclass
@@ -271,6 +301,7 @@ def run_until_delivered(
     fault_rate: float = 0.0,
     max_cycles: int = 10_000,
     max_backoff: int = 8,
+    obs=None,
 ) -> RetryOutcome:
     """Deliver ``messages`` with the §II acknowledge-and-retry loop.
 
@@ -285,16 +316,24 @@ def run_until_delivered(
     ``max_cycles`` raises :class:`~repro.core.errors.DeliveryTimeout`
     with the pending messages and their attempt counts — the loop can
     never hang.
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) is threaded into every
+    :func:`run_delivery_cycle` (one ``cycle`` event each) and
+    additionally receives retry counters, a per-message attempt
+    histogram and a kernel wall-time span around the whole loop.
     """
+    from ..obs import resolve_obs
     from ..perf import get_path_index
 
+    obs = resolve_obs(obs)
     if max_backoff < 1:
         raise ValueError("max_backoff must be >= 1")
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     # the shared PathIndex both answers routability and primes the cache
     # for any scheduler later run on the same (tree, message set) pair
-    mask = get_path_index(ft, messages).routable_mask()
+    mask = get_path_index(ft, messages, obs=obs).routable_mask()
     if not mask.all():
         raise UnroutableError(messages.take(~mask).as_pairs())
     model = getattr(ft, "faults", None)
@@ -308,59 +347,74 @@ def run_until_delivered(
     outcome = RetryOutcome(cycles=0, attempts=attempts)
     cycle_seed = seed
     t = 0
-    while pending:
-        if t >= max_cycles:
-            raise DeliveryTimeout(
-                [(int(srcs[i]), int(dsts[i])) for i in pending],
-                t,
-                Counter(attempts[i] for i in pending),
-            )
-        eligible = [i for i in pending if next_try[i] <= t]
-        if eligible:
-            take = np.array(eligible, dtype=np.int64)
-            report = run_delivery_cycle(
-                ft,
-                MessageSet(srcs[take], dsts[take], ft.n),
-                concentrators=concentrators,
-                seed=cycle_seed,
-                payload_bits=payload_bits,
-                fault_rate=fault_rate,
-            )
-        else:  # every pending message is backing off this cycle
-            report = DeliveryReport([], [], [], 0, payload_bits)
-        outcome.reports.append(report)
-        outcome.cycles += 1
-        cycle_seed += 1
-        t += 1
-        if not eligible:
-            continue
-        if len(report.delivered) == 0 and not lossy and len(eligible) == len(pending):
-            # no progress: only possible if a single message cannot fit,
-            # which positive capacities rule out (with faults, a fully
-            # unlucky cycle is legitimate and the retry continues)
-            raise RuntimeError("delivery made no progress")
-        # map report frames back to message indices ((src, dst) multiset)
-        buckets: dict[tuple[int, int], list[int]] = {}
-        for i in eligible:
-            buckets.setdefault((int(srcs[i]), int(dsts[i])), []).append(i)
-        done: set[int] = set()
-        for f in report.delivered:
-            i = buckets[(f.src, f.dst)].pop()
-            attempts[i] += 1
-            done.add(i)
-        for f in report.congested:
-            i = buckets[(f.src, f.dst)].pop()
-            attempts[i] += 1
-            if lossy:
-                window = min(max_backoff, 1 << min(attempts[i] - 1, 30))
-                next_try[i] = t + int(backoff_rng.integers(0, window))
-            else:
-                next_try[i] = t  # deterministic congestion: retry next cycle
-        for f in report.deferred:
-            # never entered the network: no attempt consumed, no backoff
-            i = buckets[(f.src, f.dst)].pop()
-            next_try[i] = t
-        pending = [i for i in pending if i not in done]
+    with obs.kernel("run_until_delivered", n=ft.n, m=m, seed=seed):
+        while pending:
+            if t >= max_cycles:
+                raise DeliveryTimeout(
+                    [(int(srcs[i]), int(dsts[i])) for i in pending],
+                    t,
+                    Counter(attempts[i] for i in pending),
+                )
+            eligible = [i for i in pending if next_try[i] <= t]
+            if eligible:
+                take = np.array(eligible, dtype=np.int64)
+                report = run_delivery_cycle(
+                    ft,
+                    MessageSet(srcs[take], dsts[take], ft.n),
+                    concentrators=concentrators,
+                    seed=cycle_seed,
+                    payload_bits=payload_bits,
+                    fault_rate=fault_rate,
+                    obs=obs,
+                )
+            else:  # every pending message is backing off this cycle
+                report = DeliveryReport([], [], [], 0, payload_bits)
+            outcome.reports.append(report)
+            outcome.cycles += 1
+            cycle_seed += 1
+            t += 1
+            if not eligible:
+                continue
+            if (
+                len(report.delivered) == 0
+                and not lossy
+                and len(eligible) == len(pending)
+            ):
+                # no progress: only possible if a single message cannot fit,
+                # which positive capacities rule out (with faults, a fully
+                # unlucky cycle is legitimate and the retry continues)
+                raise RuntimeError("delivery made no progress")
+            # map report frames back to message indices ((src, dst) multiset)
+            buckets: dict[tuple[int, int], list[int]] = {}
+            for i in eligible:
+                buckets.setdefault((int(srcs[i]), int(dsts[i])), []).append(i)
+            done: set[int] = set()
+            for f in report.delivered:
+                i = buckets[(f.src, f.dst)].pop()
+                attempts[i] += 1
+                done.add(i)
+            for f in report.congested:
+                i = buckets[(f.src, f.dst)].pop()
+                attempts[i] += 1
+                if lossy:
+                    window = min(max_backoff, 1 << min(attempts[i] - 1, 30))
+                    next_try[i] = t + int(backoff_rng.integers(0, window))
+                else:
+                    next_try[i] = t  # deterministic congestion: retry next cycle
+            for f in report.deferred:
+                # never entered the network: no attempt consumed, no backoff
+                i = buckets[(f.src, f.dst)].pop()
+                next_try[i] = t
+            if obs.enabled and report.congested:
+                obs.metrics.inc(
+                    "messages.retried",
+                    len(report.congested),
+                    scheduler="switchsim",
+                )
+            pending = [i for i in pending if i not in done]
+    if obs.enabled:
+        for count in attempts:
+            obs.metrics.observe("retry.attempts", count, scheduler="switchsim")
     return outcome
 
 

@@ -1,0 +1,169 @@
+"""Observability: metrics and tracing for the routing stack.
+
+The subsystem has three pieces, all stdlib-only:
+
+* :class:`MetricsRegistry` — labeled counters / gauges / histograms
+  (channel level, direction, scheduler, …) with picklable snapshots;
+* :class:`Tracer` — typed per-cycle events in a bounded ring buffer
+  with a JSONL export/import round-trip;
+* :class:`Obs` — the facade the routers take as an optional ``obs=``
+  parameter: a registry plus a tracer plus a kernel wall-time span.
+
+Every instrumented entry point resolves ``obs=None`` against a
+**module-level default** (:func:`get_default_obs`), which starts as the
+disabled :data:`NULL_OBS` — so existing call sites pay one attribute
+check and nothing else.  Turn observability on either by passing an
+enabled ``Obs`` explicitly, or by installing one as the default
+(:func:`set_default_obs` / the :func:`use_obs` context manager, which is
+how ``repro trace`` and the sweep workers scope their collection).
+
+Usage::
+
+    from repro.obs import Obs
+    obs = Obs(enabled=True)
+    sched = schedule_random_rank(ft, m, obs=obs)
+    obs.tracer.export_jsonl("trace.jsonl")
+    obs.metrics.counter_value("messages.delivered", scheduler="random_rank")
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from .metrics import HistogramData, MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "HistogramData",
+    "MetricsRegistry",
+    "Tracer",
+    "Obs",
+    "NULL_OBS",
+    "get_default_obs",
+    "set_default_obs",
+    "use_obs",
+    "resolve_obs",
+]
+
+
+class _NoopSpan:
+    """The span returned by :meth:`Obs.kernel` when observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _KernelSpan:
+    """A wall-clock span emitting ``kernel_enter``/``kernel_exit`` events
+    and a ``kernel.seconds`` histogram observation."""
+
+    __slots__ = ("_obs", "_name", "_fields", "_t0")
+
+    def __init__(self, obs: "Obs", name: str, fields: dict):
+        self._obs = obs
+        self._name = name
+        self._fields = fields
+
+    def __enter__(self):
+        self._obs.tracer.emit("kernel_enter", kernel=self._name, **self._fields)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        seconds = time.perf_counter() - self._t0
+        self._obs.tracer.emit(
+            "kernel_exit",
+            kernel=self._name,
+            seconds=seconds,
+            ok=exc_type is None,
+        )
+        self._obs.metrics.observe("kernel.seconds", seconds, kernel=self._name)
+        return False
+
+
+class Obs:
+    """A metrics registry and a tracer, bundled for the routers.
+
+    Parameters
+    ----------
+    metrics, tracer:
+        Pre-built components, or ``None`` to construct fresh ones.
+    enabled:
+        Applied to any component constructed here; pass a disabled
+        ``Tracer``/``MetricsRegistry`` explicitly to mix (e.g. metrics
+        on, tracing off in sweep workers).
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        *,
+        enabled: bool = True,
+    ):
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+        )
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+
+    @property
+    def enabled(self) -> bool:
+        """True iff either component records anything — the one check the
+        hot kernels guard their per-cycle instrumentation on."""
+        return self.metrics.enabled or self.tracer.enabled
+
+    def kernel(self, name: str, **fields):
+        """A ``with``-span timing one kernel invocation; no-op when
+        disabled."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _KernelSpan(self, name, fields)
+
+    def __repr__(self) -> str:
+        return f"Obs(enabled={self.enabled}, metrics={self.metrics!r}, tracer={self.tracer!r})"
+
+
+NULL_OBS = Obs(enabled=False)
+
+_default: Obs = NULL_OBS
+
+
+def get_default_obs() -> Obs:
+    """The module-level default ``Obs`` (initially :data:`NULL_OBS`)."""
+    return _default
+
+
+def set_default_obs(obs: Obs | None) -> Obs:
+    """Install ``obs`` (``None`` restores :data:`NULL_OBS`) as the
+    module-level default; returns the previous default."""
+    global _default
+    previous = _default
+    _default = obs if obs is not None else NULL_OBS
+    return previous
+
+
+@contextmanager
+def use_obs(obs: Obs):
+    """Scope ``obs`` as the module-level default for a ``with`` block."""
+    previous = set_default_obs(obs)
+    try:
+        yield obs
+    finally:
+        set_default_obs(previous)
+
+
+def resolve_obs(obs: Obs | None) -> Obs:
+    """What the instrumented entry points call on their ``obs=``
+    parameter: an explicit ``Obs`` wins, ``None`` means the default."""
+    return obs if obs is not None else _default

@@ -1,0 +1,223 @@
+"""Labeled counters, gauges and histograms for the routing stack.
+
+A :class:`MetricsRegistry` is a flat bag of *series*.  A series is one
+``(kind, name, labels)`` triple — e.g. the counter
+``messages.delivered{scheduler=random_rank}`` or the histogram
+``channel.utilization{level=3, direction=up}`` — and holds either a
+scalar (counters accumulate, gauges overwrite) or a
+:class:`HistogramData` (count / total / min / max plus power-of-two
+buckets).  Labels are the resource-centric axes the fat-tree experiments
+slice on: channel level, direction, delivery cycle, scheduler.
+
+Everything is plain stdlib so the registry imports nowhere near numpy:
+the hooks in the routers must stay importable (and *cheap*) even when
+observability is off.  A registry constructed with ``enabled=False``
+turns every recording method into an early-return — the hot kernels
+guard their per-cycle instrumentation on :attr:`enabled`, so a disabled
+registry costs one attribute check per call site.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain picklable dicts,
+which is how :func:`repro.analysis.sweep` ships a worker process's
+metrics back with its result row; :meth:`MetricsRegistry.merge` folds
+such a snapshot into another registry (counters add, gauges overwrite,
+histograms combine).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["HistogramData", "MetricsRegistry"]
+
+_LabelKey = tuple[tuple[str, object], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def _series_name(name: str, key: _LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+def _bucket_of(value: float) -> int:
+    """The power-of-two bucket exponent of a positive value.
+
+    A value lands in bucket ``e`` iff ``2**(e-1) < value <= 2**e``;
+    non-positive values land in a single underflow bucket.
+    """
+    if value <= 0:
+        return -1074  # below every representable positive float
+    return math.frexp(value)[1] - (math.frexp(value)[0] == 0.5)
+
+
+class HistogramData:
+    """Summary statistics of one observed series."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        b = _bucket_of(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def combine(self, other: "HistogramData") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for b, c in other.buckets.items():
+            self.buckets[b] = self.buckets.get(b, 0) + c
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": dict(self.buckets),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "HistogramData":
+        h = cls()
+        h.count = int(d["count"])
+        h.total = float(d["total"])
+        h.min = math.inf if d["min"] is None else float(d["min"])
+        h.max = -math.inf if d["max"] is None else float(d["max"])
+        h.buckets = {int(b): int(c) for b, c in d["buckets"].items()}
+        return h
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramData(count={self.count}, mean={self.mean:.4g}, "
+            f"min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+class MetricsRegistry:
+    """A bag of labeled counters, gauges and histograms.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every recording method into a no-op; reading
+        methods then see an empty registry.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._counters: dict[tuple[str, _LabelKey], float] = {}
+        self._gauges: dict[tuple[str, _LabelKey], float] = {}
+        self._histograms: dict[tuple[str, _LabelKey], HistogramData] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` to the counter series ``name{labels}``."""
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge series ``name{labels}`` to ``value``."""
+        if not self.enabled:
+            return
+        self._gauges[(name, _label_key(labels))] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record ``value`` into the histogram series ``name{labels}``."""
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = HistogramData()
+        hist.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        return self._counters.get((name, _label_key(labels)), 0)
+
+    def gauge_value(self, name: str, default: float = 0.0, **labels) -> float:
+        return self._gauges.get((name, _label_key(labels)), default)
+
+    def histogram(self, name: str, **labels) -> HistogramData | None:
+        return self._histograms.get((name, _label_key(labels)))
+
+    def series(self):
+        """Yield ``(kind, name, labels_dict, value)`` for every series;
+        histogram values are :class:`HistogramData`."""
+        for (name, key), value in sorted(self._counters.items()):
+            yield "counter", name, dict(key), value
+        for (name, key), value in sorted(self._gauges.items()):
+            yield "gauge", name, dict(key), value
+        for (name, key), hist in sorted(self._histograms.items()):
+            yield "histogram", name, dict(key), hist
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain picklable dict of every series, keyed by the rendered
+        series name (``name{k=v,…}``)."""
+        return {
+            "counters": {
+                _series_name(name, key): value
+                for (name, key), value in sorted(self._counters.items())
+            },
+            "gauges": {
+                _series_name(name, key): value
+                for (name, key), value in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _series_name(name, key): hist.as_dict()
+                for (name, key), hist in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges
+        overwrite, histograms combine).  Ignores :attr:`enabled`."""
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        self._gauges.update(other._gauges)
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = HistogramData()
+            mine.combine(hist)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, series={len(self)})"

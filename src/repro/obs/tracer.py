@@ -1,0 +1,157 @@
+"""Structured per-cycle trace events with JSONL export/import.
+
+A :class:`Tracer` collects typed events — plain dicts with a ``"type"``
+key and a monotonically increasing ``"seq"`` — into a bounded in-memory
+ring buffer.  The routers emit one event per delivery cycle (type
+``"cycle"``: delivered / congested / deferred counts), plus
+``"cache"`` events from the path-index cache, ``"kernel_enter"`` /
+``"kernel_exit"`` pairs with wall time, ``"step"`` events from the
+buffered simulator and ``"degrade"`` events when a fault model is
+applied.  The schema is documented in ``EXPERIMENTS.md``.
+
+Events are sanitised at emit time (numpy scalars become Python scalars,
+sequences become lists) so that the JSONL round-trip is the identity:
+``Tracer.from_jsonl(tracer.to_jsonl()) == tracer.events``.  That
+round-trip is what makes a trace a shippable artifact — dump it from a
+run, reload it in a notebook, and the per-cycle accounting is exactly
+what the scheduler returned.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+
+__all__ = ["Tracer"]
+
+DEFAULT_MAXLEN = 65536
+
+
+def _jsonable(value):
+    """Coerce an event field into a JSON-round-trippable value."""
+    # exact types only: np.float64 subclasses float but must still be
+    # normalised through .item() so events hold plain Python scalars
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)  # numpy scalars, zero-d arrays
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)  # numpy arrays
+    if callable(tolist):
+        return _jsonable(tolist())
+    if isinstance(value, (bool, int, float, str)):  # scalar subclasses (enums)
+        return value
+    return str(value)
+
+
+class Tracer:
+    """A bounded ring buffer of typed trace events.
+
+    Parameters
+    ----------
+    maxlen:
+        Ring-buffer capacity; the oldest events are dropped once the
+        buffer is full (``dropped`` counts them).
+    enabled:
+        ``False`` turns :meth:`emit` into a no-op.
+    """
+
+    __slots__ = ("enabled", "maxlen", "_events", "_seq", "dropped")
+
+    def __init__(self, *, maxlen: int = DEFAULT_MAXLEN, enabled: bool = True):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.enabled = bool(enabled)
+        self.maxlen = int(maxlen)
+        self._events: deque[dict] = deque(maxlen=maxlen)
+        self._seq = 0
+        self.dropped = 0
+
+    def emit(self, etype: str, **fields) -> None:
+        """Append one event of the given type; fields are sanitised to
+        JSON-round-trippable values."""
+        if not self.enabled:
+            return
+        event = {"type": etype, "seq": self._seq}
+        for k, v in fields.items():
+            event[k] = _jsonable(v)
+        self._seq += 1
+        if len(self._events) == self.maxlen:
+            self.dropped += 1
+        self._events.append(event)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def events(self) -> list[dict]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def select(self, etype: str) -> list[dict]:
+        """The buffered events of one type, oldest first."""
+        return [e for e in self._events if e["type"] == etype]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    # -- JSONL round-trip --------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per event, one event per line."""
+        out = io.StringIO()
+        for event in self._events:
+            out.write(json.dumps(event, separators=(",", ":")))
+            out.write("\n")
+        return out.getvalue()
+
+    def export_jsonl(self, path) -> int:
+        """Write the buffer to ``path`` as JSONL; returns the event count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        return len(self._events)
+
+    @staticmethod
+    def from_jsonl(text: str) -> list[dict]:
+        """Parse JSONL back into the event list (the inverse of
+        :meth:`to_jsonl`: export → import is the identity)."""
+        events = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"bad JSONL trace at line {lineno}: {exc}") from exc
+            if not isinstance(event, dict) or "type" not in event:
+                raise ValueError(
+                    f"bad JSONL trace at line {lineno}: not a typed event"
+                )
+            events.append(event)
+        return events
+
+    @staticmethod
+    def read_jsonl(path) -> list[dict]:
+        """Load a JSONL trace file written by :meth:`export_jsonl`."""
+        with open(path, encoding="utf-8") as fh:
+            return Tracer.from_jsonl(fh.read())
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"Tracer({state}, events={len(self._events)}, "
+            f"dropped={self.dropped})"
+        )

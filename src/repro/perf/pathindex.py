@@ -46,6 +46,7 @@ import numpy as np
 
 from ..core.fattree import Direction, FatTree
 from ..core.message import MessageSet
+from ..obs import resolve_obs
 
 __all__ = [
     "PAD_GID",
@@ -154,6 +155,23 @@ class PathIndex:
             self.rows(idx).ravel(), minlength=self.num_slots
         ).astype(np.int64)
 
+    def level_loads(self, idx=None) -> np.ndarray:
+        """Summed channel loads of a subset per ``(level, direction)``.
+
+        Returns a ``(depth + 1, 2)`` int64 matrix (column 0 = up,
+        column 1 = down); row 0 is always zero since internal routing
+        never uses the external-interface channels.  This is the
+        aggregation the per-cycle utilisation metrics are built from.
+        """
+        lv = self.load_vector(idx)
+        out = np.zeros((self.depth + 1, 2), dtype=np.int64)
+        for k in range(1, self.depth + 1):
+            start = ((1 << k) - 1) << 1
+            block = lv[start : start + (2 << k)]
+            out[k, 0] = block[0::2].sum()
+            out[k, 1] = block[1::2].sum()
+        return out
+
     def __repr__(self) -> str:
         return f"PathIndex(n={self.n}, m={self.m}, depth={self.depth})"
 
@@ -166,29 +184,59 @@ def _digest(messages: MessageSet) -> bytes:
     return h.digest()
 
 
-def get_path_index(ft: FatTree, messages: MessageSet) -> PathIndex:
+def _capacity_fingerprint(ft: FatTree) -> bytes:
+    """A digest of the tree's current per-channel effective capacities.
+
+    Folding this into the cache key makes the cache safe against
+    capacity mutation on a live tree object (re-applying a
+    :class:`~repro.faults.FaultModel`, or any future dynamic-capacity
+    path): a tree whose capacities change simply stops hitting the
+    entries built against the old capacities.
+    """
+    h = blake2b(digest_size=16)
+    for k in range(1, ft.depth + 1):
+        for d in (Direction.UP, Direction.DOWN):
+            h.update(np.ascontiguousarray(ft.cap_vector(k, d)).tobytes())
+    return h.digest()
+
+
+def get_path_index(ft: FatTree, messages: MessageSet, *, obs=None) -> PathIndex:
     """The :class:`PathIndex` of ``(ft, messages)``, cached on the tree.
 
-    The cache lives on the ``FatTree`` instance (so identity of the tree
-    — including a degraded tree's surviving capacities, which are fixed
-    at construction — is implied) and is keyed by a digest of the
-    message arrays, with LRU eviction beyond a small size.  All
-    schedulers route through this accessor, so scheduling the same
-    message set with several algorithms derives the paths once.
+    The cache lives on the ``FatTree`` instance and is keyed by a digest
+    of the message arrays **and** of the tree's current per-channel
+    capacities, with LRU eviction beyond a small size.  All schedulers
+    route through this accessor, so scheduling the same message set with
+    several algorithms derives the paths once — while a tree whose
+    capacities are mutated in place (e.g. a re-degraded
+    :class:`~repro.faults.DegradedFatTree`) can never be served stale
+    paths or capacity vectors.
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives a ``pathindex.cache``
+    hit/miss counter and a ``cache`` trace event per lookup.
     """
+    obs = resolve_obs(obs)
     cache: OrderedDict[bytes, PathIndex] | None = getattr(ft, _CACHE_ATTR, None)
     if cache is None:
         cache = OrderedDict()
         setattr(ft, _CACHE_ATTR, cache)
-    key = _digest(messages)
+    key = _digest(messages) + _capacity_fingerprint(ft)
     index = cache.get(key)
     if index is None:
         index = PathIndex(ft, messages)
         cache[key] = index
         if len(cache) > _CACHE_MAXSIZE:
             cache.popitem(last=False)
+        result = "miss"
     else:
         cache.move_to_end(key)
+        result = "hit"
+    if obs.enabled:
+        obs.metrics.inc("pathindex.cache", result=result)
+        obs.tracer.emit(
+            "cache", op="pathindex", result=result, n=ft.n, m=len(messages)
+        )
     return index
 
 

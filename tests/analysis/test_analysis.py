@@ -1,5 +1,7 @@
 """Tests for the analysis helpers (bounds, fits, sweeps, tables)."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -87,6 +89,15 @@ def _fail_on_two(n):
     return {"double": 2 * n}
 
 
+def _mark_and_sleep(tag, outdir, fail):
+    """Leave a marker file proving this parameter set started running."""
+    (outdir / f"ran-{tag}").touch()
+    if fail:
+        raise RuntimeError(f"boom at {tag}")
+    time.sleep(0.3)
+    return {"tag": tag}
+
+
 class TestSweepAndTables:
     def test_sweep_merges_params_and_results(self):
         rows = sweep(lambda n: {"double": 2 * n}, [{"n": 1}, {"n": 3}])
@@ -117,6 +128,29 @@ class TestSweepAndTables:
     def test_error_raises_by_default(self):
         with pytest.raises(RuntimeError):
             sweep(_fail_on_two, [{"n": 2}])
+
+    def test_parallel_error_raises(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            sweep(_fail_on_two, [{"n": 1}, {"n": 2}, {"n": 3}], n_jobs=2)
+
+    def test_parallel_raise_cancels_pending_param_sets(self, tmp_path):
+        """An early failure with on_error="raise" must not run the whole
+        remaining sweep: parameter sets that have not started when the
+        exception propagates are cancelled, not drained."""
+        total = 16
+        params = [
+            {"tag": i, "outdir": tmp_path, "fail": i == 0} for i in range(total)
+        ]
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match="boom at 0"):
+            sweep(_mark_and_sleep, params, n_jobs=2)
+        elapsed = time.monotonic() - t0
+        started = len(list(tmp_path.glob("ran-*")))
+        assert started >= 1  # the failing set certainly ran
+        # only in-flight and already-queued sets may have started; running
+        # all 15 survivors at 0.3 s each on 2 workers would take > 2 s
+        assert started < total
+        assert elapsed < 2.0
 
     def test_bad_arguments_rejected(self):
         with pytest.raises(ValueError):

@@ -46,6 +46,44 @@ def test_effective_capacities_dominated_by_pristine(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_cap_is_min_of_effective_capacity_vectors(seed):
+    """The level-uniform ``cap(k)`` is exactly the minimum of the
+    per-channel effective capacities at level k, over both directions."""
+    ft = FatTree(64, UniversalCapacity(64, 32, strict=False))
+    dft = DegradedFatTree(ft, random_scenario(ft, seed))
+    for k in range(dft.depth + 1):
+        expected = min(
+            int(dft.cap_vector(k, Direction.UP).min()),
+            int(dft.cap_vector(k, Direction.DOWN).min()),
+        )
+        assert dft.cap(k) == expected
+        assert dft.cap(k) == min(
+            dft.chan_cap(k, x, d)
+            for x in range(1 << k)
+            for d in (Direction.UP, Direction.DOWN)
+        )
+
+
+def test_cap_zero_on_all_dead_levels():
+    """Killing the root switch severs every level-1 channel: cap(1) is 0
+    (and level 0, the root's own channels, too) while deeper levels keep
+    their pristine capacity."""
+    ft = FatTree(16)
+    dft = DegradedFatTree(ft, FaultModel().kill_switch(0, 0))
+    assert dft.cap(0) == 0
+    assert dft.cap(1) == 0
+    for k in range(2, dft.depth + 1):
+        assert dft.cap(k) == ft.cap(k)
+    # a whole level killed wire by wire reads as zero as well
+    model = FaultModel()
+    for x in range(1 << 2):
+        model.kill_wires(2, x, ft.cap(2), direction="up")
+    dead_up = DegradedFatTree(ft, model)
+    assert dead_up.cap(2) == 0
+    assert int(dead_up.cap_vector(2, Direction.DOWN).min()) == ft.cap(2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_load_factor_monotone_under_wire_removal(seed):
     """Kill wires in increasing fractions; λ(M) never decreases."""
     n = 64

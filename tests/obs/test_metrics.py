@@ -1,0 +1,169 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs import HistogramData, MetricsRegistry
+from repro.obs.metrics import _bucket_of
+
+
+class TestBuckets:
+    def test_powers_of_two_land_in_own_bucket(self):
+        # bucket e holds (2**(e-1), 2**e]
+        assert _bucket_of(1.0) == 0
+        assert _bucket_of(2.0) == 1
+        assert _bucket_of(4.0) == 2
+        assert _bucket_of(1024.0) == 10
+
+    def test_interior_values(self):
+        assert _bucket_of(1.5) == 1
+        assert _bucket_of(3.0) == 2
+        assert _bucket_of(0.75) == 0
+        assert _bucket_of(0.5) == -1
+
+    def test_non_positive_underflow(self):
+        assert _bucket_of(0.0) == _bucket_of(-5.0) == -1074
+
+    def test_bucket_edges_exhaustive(self):
+        for e in range(-10, 11):
+            assert _bucket_of(2.0 ** e) == e
+            assert _bucket_of(2.0 ** e * 1.0001) == e + 1
+
+
+class TestHistogramData:
+    def test_observe_accumulates(self):
+        h = HistogramData()
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert HistogramData().mean == 0.0
+
+    def test_combine(self):
+        a, b = HistogramData(), HistogramData()
+        for v in (1.0, 8.0):
+            a.observe(v)
+        b.observe(0.25)
+        a.combine(b)
+        assert a.count == 3
+        assert a.min == 0.25 and a.max == 8.0
+        assert sum(a.buckets.values()) == 3
+
+    def test_dict_roundtrip(self):
+        h = HistogramData()
+        for v in (0.1, 1.0, 17.0):
+            h.observe(v)
+        back = HistogramData.from_dict(h.as_dict())
+        assert back.count == h.count
+        assert back.total == h.total
+        assert back.min == h.min and back.max == h.max
+        assert back.buckets == h.buckets
+
+    def test_empty_dict_roundtrip(self):
+        back = HistogramData.from_dict(HistogramData().as_dict())
+        assert back.count == 0
+        assert back.min == math.inf and back.max == -math.inf
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs", scheduler="a")
+        reg.inc("msgs", 4, scheduler="a")
+        reg.inc("msgs", scheduler="b")
+        assert reg.counter_value("msgs", scheduler="a") == 5
+        assert reg.counter_value("msgs", scheduler="b") == 1
+        assert reg.counter_value("msgs", scheduler="zzz") == 0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.inc("x", level=1, direction="up")
+        reg.inc("x", direction="up", level=1)
+        assert reg.counter_value("x", level=1, direction="up") == 2
+
+    def test_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 7)
+        assert reg.gauge_value("depth") == 7
+        assert reg.gauge_value("missing", default=-1) == -1
+
+    def test_histograms(self):
+        reg = MetricsRegistry()
+        for v in (0.25, 0.5, 1.0):
+            reg.observe("util", v, level=2)
+        h = reg.histogram("util", level=2)
+        assert h.count == 3
+        assert reg.histogram("util", level=99) is None
+
+    def test_disabled_registry_is_a_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1.0)
+        assert len(reg) == 0
+        assert reg.counter_value("c") == 0
+
+    def test_series_yields_every_kind(self):
+        reg = MetricsRegistry()
+        reg.inc("c", scheduler="s")
+        reg.set_gauge("g", 2.0)
+        reg.observe("h", 1.0, level=1)
+        kinds = {(kind, name) for kind, name, _, _ in reg.series()}
+        assert kinds == {("counter", "c"), ("gauge", "g"), ("histogram", "h")}
+        labels = {
+            name: labels for _, name, labels, _ in reg.series()
+        }
+        assert labels["c"] == {"scheduler": "s"}
+        assert labels["g"] == {}
+
+    def test_snapshot_is_picklable_and_named(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs.delivered", 10, scheduler="rr")
+        reg.observe("util", 0.5, direction="up", level=3)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        assert snap["counters"]["msgs.delivered{scheduler=rr}"] == 10
+        # labels render sorted by key
+        assert snap["histograms"]["util{direction=up,level=3}"]["count"] == 1
+
+    def test_merge_adds_counters_and_combines_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2, k="x")
+        b.inc("c", 3, k="x")
+        b.inc("c", 1, k="y")
+        a.observe("h", 1.0)
+        b.observe("h", 3.0)
+        b.set_gauge("g", 9)
+        a.merge(b)
+        assert a.counter_value("c", k="x") == 5
+        assert a.counter_value("c", k="y") == 1
+        assert a.histogram("h").count == 2
+        assert a.gauge_value("g") == 9
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestNameRendering:
+    @pytest.mark.parametrize(
+        "labels,rendered",
+        [
+            ({}, "n"),
+            ({"a": 1}, "n{a=1}"),
+            ({"b": "y", "a": "x"}, "n{a=x,b=y}"),
+        ],
+    )
+    def test_series_name(self, labels, rendered):
+        reg = MetricsRegistry()
+        reg.inc("n", **labels)
+        assert list(reg.snapshot()["counters"]) == [rendered]

@@ -1,0 +1,156 @@
+"""Tests for the trace ring buffer and its JSONL round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.obs import NULL_OBS, Obs, Tracer, get_default_obs, use_obs
+
+
+class TestEmit:
+    def test_events_are_typed_and_sequenced(self):
+        tr = Tracer()
+        tr.emit("cycle", t=0, delivered=3)
+        tr.emit("cache", op="pathindex")
+        assert [e["type"] for e in tr.events] == ["cycle", "cache"]
+        assert [e["seq"] for e in tr.events] == [0, 1]
+        assert tr.events[0]["delivered"] == 3
+
+    def test_select(self):
+        tr = Tracer()
+        tr.emit("a")
+        tr.emit("b")
+        tr.emit("a")
+        assert len(tr.select("a")) == 2
+        assert tr.select("zzz") == []
+
+    def test_disabled_is_a_noop(self):
+        tr = Tracer(enabled=False)
+        tr.emit("cycle")
+        assert len(tr) == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        tr = Tracer(maxlen=3)
+        for i in range(5):
+            tr.emit("e", i=i)
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert [e["i"] for e in tr.events] == [2, 3, 4]
+        assert [e["seq"] for e in tr.events] == [2, 3, 4]  # seq keeps counting
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(maxlen=0)
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.emit("e")
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0
+        tr.emit("e")
+        assert tr.events[0]["seq"] == 0
+
+
+class TestSanitisation:
+    def test_numpy_scalars_become_python(self):
+        tr = Tracer()
+        tr.emit("e", a=np.int64(3), b=np.float64(0.5), c=np.bool_(True))
+        e = tr.events[0]
+        assert type(e["a"]) is int and type(e["b"]) is float
+        assert e["c"] is True
+
+    def test_arrays_become_lists(self):
+        tr = Tracer()
+        tr.emit("e", v=np.arange(3), nested=[np.int64(1), (2, 3)])
+        assert tr.events[0]["v"] == [0, 1, 2]
+        assert tr.events[0]["nested"] == [1, [2, 3]]
+
+    def test_unknown_objects_stringify(self):
+        tr = Tracer()
+        tr.emit("e", x=object())
+        assert isinstance(tr.events[0]["x"], str)
+
+
+class TestJsonlRoundTrip:
+    def test_roundtrip_is_identity(self):
+        tr = Tracer()
+        tr.emit("cycle", t=0, delivered=np.int64(5), util=np.float64(0.25))
+        tr.emit("kernel_exit", kernel="k", seconds=0.001, ok=True)
+        assert Tracer.from_jsonl(tr.to_jsonl()) == tr.events
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = Tracer()
+        for t in range(4):
+            tr.emit("cycle", t=t)
+        path = tmp_path / "trace.jsonl"
+        assert tr.export_jsonl(path) == 4
+        assert Tracer.read_jsonl(path) == tr.events
+
+    def test_blank_lines_skipped(self):
+        assert Tracer.from_jsonl('\n{"type":"e","seq":0}\n\n') == [
+            {"type": "e", "seq": 0}
+        ]
+
+    def test_bad_json_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            Tracer.from_jsonl('{"type":"e","seq":0}\nnot json\n')
+
+    def test_untyped_event_rejected(self):
+        with pytest.raises(ValueError, match="typed"):
+            Tracer.from_jsonl('{"seq":0}\n')
+        with pytest.raises(ValueError, match="typed"):
+            Tracer.from_jsonl("[1,2]\n")
+
+
+class TestObsFacade:
+    def test_default_components(self):
+        obs = Obs(enabled=True)
+        assert obs.enabled
+        obs = Obs(enabled=False)
+        assert not obs.enabled
+
+    def test_mixed_components(self):
+        from repro.obs import MetricsRegistry
+
+        obs = Obs(MetricsRegistry(enabled=True), Tracer(enabled=False))
+        assert obs.enabled  # either component keeps it on
+        obs.tracer.emit("e")
+        assert len(obs.tracer) == 0
+
+    def test_kernel_span_times_and_traces(self):
+        obs = Obs(enabled=True)
+        with obs.kernel("work", n=8):
+            pass
+        enter, exit_ = obs.tracer.events
+        assert enter["type"] == "kernel_enter" and enter["n"] == 8
+        assert exit_["type"] == "kernel_exit" and exit_["ok"] is True
+        assert exit_["seconds"] >= 0.0
+        assert obs.metrics.histogram("kernel.seconds", kernel="work").count == 1
+
+    def test_kernel_span_records_failure(self):
+        obs = Obs(enabled=True)
+        with pytest.raises(RuntimeError):
+            with obs.kernel("work"):
+                raise RuntimeError("boom")
+        assert obs.tracer.select("kernel_exit")[0]["ok"] is False
+
+    def test_disabled_kernel_span_is_noop(self):
+        before = len(NULL_OBS.tracer)
+        with NULL_OBS.kernel("work"):
+            pass
+        assert len(NULL_OBS.tracer) == before
+
+    def test_default_obs_scoping(self):
+        assert get_default_obs() is NULL_OBS
+        mine = Obs(enabled=True)
+        with use_obs(mine):
+            assert get_default_obs() is mine
+            with use_obs(NULL_OBS):
+                assert get_default_obs() is NULL_OBS
+            assert get_default_obs() is mine
+        assert get_default_obs() is NULL_OBS
+
+    def test_use_obs_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_obs(Obs(enabled=True)):
+                raise RuntimeError("boom")
+        assert get_default_obs() is NULL_OBS

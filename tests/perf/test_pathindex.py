@@ -113,6 +113,36 @@ class TestPathIndex:
                     Channel(k, x, Direction.DOWN)
                 )
 
+    def test_level_loads_matches_load_vector(self):
+        ft = FatTree(32)
+        m = uniform_random(32, 150, seed=2)
+        index = PathIndex(ft, m)
+        vec = index.load_vector()
+        loads = index.level_loads()
+        assert loads.shape == (ft.depth + 1, 2)
+        assert loads[0, 0] == loads[0, 1] == 0
+        for k in range(1, ft.depth + 1):
+            up = sum(vec[pack_gid(k, x, 0)] for x in range(1 << k))
+            down = sum(vec[pack_gid(k, x, 1)] for x in range(1 << k))
+            assert (loads[k, 0], loads[k, 1]) == (up, down)
+
+    def test_level_loads_subset(self):
+        ft = FatTree(32)
+        m = uniform_random(32, 150, seed=2)
+        index = PathIndex(ft, m)
+        idx = np.arange(10)
+        sub = index.level_loads(idx)
+        # each crossing message contributes one up and one down hop per level
+        crossing = index.path_len[idx] // 2
+        assert sub[1:, 0].sum() == sub[1:, 1].sum()
+        assert sub[1:, 0].sum() == sum(
+            1
+            for i in idx
+            for g in index.hops(int(i))
+            if g % 2 == 0
+        )
+        assert int(crossing.sum()) >= int(sub[ft.depth, 0])
+
     def test_mismatched_n_rejected(self):
         with pytest.raises(ValueError):
             PathIndex(FatTree(8), MessageSet([0], [1], 16))
@@ -153,6 +183,37 @@ class TestCache:
         clear_path_index_cache(ft)
         assert get_path_index(ft, m) is not a
         clear_path_index_cache(ft)  # idempotent on an empty cache
+
+    def test_apply_faults_invalidates_cached_paths(self):
+        """Regression: route, degrade the same tree object, re-route.
+        The second routing must see the degraded capacities, not the
+        cached pristine index."""
+        base = FatTree(16, ConstantCapacity(4, 2))
+        dft = DegradedFatTree(base, FaultModel())
+        m = uniform_random(16, 120, seed=3)
+        before = get_path_index(dft, m)
+        assert before.routable_mask().all()
+
+        dft.apply_faults(FaultModel().kill_switch(1, 0))
+        after = get_path_index(dft, m)
+        assert after is not before
+        assert int(after.caps[pack_gid(1, 0, 0)]) == 0
+        assert np.array_equal(after.routable_mask(), dft.routable_mask(m))
+        assert not after.routable_mask().all()  # crossing traffic is severed
+
+    def test_capacity_fingerprint_guards_silent_mutation(self):
+        """Even a capacity change that forgets to invalidate the cache
+        (the original staleness bug) misses: the cache key folds in a
+        fingerprint of the tree's effective capacity vectors."""
+        base = FatTree(16, ConstantCapacity(4, 2))
+        dft = DegradedFatTree(base, FaultModel())
+        m = uniform_random(16, 120, seed=3)
+        before = get_path_index(dft, m)
+        # mutate capacities behind the cache's back — no invalidation
+        dft._effective = dft._build_effective(FaultModel().kill_switch(1, 0))
+        after = get_path_index(dft, m)
+        assert after is not before
+        assert int(after.caps[pack_gid(1, 0, 0)]) == 0
 
     def test_lru_eviction_is_bounded(self):
         from repro.perf import pathindex as px

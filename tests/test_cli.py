@@ -151,3 +151,73 @@ class TestFaults:
     def test_invalid_scenario_exit_code(self, capsys, argv):
         assert main(argv) == 2
         assert "invalid fault scenario" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_quick_summary(self, capsys):
+        code, out = run(capsys, "trace", "--quick")
+        assert code == 0
+        assert "delivery cycles" in out
+        assert "channel utilisation" in out
+        assert "kernel timings" in out
+
+    @pytest.mark.parametrize(
+        "scheduler",
+        ["random-rank", "theorem1", "greedy", "online-retry", "switchsim", "buffered"],
+    )
+    def test_every_scheduler_runs(self, capsys, scheduler):
+        code, out = run(capsys, "trace", "--quick", "--scheduler", scheduler)
+        assert code == 0
+        assert scheduler in out
+
+    def test_jsonl_to_stdout_parses(self, capsys):
+        from repro.obs import Tracer
+
+        code, out = run(capsys, "trace", "--quick", "--jsonl", "-")
+        assert code == 0
+        events = Tracer.from_jsonl(out)
+        types = {e["type"] for e in events}
+        assert {"cycle", "kernel_enter", "kernel_exit", "cache"} <= types
+
+    def test_jsonl_to_file_roundtrips(self, capsys, tmp_path):
+        from repro.obs import Tracer
+
+        path = tmp_path / "trace.jsonl"
+        code, out = run(capsys, "trace", "--quick", "--jsonl", str(path))
+        assert code == 0
+        assert "wrote" in out
+        events = Tracer.read_jsonl(path)
+        delivered = sum(
+            e["delivered"] for e in events if e["type"] == "cycle"
+        )
+        assert delivered > 0
+
+    def test_unroutable_exits_3_with_one_line_error(self, capsys):
+        code = main(["trace", "--quick", "--kill-switch", "0:0"])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert err.startswith("error:")
+        assert "cannot be routed" in err
+        assert "Traceback" not in err
+
+    def test_timeout_exits_3_with_one_line_error(self, capsys):
+        code = main(
+            ["trace", "--quick", "--loss-rate", "0.9", "--max-cycles", "5"]
+        )
+        err = capsys.readouterr().err
+        assert code == 3
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_invalid_scenario_exits_2(self, capsys):
+        assert main(["trace", "--quick", "--kill-wires", "2.0"]) == 2
+        assert "invalid fault scenario" in capsys.readouterr().err
+
+    def test_degraded_trace_runs(self, capsys):
+        code, out = run(
+            capsys, "trace", "--quick", "--kill-wires", "0.25",
+            "--traffic", "permutation",
+        )
+        assert code == 0
+        assert "delivery cycles" in out
+
