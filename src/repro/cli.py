@@ -16,7 +16,11 @@ Six inspection commands mirroring the library's main entry points:
 * ``trace``     — run a workload with observability enabled
   (:mod:`repro.obs`) and print the per-cycle accounting, per-level
   channel utilisation, cache and kernel-timing summaries — or dump the
-  raw trace as JSONL (``--jsonl``).
+  raw trace as JSONL (``--jsonl``);
+* ``fuzz``      — differential conformance fuzzing (:mod:`repro.verify`):
+  replay the regression corpus, then run seeded adversarial cases
+  through all routing stacks and cross-check them; on failure, shrink
+  to a minimal reproducer, print it paste-able, and exit 3.
 
 Routing failures (``UnroutableError``, ``DeliveryTimeout``) exit with a
 one-line ``error:`` message and status 3, never a traceback.
@@ -26,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 
 from .analysis import format_table
@@ -419,6 +424,80 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .verify import (
+        ConformanceError,
+        DifferentialOracle,
+        generate_case,
+        load_corpus,
+        shrink_case,
+    )
+
+    oracle = DifferentialOracle(max_cycles=args.max_cycles)
+
+    def report_failure(origin: str, case, exc: ConformanceError) -> int:
+        print(f"\nconformance failure ({origin}): {case.describe()}", file=sys.stderr)
+        for line in exc.failures:
+            print(f"  - {line}", file=sys.stderr)
+        print("\nshrinking to a minimal reproducer …", file=sys.stderr)
+        shrunk = shrink_case(case, lambda c: not oracle.passes(c))
+        print(
+            f"shrunk to {len(shrunk.src)} message(s) on n={shrunk.n}:",
+            file=sys.stderr,
+        )
+        print(f"error: corpus line: {shrunk.to_json()}", file=sys.stderr)
+        print("\n# paste-able reproducer:", file=sys.stderr)
+        print(shrunk.repro_snippet(), file=sys.stderr)
+        return 3
+
+    corpus_cases = []
+    if args.corpus and os.path.exists(args.corpus):
+        try:
+            corpus_cases = load_corpus(args.corpus)
+        except ValueError as exc:
+            print(f"error: invalid corpus: {exc}", file=sys.stderr)
+            return 2
+        for case in corpus_cases:
+            try:
+                oracle.check(case)
+            except ConformanceError as exc:
+                return report_failure("corpus replay", case, exc)
+        print(f"corpus replay: {len(corpus_cases)} case(s) ok ({args.corpus})")
+    elif args.corpus:
+        print(f"corpus {args.corpus} not found — skipping replay", file=sys.stderr)
+
+    from collections import Counter
+
+    families: Counter = Counter()
+    checks = messages = 0
+    for i in range(args.iters):
+        case = generate_case(args.seed, i, max_n=args.max_n)
+        try:
+            report = oracle.check(case)
+        except ConformanceError as exc:
+            return report_failure(f"iteration {i}", case, exc)
+        families[case.label.split(":")[0]] += 1
+        checks += report.checks
+        messages += report.num_messages
+    rows = [
+        {"generator": name, "cases": count}
+        for name, count in sorted(families.items())
+    ]
+    if rows:
+        print(
+            format_table(
+                rows,
+                title=f"repro fuzz --iters {args.iters} --seed {args.seed}: "
+                f"all stacks agree ({messages} messages, {checks} checks)",
+            )
+        )
+    print(
+        f"ok: {len(corpus_cases)} corpus + {args.iters} generated case(s), "
+        "0 conformance failures"
+    )
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from .experiments import run_experiment
 
@@ -543,6 +622,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="small preset (n=64, 128 messages) for smoke tests / CI",
     )
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing across all routing stacks",
+    )
+    p.add_argument(
+        "--iters", type=int, default=100, help="generated cases to run"
+    )
+    p.add_argument("--seed", type=int, default=0, help="fuzz stream seed")
+    p.add_argument(
+        "--corpus",
+        default=os.path.join("tests", "corpus", "conformance.jsonl"),
+        help="JSONL regression corpus to replay first "
+        "(skipped with a note if missing; '' disables)",
+    )
+    p.add_argument(
+        "--max-n",
+        type=int,
+        default=32,
+        help="largest tree size the generators may draw (power of two)",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=100_000,
+        help="delivery-cycle budget for the on-line stacks",
+    )
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"

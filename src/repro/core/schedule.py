@@ -58,10 +58,12 @@ class Schedule:
         return sum(len(c) for c in self.cycles) + self.n_self_messages
 
     def validate(self, ft: FatTree, original: MessageSet) -> None:
-        """Check the two schedule invariants, raising on violation:
+        """Check the schedule invariants, raising on violation:
 
         1. every cycle is a one-cycle set (``λ(M_t) <= 1``);
-        2. the cycles partition ``original`` minus its self-messages.
+        2. the cycles partition ``original`` minus its self-messages;
+        3. when per-level bookkeeping is present, it accounts for every
+           cycle exactly (``sum(per_level_cycles) == num_cycles``).
         """
         for t, cycle in enumerate(self.cycles):
             if not is_one_cycle(ft, cycle):
@@ -81,3 +83,19 @@ class Schedule:
             union = union.concat(cycle)
         if union.counter() != routable.counter():
             raise ScheduleError("schedule cycles do not partition the message set")
+        if self.per_level_cycles:
+            negative = {
+                level: count
+                for level, count in self.per_level_cycles.items()
+                if count < 0
+            }
+            if negative:
+                raise ScheduleError(
+                    f"per_level_cycles has negative counts: {negative}"
+                )
+            accounted = sum(self.per_level_cycles.values())
+            if accounted != self.num_cycles:
+                raise ScheduleError(
+                    f"per_level_cycles accounts for {accounted} cycles, "
+                    f"schedule has {self.num_cycles}"
+                )

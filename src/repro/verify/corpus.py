@@ -1,0 +1,84 @@
+"""JSONL regression corpus for the conformance fuzzer.
+
+Every case that ever found a bug — plus a seed set covering each
+generator family — lives in ``tests/corpus/conformance.jsonl``, one
+:class:`~repro.verify.FuzzCase` JSON object per line (``#`` comments
+and blank lines allowed).  ``repro fuzz`` replays the corpus before
+generating fresh cases, so past failures are permanently guarded and a
+checkout can be conformance-checked without any randomness at all.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable
+
+from .generators import FuzzCase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .oracle import DifferentialOracle, OracleReport
+
+__all__ = [
+    "DEFAULT_CORPUS_PATH",
+    "load_corpus",
+    "write_corpus",
+    "append_case",
+    "replay_corpus",
+]
+
+DEFAULT_CORPUS_PATH = os.path.join("tests", "corpus", "conformance.jsonl")
+"""Where ``repro fuzz`` looks for the corpus, relative to the repo root."""
+
+
+def load_corpus(path: str) -> list[FuzzCase]:
+    """Parse a JSONL corpus file into cases.
+
+    Blank lines and lines starting with ``#`` are skipped; a malformed
+    line raises ``ValueError`` naming the line number.
+    """
+    cases: list[FuzzCase] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                cases.append(FuzzCase.from_json(line))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed corpus line: {exc}"
+                ) from exc
+    return cases
+
+
+def write_corpus(cases: Iterable[FuzzCase], path: str) -> int:
+    """Write ``cases`` as a fresh JSONL corpus; returns the count."""
+    cases = list(cases)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for case in cases:
+            fh.write(case.to_json() + "\n")
+    return len(cases)
+
+
+def append_case(case: FuzzCase, path: str) -> None:
+    """Append one case to the corpus (creating the file if needed)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(case.to_json() + "\n")
+
+
+def replay_corpus(
+    path: str, oracle: "DifferentialOracle | None" = None
+) -> "list[OracleReport]":
+    """Run every corpus case through the oracle, in file order.
+
+    Raises :class:`~repro.verify.ConformanceError` on the first failing
+    case (the corpus is a regression suite: any failure is a bug).
+    Returns the per-case reports on success.
+    """
+    from .oracle import DifferentialOracle
+
+    if oracle is None:
+        oracle = DifferentialOracle()
+    return [oracle.check(case) for case in load_corpus(path)]

@@ -1,0 +1,368 @@
+"""Seeded adversarial case generators for the differential fuzzer.
+
+A :class:`FuzzCase` is a fully self-describing routing problem: the tree
+shape ``(n, w)``, the message multiset, an optional fault mask (a
+deterministic per-channel wire-kill fraction plus explicit dead
+switches) and the seed the randomised schedulers run with.  Cases
+serialise to single JSON lines, so a failing case *is* its reproducer
+and the regression corpus (:mod:`repro.verify.corpus`) is plain JSONL.
+
+The generator families are the adversaries the paper's results must
+survive:
+
+* ``k-relation``   — every processor sends ``k`` uniform messages
+  (λ ≈ k·n/w at the root), self-messages included;
+* ``hotspot``      — destinations collapse onto one processor, the
+  classic saturation pattern;
+* ``transpose`` / ``bit-reversal`` — structured permutations that are
+  worst cases for many networks;
+* ``skewed``       — a handful of ``(src, dst)`` pairs repeated many
+  times (multiset semantics stress);
+* ``lambda``       — a λ-targeted load: exactly enough top-level
+  crossings to pin the load factor near a chosen integer;
+* ``faulted``      — any of the above routed on a degraded tree
+  (wire-kill fraction ≤ 1/4 and/or dead switches);
+* ``wide``         — any of the above on a constant-capacity tree wide
+  enough for the Corollary 2 hypothesis ``cap(c) > lg n``.
+
+All randomness flows through one ``numpy`` generator seeded from
+``(seed, index)``, so ``generate_case(seed, i)`` is a pure function.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.capacity import ConstantCapacity, UniversalCapacity
+from ..core.fattree import FatTree
+from ..core.message import MessageSet
+
+__all__ = [
+    "FuzzCase",
+    "GENERATOR_NAMES",
+    "generate_case",
+    "case_from_messages",
+]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-describing conformance-fuzzing input.
+
+    Attributes
+    ----------
+    label:
+        Which generator family produced the case (free-form for
+        hand-written corpus entries).
+    n, w:
+        Processors and root capacity of the universal fat-tree
+        (``strict=False``, so any ``1 <= w <= n`` is legal).
+    src, dst:
+        The message multiset as parallel endpoint tuples.
+    wire_fault_fraction:
+        Deterministic per-channel wire-kill fraction applied to every
+        internal channel (see
+        :meth:`~repro.faults.FaultModel.kill_wire_fraction`); 0 disables.
+    dead_switches:
+        Explicit ``(level, index)`` switch kills.
+    seed:
+        Seed handed to the randomised schedulers (random-rank,
+        online-retry, switchsim) when the oracle runs the case.
+    profile:
+        ``"universal"`` (the paper's capacities, the default) or
+        ``"constant"`` — every channel gets capacity ``w``, which is the
+        only shape whose channels can satisfy the Corollary 2 hypothesis
+        ``cap(c) > lg n`` (universal trees always have leaf capacity 1).
+    """
+
+    label: str
+    n: int
+    w: int
+    src: tuple[int, ...]
+    dst: tuple[int, ...]
+    wire_fault_fraction: float = 0.0
+    dead_switches: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    seed: int = 0
+    profile: str = "universal"
+
+    def __post_init__(self):
+        if len(self.src) != len(self.dst):
+            raise ValueError("src and dst lengths differ")
+        if self.profile not in ("universal", "constant"):
+            raise ValueError(f"unknown capacity profile {self.profile!r}")
+        object.__setattr__(self, "src", tuple(int(s) for s in self.src))
+        object.__setattr__(self, "dst", tuple(int(d) for d in self.dst))
+        object.__setattr__(
+            self,
+            "dead_switches",
+            tuple((int(a), int(b)) for a, b in self.dead_switches),
+        )
+
+    # -- materialisation -----------------------------------------------------
+
+    def message_set(self) -> MessageSet:
+        """The case's messages as a :class:`~repro.core.MessageSet`."""
+        return MessageSet(
+            np.array(self.src, dtype=np.int64),
+            np.array(self.dst, dtype=np.int64),
+            self.n,
+        )
+
+    @property
+    def has_faults(self) -> bool:
+        """True iff the case carries any fault mask."""
+        return bool(self.wire_fault_fraction) or bool(self.dead_switches)
+
+    def base_tree(self) -> FatTree:
+        """The pristine fat-tree the case routes on."""
+        if self.profile == "constant":
+            depth = self.n.bit_length() - 1
+            return FatTree(self.n, ConstantCapacity(depth, self.w))
+        return FatTree(self.n, UniversalCapacity(self.n, self.w, strict=False))
+
+    def tree(self) -> FatTree:
+        """The tree the oracle routes against: pristine, or wrapped in a
+        :class:`~repro.faults.DegradedFatTree` when the case has faults."""
+        base = self.base_tree()
+        if not self.has_faults:
+            return base
+        from ..faults import DegradedFatTree, FaultModel
+
+        model = FaultModel(seed=self.seed)
+        if self.wire_fault_fraction:
+            model.kill_wire_fraction(base, self.wire_fault_fraction)
+        for level, index in self.dead_switches:
+            model.kill_switch(level, index)
+        return DegradedFatTree(base, model)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON-types dict (inverse of :meth:`from_dict`)."""
+        return {
+            "label": self.label,
+            "n": self.n,
+            "w": self.w,
+            "src": list(self.src),
+            "dst": list(self.dst),
+            "wire_fault_fraction": self.wire_fault_fraction,
+            "dead_switches": [list(p) for p in self.dead_switches],
+            "seed": self.seed,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        """Rebuild a case from :meth:`to_dict` output."""
+        return cls(
+            label=str(data["label"]),
+            n=int(data["n"]),
+            w=int(data["w"]),
+            src=tuple(data["src"]),
+            dst=tuple(data["dst"]),
+            wire_fault_fraction=float(data.get("wire_fault_fraction", 0.0)),
+            dead_switches=tuple(
+                (int(a), int(b)) for a, b in data.get("dead_switches", [])
+            ),
+            seed=int(data.get("seed", 0)),
+            profile=str(data.get("profile", "universal")),
+        )
+
+    def to_json(self) -> str:
+        """One-line JSON encoding (a corpus line / paste-able reproducer)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def repro_snippet(self) -> str:
+        """A paste-able Python snippet that replays this exact case."""
+        return (
+            "from repro.verify import DifferentialOracle, FuzzCase\n"
+            f"case = FuzzCase.from_json(r'''{self.to_json()}''')\n"
+            "DifferentialOracle().check(case)  # raises ConformanceError\n"
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary for fuzz progress lines."""
+        faults = ""
+        if self.wire_fault_fraction:
+            faults += f" wires-{self.wire_fault_fraction:.0%}"
+        if self.dead_switches:
+            faults += f" dead={len(self.dead_switches)}"
+        profile = "" if self.profile == "universal" else f" [{self.profile}]"
+        return (
+            f"{self.label}: n={self.n} w={self.w}{profile} "
+            f"m={len(self.src)}{faults} seed={self.seed}"
+        )
+
+
+def case_from_messages(
+    label: str, messages: MessageSet, w: int, *, seed: int = 0
+) -> FuzzCase:
+    """Wrap an existing :class:`~repro.core.MessageSet` as a fault-free
+    :class:`FuzzCase` (handy for corpus entries built from workloads)."""
+    return FuzzCase(
+        label=label,
+        n=messages.n,
+        w=int(w),
+        src=tuple(messages.src.tolist()),
+        dst=tuple(messages.dst.tolist()),
+        seed=seed,
+    )
+
+
+# -- generator families ------------------------------------------------------
+
+
+def _gen_k_relation(rng: np.random.Generator, n: int, w: int) -> FuzzCase:
+    k = int(rng.integers(1, 4))
+    src = np.repeat(np.arange(n), k)
+    dst = rng.integers(0, n, size=n * k)  # self-messages allowed on purpose
+    return FuzzCase(
+        label="k-relation",
+        n=n,
+        w=w,
+        src=tuple(src.tolist()),
+        dst=tuple(dst.tolist()),
+    )
+
+
+def _gen_hotspot(rng: np.random.Generator, n: int, w: int) -> FuzzCase:
+    from ..workloads import hotspot
+
+    m = int(rng.integers(n, 3 * n + 1))
+    ms = hotspot(
+        n,
+        m,
+        target=int(rng.integers(0, n)),
+        fraction=float(rng.uniform(0.4, 0.9)),
+        seed=int(rng.integers(0, 2**31)),
+    )
+    return case_from_messages("hotspot", ms, w)
+
+
+def _gen_transpose(rng: np.random.Generator, n: int, w: int) -> FuzzCase:
+    from ..workloads import bit_reversal, transpose
+
+    side = round(n**0.5)
+    if side * side == n and rng.random() < 0.5:
+        return case_from_messages("transpose", transpose(n), w)
+    return case_from_messages("bit-reversal", bit_reversal(n), w)
+
+
+def _gen_skewed(rng: np.random.Generator, n: int, w: int) -> FuzzCase:
+    pairs = int(rng.integers(2, 5))
+    src_pool = rng.integers(0, n, size=pairs)
+    dst_pool = rng.integers(0, n, size=pairs)
+    src: list[int] = []
+    dst: list[int] = []
+    for s, d in zip(src_pool.tolist(), dst_pool.tolist()):
+        repeat = int(rng.integers(1, max(2, 2 * w)))
+        src.extend([s] * repeat)
+        dst.extend([d] * repeat)
+    return FuzzCase(label="skewed", n=n, w=w, src=tuple(src), dst=tuple(dst))
+
+
+def _gen_lambda_targeted(rng: np.random.Generator, n: int, w: int) -> FuzzCase:
+    """Pin λ(M) near a target integer by loading the top-level cut."""
+    ft = FatTree(n, UniversalCapacity(n, w, strict=False))
+    target = int(rng.integers(1, 5))
+    half = n // 2
+    crossings = target * ft.cap(1)
+    src = rng.integers(0, half, size=crossings)
+    dst = rng.integers(half, n, size=crossings)
+    # sprinkle local noise that does not touch the loaded cut
+    noise = int(rng.integers(0, half + 1))
+    src = np.concatenate([src, rng.integers(0, half, size=noise)])
+    dst = np.concatenate([dst, rng.integers(0, half, size=noise)])
+    return FuzzCase(
+        label="lambda",
+        n=n,
+        w=w,
+        src=tuple(src.tolist()),
+        dst=tuple(dst.tolist()),
+    )
+
+
+_BASE_GENERATORS = {
+    "k-relation": _gen_k_relation,
+    "hotspot": _gen_hotspot,
+    "transpose": _gen_transpose,
+    "skewed": _gen_skewed,
+    "lambda": _gen_lambda_targeted,
+}
+
+GENERATOR_NAMES: tuple[str, ...] = tuple(_BASE_GENERATORS) + ("faulted", "wide")
+"""The generator families ``generate_case`` draws from."""
+
+
+def _make_wide(rng: np.random.Generator, case: FuzzCase) -> FuzzCase:
+    """Move a base case onto a constant-capacity tree wide enough for the
+    Corollary 2 hypothesis (``cap(c) = w > lg n`` on every channel), the
+    one stack universal capacities can never exercise."""
+    depth = case.n.bit_length() - 1
+    w = int(rng.integers(depth + 1, 2 * depth + 3))
+    return replace(case, label="wide:" + case.label, w=w, profile="constant")
+
+
+def _add_faults(rng: np.random.Generator, case: FuzzCase) -> FuzzCase:
+    """Decorate a base case with a fault mask.
+
+    Wire kills stay at or below the §IV fraction 1/4, and dead switches
+    are drawn from the deepest internal level so most traffic keeps a
+    surviving path (the oracle drops whatever does not).
+    """
+    depth = case.n.bit_length() - 1
+    wire_fraction = 0.25 if rng.random() < 0.7 else 0.0
+    dead: list[tuple[int, int]] = []
+    if depth >= 2 and (wire_fraction == 0.0 or rng.random() < 0.4):
+        level = depth - 1
+        for index in rng.choice(
+            1 << level, size=min(2, 1 << level), replace=False
+        ).tolist():
+            dead.append((level, int(index)))
+            if rng.random() < 0.5:
+                break
+    return replace(
+        case,
+        label="faulted:" + case.label,
+        wire_fault_fraction=wire_fraction,
+        dead_switches=tuple(dead),
+    )
+
+
+def generate_case(
+    seed: int, index: int, *, max_n: int = 32
+) -> FuzzCase:
+    """The ``index``-th case of the seeded fuzz stream.
+
+    A pure function of ``(seed, index, max_n)``: tree sizes are drawn
+    from powers of two in ``[4, max_n]``, root capacities from
+    ``{n, n/2, ~n^(2/3), 2}``, and the generator family uniformly from
+    :data:`GENERATOR_NAMES`.
+    """
+    if max_n < 4:
+        raise ValueError(f"max_n must be >= 4, got {max_n}")
+    rng = np.random.default_rng([int(seed), int(index)])
+    sizes = [1 << k for k in range(2, max_n.bit_length()) if (1 << k) <= max_n]
+    n = int(sizes[rng.integers(0, len(sizes))])
+    w_choices = sorted({n, max(2, n // 2), max(2, round(n ** (2 / 3))), 2})
+    w = int(w_choices[rng.integers(0, len(w_choices))])
+    name = GENERATOR_NAMES[int(rng.integers(0, len(GENERATOR_NAMES)))]
+    if name in ("faulted", "wide"):
+        base_name = tuple(_BASE_GENERATORS)[
+            int(rng.integers(0, len(_BASE_GENERATORS)))
+        ]
+        case = _BASE_GENERATORS[base_name](rng, n, w)
+        case = (
+            _add_faults(rng, case) if name == "faulted" else _make_wide(rng, case)
+        )
+    else:
+        case = _BASE_GENERATORS[name](rng, n, w)
+    return replace(case, seed=int(rng.integers(0, 2**31)))

@@ -1,0 +1,127 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+A fuzz failure at ``n = 32`` with a few hundred messages is a terrible
+bug report.  :func:`shrink_case` reduces any failing
+:class:`~repro.verify.FuzzCase` to a (locally) minimal reproducer while
+preserving the failure, using three reduction moves run to a fixpoint:
+
+1. **clear faults** — drop the wire-kill fraction and dead switches;
+2. **halve n** — keep only messages with both endpoints in the lower
+   half and rebuild the case on the half-size tree (``w`` clamped,
+   out-of-range dead switches dropped);
+3. **ddmin over messages** — classic Zeller delta debugging on the
+   message list: try dropping complements at increasing granularity
+   until no single message can be removed.
+
+The predicate is any ``fails(case) -> bool`` callable; the fuzzer passes
+``lambda c: not oracle.passes(c)``, and tests pass mutated oracles the
+same way.  Shrinking is deterministic: no randomness, and the moves are
+tried in a fixed order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .generators import FuzzCase
+
+__all__ = ["shrink_case"]
+
+
+def _with_messages(case: FuzzCase, pairs: list[tuple[int, int]]) -> FuzzCase:
+    src = tuple(p[0] for p in pairs)
+    dst = tuple(p[1] for p in pairs)
+    return replace(case, src=src, dst=dst)
+
+
+def _try_clear_faults(
+    case: FuzzCase, fails: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    if not case.has_faults:
+        return case
+    candidate = replace(case, wire_fault_fraction=0.0, dead_switches=())
+    return candidate if fails(candidate) else case
+
+
+def _try_halve_n(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
+    """Repeatedly move the case to the half-size tree while it still fails."""
+    while case.n >= 8:
+        half = case.n // 2
+        pairs = [
+            (s, d)
+            for s, d in zip(case.src, case.dst)
+            if s < half and d < half
+        ]
+        depth = half.bit_length() - 1
+        switches = tuple(
+            (level, index)
+            for level, index in case.dead_switches
+            if level < depth and index < (1 << level)
+        )
+        candidate = replace(
+            case,
+            n=half,
+            w=min(case.w, half),
+            src=tuple(p[0] for p in pairs),
+            dst=tuple(p[1] for p in pairs),
+            dead_switches=switches,
+        )
+        if pairs and fails(candidate):
+            case = candidate
+        else:
+            break
+    return case
+
+
+def _ddmin_messages(
+    case: FuzzCase, fails: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Zeller's ddmin over the message list (complement-removal only)."""
+    pairs = list(zip(case.src, case.dst))
+    granularity = 2
+    while len(pairs) >= 2:
+        chunk = max(1, len(pairs) // granularity)
+        reduced = False
+        start = 0
+        while start < len(pairs):
+            candidate_pairs = pairs[:start] + pairs[start + chunk :]
+            if candidate_pairs and fails(_with_messages(case, candidate_pairs)):
+                pairs = candidate_pairs
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # re-scan from the start at the same granularity
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(pairs):
+                break
+            granularity = min(len(pairs), 2 * granularity)
+    return _with_messages(case, pairs)
+
+
+def shrink_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool],
+    *,
+    max_rounds: int = 8,
+) -> FuzzCase:
+    """Reduce ``case`` to a minimal case for which ``fails`` stays true.
+
+    Raises ``ValueError`` if ``fails(case)`` is not already true (there
+    is nothing to preserve).  Runs the three reduction moves to a
+    fixpoint, at most ``max_rounds`` times; the result is 1-minimal with
+    respect to message removal (dropping any single message makes the
+    failure disappear).
+    """
+    if not fails(case):
+        raise ValueError("shrink_case needs a failing case to start from")
+    for _ in range(max_rounds):
+        before = case
+        case = _try_clear_faults(case, fails)
+        case = _try_halve_n(case, fails)
+        case = _ddmin_messages(case, fails)
+        if case == before:
+            break
+    return replace(case, label=case.label + ":shrunk")

@@ -1,0 +1,107 @@
+"""Backfilled unit tests for the analysis helpers: log-log fitting on
+clean and degenerate data, growth ratios, and monotonicity of the
+Theorem 4/5 closed-form bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_loglog, growth_ratios
+from repro.analysis.bounds import (
+    theorem4_components,
+    theorem4_volume,
+    theorem5_root_bandwidth,
+)
+
+
+class TestFitLogLog:
+    def test_recovers_exact_power_law(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [7.0 * x**1.5 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(1.5)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(64) == pytest.approx(7.0 * 64**1.5)
+
+    def test_constant_data_has_zero_slope(self):
+        fit = fit_loglog([1, 2, 4, 8], [5.0, 5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        # zero total variance: r² defined as 1 by convention
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_loglog([2], [4])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_loglog([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_loglog([1, 2, 3], [1, 2])
+
+    @pytest.mark.parametrize(
+        "xs,ys",
+        [([0, 2], [1, 2]), ([1, 2], [0, 2]), ([-1, 2], [1, 2]), ([1, 2], [1, -2])],
+    )
+    def test_nonpositive_data_rejected(self, xs, ys):
+        with pytest.raises(ValueError, match="positive"):
+            fit_loglog(xs, ys)
+
+
+class TestGrowthRatios:
+    def test_geometric_series(self):
+        assert growth_ratios([1, 2, 4, 8]) == pytest.approx([2.0, 2.0, 2.0])
+
+    def test_decay(self):
+        assert growth_ratios([8.0, 4.0, 1.0]) == pytest.approx([0.5, 0.25])
+
+    def test_single_value_gives_no_ratios(self):
+        assert growth_ratios([3.0]) == []
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            growth_ratios([1.0, 0.0, 2.0])
+
+
+class TestBoundMonotonicity:
+    NS = [64, 256, 1024, 4096]
+
+    def test_theorem4_components_monotone_in_n(self):
+        values = [theorem4_components(n, w=n) for n in self.NS]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_theorem4_components_monotone_in_w(self):
+        n = 256
+        values = [theorem4_components(n, w) for w in [16, 64, 256]]
+        assert values == sorted(values)
+
+    def test_theorem4_volume_monotone_in_w(self):
+        n = 4096
+        values = [theorem4_volume(n, w) for w in [8, 32, 128, 512]]
+        assert values == sorted(values)
+        assert all(v > 0 for v in values)
+
+    def test_theorem4_volume_three_halves_exponent(self):
+        # volume is exactly (w·lg(n/w))^{3/2} up to a constant: fitting
+        # against that composite variable recovers slope 3/2
+        from repro.analysis.bounds import lg
+
+        n = 1 << 20
+        ws = [16, 32, 64, 128]
+        xs = [w * lg(n / w) for w in ws]
+        fit = fit_loglog(xs, [theorem4_volume(n, w) for w in ws])
+        assert fit.slope == pytest.approx(1.5)
+
+    def test_theorem5_root_bandwidth_monotone_in_volume(self):
+        vols = [10.0, 100.0, 1000.0, 10_000.0]
+        values = [theorem5_root_bandwidth(v) for v in vols]
+        assert values == sorted(values)
+
+    def test_theorem5_root_bandwidth_two_thirds_exponent(self):
+        # doubling volume multiplies w_0 by 2^{2/3}
+        ratio = theorem5_root_bandwidth(2000.0) / theorem5_root_bandwidth(1000.0)
+        assert ratio == pytest.approx(2 ** (2.0 / 3.0))
+        assert math.isfinite(theorem5_root_bandwidth(1e12))

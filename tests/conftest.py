@@ -1,0 +1,78 @@
+"""Suite-wide conformance net: every :class:`~repro.core.Schedule` that
+any scheduler entry point produces during the test run is immediately
+re-validated against the tree and message set it was built from.
+
+The wrappers are installed at conftest import time — before pytest
+imports any test module — so even tests that bind entry points with
+``from repro.core.scheduler import schedule_theorem1`` get the wrapped
+callables.  Each defining module *and* the re-exporting package
+namespaces are patched, and an autouse fixture asserts the net is still
+in place for every single test.
+"""
+
+import functools
+
+import pytest
+
+import repro
+import repro.core
+import repro.core.exact
+import repro.core.greedy
+import repro.core.online
+import repro.core.reuse_scheduler
+import repro.core.scheduler
+from repro.core.schedule import Schedule
+
+#: entry point -> every namespace that re-exports it (defining module first)
+VALIDATED_ENTRY_POINTS = {
+    "schedule_theorem1": (repro.core.scheduler, repro.core, repro),
+    "schedule_corollary2": (repro.core.reuse_scheduler, repro.core, repro),
+    "schedule_random_rank": (repro.core.online, repro.core),
+    "schedule_greedy_first_fit": (repro.core.greedy, repro.core),
+    "simulate_online_retry": (repro.core.greedy, repro.core),
+    "exact_schedule": (repro.core.exact, repro.core),
+}
+
+#: entry point -> schedules validated through the net (suite telemetry)
+VALIDATION_COUNTS = {name: 0 for name in VALIDATED_ENTRY_POINTS}
+
+
+def _validating(name, fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        result = fn(*args, **kwargs)
+        if isinstance(result, Schedule):
+            ft = args[0] if args else kwargs.get("ft")
+            messages = args[1] if len(args) > 1 else kwargs.get("messages")
+            if ft is not None and messages is not None:
+                result.validate(ft, messages)
+                VALIDATION_COUNTS[name] += 1
+        return result
+
+    wrapper.__schedule_validating__ = True
+    return wrapper
+
+
+def _install_validation_net():
+    for name, namespaces in VALIDATED_ENTRY_POINTS.items():
+        original = getattr(namespaces[0], name)
+        if getattr(original, "__schedule_validating__", False):
+            continue  # idempotent across pytest re-imports
+        wrapped = _validating(name, original)
+        for namespace in namespaces:
+            setattr(namespace, name, wrapped)
+
+
+_install_validation_net()
+
+
+@pytest.fixture(autouse=True)
+def _schedule_validation_net():
+    """Every test runs with the validation wrappers installed."""
+    for name, namespaces in VALIDATED_ENTRY_POINTS.items():
+        for namespace in namespaces:
+            fn = getattr(namespace, name)
+            assert getattr(fn, "__schedule_validating__", False), (
+                f"{namespace.__name__}.{name} lost its validation wrapper"
+            )
+    yield

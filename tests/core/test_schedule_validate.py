@@ -1,0 +1,125 @@
+"""`Schedule.validate` rejects corrupted schedules with a precise
+`ScheduleError` — the invariant the verify oracle leans on."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import FatTree, MessageSet, Schedule, ScheduleError
+from repro.core.capacity import UniversalCapacity
+from repro.core.scheduler import schedule_theorem1
+from repro.workloads import bit_reversal, uniform_random
+
+
+@pytest.fixture
+def ft():
+    return FatTree(16, UniversalCapacity(16, 8, strict=False))
+
+
+@pytest.fixture
+def messages():
+    return bit_reversal(16)
+
+
+@pytest.fixture
+def sched(ft, messages):
+    return schedule_theorem1(ft, messages)
+
+
+class TestHappyPath:
+    def test_theorem1_schedule_validates(self, ft, messages, sched):
+        sched.validate(ft, messages)  # must not raise
+
+    def test_per_level_accounting_holds_for_theorem1(self, ft, sched):
+        assert sched.per_level_cycles
+        assert sum(sched.per_level_cycles.values()) == sched.num_cycles
+
+    def test_empty_per_level_bookkeeping_is_fine(self, ft, messages, sched):
+        bare = Schedule(
+            cycles=sched.cycles, n_self_messages=sched.n_self_messages
+        )
+        bare.validate(ft, messages)  # schedulers without bookkeeping pass
+
+
+class TestSuiteValidationNet:
+    def test_entry_points_are_wrapped(self):
+        from repro.core import scheduler
+
+        assert getattr(
+            scheduler.schedule_theorem1, "__schedule_validating__", False
+        )
+
+    def test_net_validates_each_call(self, ft, messages):
+        import tests.conftest as suite_conftest
+        from repro.core.scheduler import schedule_theorem1
+
+        before = suite_conftest.VALIDATION_COUNTS["schedule_theorem1"]
+        schedule_theorem1(ft, messages)
+        after = suite_conftest.VALIDATION_COUNTS["schedule_theorem1"]
+        assert after == before + 1
+
+
+class TestCorruption:
+    def test_overloaded_cycle_rejected(self, messages, sched):
+        # merge everything into a single cycle on a skinny (w = 2) tree:
+        # λ of that one cycle exceeds 1
+        skinny = FatTree(16, UniversalCapacity(16, 2, strict=False))
+        merged = MessageSet.empty(16)
+        for cycle in sched.cycles:
+            merged = merged.concat(cycle)
+        bad = Schedule(
+            cycles=[merged], n_self_messages=sched.n_self_messages
+        )
+        with pytest.raises(ScheduleError, match="not a one-cycle set"):
+            bad.validate(skinny, messages)
+
+    def test_dropped_message_rejected(self, ft, messages, sched):
+        chopped = [
+            MessageSet(c.src[:-1], c.dst[:-1], c.n) if len(c) else c
+            for c in sched.cycles
+        ]
+        bad = dataclasses.replace(
+            sched, cycles=chopped, per_level_cycles={}
+        )
+        with pytest.raises(ScheduleError, match="partition"):
+            bad.validate(ft, messages)
+
+    def test_wrong_self_message_count_rejected(self, ft, sched):
+        noisy = uniform_random(16, 24, seed=5)
+        good = schedule_theorem1(ft, noisy)
+        bad = dataclasses.replace(
+            good, n_self_messages=good.n_self_messages + 1
+        )
+        with pytest.raises(ScheduleError, match="self-messages"):
+            bad.validate(ft, noisy)
+
+    def test_per_level_undercount_rejected(self, ft, messages, sched):
+        """A corrupted ledger is caught with a precise error even though
+        the cycles themselves are perfectly valid."""
+        ledger = dict(sched.per_level_cycles)
+        level = next(iter(ledger))
+        ledger[level] -= 1
+        bad = dataclasses.replace(sched, per_level_cycles=ledger)
+        with pytest.raises(ScheduleError) as exc:
+            bad.validate(ft, messages)
+        msg = str(exc.value)
+        assert f"accounts for {sched.num_cycles - 1} cycles" in msg
+        assert f"schedule has {sched.num_cycles}" in msg
+
+    def test_per_level_overcount_rejected(self, ft, messages, sched):
+        ledger = dict(sched.per_level_cycles)
+        ledger[max(ledger) + 1] = 2
+        bad = dataclasses.replace(sched, per_level_cycles=ledger)
+        with pytest.raises(ScheduleError, match="accounts for"):
+            bad.validate(ft, messages)
+
+    def test_negative_per_level_count_rejected(self, ft, messages, sched):
+        ledger = dict(sched.per_level_cycles)
+        level = next(iter(ledger))
+        # keep the sum equal so only the sign check can catch it
+        other = next(k for k in ledger if k != level)
+        ledger[other] += ledger[level] + 1
+        ledger[level] = -1
+        bad = dataclasses.replace(sched, per_level_cycles=ledger)
+        with pytest.raises(ScheduleError, match="negative"):
+            bad.validate(ft, messages)

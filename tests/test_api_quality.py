@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.universality",
     "repro.workloads",
     "repro.analysis",
+    "repro.verify",
 ]
 
 

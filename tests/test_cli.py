@@ -221,3 +221,60 @@ class TestTrace:
         assert code == 0
         assert "delivery cycles" in out
 
+
+class TestFuzz:
+    def test_smoke_run_passes(self, capsys):
+        code, out = run(
+            capsys, "fuzz", "--iters", "5", "--seed", "0", "--corpus", "",
+        )
+        assert code == 0
+        assert "ok:" in out
+        assert "5 generated" in out
+
+    def test_replays_checked_in_corpus(self, capsys):
+        code, out = run(capsys, "fuzz", "--iters", "2", "--seed", "1")
+        assert code == 0
+        assert "corpus" in out
+
+    def test_missing_corpus_noted_on_stderr(self, capsys):
+        code = main(
+            ["fuzz", "--iters", "2", "--corpus", "does/not/exist.jsonl"]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "not found" in err
+
+    def test_family_table_printed(self, capsys):
+        _, out = run(capsys, "fuzz", "--iters", "12", "--corpus", "")
+        assert "generator" in out
+        assert "cases" in out
+
+    def test_malformed_corpus_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "corpus.jsonl"
+        bad.write_text("not json\n")
+        code = main(["fuzz", "--iters", "1", "--corpus", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "invalid corpus" in err
+        assert ":1:" in err  # names the offending line
+
+    def test_failure_exits_3_with_reproducer(self, capsys, monkeypatch):
+        from repro.verify import ConformanceError, FuzzCase
+        from repro.verify.oracle import DifferentialOracle
+
+        def always_fail(self, case):
+            raise ConformanceError(case, ["injected failure"])
+
+        monkeypatch.setattr(DifferentialOracle, "check", always_fail)
+        code = main(["fuzz", "--iters", "1", "--corpus", ""])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "error: corpus line:" in captured.err
+        assert "injected failure" in captured.err
+        # the reproducer line on stderr parses back into the case
+        line = [
+            l for l in captured.err.splitlines() if "corpus line:" in l
+        ][0]
+        FuzzCase.from_json(line.split("corpus line:", 1)[1].strip())
+        assert "DifferentialOracle" in captured.err  # paste-able snippet
+

@@ -31,8 +31,10 @@ def test_all_examples_covered():
 
 @pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
 def test_example_runs(script):
+    # -W error: any DeprecationWarning/RuntimeWarning an example trips
+    # (overflow, dtype narrowing, deprecated numpy API) fails the build
     result = subprocess.run(
-        [sys.executable, str(script)],
+        [sys.executable, "-W", "error", str(script)],
         capture_output=True,
         text=True,
         timeout=300,

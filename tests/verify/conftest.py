@@ -1,0 +1,45 @@
+"""Shared fixtures for the conformance-fuzzer tests: deliberately broken
+("mutant") schedulers that the oracle must catch."""
+
+import pytest
+
+from repro.core.fattree import FatTree
+from repro.core.scheduler import schedule_theorem1
+from repro.verify import DifferentialOracle
+
+
+class InflatedCapacityTree(FatTree):
+    """Off-by-one capacity mutant: every channel claims one extra wire.
+
+    Scheduling against the inflated tree packs ``cap(c) + 1`` messages
+    onto a real ``cap(c)`` channel, so the produced schedule violates
+    the one-cycle invariant whenever a channel is saturated.
+    """
+
+    def __init__(self, base: FatTree):
+        super().__init__(base.n, base.capacity)
+        self._base = base
+
+    def chan_cap(self, level, index, direction):
+        return self._base.chan_cap(level, index, direction) + 1
+
+    def cap_vector(self, level, direction):
+        return self._base.cap_vector(level, direction) + 1
+
+
+def mutant_theorem1(ft, messages, *, seed, max_cycles, obs=None):
+    """Theorem 1 run against the off-by-one inflated capacities."""
+    return schedule_theorem1(InflatedCapacityTree(ft), messages, obs=obs)
+
+
+@pytest.fixture
+def clean_oracle():
+    """An unmutated oracle (every stack as shipped)."""
+    return DifferentialOracle()
+
+
+@pytest.fixture
+def mutant_oracle():
+    """An oracle whose Theorem 1 stack oversubscribes every channel by
+    one wire — the canonical injected bug the harness must catch."""
+    return DifferentialOracle(overrides={"theorem1": mutant_theorem1})

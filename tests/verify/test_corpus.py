@@ -1,0 +1,78 @@
+"""JSONL corpus round-trips, parse errors, and replay of the real
+checked-in regression corpus."""
+
+import pytest
+
+from repro.verify import (
+    ConformanceError,
+    FuzzCase,
+    generate_case,
+)
+from repro.verify.corpus import (
+    DEFAULT_CORPUS_PATH,
+    append_case,
+    load_corpus,
+    replay_corpus,
+    write_corpus,
+)
+
+
+def _cases(k=4):
+    return [generate_case(11, i, max_n=16) for i in range(k)]
+
+
+def test_write_load_round_trip(tmp_path):
+    path = str(tmp_path / "corpus.jsonl")
+    cases = _cases()
+    assert write_corpus(cases, path) == len(cases)
+    assert load_corpus(path) == cases
+
+
+def test_append_extends_in_order(tmp_path):
+    path = str(tmp_path / "sub" / "corpus.jsonl")  # directory is created
+    first, second = _cases(2)
+    append_case(first, path)
+    append_case(second, path)
+    assert load_corpus(path) == [first, second]
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = str(tmp_path / "corpus.jsonl")
+    case = _cases(1)[0]
+    path_obj = tmp_path / "corpus.jsonl"
+    path_obj.write_text(
+        "# seed corpus\n\n" + case.to_json() + "\n\n# trailing comment\n"
+    )
+    assert load_corpus(path) == [case]
+
+
+def test_malformed_line_names_line_number(tmp_path):
+    path_obj = tmp_path / "corpus.jsonl"
+    path_obj.write_text(_cases(1)[0].to_json() + "\nnot json at all\n")
+    with pytest.raises(ValueError, match=r":2: malformed corpus line"):
+        load_corpus(str(path_obj))
+
+
+def test_replay_checked_in_corpus_covers_every_family():
+    reports = replay_corpus(DEFAULT_CORPUS_PATH)
+    assert len(reports) >= 6
+    labels = {r.case.label.split(":")[0] for r in reports}
+    assert {"k-relation", "hotspot", "skewed", "lambda", "faulted", "wide"} <= labels
+
+
+def test_replay_raises_on_failing_case(tmp_path, mutant_oracle):
+    path = str(tmp_path / "corpus.jsonl")
+    write_corpus(
+        [
+            FuzzCase(
+                label="saturating",
+                n=8,
+                w=2,
+                src=(0, 1, 2, 3) * 3,
+                dst=(4, 5, 6, 7) * 3,
+            )
+        ],
+        path,
+    )
+    with pytest.raises(ConformanceError):
+        replay_corpus(path, mutant_oracle)

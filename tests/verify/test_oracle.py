@@ -1,0 +1,110 @@
+"""Differential-oracle behaviour: clean passes, skip logic, and the
+failure report a caught mutant produces."""
+
+import pytest
+
+from repro.verify import (
+    ConformanceError,
+    DifferentialOracle,
+    FuzzCase,
+    SCHEDULE_STACKS,
+    generate_case,
+)
+from repro.verify.corpus import DEFAULT_CORPUS_PATH, load_corpus
+
+
+def test_clean_oracle_passes_generated_stream(clean_oracle):
+    for i in range(15):
+        case = generate_case(0, i, max_n=16)
+        report = clean_oracle.check(case)
+        assert report.checks > 0
+        assert "theorem1" in report.cycles
+        assert report.cycles["buffered"] >= 0
+        assert report.cycles["switchsim"] >= 0
+
+
+def test_clean_oracle_passes_seed_corpus(clean_oracle):
+    cases = load_corpus(DEFAULT_CORPUS_PATH)
+    assert len(cases) >= 6
+    for case in cases:
+        assert clean_oracle.passes(case)
+
+
+def test_report_counts_unroutable_on_degraded_tree(clean_oracle):
+    case = FuzzCase(
+        label="dead-quadrant",
+        n=8,
+        w=8,
+        src=(0, 1, 4, 5),
+        dst=(4, 5, 0, 1),
+        dead_switches=((1, 1),),  # severs the right half from the root
+    )
+    report = clean_oracle.check(case)
+    assert report.num_unroutable > 0
+    assert report.num_routable + report.num_unroutable == report.num_messages
+
+
+def test_corollary2_skipped_on_universal_profile(clean_oracle):
+    case = FuzzCase(label="u", n=8, w=8, src=(0, 1, 2), dst=(7, 6, 5))
+    report = clean_oracle.check(case)
+    assert "corollary2" in report.skipped
+    assert "corollary2" not in report.cycles
+
+
+def test_corollary2_runs_on_wide_profile(clean_oracle):
+    case = FuzzCase(
+        label="wide", n=8, w=5, src=(0, 1, 2), dst=(7, 6, 5), profile="constant"
+    )
+    report = clean_oracle.check(case)
+    assert report.skipped == ()
+    assert "corollary2" in report.cycles
+
+
+def test_schedule_stacks_all_covered_somewhere(clean_oracle):
+    covered = set()
+    for i in range(40):
+        report = clean_oracle.check(generate_case(0, i, max_n=16))
+        covered |= set(report.cycles)
+    assert set(SCHEDULE_STACKS) <= covered
+
+
+def test_unknown_override_rejected():
+    with pytest.raises(ValueError, match="unknown stack override"):
+        DifferentialOracle(overrides={"not-a-stack": lambda *a, **k: None})
+
+
+def test_mutant_failure_report(mutant_oracle, clean_oracle):
+    case = FuzzCase(
+        label="saturating",
+        n=8,
+        w=2,
+        src=(0, 1, 2, 3) * 3,
+        dst=(4, 5, 6, 7) * 3,
+    )
+    assert clean_oracle.passes(case)
+    with pytest.raises(ConformanceError) as excinfo:
+        mutant_oracle.check(case)
+    err = excinfo.value
+    assert err.case == case
+    assert err.failures
+    assert any("theorem1" in f for f in err.failures)
+    # the exception message embeds the paste-able JSON reproducer
+    assert case.to_json() in str(err)
+    assert not mutant_oracle.passes(case)
+
+
+def test_hardware_and_obs_stages_optional():
+    oracle = DifferentialOracle(run_hardware=False, check_obs=False)
+    report = oracle.check(generate_case(0, 0, max_n=16))
+    assert "buffered" not in report.cycles
+    assert "switchsim" not in report.cycles
+
+
+def test_cycle_counts_respect_lambda_floor(clean_oracle):
+    import math
+
+    for i in range(10):
+        report = clean_oracle.check(generate_case(7, i, max_n=16))
+        floor = math.ceil(report.lam) if report.num_routable else 0
+        for name, cycles in report.cycles.items():
+            assert cycles >= floor, f"{name} beat the λ lower bound"

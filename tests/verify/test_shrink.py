@@ -1,0 +1,102 @@
+"""Delta-debugging shrinker: minimality, and the ISSUE acceptance test —
+an injected off-by-one capacity mutant is caught and shrunk to a
+reproducer of at most 8 messages."""
+
+import dataclasses
+
+import pytest
+
+from repro.verify import FuzzCase, generate_case, shrink_case
+
+
+def _saturating_case() -> FuzzCase:
+    """A case the off-by-one mutant provably mis-schedules: w = 2 at the
+    root, 12 crossings, so packing 3-per-cycle onto a 2-wire channel
+    violates the one-cycle invariant immediately."""
+    return FuzzCase(
+        label="saturating",
+        n=8,
+        w=2,
+        src=(0, 1, 2, 3) * 3,
+        dst=(4, 5, 6, 7) * 3,
+    )
+
+
+def test_mutant_caught_and_shrunk_to_at_most_8_messages(
+    mutant_oracle, clean_oracle
+):
+    """ISSUE 4 acceptance criterion: the oracle catches the test-only
+    off-by-one capacity mutant, and the shrinker reduces the failing
+    case to a reproducer of <= 8 messages."""
+    case = _saturating_case()
+    assert not mutant_oracle.passes(case), "oracle failed to catch the mutant"
+
+    small = shrink_case(case, lambda c: not mutant_oracle.passes(c))
+    assert len(small.src) <= 8, small.describe()
+    assert not mutant_oracle.passes(small), "shrunk case no longer fails"
+    assert clean_oracle.passes(small), "shrunk case blames the real stacks"
+    assert small.label.endswith(":shrunk")
+
+
+def test_mutant_caught_in_generated_stream_and_shrunk(mutant_oracle):
+    """The fuzz stream itself surfaces the mutant; the first failure
+    shrinks below the acceptance ceiling too."""
+    failing = None
+    for i in range(50):
+        case = generate_case(0, i, max_n=16)
+        if not mutant_oracle.passes(case):
+            failing = case
+            break
+    assert failing is not None, "mutant survived 50 generated cases"
+    small = shrink_case(failing, lambda c: not mutant_oracle.passes(c))
+    assert len(small.src) <= 8
+    assert not mutant_oracle.passes(small)
+
+
+def test_shrink_rejects_passing_case(clean_oracle):
+    case = _saturating_case()
+    with pytest.raises(ValueError, match="failing case"):
+        shrink_case(case, lambda c: not clean_oracle.passes(c))
+
+
+def test_shrink_clears_irrelevant_faults():
+    # predicate only cares about message count, so faults must be dropped
+    case = FuzzCase(
+        label="f",
+        n=8,
+        w=4,
+        src=tuple(range(8)),
+        dst=tuple(reversed(range(8))),
+        wire_fault_fraction=0.25,
+    )
+    small = shrink_case(case, lambda c: len(c.src) >= 1)
+    assert not small.has_faults
+    assert len(small.src) == 1
+
+
+def test_shrink_halves_n_when_possible():
+    # fails whenever any message exists entirely inside the left half
+    def fails(c: FuzzCase) -> bool:
+        return any(s < 4 and d < 4 for s, d in zip(c.src, c.dst))
+
+    case = FuzzCase(
+        label="local",
+        n=32,
+        w=8,
+        src=(0, 17, 20, 30),
+        dst=(3, 19, 21, 31),
+    )
+    assert fails(case)
+    small = shrink_case(case, fails)
+    assert small.n < 32
+    assert len(small.src) == 1
+    assert fails(small)
+
+
+def test_shrink_is_idempotent(mutant_oracle):
+    case = _saturating_case()
+    predicate = lambda c: not mutant_oracle.passes(c)  # noqa: E731
+    once = shrink_case(case, predicate)
+    twice = shrink_case(once, predicate)
+    assert len(twice.src) == len(once.src)
+    assert dataclasses.replace(twice, label=once.label) == once
