@@ -5,7 +5,11 @@ callable, many parameter sets, one merged row per run.  ``n_jobs`` fans
 the runs out over a ``ProcessPoolExecutor`` — parameter sets are
 independent by construction, so sweeps scale with cores — while results
 are merged back **in input order** regardless of completion order, so a
-parallel sweep produces byte-identical tables to a serial one.
+parallel sweep produces byte-identical tables to a serial one.  A
+parameter set that declares an integer ``seed`` additionally has the
+global RNGs re-seeded from it before the run on both the serial and the
+worker path (:func:`_reseed_from_params`), so rows stay pure functions
+of their parameters even for callables that touch global RNG state.
 ``on_error="capture"`` turns a failing run into a row with an
 ``"error"`` column instead of aborting the whole sweep; with the default
 ``on_error="raise"`` a failure propagates immediately and **cancels**
@@ -27,11 +31,40 @@ from collections.abc import Callable, Iterable, Mapping
 __all__ = ["sweep"]
 
 
+def _reseed_from_params(params: Mapping) -> None:
+    """Re-seed the *global* RNGs from the parameter set's declared seed.
+
+    Forked pool workers inherit the parent's global RNG state at whatever
+    point the fork happened, so a ``fn`` that (even indirectly) touches
+    ``random`` or legacy ``np.random`` would see worker-dependent,
+    submission-order-dependent state — parallel sweeps would stop being
+    byte-identical to serial ones.  Deriving the global state from the
+    declared ``seed`` on *both* paths makes the row a pure function of
+    its parameter set again.
+
+    This is the one sanctioned exception to the rng-discipline lint
+    rule: it *writes* global state deterministically before handing
+    control to ``fn``; it never draws from it.
+    """
+    seed = params.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        return
+    import random
+
+    random.seed(seed)  # reprolint: ignore[rng-discipline]
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep elsewhere
+        return
+    np.random.seed(seed % 2**32)  # reprolint: ignore[rng-discipline]
+
+
 def _call(
     fn: Callable[..., Mapping], params: Mapping, with_metrics: bool
 ) -> tuple[Mapping, dict | None]:
     """Top-level trampoline so (fn, params) pickles into worker processes;
     returns the result plus the run's metrics snapshot when requested."""
+    _reseed_from_params(params)
     if not with_metrics:
         return fn(**params), None
     from ..obs import MetricsRegistry, Obs, Tracer, use_obs

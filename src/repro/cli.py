@@ -20,7 +20,12 @@ Six inspection commands mirroring the library's main entry points:
 * ``fuzz``      — differential conformance fuzzing (:mod:`repro.verify`):
   replay the regression corpus, then run seeded adversarial cases
   through all routing stacks and cross-check them; on failure, shrink
-  to a minimal reproducer, print it paste-able, and exit 3.
+  to a minimal reproducer, print it paste-able, and exit 3
+  (``--lint-corpus`` additionally runs every reproducer snippet the
+  fuzzer can emit through :mod:`repro.lint`);
+* ``lint``      — the project-aware static analyzer (:mod:`repro.lint`):
+  check paths against the routing-invariant rules, exit 0 clean,
+  3 on findings, 2 on parse failures.
 
 Routing failures (``UnroutableError``, ``DeliveryTimeout``) exit with a
 one-line ``error:`` message and status 3, never a traceback.
@@ -424,6 +429,61 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import (
+        lint_paths,
+        render_json,
+        render_rule_table,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+    try:
+        result = lint_paths(args.paths, rule_ids=args.rule or None)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return result.exit_code
+
+
+def _lint_corpus_smoke(args, cases) -> int:
+    """``repro fuzz --lint-corpus``: run every reproducer snippet the
+    fuzzer can emit — one per corpus case and per generated case —
+    through the linter.  The snippets are what a failing run asks a
+    human to paste into a bug report, so they must themselves satisfy
+    the project's RNG/dtype/validation conventions."""
+    from .lint import lint_source
+    from .verify import generate_case
+
+    snippets = [(f"corpus[{i}]", c.repro_snippet()) for i, c in enumerate(cases)]
+    for i in range(args.iters):
+        case = generate_case(args.seed, i, max_n=args.max_n)
+        snippets.append((f"generated[{i}]", case.repro_snippet()))
+
+    bad = 0
+    for label, snippet in snippets:
+        result = lint_source(snippet, path=f"<repro-snippet {label}>")
+        for failure in result.parse_failures:
+            print(failure.format(), file=sys.stderr)
+            bad += 1
+        for finding in result.findings:
+            print(finding.format(), file=sys.stderr)
+            bad += 1
+    if bad:
+        print(
+            f"error: {bad} lint finding(s) in {len(snippets)} reproducer "
+            "snippet(s)",
+            file=sys.stderr,
+        )
+        return 3
+    print(f"lint-corpus: {len(snippets)} reproducer snippet(s) lint-clean")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     from .verify import (
         ConformanceError,
@@ -457,14 +517,19 @@ def cmd_fuzz(args) -> int:
         except ValueError as exc:
             print(f"error: invalid corpus: {exc}", file=sys.stderr)
             return 2
+    elif args.corpus:
+        print(f"corpus {args.corpus} not found — skipping replay", file=sys.stderr)
+
+    if args.lint_corpus:
+        return _lint_corpus_smoke(args, corpus_cases)
+
+    if corpus_cases:
         for case in corpus_cases:
             try:
                 oracle.check(case)
             except ConformanceError as exc:
                 return report_failure("corpus replay", case, exc)
         print(f"corpus replay: {len(corpus_cases)} case(s) ok ({args.corpus})")
-    elif args.corpus:
-        print(f"corpus {args.corpus} not found — skipping replay", file=sys.stderr)
 
     from collections import Counter
 
@@ -649,7 +714,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=100_000,
         help="delivery-cycle budget for the on-line stacks",
     )
+    p.add_argument(
+        "--lint-corpus",
+        action="store_true",
+        help="instead of differential checking, run every reproducer "
+        "snippet (corpus + generated) through repro.lint; exit 3 on "
+        "any finding",
+    )
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "lint",
+        help="project-aware static analysis (routing-invariant rules)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (text: path:line:col lines; json: stable object)",
+    )
+    p.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"

@@ -1,0 +1,25 @@
+"""Shared typing aliases for the strictly-typed core.
+
+The core's array contracts are narrow by design: message endpoints and
+capacities are int64 (the packed-gid arithmetic in
+:mod:`repro.core.tree` shifts them), masks are bool, geometry is
+float64.  These aliases name those contracts once so the signatures in
+``repro.core`` stay readable under ``mypy --strict``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["IntArray", "BoolArray", "FloatArray", "IndexLike"]
+
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+FloatArray = npt.NDArray[np.float64]
+
+# anything numpy fancy-indexing accepts for selecting messages
+IndexLike = Union[IntArray, BoolArray, Sequence[int], slice]

@@ -15,8 +15,11 @@ so pre-existing callers that caught the broad types keep working.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Iterable
 
 __all__ = ["UnroutableError", "DeliveryTimeout"]
+
+_Pair = tuple[int, int]
 
 
 class UnroutableError(ValueError):
@@ -30,7 +33,7 @@ class UnroutableError(ValueError):
         How many messages are affected (``len(pairs)``).
     """
 
-    def __init__(self, pairs):
+    def __init__(self, pairs: Iterable[_Pair]):
         self.pairs = [(int(s), int(d)) for s, d in pairs]
         self.count = len(self.pairs)
         preview = ", ".join(f"{s}->{d}" for s, d in self.pairs[:8])
@@ -56,7 +59,12 @@ class DeliveryTimeout(RuntimeError):
         made that many attempts.
     """
 
-    def __init__(self, undelivered, cycles: int, attempts=None):
+    def __init__(
+        self,
+        undelivered: Iterable[_Pair],
+        cycles: int,
+        attempts: "Counter[int] | dict[int, int] | None" = None,
+    ):
         self.undelivered = [(int(s), int(d)) for s, d in undelivered]
         self.cycles = int(cycles)
         self.attempts = Counter(attempts) if attempts is not None else Counter()

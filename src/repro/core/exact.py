@@ -24,9 +24,12 @@ from .schedule import Schedule
 __all__ = ["exact_minimum_cycles", "exact_schedule"]
 
 
-def _paths(ft: FatTree, messages: MessageSet):
+_ChannelKey = tuple[int, int, int]
+
+
+def _paths(ft: FatTree, messages: MessageSet) -> list[list[_ChannelKey]]:
     depth = ft.depth
-    out = []
+    out: list[list[_ChannelKey]] = []
     for s, d in messages:
         bitlen = (s ^ d).bit_length()
         turn = depth - bitlen
@@ -36,12 +39,18 @@ def _paths(ft: FatTree, messages: MessageSet):
     return out
 
 
-def _search(idx, paths, residuals, d, assignment):
+def _search(
+    idx: int,
+    paths: list[list[_ChannelKey]],
+    residuals: list[dict[_ChannelKey, int]],
+    d: int,
+    assignment: list[int],
+) -> bool:
     """Backtracking: place message ``idx`` into one of ``d`` cycles."""
     if idx == len(paths):
         return True
     keys = paths[idx]
-    tried = set()
+    tried: set[tuple[int, ...]] = set()
     for t in range(d):
         # symmetry breaking: identical-looking empty cycles are equal —
         # only try the first cycle of each residual signature

@@ -17,12 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from . import tree
 from .capacity import CapacityProfile, UniversalCapacity
+
+if TYPE_CHECKING:
+    from ._types import BoolArray, IntArray
+    from .message import MessageSet
 
 __all__ = ["Direction", "Channel", "FatTree"]
 
@@ -93,7 +97,7 @@ class FatTree:
         self.n = n
         self.depth = depth
         self.capacity = capacity
-        self._cap_vectors: dict[tuple[int, Direction], np.ndarray] = {}
+        self._cap_vectors: dict[tuple[int, Direction], IntArray] = {}
 
     # -- structure ---------------------------------------------------------
 
@@ -111,7 +115,7 @@ class FatTree:
         """
         return self.cap(level)
 
-    def cap_vector(self, level: int, direction: Direction) -> np.ndarray:
+    def cap_vector(self, level: int, direction: Direction) -> IntArray:
         """Per-channel effective capacities for a whole level.
 
         A read-only int64 array of length ``2**level``, indexed by channel
@@ -126,7 +130,7 @@ class FatTree:
             self._cap_vectors[key] = vec
         return vec
 
-    def routable_mask(self, messages) -> np.ndarray:
+    def routable_mask(self, messages: MessageSet) -> BoolArray:
         """Boolean mask: True where a message still has a usable path.
 
         On a pristine fat-tree every message is routable.  Degraded trees

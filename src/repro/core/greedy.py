@@ -24,7 +24,12 @@ bookkeeping, which is retained in
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..obs import Obs
 
 from .errors import UnroutableError
 from .fattree import Direction, FatTree
@@ -54,7 +59,11 @@ def _placement_order(ft: FatTree, routable: MessageSet, order: str) -> np.ndarra
 
 
 def schedule_greedy_first_fit(
-    ft: FatTree, messages: MessageSet, *, order: str = "longest-first", obs=None
+    ft: FatTree,
+    messages: MessageSet,
+    *,
+    order: str = "longest-first",
+    obs: Obs | None = None,
 ) -> Schedule:
     """Off-line first-fit scheduler.
 
@@ -210,7 +219,7 @@ def simulate_online_retry(
     *,
     seed: int = 0,
     max_cycles: int = 100_000,
-    obs=None,
+    obs: Obs | None = None,
 ) -> Schedule:
     """On-line delivery with congestion drops and retry (§II mechanism).
 

@@ -14,8 +14,14 @@ handful of vectorised passes (see :mod:`repro.core.load`).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from collections import Counter
+
+    from ._types import IndexLike, IntArray
 
 __all__ = ["MessageSet"]
 
@@ -34,7 +40,13 @@ class MessageSet:
 
     __slots__ = ("src", "dst", "n")
 
-    def __init__(self, src: Sequence[int], dst: Sequence[int], n: int):
+    src: IntArray
+    dst: IntArray
+    n: int
+
+    def __init__(
+        self, src: Sequence[int] | IntArray, dst: Sequence[int] | IntArray, n: int
+    ):
         src_arr = np.asarray(src, dtype=np.int64)
         dst_arr = np.asarray(dst, dtype=np.int64)
         if src_arr.ndim != 1 or dst_arr.ndim != 1:
@@ -59,7 +71,7 @@ class MessageSet:
         object.__setattr__(self, "dst", dst_arr)
         object.__setattr__(self, "n", int(n))
 
-    def __setattr__(self, name, value):  # immutability guard
+    def __setattr__(self, name: str, value: object) -> None:  # immutability guard
         raise AttributeError("MessageSet is immutable")
 
     # -- constructors ------------------------------------------------------
@@ -95,7 +107,7 @@ class MessageSet:
     def __iter__(self) -> Iterator[tuple[int, int]]:
         return zip(self.src.tolist(), self.dst.tolist())
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         """Multiset equality (order-insensitive)."""
         if not isinstance(other, MessageSet):
             return NotImplemented
@@ -103,7 +115,7 @@ class MessageSet:
             return False
         return sorted(self) == sorted(other)
 
-    def __hash__(self):  # pragma: no cover - explicit unhashability
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
         raise TypeError("MessageSet is not hashable")
 
     def __repr__(self) -> str:
@@ -111,7 +123,7 @@ class MessageSet:
 
     # -- operations --------------------------------------------------------
 
-    def take(self, mask_or_idx) -> "MessageSet":
+    def take(self, mask_or_idx: IndexLike) -> "MessageSet":
         """Sub-multiset selected by a boolean mask or index array."""
         return MessageSet(self.src[mask_or_idx], self.dst[mask_or_idx], self.n)
 
@@ -137,7 +149,7 @@ class MessageSet:
         """The messages as a list of ``(src, dst)`` tuples."""
         return list(self)
 
-    def counter(self):
+    def counter(self) -> Counter[tuple[int, int]]:
         """Multiset as a ``collections.Counter`` keyed by ``(src, dst)``."""
         from collections import Counter
 

@@ -44,8 +44,14 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..obs import Obs
+    from ..perf import PathIndex
+    from ._types import IntArray
 
 from .errors import DeliveryTimeout, UnroutableError
 from .fattree import Direction, FatTree
@@ -89,7 +95,7 @@ def schedule_random_rank(
     max_cycles: int = 100_000,
     loss_rate: float | None = None,
     max_backoff: int = 16,
-    obs=None,
+    obs: Obs | None = None,
 ) -> Schedule:
     """Deliver ``messages`` with random-rank on-line contention
     resolution; returns the per-cycle delivery trace as a
@@ -238,16 +244,16 @@ def _level_capacity_totals(ft: FatTree) -> list[tuple[int, int]]:
 
 
 def _record_cycle(
-    obs,
+    obs: Obs,
     scheduler: str,
     t: int,
     *,
     delivered: int,
     congested: int,
     deferred: int,
-    index=None,
-    delivered_idx=None,
-    level_cap_totals=None,
+    index: PathIndex | None = None,
+    delivered_idx: IntArray | None = None,
+    level_cap_totals: list[tuple[int, int]] | None = None,
 ) -> None:
     """Emit one delivery cycle's accounting: a ``cycle`` trace event
     whose counts partition the pending messages, the matching counters,

@@ -62,7 +62,9 @@ def _bit_lengths(values: np.ndarray) -> np.ndarray:
     return exponents.astype(np.int64)
 
 
-def message_group_keys(messages: MessageSet, depth: int):
+def message_group_keys(
+    messages: MessageSet, depth: int
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-message (lca_level, lca_index, direction) as a composite key.
 
     Returns ``(keys, lca_levels)`` where ``keys[k]`` uniquely encodes the
@@ -166,7 +168,11 @@ def _pairs_for_side(ends: np.ndarray, lo: int, hi: int) -> list[tuple[int, int]]
     return [(int(order[u]), int(order[v])) for u, v in raw_pairs]
 
 
-def _two_colour(m: int, src_pairs, dst_pairs) -> np.ndarray:
+def _two_colour(
+    m: int,
+    src_pairs: list[tuple[int, int]],
+    dst_pairs: list[tuple[int, int]],
+) -> np.ndarray:
     """Tracing phase: 2-colour the pairing graph on ``m`` messages.
 
     Every vertex has at most one edge of each kind, so components are

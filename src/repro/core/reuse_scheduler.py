@@ -21,6 +21,10 @@ never exceeded, and the fictitious load factor is at most
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..obs import Obs
 
 from .fattree import FatTree
 from .load import channel_loads
@@ -51,12 +55,22 @@ def corollary2_cycle_bound(ft: FatTree, lam: float) -> int:
     return 2 * max(1, math.ceil(a / (a - 1) * max(lam, 1.0)))
 
 
-def schedule_corollary2(ft: FatTree, messages: MessageSet) -> Schedule:
+def schedule_corollary2(
+    ft: FatTree, messages: MessageSet, *, obs: Obs | None = None
+) -> Schedule:
     """Schedule ``messages`` on ``ft`` per Corollary 2.
 
     Raises ``ValueError`` unless every channel satisfies
     ``cap(c) > lg n`` (the corollary's hypothesis with some ``a > 1``).
+
+    ``obs`` (default: the module-level
+    :func:`~repro.obs.get_default_obs`) receives a kernel wall-time
+    span and per-cycle ``cycle`` trace events matching the returned
+    schedule exactly.
     """
+    from ..obs import resolve_obs
+
+    obs = resolve_obs(obs)
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
     lgn = max(1, ft.depth)
@@ -78,16 +92,21 @@ def schedule_corollary2(ft: FatTree, messages: MessageSet) -> Schedule:
     # are met, which happens no later than that.
     pending = [routable]
     cycles: list[MessageSet] = []
-    while pending:
-        piece = pending.pop()
-        if len(piece) == 0:
-            continue
-        if _fits_real(ft, piece):
-            cycles.append(piece)
-        else:
-            a, b = even_split_all(ft, piece)
-            pending.append(a)
-            pending.append(b)
+    with obs.kernel("schedule_corollary2", n=ft.n, m=len(routable)):
+        while pending:
+            piece = pending.pop()
+            if len(piece) == 0:
+                continue
+            if _fits_real(ft, piece):
+                cycles.append(piece)
+            else:
+                a, b = even_split_all(ft, piece)
+                pending.append(a)
+                pending.append(b)
+    if obs.enabled:
+        from .scheduler import _record_offline_cycles
+
+        _record_offline_cycles(obs, "corollary2", cycles, n_self)
     return Schedule(cycles=cycles, n_self_messages=n_self)
 
 

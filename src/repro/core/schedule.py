@@ -9,6 +9,7 @@ paper's schedulers achieve ``d = O(λ(M)·lg n)`` (Theorem 1) or
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from .fattree import FatTree
@@ -50,7 +51,7 @@ class Schedule:
     def __len__(self) -> int:
         return len(self.cycles)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MessageSet]:
         return iter(self.cycles)
 
     def total_messages(self) -> int:

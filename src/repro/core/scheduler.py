@@ -22,7 +22,13 @@ The algorithm follows the paper's proof:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..obs import Obs
+    from .load import LevelLoads
 
 from .errors import UnroutableError
 from .fattree import Direction, FatTree
@@ -46,7 +52,7 @@ def theorem1_cycle_bound(ft: FatTree, lam: float) -> int:
     return 2 * max(1, math.ceil(lam)) * max(1, ft.depth)
 
 
-def _loads_fit(ft: FatTree, loads) -> bool:
+def _loads_fit(ft: FatTree, loads: LevelLoads) -> bool:
     """One-cycle test against precomputed per-channel loads."""
     for k in range(1, ft.depth + 1):
         if bool((loads.up[k] > ft.cap_vector(k, Direction.UP)).any()):
@@ -91,7 +97,9 @@ def partition_group(
     return done
 
 
-def schedule_theorem1(ft: FatTree, messages: MessageSet, *, obs=None) -> Schedule:
+def schedule_theorem1(
+    ft: FatTree, messages: MessageSet, *, obs: Obs | None = None
+) -> Schedule:
     """Schedule ``messages`` on ``ft`` per Theorem 1.
 
     Returns a validated-shape :class:`Schedule` with
@@ -158,13 +166,22 @@ def schedule_theorem1(ft: FatTree, messages: MessageSet, *, obs=None) -> Schedul
                 )
 
     if obs.enabled:
-        from .online import _record_cycle
-
-        for t, cycle in enumerate(cycles):
-            _record_cycle(
-                obs, "theorem1", t, delivered=len(cycle), congested=0, deferred=0
-            )
-        obs.metrics.inc("messages.self", n_self, scheduler="theorem1")
+        _record_offline_cycles(obs, "theorem1", cycles, n_self)
     return Schedule(
         cycles=cycles, n_self_messages=n_self, per_level_cycles=per_level_cycles
     )
+
+
+def _record_offline_cycles(
+    obs: Obs, scheduler: str, cycles: list[MessageSet], n_self: int
+) -> None:
+    """Per-cycle accounting for an off-line scheduler: one ``cycle``
+    event per delivery cycle (nothing is ever congested or deferred
+    off-line) plus the self-message counter."""
+    from .online import _record_cycle
+
+    for t, cycle in enumerate(cycles):
+        _record_cycle(
+            obs, scheduler, t, delivered=len(cycle), congested=0, deferred=0
+        )
+    obs.metrics.inc("messages.self", n_self, scheduler=scheduler)

@@ -24,6 +24,15 @@ lets :mod:`repro.core.load` vectorise channel-load computation.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:
+    from ._types import IntArray
+
+    # scalar-or-array polymorphism: the arithmetic below works
+    # elementwise on int64 arrays exactly as it does on Python ints
+    IntOrArray = TypeVar("IntOrArray", int, "IntArray")
+
 __all__ = [
     "ilog2",
     "is_power_of_two",
@@ -117,7 +126,7 @@ def right_child(level: int, index: int) -> tuple[int, int]:
     return level + 1, (index << 1) | 1
 
 
-def ancestor_at_level(leaf: int, depth: int, level: int):
+def ancestor_at_level(leaf: IntOrArray, depth: int, level: int) -> IntOrArray:
     """Index of the level-``level`` ancestor of leaf ``leaf``.
 
     Works elementwise on numpy arrays of leaves.  ``level`` may range from
@@ -128,7 +137,7 @@ def ancestor_at_level(leaf: int, depth: int, level: int):
     return leaf >> (depth - level)
 
 
-def lca_level(src: int, dst: int, depth: int):
+def lca_level(src: int, dst: int, depth: int) -> int:
     """Level of the least common ancestor of two leaves.
 
     For scalars only (uses ``int.bit_length``).  ``lca_level(i, i) ==

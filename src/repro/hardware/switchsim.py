@@ -423,6 +423,7 @@ def run_schedule(
     schedule: Schedule,
     *,
     payload_bits: int = 0,
+    obs=None,
 ) -> list[DeliveryReport]:
     """Execute an off-line schedule on the switch simulator.
 
@@ -432,11 +433,14 @@ def run_schedule(
     (On a degraded tree the guarantee holds for schedules built against
     the same degraded capacities — the surviving wires are exactly what
     the one-cycle property was checked on.)
+
+    ``obs`` is forwarded to every per-cycle
+    :func:`run_delivery_cycle` call.
     """
     reports = []
     for t, cycle in enumerate(schedule.cycles):
         report = run_delivery_cycle(
-            ft, cycle, concentrators="ideal", payload_bits=payload_bits
+            ft, cycle, concentrators="ideal", payload_bits=payload_bits, obs=obs
         )
         if report.losses:
             raise AssertionError(

@@ -1,0 +1,56 @@
+"""Project-aware static analysis for the fat-tree reproduction.
+
+The runtime layers — fault injection, the vectorised kernels with their
+``_reference_*`` oracles, observability accounting, the differential
+fuzzer — all rest on conventions: seeded instance-based RNG, explicit
+int64 dtypes, validated :class:`~repro.core.Schedule` construction,
+``obs=`` threading through every scheduler entry point.  This package
+turns those conventions into machine-checked rules over the stdlib
+:mod:`ast` (no new runtime dependencies) with per-rule suppression
+comments (``# reprolint: ignore[rule-id]``), JSON and text reporters,
+and a ``repro lint`` CLI subcommand that CI self-hosts on ``src/`` with
+zero tolerated findings.
+
+Usage::
+
+    from repro.lint import lint_paths, render_text
+    result = lint_paths(["src"])
+    print(render_text(result))
+    raise SystemExit(result.exit_code)   # 0 clean / 3 findings / 2 parse
+
+Adding a rule: subclass :class:`~repro.lint.rules.Rule`, set ``id`` and
+``summary``, implement ``check`` (and ``applies`` for scoping), and
+decorate with :func:`~repro.lint.rules.register_rule` — the CLI,
+reporters and suppression machinery pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from .context import ModuleContext, infer_module_name
+from .engine import LintResult, iter_python_files, lint_file, lint_paths, lint_source
+from .findings import Finding, ParseFailure
+from .report import render_json, render_rule_table, render_text
+from .rules import RULES, Rule, all_rule_ids, register_rule
+from .suppress import SUPPRESS_ALL, SuppressionIndex, scan_suppressions
+
+__all__ = [
+    "Finding",
+    "ParseFailure",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "register_rule",
+    "all_rule_ids",
+    "infer_module_name",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "render_rule_table",
+    "scan_suppressions",
+    "SuppressionIndex",
+    "SUPPRESS_ALL",
+]

@@ -1,0 +1,155 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleContext` bundles one parsed file — its path, inferred
+dotted module name, AST, and an import table that canonicalises call
+targets: after ``import numpy as np``, the call ``np.random.seed(0)``
+resolves to the canonical dotted name ``numpy.random.seed`` regardless
+of aliasing (``import numpy.random as nr`` / ``from numpy.random import
+seed`` resolve identically).  Rules match on canonical names only, so
+renamed imports cannot dodge them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ModuleContext", "infer_module_name"]
+
+
+def infer_module_name(path: str) -> str | None:
+    """Dotted module name for a file inside the ``repro`` package.
+
+    Recognises any ``…/src/repro/…`` layout (the installed package and
+    the repo checkout alike).  Files outside the package — benchmarks,
+    examples, scratch scripts — return ``None``; path-scoped rules treat
+    those as scripts.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i > 0 and parts[i - 1] == "src":
+            tail = parts[i:]
+            if not tail[-1].endswith(".py"):
+                return None
+            tail[-1] = tail[-1][: -len(".py")]
+            if tail[-1] == "__init__":
+                tail.pop()
+            return ".".join(tail)
+    return None
+
+
+class ModuleContext:
+    """One file's worth of state handed to each rule's ``check``."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 module: str | None) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: dotted module name (``repro.core.online``), or ``None`` for a
+        #: script outside the package
+        self.module = module
+        is_package = path.replace("\\", "/").endswith("/__init__.py")
+        #: local name -> canonical dotted prefix, from the import table
+        self.imports = _collect_imports(tree, module, is_package)
+
+    # -- canonical call-name resolution -----------------------------------
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call target, or ``None``.
+
+        Only names rooted in an imported module/object resolve — a local
+        variable that happens to be called ``random`` cannot collide
+        with the stdlib module.
+        """
+        return self.resolve_name(node.func)
+
+    def resolve_name(self, node: ast.expr) -> str | None:
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        chain.append(root)
+        return ".".join(reversed(chain))
+
+    # -- structural helpers ------------------------------------------------
+
+    def module_level_defs(self) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Module-level function definitions by name."""
+        return {
+            stmt.name: stmt
+            for stmt in self.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    def scopes(self) -> list[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef]:
+        """The module plus every (nested) function definition."""
+        out: list[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef] = [self.tree]
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(node)
+        return out
+
+
+def _resolve_relative(
+    module: str | None, is_package: bool, level: int, target: str | None
+) -> str | None:
+    """Absolute dotted base of a relative import, or ``None``.
+
+    In module ``repro.core.scheduler``, ``from .schedule import X`` has
+    base ``repro.core.schedule``; in package ``repro.core`` (its
+    ``__init__``), ``from . import X`` has base ``repro.core``.
+    """
+    if module is None:
+        return None
+    parts = module.split(".")
+    drop = level - 1 if is_package else level
+    if drop > len(parts):
+        return None
+    base_parts = parts[: len(parts) - drop]
+    if target:
+        base_parts.append(target)
+    return ".".join(base_parts) if base_parts else None
+
+
+def _collect_imports(
+    tree: ast.Module, module: str | None = None, is_package: bool = False
+) -> dict[str, str]:
+    """Local binding name -> canonical dotted prefix.
+
+    ``import numpy`` binds ``numpy -> numpy``; ``import numpy.random``
+    also binds ``numpy -> numpy`` (attribute access resolves the rest);
+    ``import numpy.random as nr`` binds ``nr -> numpy.random``;
+    ``from numpy import random as r`` binds ``r -> numpy.random``.
+    Relative imports resolve against the module's own dotted name (so
+    ``from .schedule import Schedule`` inside ``repro.core.scheduler``
+    canonicalises to ``repro.core.schedule.Schedule``); in a script, or
+    when the relative depth escapes the package, they are skipped.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".", 1)[0]
+                    table[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(module, is_package, node.level, node.module)
+                if base is None:
+                    continue
+            elif node.module is not None:
+                base = node.module
+            else:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return table

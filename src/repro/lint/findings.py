@@ -1,0 +1,54 @@
+"""Finding and parse-failure records produced by the linter.
+
+A :class:`Finding` pins one rule violation to an exact ``(path, line,
+col)`` span; a :class:`ParseFailure` records a file the linter could not
+even parse (reported separately — ``repro lint`` exits 2 on those, 3 on
+findings).  Both are plain frozen dataclasses so reporters can sort and
+serialise them without ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "ParseFailure"]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at an exact source span.
+
+    ``line`` is 1-based and ``col`` 0-based, matching :mod:`ast` (and
+    the editors that consume ``path:line:col`` references).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line human rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True, slots=True)
+class ParseFailure:
+    """A file the linter failed to parse (syntax or tokenisation error)."""
+
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: parse-error: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)

@@ -1,0 +1,61 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult`.
+
+Two formats, selected by ``repro lint --format``:
+
+* ``text`` — one ``path:line:col: rule-id: message`` line per finding
+  (editor-clickable), parse failures first, then a summary line;
+* ``json`` — a single stable JSON object (``version``, ``files``,
+  ``findings``, ``parse_failures``, ``suppressed``) for the CI job and
+  any downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+from .rules import RULES
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(result: LintResult) -> str:
+    """Editor-clickable report: one ``path:line:col: rule: message`` line
+    per finding (parse failures first), then a one-line summary."""
+    lines: list[str] = []
+    for failure in result.parse_failures:
+        lines.append(failure.format())
+    for finding in result.findings:
+        lines.append(finding.format())
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.parse_failures)} parse failure(s), "
+        f"{result.suppressed} suppressed, "
+        f"{result.files_checked} file(s) checked"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (``--format=json``): a single
+    versioned object with the findings, parse failures and counts."""
+    payload = {
+        "version": 1,
+        "files": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [f.as_dict() for f in result.findings],
+        "parse_failures": [p.as_dict() for p in result.parse_failures],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_table() -> str:
+    """The ``--list-rules`` output: every registered rule and its
+    one-line summary."""
+    width = max(len(rule_id) for rule_id in RULES)
+    lines = [
+        f"{rule_id:<{width}}  {RULES[rule_id].summary}"
+        for rule_id in sorted(RULES)
+    ]
+    return "\n".join(lines)

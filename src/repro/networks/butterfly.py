@@ -81,7 +81,7 @@ class Butterfly(Network):
             side += 1
         idx = np.arange(self.n)
         pos = np.stack(
-            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5, dtype=np.float64)],
             axis=1,
         )
         packed = Layout(

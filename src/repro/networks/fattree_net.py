@@ -97,7 +97,7 @@ class FatTreeNetwork(Network):
             side *= 2
         idx = np.arange(self.n)
         pos = np.stack(
-            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5, dtype=np.float64)],
             axis=1,
         )
         packed = Layout(pos, (float(side), float(side), 2.0))

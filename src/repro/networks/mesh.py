@@ -72,7 +72,7 @@ class Mesh2D(Network):
 
     def layout(self) -> Layout:
         xy = np.array([self._coords(v) for v in range(self.n)], dtype=np.float64)
-        pos = np.column_stack([xy + 0.5, np.full(self.n, 0.5)])
+        pos = np.column_stack([xy + 0.5, np.full(self.n, 0.5, dtype=np.float64)])
         return Layout(pos, (float(self.side), float(self.side), 1.0))
 
 

@@ -78,7 +78,7 @@ class BinaryTreeNetwork(Network):
             side *= 2
         idx = np.arange(self.n)
         pos = np.stack(
-            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5)],
+            [(idx % side) + 0.5, (idx // side) + 0.5, np.full(self.n, 0.5, dtype=np.float64)],
             axis=1,
         )
         return Layout(pos, (float(side), float(max(1, self.n // side)), 2.0))
@@ -182,7 +182,7 @@ class Multigrid(Network):
         return float(self.num_nodes)
 
     def layout(self) -> Layout:
-        pos = np.zeros((self.n, 3))
+        pos = np.zeros((self.n, 3), dtype=np.float64)
         for p in range(self.n):
             _, x, y = self._coords(p)
             pos[p] = (x + 0.5, y + 0.5, 0.5)

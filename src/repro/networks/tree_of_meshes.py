@@ -143,7 +143,7 @@ class TreeOfMeshes(Network):
         return float(self.num_nodes)
 
     def layout(self) -> Layout:
-        pos = np.zeros((self.n, 3))
+        pos = np.zeros((self.n, 3), dtype=np.float64)
         for p in range(self.n):
             pos[p] = ((p % self.side) + 0.5, (p // self.side) + 0.5, 0.5)
         return Layout(pos, (float(self.side), float(self.side), 2.0))

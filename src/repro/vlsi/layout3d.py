@@ -56,7 +56,7 @@ class FatTreeLayout:
 
     def processor_layout(self) -> Layout:
         """Processor centre positions as a network-style Layout."""
-        centres = np.zeros((self.n, 3))
+        centres = np.zeros((self.n, 3), dtype=np.float64)
         for leaf, box in self.processor_boxes.items():
             centres[leaf] = [
                 o + s / 2.0 for o, s in zip(box.origin, box.sides)

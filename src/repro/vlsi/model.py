@@ -83,8 +83,8 @@ class Box:
     def contains(self, points: np.ndarray) -> np.ndarray:
         """Boolean mask of which (k, 3) points lie inside (half-open)."""
         pts = np.asarray(points, dtype=np.float64)
-        lo = np.asarray(self.origin)
-        hi = lo + np.asarray(self.sides)
+        lo = np.asarray(self.origin, dtype=np.float64)
+        hi = lo + np.asarray(self.sides, dtype=np.float64)
         return np.all((pts >= lo) & (pts < hi), axis=1)
 
 

@@ -98,6 +98,25 @@ def _mark_and_sleep(tag, outdir, fail):
     return {"tag": tag}
 
 
+def _global_rng_draw(seed, n):
+    """Deliberately draws from the *global* RNGs.
+
+    This is the regression target for sweep's per-parameter-set
+    re-seeding: forked pool workers inherit the parent's global RNG
+    state, so without re-seeding these rows would depend on which worker
+    ran them.  (Library code must never do this — the rng-discipline
+    lint rule bans it — but sweep guards against third-party callables
+    that do.)
+    """
+    import random
+
+    return {
+        "py": random.random(),
+        "np": float(np.random.random()),
+        "draws": int(np.random.randint(0, 1000, size=n).sum()),
+    }
+
+
 class TestSweepAndTables:
     def test_sweep_merges_params_and_results(self):
         rows = sweep(lambda n: {"double": 2 * n}, [{"n": 1}, {"n": 3}])
@@ -157,6 +176,28 @@ class TestSweepAndTables:
             sweep(_double, [], on_error="ignore")
         with pytest.raises(ValueError):
             sweep(_double, [], n_jobs=0)
+
+    def test_parallel_global_rng_matches_serial(self):
+        # Regression: forked workers inherit the parent's global RNG
+        # state, so before per-parameter-set re-seeding these rows
+        # depended on worker scheduling.  With it, parallel == serial,
+        # row for row.
+        params = [{"seed": s, "n": 8} for s in range(6)]
+        serial = sweep(_global_rng_draw, params)
+        parallel = sweep(_global_rng_draw, params, n_jobs=2)
+        assert parallel == serial
+
+    def test_reseeded_rows_are_pure_functions_of_their_seed(self):
+        params = [{"seed": 7, "n": 4}]
+        assert sweep(_global_rng_draw, params) == sweep(_global_rng_draw, params)
+
+    def test_sweep_without_seed_param_leaves_global_rng_alone(self):
+        import random
+
+        random.seed(12345)
+        before = random.getstate()
+        sweep(_double, [{"n": 1}])
+        assert random.getstate() == before
 
     def test_format_table_alignment(self):
         out = format_table(

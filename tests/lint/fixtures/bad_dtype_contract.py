@@ -1,0 +1,9 @@
+"""Fixture: dtype-less array constructors (dtype-contract must flag both)."""
+
+import numpy as np
+
+
+def make_buffers(n):
+    loads = np.zeros(n)
+    fill = np.full(n, 7)
+    return loads, fill

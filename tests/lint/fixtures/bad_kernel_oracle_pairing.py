@@ -1,0 +1,13 @@
+"""Fixture: orphaned halves of kernel/oracle pairs (kernel-oracle-pairing
+must flag both directions)."""
+
+
+def _reference_route(messages):
+    """Oracle with no public kernel left in the module."""
+    return sorted(messages)
+
+
+def pack(gids):
+    """Vectorised packer, bit-identical to _reference_pack (property-
+    tested) — but the oracle was deleted out from under it."""
+    return gids

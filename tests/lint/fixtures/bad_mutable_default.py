@@ -1,0 +1,11 @@
+"""Fixture: mutable default arguments (mutable-default must flag both)."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def tally(key, *, table=dict()):
+    table[key] = table.get(key, 0) + 1
+    return table

@@ -1,0 +1,11 @@
+"""Fixture: wall-clock and OS-entropy reads (nondeterminism-ban must
+flag both)."""
+
+import os
+import time
+
+
+def stamp_run():
+    started = time.time()
+    token = os.urandom(8)
+    return started, token

@@ -1,0 +1,10 @@
+"""Fixture: entry points that drop observability (obs-threading must
+flag both — one never accepts obs=, one accepts but never forwards)."""
+
+
+def schedule_nothing(ft, messages):
+    return []
+
+
+def simulate_dropper(ft, messages, *, obs=None):
+    return list(messages)

@@ -1,0 +1,11 @@
+"""Fixture: module-level RNG draws (rng-discipline must flag both)."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_ranks(pairs):
+    noise = np.random.random(len(pairs))
+    random.shuffle(pairs)
+    return pairs, noise

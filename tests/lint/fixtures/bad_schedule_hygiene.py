@@ -1,0 +1,8 @@
+"""Fixture: unvalidated Schedule (schedule-hygiene must flag it)."""
+
+from repro.core import Schedule
+
+
+def count_cycles(cycles):
+    sched = Schedule(cycles=cycles)
+    return sched.num_cycles

@@ -1,0 +1,10 @@
+"""Fixture: explicit dtypes (dtype-contract must stay silent)."""
+
+import numpy as np
+
+
+def make_buffers(n, extra):
+    loads = np.zeros(n, dtype=np.int64)
+    fill = np.full(n, 7, np.int64)
+    forwarded = np.empty(n, **extra)
+    return loads, fill, forwarded

@@ -1,0 +1,18 @@
+"""Fixture: a complete kernel/oracle pair plus an unclaiming public
+function (kernel-oracle-pairing must stay silent)."""
+
+
+def _reference_route(messages):
+    """Pure-Python oracle for route()."""
+    return sorted(messages)
+
+
+def route(messages):
+    """Vectorised router, bit-identical to _reference_route for any
+    input (property-tested)."""
+    return sorted(messages)
+
+
+def summarise(messages):
+    """Makes no bit-parity claim, so it needs no oracle."""
+    return len(messages)

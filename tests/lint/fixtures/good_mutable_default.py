@@ -1,0 +1,15 @@
+"""Fixture: None defaults constructed inside (mutable-default must stay
+silent)."""
+
+
+def collect(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+def tally(key, *, table=None):
+    table = dict(table or {})
+    table[key] = table.get(key, 0) + 1
+    return table

@@ -1,0 +1,11 @@
+"""Fixture: deterministic code under the banned-module scope
+(nondeterminism-ban must stay silent — perf_counter spans are the
+sanctioned observability timing primitive)."""
+
+import time
+
+
+def span_seconds(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

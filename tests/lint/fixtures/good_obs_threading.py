@@ -1,0 +1,22 @@
+"""Fixture: entry points that thread obs= through (obs-threading must
+stay silent; helpers and private functions are out of scope)."""
+
+from repro.obs import resolve_obs
+
+
+def schedule_traced(ft, messages, *, obs=None):
+    obs = resolve_obs(obs)
+    with obs.kernel("schedule_traced", n=ft.n):
+        return []
+
+
+def run_forwarder(ft, messages, *, obs=None):
+    return schedule_traced(ft, messages, obs=obs)
+
+
+def _private_helper(ft, messages):
+    return []
+
+
+def describe(ft):
+    return ft.n

@@ -1,0 +1,14 @@
+"""Fixture: producer pattern and explicit validation (schedule-hygiene
+must stay silent)."""
+
+from repro.core import Schedule
+
+
+def build(cycles):
+    return Schedule(cycles=cycles)
+
+
+def build_checked(ft, messages, cycles):
+    sched = Schedule(cycles=cycles)
+    sched.validate(ft, messages)
+    return sched.num_cycles
