@@ -35,6 +35,7 @@ from . import core, faults
 from .core import (
     FatTree,
     MessageSet,
+    CycleStats,
     Schedule,
     UniversalCapacity,
     load_factor,
@@ -52,6 +53,7 @@ __all__ = [
     "FatTree",
     "FaultModel",
     "MessageSet",
+    "CycleStats",
     "Schedule",
     "UniversalCapacity",
     "load_factor",

@@ -1,0 +1,259 @@
+"""The chaos clock: replays a timeline onto a live degraded tree.
+
+:class:`ChaosClock` owns the mutable health state of one chaos run — per
+channel dead-wire counts, the dead-switch set, and the transient
+loss-rate override — seeded from the tree's initial
+:class:`~repro.faults.FaultModel` so runtime events compose with static
+damage.  :meth:`advance_to` applies every event due at the current
+delivery cycle through
+:meth:`~repro.faults.DegradedFatTree.set_channel_caps` (the tracked,
+fingerprint-folding mutation API), and reports exactly which channel
+gids were newly severed or restored, so the recovery path can
+delta-update its :class:`~repro.perf.PathIndex` instead of rebuilding
+it.
+
+:meth:`heal_cycle` answers the recovery question "will this severed
+channel ever come back?" by replaying the *remaining* timeline against
+the channel's local state — a few integer updates per event, no tree
+mutation — returning the cycle at which capacity first returns (or
+``None``: the message crossing it must be dropped or aborted, because
+the unique-path property of the tree leaves nothing to reroute onto).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.fattree import Direction
+from ..faults.degraded import DegradedFatTree
+from ..perf import pack_gid, unpack_gid
+from .timeline import ChaosSchedule
+
+__all__ = ["ChaosClock"]
+
+_DIR_OF = {0: Direction.UP, 1: Direction.DOWN}
+_STR_OF = {Direction.UP: "up", Direction.DOWN: "down"}
+
+
+def _incident_switches(level: int, index: int, depth: int) -> set[tuple[int, int]]:
+    """The switches whose death severs channel ``(level, index)``."""
+    incident: set[tuple[int, int]] = set()
+    if level < depth:
+        incident.add((level, index))
+    if level >= 1:
+        incident.add((level - 1, index >> 1))
+    return incident
+
+
+class ChaosClock:
+    """Applies a :class:`ChaosSchedule` to a tree, cycle by cycle."""
+
+    def __init__(self, tree: DegradedFatTree, timeline: ChaosSchedule, *, obs=None):
+        from ..obs import resolve_obs
+
+        self.tree = tree
+        self.timeline = timeline
+        self.obs = resolve_obs(obs)
+        self._pos = 0
+        self._now = -1
+        self._wires_dead: dict[tuple[int, int, Direction], int] = {
+            (wf.level, wf.index, wf.direction): wf.count
+            for wf in tree.faults.wire_faults
+        }
+        self._dead_switches: set[tuple[int, int]] = {
+            (sf.level, sf.index) for sf in tree.faults.switch_faults
+        }
+        self._base_loss = float(tree.faults.loss_rate)
+        self._loss_override: float | None = None
+        self.changed_gids: list[int] = []
+        self._zero: set[int] = set()
+        for k in range(1, tree.depth + 1):
+            for d in (Direction.UP, Direction.DOWN):
+                vec = tree.cap_vector(k, d)
+                for x in np.flatnonzero(vec == 0):
+                    self._zero.add(int(pack_gid(k, int(x), int(d is Direction.DOWN))))
+
+    # -- state queries -----------------------------------------------------
+
+    @property
+    def zero_gids(self) -> set[int]:
+        """Gids of every currently-severed internal channel."""
+        return set(self._zero)
+
+    def loss_rate(self, base: float) -> float:
+        """The transient corruption rate in force (override or ``base``)."""
+        return base if self._loss_override is None else self._loss_override
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every timeline event has been applied."""
+        return self._pos >= len(self.timeline.events)
+
+    @property
+    def applied_events(self) -> int:
+        """How many timeline events have fired so far."""
+        return self._pos
+
+    def _effective(self, level: int, index: int, direction: Direction) -> int:
+        if _incident_switches(level, index, self.tree.depth) & self._dead_switches:
+            return 0
+        dead = self._wires_dead.get((level, index, direction), 0)
+        return max(0, self.tree.base.cap(level) - dead)
+
+    # -- mutation ----------------------------------------------------------
+
+    def advance_to(self, t: int) -> tuple[list[int], list[int]]:
+        """Apply every event due at or before cycle ``t``.
+
+        Returns ``(zeroed, restored)``: the gids of channels that this
+        advance severed (capacity reached 0) and un-severed.  Channels
+        whose capacity changed without crossing zero are included in
+        neither list but are still written to the tree (and the caller
+        should refresh its capacity views for all changed gids via
+        :meth:`changed_gids` — stored on the clock after each advance).
+        """
+        if t < self._now:
+            raise ValueError(f"chaos clock cannot rewind ({self._now} -> {t})")
+        self._now = t
+        touched: set[tuple[int, int, Direction]] = set()
+        events = self.timeline.events
+        applied = 0
+        while self._pos < len(events) and events[self._pos].at <= t:
+            ev = events[self._pos]
+            self._pos += 1
+            applied += 1
+            if ev.kind == "loss-rate":
+                self._loss_override = ev.rate
+                self.tree.faults.loss_rate = ev.rate
+                if self.obs.enabled:
+                    self.obs.tracer.emit(
+                        "chaos.event", kind=ev.kind, at=ev.at, rate=ev.rate
+                    )
+                    self.obs.metrics.inc("chaos.events", kind=ev.kind)
+                continue
+            if ev.kind in ("wire-drop", "wire-repair"):
+                directions = (
+                    (Direction.UP, Direction.DOWN)
+                    if ev.direction == "both"
+                    else (Direction.UP if ev.direction == "up" else Direction.DOWN,)
+                )
+                base_cap = self.tree.base.cap(ev.level)
+                for d in directions:
+                    key = (ev.level, ev.index, d)
+                    dead = self._wires_dead.get(key, 0)
+                    if ev.kind == "wire-drop":
+                        dead = min(base_cap, dead + ev.count)
+                    else:
+                        dead = max(0, dead - ev.count)
+                    self._wires_dead[key] = dead
+                    touched.add(key)
+            else:  # switch-kill / switch-repair
+                node = (ev.level, ev.index)
+                if ev.kind == "switch-kill":
+                    self._dead_switches.add(node)
+                else:
+                    self._dead_switches.discard(node)
+                for level, index in self._switch_channels(ev.level, ev.index):
+                    for d in (Direction.UP, Direction.DOWN):
+                        touched.add((level, index, d))
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    "chaos.event",
+                    kind=ev.kind,
+                    at=ev.at,
+                    level=ev.level,
+                    index=ev.index,
+                )
+                self.obs.metrics.inc("chaos.events", kind=ev.kind)
+        zeroed: list[int] = []
+        restored: list[int] = []
+        changed: list[int] = []
+        if touched:
+            updates = []
+            for level, index, d in sorted(
+                touched, key=lambda key: (key[0], key[1], key[2].value)
+            ):
+                if level < 1:
+                    continue  # level-0 externals carry no internal traffic
+                eff = self._effective(level, index, d)
+                if eff == self.tree.chan_cap(level, index, d):
+                    continue
+                updates.append((level, index, d, eff))
+                gid = int(pack_gid(level, index, int(d is Direction.DOWN)))
+                changed.append(gid)
+                if eff == 0 and gid not in self._zero:
+                    self._zero.add(gid)
+                    zeroed.append(gid)
+                elif eff > 0 and gid in self._zero:
+                    self._zero.discard(gid)
+                    restored.append(gid)
+            if updates:
+                self.tree.set_channel_caps(updates, obs=self.obs)
+        self.changed_gids = changed
+        if applied and self.obs.enabled:
+            if zeroed:
+                self.obs.metrics.inc("chaos.severed_channels", len(zeroed))
+            if restored:
+                self.obs.metrics.inc("chaos.repaired_channels", len(restored))
+        return zeroed, restored
+
+    def _switch_channels(self, level: int, index: int):
+        """The channels incident to switch ``(level, index)``."""
+        yield (level, index)
+        if level + 1 <= self.tree.depth:
+            yield (level + 1, 2 * index)
+            yield (level + 1, 2 * index + 1)
+
+    # -- healing prediction ------------------------------------------------
+
+    def heal_cycle(self, gid: int) -> int | None:
+        """The cycle at which channel ``gid`` regains capacity, if ever.
+
+        Replays the not-yet-applied remainder of the timeline against
+        the channel's local state (dead wires + incident dead switches)
+        and returns the ``at`` of the first event after which its
+        effective capacity is positive — the cycle a parked message can
+        retry at — or ``None`` if the timeline never heals it.
+        """
+        level, index, dbit = unpack_gid(int(gid))
+        direction = _DIR_OF[dbit]
+        dstr = _STR_OF[direction]
+        incident = _incident_switches(level, index, self.tree.depth)
+        dead_sw = self._dead_switches & incident
+        wires = self._wires_dead.get((level, index, direction), 0)
+        base_cap = self.tree.base.cap(level)
+        if not dead_sw and base_cap - wires > 0:
+            return self._now  # already healed
+        # Events firing in the same cycle are atomic (advance_to applies
+        # them together and writes the net capacity once), so healing is
+        # judged per cycle *group*: a repair instantly re-killed in the
+        # same cycle heals nothing.
+        remaining = self.timeline.events[self._pos :]
+        pos = 0
+        while pos < len(remaining):
+            at = remaining[pos].at
+            while pos < len(remaining) and remaining[pos].at == at:
+                ev = remaining[pos]
+                pos += 1
+                if ev.kind in ("wire-drop", "wire-repair"):
+                    if (
+                        ev.level != level
+                        or ev.index != index
+                        or ev.direction not in ("both", dstr)
+                    ):
+                        continue
+                    if ev.kind == "wire-drop":
+                        wires = min(base_cap, wires + ev.count)
+                    else:
+                        wires = max(0, wires - ev.count)
+                elif ev.kind in ("switch-kill", "switch-repair"):
+                    node = (ev.level, ev.index)
+                    if node not in incident:
+                        continue
+                    if ev.kind == "switch-kill":
+                        dead_sw.add(node)
+                    else:
+                        dead_sw.discard(node)
+            if not dead_sw and base_cap - wires > 0:
+                return at
+        return None

@@ -1,0 +1,165 @@
+"""Per-channel health tracking: the circuit breaker.
+
+Transient fault storms (a high ``loss-rate`` window in the timeline)
+make every delivery attempt across an afflicted channel a coin flip.
+Retrying blindly wastes attempts and — worse — can synchronise retries
+into livelock.  :class:`ChannelHealth` runs one classic circuit breaker
+per channel gid:
+
+* **closed** — traffic flows; ``failure_threshold`` *consecutive*
+  fully-failed cycles (the channel carried attempts, none succeeded)
+  trip it;
+* **open** — messages crossing the channel are deferred without
+  spending an attempt, for a cooldown that doubles per consecutive trip
+  but is **capped** at ``max_cooldown`` and jittered by a dedicated
+  seeded RNG (desynchronising probes without touching the run's own
+  RNG stream);
+* **half-open** — after the cooldown, traffic probes the channel: one
+  successful cycle closes it, another full failure re-opens it with a
+  doubled (capped) cooldown.
+
+Livelock is impossible by construction: cooldowns are capped, so every
+open breaker re-probes within ``max_cooldown + jitter`` cycles; retry
+backoff windows are capped by :class:`~repro.faults.BackoffPolicy`; and
+the run's ``max_cycles`` budget converts any residual stall into a
+structured :class:`~repro.core.errors.DeliveryTimeout`.
+
+Every transition is observable: a ``breaker.transition`` counter and
+trace event per state change, labelled with the old and new state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BreakerConfig", "ChannelHealth"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerConfig:
+    """Tuning knobs for the per-channel circuit breakers."""
+
+    failure_threshold: int = 3
+    cooldown: int = 2
+    max_cooldown: int = 32
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+        if self.max_cooldown < self.cooldown:
+            raise ValueError(
+                f"max_cooldown must be >= cooldown ({self.cooldown}), "
+                f"got {self.max_cooldown}"
+            )
+
+
+class _Breaker:
+    __slots__ = ("state", "consecutive_failures", "trips", "reopen_at")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.reopen_at = 0
+
+
+class ChannelHealth:
+    """One circuit breaker per channel gid, created lazily."""
+
+    def __init__(self, config: BreakerConfig | None = None, *, obs=None):
+        from ..obs import resolve_obs
+
+        self.config = config if config is not None else BreakerConfig()
+        self.obs = resolve_obs(obs)
+        self._breakers: dict[int, _Breaker] = {}
+        self._rng = np.random.default_rng(self.config.jitter_seed)
+        self.transitions = 0
+
+    def _transition(self, gid: int, breaker: _Breaker, new_state: str) -> None:
+        old = breaker.state
+        breaker.state = new_state
+        self.transitions += 1
+        if self.obs.enabled:
+            self.obs.metrics.inc(
+                "breaker.transition", from_state=old, to_state=new_state
+            )
+            self.obs.tracer.emit(
+                "breaker", gid=gid, from_state=old, to_state=new_state
+            )
+
+    def blocked_gids(self, t: int) -> set[int]:
+        """Gids whose breaker holds traffic back at cycle ``t``.
+
+        An open breaker whose cooldown has elapsed moves to half-open
+        here (and stops blocking): the next cycle's traffic is the
+        probe.
+        """
+        blocked: set[int] = set()
+        for gid, breaker in self._breakers.items():
+            if breaker.state != OPEN:
+                continue
+            if t >= breaker.reopen_at:
+                self._transition(gid, breaker, HALF_OPEN)
+            else:
+                blocked.add(gid)
+        return blocked
+
+    def on_cycle(self, t: int, failures: dict[int, int], successes: dict[int, int]) -> None:
+        """Feed one cycle's per-channel outcome tallies.
+
+        ``failures[gid]`` / ``successes[gid]`` count messages crossing
+        the channel that failed / delivered this cycle.  A channel
+        "fails" the cycle iff it carried attempts and none succeeded.
+        """
+        config = self.config
+        for gid in set(failures) | set(successes):
+            failed = failures.get(gid, 0) > 0 and successes.get(gid, 0) == 0
+            succeeded = successes.get(gid, 0) > 0
+            breaker = self._breakers.get(gid)
+            if breaker is None:
+                if not failed:
+                    continue  # healthy channels need no state at all
+                breaker = self._breakers[gid] = _Breaker()
+            if succeeded:
+                breaker.consecutive_failures = 0
+                if breaker.state == HALF_OPEN:
+                    breaker.trips = 0
+                    self._transition(gid, breaker, CLOSED)
+                continue
+            if not failed:
+                continue
+            breaker.consecutive_failures += 1
+            trip_now = (
+                breaker.state == HALF_OPEN
+                or breaker.consecutive_failures >= config.failure_threshold
+            )
+            if breaker.state != OPEN and trip_now:
+                breaker.trips += 1
+                window = min(
+                    config.max_cooldown,
+                    config.cooldown << min(breaker.trips - 1, 30),
+                )
+                jitter = int(self._rng.integers(0, config.cooldown + 1))
+                breaker.reopen_at = t + 1 + min(config.max_cooldown, window + jitter)
+                breaker.consecutive_failures = 0
+                self._transition(gid, breaker, OPEN)
+
+    def state_of(self, gid: int) -> str:
+        """The breaker state of one channel (closed if never tripped)."""
+        breaker = self._breakers.get(gid)
+        return CLOSED if breaker is None else breaker.state
+
+    def open_count(self) -> int:
+        """How many breakers are currently open."""
+        return sum(1 for b in self._breakers.values() if b.state == OPEN)

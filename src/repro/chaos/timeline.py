@@ -1,0 +1,242 @@
+"""Chaos timelines: seeded, JSON-serialisable runtime fault schedules.
+
+A :class:`ChaosSchedule` is a sorted sequence of :class:`ChaosEvent`
+rows, each naming a delivery cycle ``at`` and one mutation of the
+network's health:
+
+* ``wire-drop`` / ``wire-repair`` — ``count`` wires of the channel at
+  ``(level, index, direction)`` die / come back (direction ``"both"``
+  hits the up and down channel alike; drops accumulate and clamp at the
+  channel's full capacity, repairs clamp at zero dead wires);
+* ``switch-kill`` / ``switch-repair`` — the internal node at
+  ``(level, index)`` dies (severing every incident channel, exactly the
+  static :class:`~repro.faults.FaultModel` semantics) / comes back;
+* ``loss-rate`` — the transient per-attempt corruption probability
+  becomes ``rate`` (an absolute set, so ``rate=0`` ends a flip storm).
+
+Timelines are plain data: they round-trip through one-line JSON (the
+fuzz corpus embeds them in :class:`~repro.verify.FuzzCase` rows), and
+:func:`random_timeline` derives a scenario as a pure function of a seed
+and the tree shape — no hidden state, so every chaos run is exactly
+reproducible from ``(tree, messages, timeline, seed)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..core.fattree import FatTree
+
+__all__ = ["ChaosEvent", "ChaosSchedule", "EVENT_KINDS", "random_timeline"]
+
+EVENT_KINDS = (
+    "wire-drop",
+    "wire-repair",
+    "switch-kill",
+    "switch-repair",
+    "loss-rate",
+)
+
+_DIRECTIONS = ("up", "down", "both")
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosEvent:
+    """One timed mutation of the network's health (see module docs)."""
+
+    at: int
+    kind: str
+    level: int = 0
+    index: int = 0
+    direction: str = "both"
+    count: int = 1
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be >= 0, got {self.at}")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r} (one of {EVENT_KINDS})"
+            )
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {_DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.kind in ("wire-drop", "wire-repair") and self.count < 1:
+            raise ValueError(f"wire event count must be >= 1, got {self.count}")
+        if self.kind == "loss-rate" and not (0.0 <= self.rate < 1.0):
+            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+        if self.level < 0 or self.index < 0:
+            raise ValueError(
+                f"invalid location ({self.level}, {self.index})"
+            )
+
+    def to_dict(self) -> dict:
+        """A compact dict with defaulted fields omitted."""
+        row = asdict(self)
+        if self.kind == "loss-rate":
+            for key in ("level", "index", "direction", "count"):
+                del row[key]
+        else:
+            del row["rate"]
+            if self.kind in ("switch-kill", "switch-repair"):
+                del row["direction"]
+                del row["count"]
+        return row
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "ChaosEvent":
+        return cls(**row)
+
+    def __str__(self) -> str:
+        if self.kind == "loss-rate":
+            return f"@{self.at} loss-rate={self.rate}"
+        if self.kind in ("switch-kill", "switch-repair"):
+            return f"@{self.at} {self.kind}({self.level},{self.index})"
+        return (
+            f"@{self.at} {self.kind}({self.level},{self.index},"
+            f"{self.direction})x{self.count}"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A timeline of chaos events, sorted by firing cycle.
+
+    Construction sorts the events stably by ``at`` (ties keep their
+    given order, which is the order they are applied in), so any
+    iterable of events yields a canonical timeline.
+    """
+
+    events: tuple[ChaosEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda ev: ev.at)
+        )
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    @property
+    def horizon(self) -> int:
+        """The last cycle at which anything fires (-1 when empty)."""
+        return self.events[-1].at if self.events else -1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_at(self, t: int) -> tuple[ChaosEvent, ...]:
+        """The events firing exactly at cycle ``t``."""
+        return tuple(ev for ev in self.events if ev.at == t)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_list(self) -> list[dict]:
+        return [ev.to_dict() for ev in self.events]
+
+    @classmethod
+    def from_list(cls, rows: list[dict]) -> "ChaosSchedule":
+        return cls(tuple(ChaosEvent.from_dict(row) for row in rows))
+
+    def to_json(self) -> str:
+        """One-line JSON (embeddable in a fuzz-corpus row)."""
+        return json.dumps(self.to_list(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        return cls.from_list(json.loads(text))
+
+    def __str__(self) -> str:
+        if self.empty:
+            return "ChaosSchedule(empty)"
+        return "ChaosSchedule[" + ", ".join(str(ev) for ev in self.events) + "]"
+
+
+def random_timeline(
+    ft: FatTree,
+    *,
+    seed: int,
+    events: int = 6,
+    horizon: int = 12,
+    repair_bias: float = 0.75,
+    allow_kills: bool = True,
+) -> ChaosSchedule:
+    """A seeded random chaos scenario for ``ft`` — a pure function of
+    its arguments.
+
+    Draws ``events`` primitive events over cycles ``[0, horizon]``:
+    wire drops (never more than the channel's capacity at once), switch
+    kills, and transient loss-rate flips (always paired with a later
+    ``rate=0`` reset so runs terminate briskly).  With probability
+    ``repair_bias`` a drop or kill is paired with a matching repair a
+    few cycles later — the self-healing regime; the rest stay broken,
+    exercising the drop/abandon path.  ``allow_kills=False`` restricts
+    the scenario to wire-level damage (guaranteed-delivery floors).
+    """
+    if events < 0:
+        raise ValueError(f"events must be >= 0, got {events}")
+    if horizon < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    rng = np.random.default_rng(seed)
+    rows: list[ChaosEvent] = []
+    depth = ft.depth
+    for _ in range(events):
+        at = int(rng.integers(0, horizon + 1))
+        roll = float(rng.random())
+        if roll < 0.2:
+            rate = float(rng.uniform(0.05, 0.4))
+            rows.append(ChaosEvent(at=at, kind="loss-rate", rate=round(rate, 3)))
+            rows.append(
+                ChaosEvent(
+                    at=at + 1 + int(rng.integers(1, 4)), kind="loss-rate", rate=0.0
+                )
+            )
+        elif roll < 0.55 or not allow_kills or depth < 1:
+            level = int(rng.integers(1, depth + 1))
+            index = int(rng.integers(0, 1 << level))
+            direction = _DIRECTIONS[int(rng.integers(0, 3))]
+            count = max(1, int(rng.integers(1, max(2, ft.cap(level) + 1))))
+            rows.append(
+                ChaosEvent(
+                    at=at,
+                    kind="wire-drop",
+                    level=level,
+                    index=index,
+                    direction=direction,
+                    count=count,
+                )
+            )
+            if float(rng.random()) < repair_bias:
+                rows.append(
+                    ChaosEvent(
+                        at=at + 1 + int(rng.integers(1, 5)),
+                        kind="wire-repair",
+                        level=level,
+                        index=index,
+                        direction=direction,
+                        count=count,
+                    )
+                )
+        else:
+            level = int(rng.integers(0, depth))
+            index = int(rng.integers(0, 1 << level))
+            rows.append(
+                ChaosEvent(at=at, kind="switch-kill", level=level, index=index)
+            )
+            if float(rng.random()) < repair_bias:
+                rows.append(
+                    ChaosEvent(
+                        at=at + 1 + int(rng.integers(1, 5)),
+                        kind="switch-repair",
+                        level=level,
+                        index=index,
+                    )
+                )
+    return ChaosSchedule(tuple(rows))

@@ -25,7 +25,12 @@ Six inspection commands mirroring the library's main entry points:
   fuzzer can emit through :mod:`repro.lint`);
 * ``lint``      — the project-aware static analyzer (:mod:`repro.lint`):
   check paths against the routing-invariant rules, exit 0 clean,
-  3 on findings, 2 on parse failures.
+  3 on findings, 2 on parse failures;
+* ``chaos``     — runtime fault injection (:mod:`repro.chaos`): run
+  seeded chaos timelines through the recovery-instrumented stacks,
+  check the per-cycle outcome partition, delivered + dropped
+  accounting, and empty-timeline bit-identity; exit 3 on any
+  violation.
 
 Routing failures (``UnroutableError``, ``DeliveryTimeout``) exit with a
 one-line ``error:`` message and status 3, never a traceback.
@@ -563,6 +568,165 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+#: the chaos-instrumented stacks ``repro chaos`` rotates through
+_CHAOS_STACKS = ("random-rank", "online-retry", "switchsim", "buffered", "offline")
+
+
+def _run_chaos_stack(stack, ft, m, timeline, *, seed, max_cycles):
+    """Run one chaos-instrumented stack; returns its result object."""
+    from .chaos import (
+        run_chaos_online_retry,
+        run_chaos_random_rank,
+        run_chaos_schedule,
+        run_chaos_store_and_forward,
+        run_chaos_switchsim,
+    )
+
+    if stack == "random-rank":
+        return run_chaos_random_rank(
+            ft, m, timeline, seed=seed, max_cycles=max_cycles
+        )
+    if stack == "online-retry":
+        return run_chaos_online_retry(
+            ft, m, timeline, seed=seed, max_cycles=max_cycles
+        )
+    if stack == "switchsim":
+        return run_chaos_switchsim(
+            ft, m, timeline, seed=seed, max_cycles=min(max_cycles, 10_000)
+        )
+    if stack == "buffered":
+        return run_chaos_store_and_forward(ft, m, timeline)
+    return run_chaos_schedule(
+        ft, m, timeline, scheduler="theorem1", max_cycles=max_cycles
+    )
+
+
+def _check_chaos_run(stack, ft, m, result) -> list[str]:
+    """The per-run invariants ``repro chaos`` enforces; returns the
+    violations (empty list = clean)."""
+    from .core.schedule import Schedule, ScheduleError
+
+    problems: list[str] = []
+    if isinstance(result, Schedule):
+        try:
+            result.validate(ft, m)
+        except ScheduleError as exc:
+            problems.append(f"invalid schedule: {exc}")
+        return problems
+    # hardware stacks: re-check every per-cycle outcome partition and
+    # that the run ends with nothing in flight
+    try:
+        for stats in result.cycle_stats:
+            stats.check()
+    except ScheduleError as exc:
+        problems.append(f"cycle stats: {exc}")
+    if result.cycle_stats:
+        last = result.cycle_stats[-1]
+        leftover = last.in_flight - last.delivered - last.dropped
+        if leftover:
+            problems.append(f"final cycle leaves {leftover} in flight")
+    return problems
+
+
+def cmd_chaos(args) -> int:
+    import numpy as np
+
+    from .chaos import ChaosSchedule, delivered_fraction, random_timeline
+    from .core import schedule_random_rank
+    from .workloads import uniform_random
+
+    ft = _make_fattree(args.n, args.w)
+    m = uniform_random(args.n, args.messages, seed=args.seed)
+
+    # empty-timeline bit-identity: chaos instrumentation must be free
+    from .chaos import run_chaos_random_rank
+
+    healthy = schedule_random_rank(ft, m, seed=args.seed, max_cycles=args.max_cycles)
+    empty = run_chaos_random_rank(
+        ft, m, ChaosSchedule(), seed=args.seed, max_cycles=args.max_cycles
+    )
+    if [c.as_pairs() for c in healthy.cycles] != [c.as_pairs() for c in empty.cycles]:
+        print(
+            "error: empty-timeline chaos run diverged from the healthy run",
+            file=sys.stderr,
+        )
+        return 3
+
+    totals: dict[str, dict] = {
+        s: {"runs": 0, "fraction": 0.0, "worst": 1.0, "dropped": 0}
+        for s in _CHAOS_STACKS
+    }
+    for i in range(args.iters):
+        rng = np.random.default_rng([args.seed, i])
+        traffic = uniform_random(
+            args.n, args.messages, seed=int(rng.integers(0, 2**31))
+        )
+        timeline = random_timeline(
+            ft,
+            seed=int(rng.integers(0, 2**31)),
+            events=args.events,
+            horizon=args.horizon,
+            repair_bias=0.8,
+        )
+        stack = _CHAOS_STACKS[i % len(_CHAOS_STACKS)]
+        try:
+            result = _run_chaos_stack(
+                stack,
+                ft,
+                traffic,
+                timeline,
+                seed=int(rng.integers(0, 2**31)),
+                max_cycles=args.max_cycles,
+            )
+        except Exception as exc:  # noqa: BLE001 - every escape is a violation
+            print(
+                f"error: iteration {i} [{stack}]: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            print(f"timeline: {timeline.to_json()}", file=sys.stderr)
+            return 3
+        problems = _check_chaos_run(stack, ft, traffic, result)
+        fraction = delivered_fraction(result)
+        if args.floor and fraction < args.floor:
+            problems.append(
+                f"delivered fraction {fraction:.3f} below floor {args.floor}"
+            )
+        if problems:
+            print(f"error: iteration {i} [{stack}]:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            print(f"timeline: {timeline.to_json()}", file=sys.stderr)
+            return 3
+        row = totals[stack]
+        row["runs"] += 1
+        row["fraction"] += fraction
+        row["worst"] = min(row["worst"], fraction)
+        dropped = getattr(result, "dropped", None)
+        row["dropped"] += 0 if dropped is None else len(dropped)
+    rows = [
+        {
+            "stack": s,
+            "runs": row["runs"],
+            "mean delivered": f"{row['fraction'] / row['runs']:.1%}",
+            "worst": f"{row['worst']:.1%}",
+            "dropped": row["dropped"],
+        }
+        for s, row in totals.items()
+        if row["runs"]
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"repro chaos --iters {args.iters} --seed {args.seed}: "
+            f"n={args.n}, {args.messages} messages, {args.events} events "
+            f"per timeline — all partitions hold",
+        )
+    )
+    print("ok: empty-timeline bit-identity + per-cycle outcome partitions")
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from .experiments import run_experiment
 
@@ -751,6 +915,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "chaos",
+        help="runtime fault injection with self-healing recovery checks",
+    )
+    p.add_argument(
+        "--iters",
+        type=int,
+        default=25,
+        help="chaos runs (rotating through the instrumented stacks)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="scenario stream seed")
+    p.add_argument("--n", type=int, default=16, help="processors (power of two)")
+    p.add_argument("--w", type=int, default=None, help="root capacity (default n)")
+    p.add_argument(
+        "--messages", type=int, default=48, help="uniform-random messages per run"
+    )
+    p.add_argument(
+        "--events", type=int, default=6, help="primitive events per timeline"
+    )
+    p.add_argument(
+        "--horizon",
+        type=int,
+        default=12,
+        help="last cycle at which a timeline event may fire",
+    )
+    p.add_argument(
+        "--max-cycles",
+        type=int,
+        default=100_000,
+        help="delivery-cycle budget for the on-line stacks",
+    )
+    p.add_argument(
+        "--floor",
+        type=float,
+        default=0.0,
+        help="fail (exit 3) if any run delivers less than this fraction",
+    )
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"

@@ -26,7 +26,7 @@ from .reuse_scheduler import (
     corollary2_cycle_bound,
     schedule_corollary2,
 )
-from .schedule import Schedule, ScheduleError
+from .schedule import CycleStats, Schedule, ScheduleError
 from .scheduler import schedule_theorem1, theorem1_cycle_bound
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "MessageSet",
     "online_cycle_bound",
     "schedule_random_rank",
+    "CycleStats",
     "Schedule",
     "ScheduleError",
     "channel_load",

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:
+    from ..chaos.engine import ChaosController
     from ..obs import Obs
 
 from .errors import UnroutableError
@@ -220,6 +221,7 @@ def simulate_online_retry(
     seed: int = 0,
     max_cycles: int = 100_000,
     obs: Obs | None = None,
+    chaos: ChaosController | None = None,
 ) -> Schedule:
     """On-line delivery with congestion drops and retry (§II mechanism).
 
@@ -233,6 +235,14 @@ def simulate_online_retry(
     :func:`~repro.obs.get_default_obs`) receives per-cycle ``cycle``
     trace events (losers count as congested), retry counters,
     utilisation histograms and a kernel wall-time span.
+
+    ``chaos`` attaches a :class:`~repro.chaos.ChaosController`: its
+    timeline mutates the tree between cycles, severed messages park
+    until their scheduled repair (or drop, with accounting), open
+    circuit breakers defer traffic without an attempt, and the returned
+    schedule carries per-cycle :class:`~repro.core.CycleStats`.  With
+    ``chaos=None`` or an empty timeline the RNG shuffle sequence is
+    untouched, so the schedule is bit-identical to a healthy run.
     """
     from ..obs import resolve_obs
     from ..perf import get_path_index
@@ -243,33 +253,89 @@ def simulate_online_retry(
     routable = messages.without_self_messages()
     index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
-    if not mask.all():
+    if chaos is None and not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
-    pending = list(range(len(routable)))
+    m = len(routable)
+    pending = list(range(m))
+    attempts = np.zeros(m, dtype=np.int64)
+    parked: dict[int, int] = {}
     paths = index.paths
     fresh = index.caps
     cycles: list[MessageSet] = []
     tracing = obs.enabled
     if tracing:
         level_cap_totals = _level_capacity_totals(ft)
-    with obs.kernel("simulate_online_retry", n=ft.n, m=len(routable), seed=seed):
-        while pending:
-            if len(cycles) >= max_cycles:
+    with obs.kernel("simulate_online_retry", n=ft.n, m=m, seed=seed):
+        while pending or parked:
+            t = len(cycles)
+            if t >= max_cycles:
                 raise RuntimeError(
                     f"online retry did not converge in {max_cycles} cycles"
                 )
+            dropped_now = 0
+            blocked_set: set[int] = set()
+            if chaos is not None:
+                in_flight = len(pending) + len(parked)
+                index = chaos.begin_cycle(t, index)
+                paths = index.paths
+                fresh = index.caps
+                pm = np.zeros(m, dtype=bool)
+                if pending:
+                    pm[np.asarray(pending, dtype=np.int64)] = True
+                if parked:
+                    pm[np.asarray(list(parked), dtype=np.int64)] = True
+                severed = chaos.severed_rows(index, pm)
+                if severed.size:
+                    drops, park = chaos.resolve_severed(
+                        index, severed, t, routable, attempts
+                    )
+                    moved = set(drops) | set(park)
+                    if moved:
+                        pending = [i for i in pending if i not in moved]
+                    for i in drops:
+                        parked.pop(i, None)
+                    dropped_now = len(drops)
+                    parked.update(park)
+                due = sorted(i for i, heal_at in parked.items() if heal_at <= t)
+                for i in due:
+                    del parked[i]
+                pending.extend(due)
+                if not pending and not parked:
+                    cycles.append(MessageSet.empty(ft.n))
+                    chaos.record(
+                        in_flight=in_flight,
+                        delivered=0,
+                        congested=0,
+                        retried=0,
+                        deferred=0,
+                        dropped=dropped_now,
+                    )
+                    break
             residual = fresh.copy()
             rng.shuffle(pending)
+            if chaos is not None and pending:
+                arr = np.asarray(pending, dtype=np.int64)
+                bmask = chaos.breaker_blocked(index, arr, t)
+                if bmask.any():
+                    blocked_set = set(arr[bmask].tolist())
             delivered: list[int] = []
             still: list[int] = []
+            deferred_ids: list[int] = []
             for i in pending:
+                if i in blocked_set:
+                    deferred_ids.append(i)
+                    continue
                 path = paths[i]
                 if (residual[path] > 0).all():
                     residual[path] -= 1
                     delivered.append(i)
                 else:
                     still.append(i)
+            if chaos is not None:
+                attempted = delivered + still
+                if attempted:
+                    attempts[np.asarray(attempted, dtype=np.int64)] += 1
             delivered_idx = np.array(sorted(delivered), dtype=np.int64)
             cycles.append(routable.take(delivered_idx))
             if tracing:
@@ -279,10 +345,29 @@ def simulate_online_retry(
                     len(cycles) - 1,
                     delivered=len(delivered),
                     congested=len(still),
-                    deferred=0,
+                    deferred=len(deferred_ids) + len(parked),
                     index=index,
                     delivered_idx=delivered_idx,
                     level_cap_totals=level_cap_totals,
                 )
-            pending = still
-    return Schedule(cycles=cycles, n_self_messages=n_self)
+            if chaos is not None:
+                still_arr = np.asarray(still, dtype=np.int64)
+                congested_now = int((attempts[still_arr] == 1).sum())
+                chaos.note_outcomes(index, delivered_idx, still_arr, t)
+                chaos.record(
+                    in_flight=in_flight,
+                    delivered=len(delivered),
+                    congested=congested_now,
+                    retried=len(still) - congested_now,
+                    deferred=len(deferred_ids) + len(parked),
+                    dropped=dropped_now,
+                )
+            pending = still + deferred_ids
+    if chaos is None:
+        return Schedule(cycles=cycles, n_self_messages=n_self)
+    return Schedule(
+        cycles=cycles,
+        n_self_messages=n_self,
+        cycle_stats=list(chaos.cycle_stats),
+        dropped=chaos.dropped_messages(routable),
+    )

@@ -49,6 +49,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:
+    from ..chaos.engine import ChaosController
+    from ..faults.backoff import BackoffPolicy
     from ..obs import Obs
     from ..perf import PathIndex
     from ._types import IntArray
@@ -95,7 +97,9 @@ def schedule_random_rank(
     max_cycles: int = 100_000,
     loss_rate: float | None = None,
     max_backoff: int = 16,
+    backoff: BackoffPolicy | None = None,
     obs: Obs | None = None,
+    chaos: ChaosController | None = None,
 ) -> Schedule:
     """Deliver ``messages`` with random-rank on-line contention
     resolution; returns the per-cycle delivery trace as a
@@ -121,19 +125,33 @@ def schedule_random_rank(
     Instrumentation never touches the RNG, so traced and untraced runs
     produce bit-identical schedules.
 
+    ``backoff`` replaces the built-in retry constants with an explicit
+    :class:`~repro.faults.BackoffPolicy`; the default policy
+    (``BackoffPolicy(base=1, cap=max_backoff)`` with no jitter seed)
+    reproduces the historic behaviour bit for bit.  ``chaos`` attaches
+    a :class:`~repro.chaos.ChaosController` whose timeline mutates the
+    tree between cycles; the loop then parks or drops severed messages,
+    defers traffic behind open circuit breakers, and records per-cycle
+    :class:`~repro.core.CycleStats`.  With ``chaos=None`` (or an empty
+    timeline) the RNG draw sequence is untouched, so the schedule is
+    bit-identical to a healthy run.
+
     This is the vectorised kernel; it is bit-identical, seed for seed,
     to :func:`_reference_schedule_random_rank`.
     """
+    from ..faults.backoff import BackoffPolicy
     from ..obs import resolve_obs
     from ..perf import get_path_index
 
     obs = resolve_obs(obs)
     loss_rate = _validate_args(ft, messages, loss_rate, max_backoff)
+    policy = backoff if backoff is not None else BackoffPolicy(base=1, cap=max_backoff)
     rng = np.random.default_rng(seed)
+    jrng = policy.jitter_rng(rng)
     routable = messages.without_self_messages()
     index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
-    if not mask.all():
+    if chaos is None and not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     m = len(routable)
@@ -160,12 +178,52 @@ def schedule_random_rank(
             t = len(cycles)
             if t >= max_cycles:
                 raise _timeout(t)
+            dropped_now = 0
+            if chaos is not None:
+                in_flight = n_pending
+                index = chaos.begin_cycle(t, index)
+                caps = index.caps
+                severed = chaos.severed_rows(index, pending)
+                if severed.size:
+                    drops, park = chaos.resolve_severed(
+                        index, severed, t, routable, attempts
+                    )
+                    for i, heal_at in park.items():
+                        next_try[i] = heal_at
+                    if drops:
+                        pending[np.asarray(drops, dtype=np.int64)] = False
+                        n_pending -= len(drops)
+                        dropped_now = len(drops)
+                if n_pending == 0:
+                    cycles.append(MessageSet.empty(ft.n))
+                    chaos.record(
+                        in_flight=in_flight,
+                        delivered=0,
+                        congested=0,
+                        retried=0,
+                        deferred=0,
+                        dropped=dropped_now,
+                    )
+                    break
             eligible = np.flatnonzero(pending & (next_try <= t))
+            if chaos is not None and eligible.size:
+                blocked = chaos.breaker_blocked(index, eligible, t)
+                if blocked.any():
+                    eligible = eligible[~blocked]
             if eligible.size == 0:
                 if int(next_try[pending].min()) >= max_cycles:
                     # livelock: nobody becomes eligible within the budget
                     raise _timeout(t)
                 cycles.append(MessageSet.empty(ft.n))  # everyone backing off
+                if chaos is not None:
+                    chaos.record(
+                        in_flight=in_flight,
+                        delivered=0,
+                        congested=0,
+                        retried=0,
+                        deferred=n_pending,
+                        dropped=dropped_now,
+                    )
                 if tracing:
                     obs.tracer.emit(
                         "cycle",
@@ -194,10 +252,11 @@ def schedule_random_rank(
             won = pos_in_group < caps[sg]
             wins = np.bincount(entry_msg[order][won], minlength=eligible.size)
             delivered_pos = np.flatnonzero(wins == width)  # won every channel
-            if loss_rate:
+            lr = loss_rate if chaos is None else chaos.loss_rate(loss_rate)
+            if lr:
                 # transient corruption: a won path can still deliver garbage,
                 # which the destination NACKs — the source must retry
-                survived = rng.random(delivered_pos.size) >= loss_rate
+                survived = rng.random(delivered_pos.size) >= lr
                 delivered_pos = delivered_pos[survived]
             elif delivered_pos.size == 0:
                 # with positive capacities the globally lowest-ranked pending
@@ -221,15 +280,33 @@ def schedule_random_rank(
                     delivered_idx=delivered_idx,
                     level_cap_totals=level_cap_totals,
                 )
-            if loss_rate:
+            if lr:
                 for i in failed.tolist():
-                    window = min(max_backoff, 1 << min(int(attempts[i]) - 1, 30))
-                    next_try[i] = t + 1 + int(rng.integers(0, window))
+                    window = policy.window(int(attempts[i]))
+                    next_try[i] = t + 1 + int(jrng.integers(0, window))
             else:
                 next_try[failed] = t + 1  # pure contention: retry immediately
+            if chaos is not None:
+                congested_now = int((attempts[failed] == 1).sum())
+                chaos.note_outcomes(index, delivered_idx, failed, t)
+                chaos.record(
+                    in_flight=in_flight,
+                    delivered=int(delivered_idx.size),
+                    congested=congested_now,
+                    retried=int(failed.size) - congested_now,
+                    deferred=in_flight - dropped_now - int(eligible.size),
+                    dropped=dropped_now,
+                )
             pending[delivered_idx] = False
             n_pending -= delivered_idx.size
-    return Schedule(cycles=cycles, n_self_messages=n_self)
+    if chaos is None:
+        return Schedule(cycles=cycles, n_self_messages=n_self)
+    return Schedule(
+        cycles=cycles,
+        n_self_messages=n_self,
+        cycle_stats=list(chaos.cycle_stats),
+        dropped=chaos.dropped_messages(routable),
+    )
 
 
 def _level_capacity_totals(ft: FatTree) -> list[tuple[int, int]]:
@@ -303,12 +380,17 @@ def _reference_schedule_random_rank(
     max_cycles: int = 100_000,
     loss_rate: float | None = None,
     max_backoff: int = 16,
+    backoff: BackoffPolicy | None = None,
 ) -> Schedule:
     """Pure-Python random-rank router, kept as the equality oracle for
     the vectorised :func:`schedule_random_rank` (identical semantics,
     identical RNG consumption, identical schedules for any seed)."""
+    from ..faults.backoff import BackoffPolicy
+
     loss_rate = _validate_args(ft, messages, loss_rate, max_backoff)
+    policy = backoff if backoff is not None else BackoffPolicy(base=1, cap=max_backoff)
     rng = np.random.default_rng(seed)
+    jrng = policy.jitter_rng(rng)
     routable = messages.without_self_messages()
     mask = ft.routable_mask(routable)
     if not mask.all():
@@ -377,8 +459,8 @@ def _reference_schedule_random_rank(
         for i in eligible:
             if i not in delivered_set:
                 if loss_rate:
-                    window = min(max_backoff, 1 << min(attempts[i] - 1, 30))
-                    next_try[i] = t + 1 + int(rng.integers(0, window))
+                    window = policy.window(attempts[i])
+                    next_try[i] = t + 1 + int(jrng.integers(0, window))
                 else:
                     next_try[i] = t + 1  # pure contention: retry immediately
 

@@ -21,6 +21,7 @@ the constant-factor shape.
 """
 
 from ..core.errors import DeliveryTimeout, UnroutableError
+from .backoff import BackoffPolicy
 from .degraded import DegradedFatTree
 from .model import FaultModel, SwitchFault, WireFault
 
@@ -29,6 +30,7 @@ __all__ = [
     "WireFault",
     "SwitchFault",
     "DegradedFatTree",
+    "BackoffPolicy",
     "UnroutableError",
     "DeliveryTimeout",
 ]

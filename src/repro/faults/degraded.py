@@ -19,6 +19,8 @@ oversubscribes a damaged channel.
 
 from __future__ import annotations
 
+from hashlib import blake2b
+
 import numpy as np
 
 from ..core.errors import UnroutableError
@@ -27,6 +29,31 @@ from ..core.message import MessageSet
 from .model import FaultModel
 
 __all__ = ["DegradedFatTree"]
+
+
+def _fault_digest(faults: FaultModel) -> bytes:
+    """A deterministic content digest of a fault scenario.
+
+    Used to fold a re-degradation into the tree's cached capacity
+    fingerprint: the resulting capacity state is a pure function of
+    (base tree, scenario), so hashing the scenario itself is enough to
+    key the post-mutation state.
+    """
+    h = blake2b(digest_size=16)
+    h.update(b"apply_faults")
+    for fault in faults.wire_faults:
+        for word in (
+            fault.level,
+            fault.index,
+            int(fault.direction is Direction.DOWN),
+            fault.count,
+        ):
+            h.update(word.to_bytes(8, "little", signed=False))
+    h.update(b"|switches")
+    for fault in faults.switch_faults:
+        h.update(fault.level.to_bytes(8, "little", signed=False))
+        h.update(fault.index.to_bytes(8, "little", signed=False))
+    return h.digest()
 
 
 class DegradedFatTree(FatTree):
@@ -49,6 +76,24 @@ class DegradedFatTree(FatTree):
         self.faults = faults
         self._effective = self._build_effective(faults)
         self._emit_degrade(obs, "construct")
+
+    # -- capacity state ----------------------------------------------------
+
+    @property
+    def _effective(self) -> dict[tuple[int, Direction], np.ndarray]:
+        """The per-channel surviving-capacity vectors."""
+        return self._eff
+
+    @_effective.setter
+    def _effective(self, value: dict[tuple[int, Direction], np.ndarray]) -> None:
+        # An untracked wholesale replacement of the capacity state:
+        # drop the cached capacity fingerprint so the path-index cache
+        # re-hashes (and therefore misses) instead of serving stale
+        # paths.  Tracked mutators fold a delta digest instead.
+        from ..perf import invalidate_capacity_fingerprint
+
+        self._eff = value
+        invalidate_capacity_fingerprint(self)
 
     def _build_effective(
         self, faults: FaultModel
@@ -100,17 +145,87 @@ class DegradedFatTree(FatTree):
         :attr:`base` capacities (scenarios replace, they do not stack),
         and any cached :class:`~repro.perf.PathIndex` built against the
         old capacities is dropped.  The shared path-index cache also
-        keys on a capacity fingerprint, so even an external cache
-        reference can never serve paths for the old scenario.
+        keys on a capacity fingerprint; repeated re-degradations *fold*
+        a digest of the new scenario into the cached fingerprint
+        (``O(|faults|)`` per mutation) instead of re-hashing every
+        capacity vector, so even an external cache reference can never
+        serve paths for the old scenario.
         """
-        from ..perf import clear_path_index_cache
+        from ..perf import clear_path_index_cache, fold_capacity_fingerprint
 
         effective = self._build_effective(faults)  # validate before mutating
         self.faults = faults
-        self._effective = effective
+        # Fold while the fingerprint still describes the old state,
+        # then swap the capacity vectors in without invalidating it.
+        fold_capacity_fingerprint(self, _fault_digest(faults))
+        self._eff = effective
         clear_path_index_cache(self)
         self._emit_degrade(obs, "apply_faults")
         return self
+
+    def set_channel_caps(self, updates, *, obs=None) -> "DegradedFatTree":
+        """Mutate individual effective channel capacities **in place**.
+
+        ``updates`` is an iterable of ``(level, index, direction,
+        new_cap)`` tuples with ``0 <= new_cap <= base.cap(level)``.
+        This is the runtime-fault primitive the chaos clock drives
+        between simulator cycles: only the named channels change, the
+        fault *scenario* (:attr:`faults`) is left untouched, and the
+        capacity fingerprint is advanced incrementally by a digest of
+        the delta — no full-vector re-hash, no stale path-index entry.
+        """
+        from ..perf import fold_capacity_fingerprint
+
+        delta = []
+        for level, index, direction, new_cap in updates:
+            if not (0 <= level <= self.depth) or not (0 <= index < (1 << level)):
+                raise ValueError(
+                    f"channel ({level}, {index}) outside the depth-"
+                    f"{self.depth} tree"
+                )
+            limit = self.base.cap(level)
+            if not (0 <= new_cap <= limit):
+                raise ValueError(
+                    f"capacity {new_cap} outside [0, {limit}] for a "
+                    f"level-{level} channel"
+                )
+            delta.append((int(level), int(index), direction, int(new_cap)))
+        if not delta:
+            return self
+        by_vec: dict[tuple[int, Direction], list[tuple[int, int]]] = {}
+        for level, index, direction, new_cap in delta:
+            by_vec.setdefault((level, direction), []).append((index, new_cap))
+        for key, entries in by_vec.items():
+            vec = self._eff[key].copy()
+            for index, new_cap in entries:
+                vec[index] = new_cap
+            vec.setflags(write=False)
+            self._eff[key] = vec
+        h = blake2b(digest_size=16)
+        h.update(b"set_channel_caps")
+        h.update(len(delta).to_bytes(8, "little", signed=False))
+        for level, index, direction, new_cap in delta:
+            for word in (level, index, int(direction is Direction.DOWN), new_cap):
+                h.update(word.to_bytes(8, "little", signed=False))
+        fold_capacity_fingerprint(self, h.digest())
+        self._emit_channel_caps(obs, delta)
+        return self
+
+    def _emit_channel_caps(self, obs, delta) -> None:
+        from ..obs import resolve_obs
+
+        obs = resolve_obs(obs)
+        if not obs.enabled:
+            return
+        severed = sum(1 for *_x, cap in delta if cap == 0)
+        obs.tracer.emit(
+            "degrade",
+            origin="set_channel_caps",
+            n=self.n,
+            channels=len(delta),
+            severed=severed,
+        )
+        obs.metrics.inc("faults.channel_mutations", count=len(delta))
 
     def _emit_degrade(self, obs, origin: str) -> None:
         from ..obs import resolve_obs

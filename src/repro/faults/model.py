@@ -176,6 +176,21 @@ class FaultModel:
             self.kill_switch(level, index)
         return self
 
+    def copy(self) -> "FaultModel":
+        """An independent snapshot of the recorded damage.
+
+        The copy shares nothing mutable with the original: the chaos
+        engine mutates its private copy at runtime (wire counts, dead
+        switches, the transient ``loss_rate``) without the caller's
+        fault scenario changing under it.  The RNG state is *not*
+        carried over — the copy's generator restarts from ``seed``,
+        matching a freshly-built model.
+        """
+        clone = FaultModel(seed=self.seed, loss_rate=self.loss_rate)
+        clone._wires = dict(self._wires)
+        clone._switches = set(self._switches)
+        return clone
+
     # -- inspection --------------------------------------------------------
 
     @property

@@ -21,7 +21,7 @@ delivery-cycle design:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,11 +34,19 @@ __all__ = ["BufferedRun", "run_store_and_forward"]
 
 @dataclass
 class BufferedRun:
-    """Outcome of a buffered store-and-forward run."""
+    """Outcome of a buffered store-and-forward run.
+
+    Chaos-instrumented runs additionally carry the ``(src, dst)`` pairs
+    of messages dropped after an unrepairable severance (their latency
+    stays 0) and one :class:`~repro.core.CycleStats` row per step; both
+    stay empty for healthy runs.
+    """
 
     makespan: int
     latencies: np.ndarray
     max_queue_depth: int
+    dropped: list[tuple[int, int]] = field(default_factory=list)
+    cycle_stats: list = field(default_factory=list)
 
     @property
     def mean_latency(self) -> float:
@@ -55,6 +63,7 @@ def run_store_and_forward(
     *,
     max_steps: int = 1_000_000,
     obs=None,
+    chaos=None,
 ) -> BufferedRun:
     """Dynamically deliver ``messages``; oldest-first channel service.
 
@@ -68,6 +77,16 @@ def run_store_and_forward(
     :func:`~repro.obs.get_default_obs`) receives one ``step`` trace
     event per time step (hops moved, deliveries, live queue depth), a
     queue-depth histogram and a kernel wall-time span.
+
+    ``chaos`` attaches a :class:`~repro.chaos.ChaosController` whose
+    timeline mutates capacities between steps.  Store-and-forward is
+    naturally self-healing: a severed channel simply serves nothing, so
+    messages queued at it wait in place until the scheduled repair.
+    Only a message whose remaining hops cross a channel that *never*
+    repairs is dropped (recorded on the run, with per-step
+    :class:`~repro.core.CycleStats`) or — with ``on_severed="raise"``
+    on the controller — aborts the run.  With ``chaos=None`` or an
+    empty timeline the simulation is bit-identical to a healthy run.
     """
     from ..obs import resolve_obs
     from ..perf import get_path_index
@@ -78,7 +97,7 @@ def run_store_and_forward(
     routable = messages.without_self_messages()
     index = get_path_index(ft, routable, obs=obs)
     mask = index.routable_mask()
-    if not mask.all():
+    if chaos is None and not mask.all():
         raise UnroutableError(routable.take(~mask).as_pairs())
     # the shared PathIndex row layout yields hops in exact path order
     paths = [index.hops(i) for i in range(len(routable))]
@@ -94,6 +113,7 @@ def run_store_and_forward(
         queues.setdefault(hops[0], deque()).append(i)
 
     latencies = np.zeros(m, dtype=np.int64)
+    pending_mask = np.ones(m, dtype=bool)
     remaining = m
     max_depth = max(len(q) for q in queues.values())
     step = 0
@@ -102,6 +122,37 @@ def run_store_and_forward(
         while remaining:
             if step >= max_steps:
                 raise RuntimeError(f"not delivered within {max_steps} steps")
+            dropped_now = 0
+            if chaos is not None:
+                in_flight = remaining
+                index = chaos.begin_cycle(step, index)
+                caps = index.caps
+                candidates = chaos.severed_rows(index, pending_mask)
+                if candidates.size:
+                    drops, _park = chaos.resolve_severed(
+                        index,
+                        candidates,
+                        step,
+                        routable,
+                        progress,
+                        gids_of=lambda i: paths[i][progress[i] :],
+                    )
+                    for i in drops:
+                        queues[paths[i][progress[i]]].remove(i)
+                        pending_mask[i] = False
+                    remaining -= len(drops)
+                    dropped_now = len(drops)
+                if remaining == 0:
+                    step += 1
+                    chaos.record(
+                        in_flight=in_flight,
+                        delivered=0,
+                        congested=0,
+                        retried=0,
+                        deferred=0,
+                        dropped=dropped_now,
+                    )
+                    break
             step += 1
             moves: list[int] = []
             for gid, queue in queues.items():
@@ -113,12 +164,22 @@ def run_store_and_forward(
                 progress[i] += 1
                 if progress[i] == len(paths[i]):
                     latencies[i] = step
+                    pending_mask[i] = False
                     remaining -= 1
                     delivered_now += 1
                 else:
                     queues.setdefault(paths[i][progress[i]], deque()).append(i)
             depth_now = max((len(q) for q in queues.values()), default=0)
             max_depth = max(max_depth, depth_now)
+            if chaos is not None:
+                chaos.record(
+                    in_flight=in_flight,
+                    delivered=delivered_now,
+                    congested=0,
+                    retried=0,
+                    deferred=in_flight - dropped_now - delivered_now,
+                    dropped=dropped_now,
+                )
             if tracing:
                 obs.tracer.emit(
                     "step",
@@ -141,6 +202,10 @@ def run_store_and_forward(
         obs.metrics.set_gauge(
             "queue.max_depth", max_depth, simulator="store_and_forward"
         )
-    return BufferedRun(
+    run = BufferedRun(
         makespan=step, latencies=latencies, max_queue_depth=max_depth
     )
+    if chaos is not None:
+        run.dropped = chaos.dropped_pairs(routable)
+        run.cycle_stats = list(chaos.cycle_stats)
+    return run

@@ -272,11 +272,19 @@ def run_delivery_cycle(
 
 @dataclass
 class RetryOutcome:
-    """Result of running delivery cycles until everything arrives."""
+    """Result of running delivery cycles until everything arrives.
+
+    Chaos-instrumented runs additionally carry one
+    :class:`~repro.core.CycleStats` row per delivery cycle and the
+    ``(src, dst)`` pairs of messages dropped after an unrepairable
+    severance; both stay empty for healthy runs.
+    """
 
     cycles: int
     reports: list[DeliveryReport] = field(default_factory=list)
     attempts: list[int] = field(default_factory=list)
+    cycle_stats: list = field(default_factory=list)
+    dropped: list[tuple[int, int]] = field(default_factory=list)
 
     def total_bit_time(self) -> int:
         """Wall-clock bit-times summed over all delivery cycles."""
@@ -301,7 +309,9 @@ def run_until_delivered(
     fault_rate: float = 0.0,
     max_cycles: int = 10_000,
     max_backoff: int = 8,
+    backoff=None,
     obs=None,
+    chaos=None,
 ) -> RetryOutcome:
     """Deliver ``messages`` with the §II acknowledge-and-retry loop.
 
@@ -322,7 +332,19 @@ def run_until_delivered(
     :func:`run_delivery_cycle` (one ``cycle`` event each) and
     additionally receives retry counters, a per-message attempt
     histogram and a kernel wall-time span around the whole loop.
+
+    ``backoff`` supplies an explicit
+    :class:`~repro.faults.BackoffPolicy` (the default reproduces the
+    built-in constants bit for bit); ``chaos`` attaches a
+    :class:`~repro.chaos.ChaosController` that mutates the tree between
+    delivery cycles — severed messages park until their scheduled
+    repair or are dropped (recorded on the outcome), breaker-blocked
+    messages defer, and per-cycle :class:`~repro.core.CycleStats` land
+    on the outcome.  With ``chaos=None`` or an empty timeline the RNG
+    streams are untouched, so reports are bit-identical to a healthy
+    run.
     """
+    from ..faults.backoff import BackoffPolicy
     from ..obs import resolve_obs
     from ..perf import get_path_index
 
@@ -331,10 +353,12 @@ def run_until_delivered(
         raise ValueError("max_backoff must be >= 1")
     if messages.n != ft.n:
         raise ValueError("message set and fat-tree disagree on n")
+    policy = backoff if backoff is not None else BackoffPolicy(base=1, cap=max_backoff)
     # the shared PathIndex both answers routability and primes the cache
     # for any scheduler later run on the same (tree, message set) pair
-    mask = get_path_index(ft, messages, obs=obs).routable_mask()
-    if not mask.all():
+    index = get_path_index(ft, messages, obs=obs)
+    mask = index.routable_mask()
+    if chaos is None and not mask.all():
         raise UnroutableError(messages.take(~mask).as_pairs())
     model = getattr(ft, "faults", None)
     lossy = bool(fault_rate) or (model is not None and model.loss_rate > 0)
@@ -344,6 +368,7 @@ def run_until_delivered(
     next_try = [0] * m
     pending = list(range(m))
     backoff_rng = np.random.default_rng((seed + 1) * 0x9E3779B1)
+    jrng = policy.jitter_rng(backoff_rng)
     outcome = RetryOutcome(cycles=0, attempts=attempts)
     cycle_seed = seed
     t = 0
@@ -355,7 +380,33 @@ def run_until_delivered(
                     t,
                     Counter(attempts[i] for i in pending),
                 )
+            dropped_now = 0
+            if chaos is not None:
+                in_flight = len(pending)
+                index = chaos.begin_cycle(t, index)
+                pm = np.zeros(m, dtype=bool)
+                pm[np.asarray(pending, dtype=np.int64)] = True
+                severed = chaos.severed_rows(index, pm)
+                if severed.size:
+                    drops, park = chaos.resolve_severed(
+                        index, severed, t, messages, attempts
+                    )
+                    for i, heal_at in park.items():
+                        next_try[i] = heal_at
+                    if drops:
+                        dset = set(drops)
+                        pending = [i for i in pending if i not in dset]
+                        dropped_now = len(drops)
+                # the clock may have flipped the transient loss rate
+                lossy = bool(fault_rate) or (
+                    model is not None and model.loss_rate > 0
+                )
             eligible = [i for i in pending if next_try[i] <= t]
+            if chaos is not None and eligible:
+                arr = np.asarray(eligible, dtype=np.int64)
+                bmask = chaos.breaker_blocked(index, arr, t)
+                if bmask.any():
+                    eligible = arr[~bmask].tolist()
             if eligible:
                 take = np.array(eligible, dtype=np.int64)
                 report = run_delivery_cycle(
@@ -374,6 +425,17 @@ def run_until_delivered(
             cycle_seed += 1
             t += 1
             if not eligible:
+                if chaos is not None:
+                    chaos.record(
+                        in_flight=in_flight,
+                        delivered=0,
+                        congested=0,
+                        retried=0,
+                        deferred=len(pending),
+                        dropped=dropped_now,
+                    )
+                if not pending:
+                    break
                 continue
             if (
                 len(report.delivered) == 0
@@ -389,6 +451,7 @@ def run_until_delivered(
             for i in eligible:
                 buckets.setdefault((int(srcs[i]), int(dsts[i])), []).append(i)
             done: set[int] = set()
+            cong_rows: list[int] = []
             for f in report.delivered:
                 i = buckets[(f.src, f.dst)].pop()
                 attempts[i] += 1
@@ -396,9 +459,10 @@ def run_until_delivered(
             for f in report.congested:
                 i = buckets[(f.src, f.dst)].pop()
                 attempts[i] += 1
+                cong_rows.append(i)
                 if lossy:
-                    window = min(max_backoff, 1 << min(attempts[i] - 1, 30))
-                    next_try[i] = t + int(backoff_rng.integers(0, window))
+                    window = policy.window(attempts[i])
+                    next_try[i] = t + int(jrng.integers(0, window))
                 else:
                     next_try[i] = t  # deterministic congestion: retry next cycle
             for f in report.deferred:
@@ -411,10 +475,30 @@ def run_until_delivered(
                     len(report.congested),
                     scheduler="switchsim",
                 )
+            if chaos is not None:
+                congested_now = sum(1 for i in cong_rows if attempts[i] == 1)
+                chaos.note_outcomes(
+                    index,
+                    np.asarray(sorted(done), dtype=np.int64),
+                    np.asarray(cong_rows, dtype=np.int64),
+                    t - 1,
+                )
+                chaos.record(
+                    in_flight=in_flight,
+                    delivered=len(report.delivered),
+                    congested=congested_now,
+                    retried=len(cong_rows) - congested_now,
+                    deferred=(len(pending) - len(eligible))
+                    + len(report.deferred),
+                    dropped=dropped_now,
+                )
             pending = [i for i in pending if i not in done]
     if obs.enabled:
         for count in attempts:
             obs.metrics.observe("retry.attempts", count, scheduler="switchsim")
+    if chaos is not None:
+        outcome.cycle_stats = list(chaos.cycle_stats)
+        outcome.dropped = chaos.dropped_pairs(messages)
     return outcome
 
 

@@ -291,6 +291,7 @@ _SCHEDULER_MODULES = {
     "repro.core.reuse_scheduler",
     "repro.hardware.switchsim",
     "repro.hardware.buffered",
+    "repro.chaos.engine",
 }
 
 _ENTRY_POINT_PREFIXES = ("schedule_", "simulate_", "run_")
@@ -371,6 +372,7 @@ _DETERMINISTIC_MODULES = (
     "repro.perf",
     "repro.hardware",
     "repro.faults",
+    "repro.chaos",
 )
 
 

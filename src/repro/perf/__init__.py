@@ -11,7 +11,9 @@ from .pathindex import (
     PAD_GID,
     PathIndex,
     clear_path_index_cache,
+    fold_capacity_fingerprint,
     get_path_index,
+    invalidate_capacity_fingerprint,
     pack_gid,
     unpack_gid,
 )
@@ -20,7 +22,9 @@ __all__ = [
     "PAD_GID",
     "PathIndex",
     "clear_path_index_cache",
+    "fold_capacity_fingerprint",
     "get_path_index",
+    "invalidate_capacity_fingerprint",
     "pack_gid",
     "unpack_gid",
 ]

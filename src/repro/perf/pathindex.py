@@ -53,6 +53,8 @@ __all__ = [
     "PathIndex",
     "get_path_index",
     "clear_path_index_cache",
+    "fold_capacity_fingerprint",
+    "invalidate_capacity_fingerprint",
     "pack_gid",
     "unpack_gid",
 ]
@@ -61,6 +63,7 @@ PAD_GID = 0
 _PAD_CAP = np.int64(2) ** 62  # never binds: no run makes 2**62 traversals
 _CACHE_ATTR = "_path_index_cache"
 _CACHE_MAXSIZE = 16
+_FP_ATTR = "_capacity_fp"
 
 
 def pack_gid(level, index, direction):
@@ -172,6 +175,54 @@ class PathIndex:
             out[k, 1] = block[1::2].sum()
         return out
 
+    def affected_rows(self, gids) -> np.ndarray:
+        """True per message iff its path crosses any of ``gids``.
+
+        The membership test is one vectorised :func:`numpy.isin` pass
+        over the path matrix, so detecting which in-flight messages a
+        capacity mutation touches costs ``O(m·depth)`` integer compares
+        — no per-message Python loop.  :data:`PAD_GID` entries in
+        ``gids`` are ignored (padding is not a channel).
+        """
+        g = np.asarray([int(x) for x in gids if int(x) != PAD_GID], dtype=np.int64)
+        if g.size == 0:
+            return np.zeros(self.m, dtype=bool)
+        return np.isin(self.paths, g).any(axis=1)
+
+    def invalidate_channels(self, ft: FatTree, gids) -> PathIndex:
+        """Delta-rebuild: a new index with ``gids`` re-read from ``ft``.
+
+        The path matrix and path lengths are *shared* with this index
+        (routing topology never changes under capacity mutation); only
+        the flat capacity vector is copied and patched at the named
+        gids.  This is the incremental-reroute primitive the chaos
+        recovery path uses instead of a from-scratch
+        ``PathIndex(ft, messages)`` rebuild: cost ``O(num_slots +
+        len(gids))`` versus ``O(m·depth)`` per-level passes.
+        """
+        if ft.n != self.n or ft.depth != self.depth:
+            raise ValueError("tree does not match this index")
+        clone: PathIndex = object.__new__(PathIndex)
+        clone.n = self.n
+        clone.depth = self.depth
+        clone.m = self.m
+        clone.num_slots = self.num_slots
+        clone.paths = self.paths
+        clone.path_len = self.path_len
+        caps = self.caps.copy()
+        for raw in gids:
+            gid = int(raw)
+            if not (0 <= gid < self.num_slots):
+                raise ValueError(f"gid {gid} outside this index's slot range")
+            if gid == PAD_GID:
+                continue  # the padding slot has no physical channel
+            level, index, d = unpack_gid(gid)
+            direction = Direction.UP if d == 0 else Direction.DOWN
+            caps[gid] = ft.chan_cap(level, index, direction)
+        caps.setflags(write=False)
+        clone.caps = caps
+        return clone
+
     def __repr__(self) -> str:
         return f"PathIndex(n={self.n}, m={self.m}, depth={self.depth})"
 
@@ -192,12 +243,54 @@ def _capacity_fingerprint(ft: FatTree) -> bytes:
     :class:`~repro.faults.FaultModel`, or any future dynamic-capacity
     path): a tree whose capacities change simply stops hitting the
     entries built against the old capacities.
+
+    The digest is cached on the tree under :data:`_FP_ATTR`, so a
+    lookup normally costs one attribute read instead of re-hashing
+    every capacity vector.  Tracked mutation APIs
+    (:meth:`~repro.faults.DegradedFatTree.apply_faults`,
+    :meth:`~repro.faults.DegradedFatTree.set_channel_caps`) *fold* a
+    delta digest into the cached value via
+    :func:`fold_capacity_fingerprint`; untracked assignment to a
+    degraded tree's capacity state drops the cached digest entirely so
+    the next lookup re-hashes from scratch.  Either way a stale index
+    can never be served: a wrong-but-fresh fingerprint only ever causes
+    a spurious cache miss, never a hit on old capacities.
     """
-    h = blake2b(digest_size=16)
-    for k in range(1, ft.depth + 1):
-        for d in (Direction.UP, Direction.DOWN):
-            h.update(np.ascontiguousarray(ft.cap_vector(k, d)).tobytes())
-    return h.digest()
+    fp: bytes | None = getattr(ft, _FP_ATTR, None)
+    if fp is None:
+        h = blake2b(digest_size=16)
+        for k in range(1, ft.depth + 1):
+            for d in (Direction.UP, Direction.DOWN):
+                h.update(np.ascontiguousarray(ft.cap_vector(k, d)).tobytes())
+        fp = h.digest()
+        setattr(ft, _FP_ATTR, fp)
+    return fp
+
+
+def fold_capacity_fingerprint(ft: FatTree, delta: bytes) -> None:
+    """Advance ``ft``'s cached capacity fingerprint by a mutation delta.
+
+    Chains ``fp' = H(fp ‖ delta)`` over the previously-cached
+    fingerprint.  Two trees sharing a fingerprint therefore share both
+    their pre-mutation capacity state and the mutation itself — i.e.
+    the chained digest still uniquely identifies the capacity state
+    among all keys a tree's cache has ever seen, while costing one
+    small hash per mutation instead of a full capacity-vector re-hash
+    per lookup.  No-op when no fingerprint is cached yet (the next
+    lookup computes one from scratch, which is equally safe).
+    """
+    fp: bytes | None = getattr(ft, _FP_ATTR, None)
+    if fp is not None:
+        h = blake2b(digest_size=16)
+        h.update(fp)
+        h.update(delta)
+        setattr(ft, _FP_ATTR, h.digest())
+
+
+def invalidate_capacity_fingerprint(ft: FatTree) -> None:
+    """Drop ``ft``'s cached capacity fingerprint (untracked mutation)."""
+    if getattr(ft, _FP_ATTR, None) is not None:
+        delattr(ft, _FP_ATTR)
 
 
 def get_path_index(ft: FatTree, messages: MessageSet, *, obs=None) -> PathIndex:

@@ -23,7 +23,11 @@ survive:
 * ``faulted``      — any of the above routed on a degraded tree
   (wire-kill fraction ≤ 1/4 and/or dead switches);
 * ``wide``         — any of the above on a constant-capacity tree wide
-  enough for the Corollary 2 hypothesis ``cap(c) > lg n``.
+  enough for the Corollary 2 hypothesis ``cap(c) > lg n``;
+* ``chaos``        — any of the above with a runtime fault timeline
+  (:class:`~repro.chaos.ChaosSchedule`) attached, driving the oracle's
+  self-healing checks (sometimes *empty*, which must be bit-identical
+  to a healthy run).
 
 All randomness flows through one ``numpy`` generator seeded from
 ``(seed, index)``, so ``generate_case(seed, i)`` is a pure function.
@@ -36,6 +40,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..chaos.timeline import ChaosEvent, ChaosSchedule, random_timeline
 from ..core.capacity import ConstantCapacity, UniversalCapacity
 from ..core.fattree import FatTree
 from ..core.message import MessageSet
@@ -71,6 +76,11 @@ class FuzzCase:
     seed:
         Seed handed to the randomised schedulers (random-rank,
         online-retry, switchsim) when the oracle runs the case.
+    chaos_events:
+        Optional runtime fault timeline (:class:`~repro.chaos.ChaosEvent`
+        rows, or their dicts) driving the oracle's chaos checks; empty
+        for ordinary cases, and omitted from the JSON encoding when
+        empty so pre-chaos corpus lines stay valid byte-for-byte.
     profile:
         ``"universal"`` (the paper's capacities, the default) or
         ``"constant"`` — every channel gets capacity ``w``, which is the
@@ -87,6 +97,7 @@ class FuzzCase:
     dead_switches: tuple[tuple[int, int], ...] = field(default_factory=tuple)
     seed: int = 0
     profile: str = "universal"
+    chaos_events: tuple[ChaosEvent, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         if len(self.src) != len(self.dst):
@@ -99,6 +110,14 @@ class FuzzCase:
             self,
             "dead_switches",
             tuple((int(a), int(b)) for a, b in self.dead_switches),
+        )
+        object.__setattr__(
+            self,
+            "chaos_events",
+            tuple(
+                ev if isinstance(ev, ChaosEvent) else ChaosEvent.from_dict(dict(ev))
+                for ev in self.chaos_events
+            ),
         )
 
     # -- materialisation -----------------------------------------------------
@@ -115,6 +134,15 @@ class FuzzCase:
     def has_faults(self) -> bool:
         """True iff the case carries any fault mask."""
         return bool(self.wire_fault_fraction) or bool(self.dead_switches)
+
+    @property
+    def has_chaos(self) -> bool:
+        """True iff the case carries a non-empty runtime fault timeline."""
+        return bool(self.chaos_events)
+
+    def chaos_timeline(self) -> ChaosSchedule:
+        """The runtime fault timeline (empty for ordinary cases)."""
+        return ChaosSchedule(self.chaos_events)
 
     def base_tree(self) -> FatTree:
         """The pristine fat-tree the case routes on."""
@@ -141,8 +169,12 @@ class FuzzCase:
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain-JSON-types dict (inverse of :meth:`from_dict`)."""
-        return {
+        """Plain-JSON-types dict (inverse of :meth:`from_dict`).
+
+        The chaos timeline is emitted under a ``"chaos"`` key only when
+        non-empty, so pre-chaos corpus lines round-trip unchanged.
+        """
+        row = {
             "label": self.label,
             "n": self.n,
             "w": self.w,
@@ -153,6 +185,9 @@ class FuzzCase:
             "seed": self.seed,
             "profile": self.profile,
         }
+        if self.chaos_events:
+            row["chaos"] = [ev.to_dict() for ev in self.chaos_events]
+        return row
 
     @classmethod
     def from_dict(cls, data: dict) -> "FuzzCase":
@@ -169,6 +204,7 @@ class FuzzCase:
             ),
             seed=int(data.get("seed", 0)),
             profile=str(data.get("profile", "universal")),
+            chaos_events=tuple(data.get("chaos", ())),
         )
 
     def to_json(self) -> str:
@@ -195,6 +231,8 @@ class FuzzCase:
             faults += f" wires-{self.wire_fault_fraction:.0%}"
         if self.dead_switches:
             faults += f" dead={len(self.dead_switches)}"
+        if self.chaos_events:
+            faults += f" chaos={len(self.chaos_events)}ev"
         profile = "" if self.profile == "universal" else f" [{self.profile}]"
         return (
             f"{self.label}: n={self.n} w={self.w}{profile} "
@@ -298,7 +336,11 @@ _BASE_GENERATORS = {
     "lambda": _gen_lambda_targeted,
 }
 
-GENERATOR_NAMES: tuple[str, ...] = tuple(_BASE_GENERATORS) + ("faulted", "wide")
+GENERATOR_NAMES: tuple[str, ...] = tuple(_BASE_GENERATORS) + (
+    "faulted",
+    "wide",
+    "chaos",
+)
 """The generator families ``generate_case`` draws from."""
 
 
@@ -337,6 +379,28 @@ def _add_faults(rng: np.random.Generator, case: FuzzCase) -> FuzzCase:
     )
 
 
+def _add_chaos(rng: np.random.Generator, case: FuzzCase) -> FuzzCase:
+    """Decorate a base case with a runtime fault timeline.
+
+    Scenarios stay in the self-healing regime (high repair bias, event
+    counts small relative to the horizon) so runs terminate briskly;
+    roughly one case in six draws *zero* events, keeping the oracle's
+    empty-timeline bit-identity check in the fuzz stream.
+    """
+    events = int(rng.integers(0, 6))
+    timeline = random_timeline(
+        case.base_tree(),
+        seed=int(rng.integers(0, 2**31)),
+        events=events,
+        horizon=int(rng.integers(4, 13)),
+        repair_bias=0.85,
+        allow_kills=bool(rng.random() < 0.5),
+    )
+    return replace(
+        case, label="chaos:" + case.label, chaos_events=timeline.events
+    )
+
+
 def generate_case(
     seed: int, index: int, *, max_n: int = 32
 ) -> FuzzCase:
@@ -355,14 +419,17 @@ def generate_case(
     w_choices = sorted({n, max(2, n // 2), max(2, round(n ** (2 / 3))), 2})
     w = int(w_choices[rng.integers(0, len(w_choices))])
     name = GENERATOR_NAMES[int(rng.integers(0, len(GENERATOR_NAMES)))]
-    if name in ("faulted", "wide"):
+    if name in ("faulted", "wide", "chaos"):
         base_name = tuple(_BASE_GENERATORS)[
             int(rng.integers(0, len(_BASE_GENERATORS)))
         ]
         case = _BASE_GENERATORS[base_name](rng, n, w)
-        case = (
-            _add_faults(rng, case) if name == "faulted" else _make_wide(rng, case)
-        )
+        decorate = {
+            "faulted": _add_faults,
+            "wide": _make_wide,
+            "chaos": _add_chaos,
+        }[name]
+        case = decorate(rng, case)
     else:
         case = _BASE_GENERATORS[name](rng, n, w)
     return replace(case, seed=int(rng.integers(0, 2**31)))

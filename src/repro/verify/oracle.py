@@ -24,7 +24,16 @@ through every entry point and cross-checks:
   end-to-end on the bit-serial switch simulator;
 * observability accounting: per-cycle ``cycle`` events match the
   returned schedule exactly, and tracing never perturbs the RNG
-  (traced and untraced runs are bit-identical).
+  (traced and untraced runs are bit-identical);
+* chaos conformance (:mod:`repro.chaos`): an *empty*-timeline chaos run
+  is bit-identical to the healthy run (run last, so it doubles as proof
+  that real-timeline chaos runs leave no footprint on the caller's
+  tree); for cases carrying a timeline, the chaos random-rank run and
+  the self-healing off-line executor both satisfy the strengthened
+  partition invariant (:meth:`Schedule.validate` over ``cycle_stats``),
+  delivered + dropped exactly partitions the message multiset, and the
+  cycles before the first fault event equal the healthy run's
+  (healthy-prefix equivalence).
 
 A failing case raises :class:`ConformanceError` carrying every failed
 check plus the case's JSON, which :mod:`repro.verify.shrink` then
@@ -154,6 +163,10 @@ class DifferentialOracle:
     check_obs:
         Re-run the instrumented stacks with tracing enabled and verify
         event accounting and RNG-neutrality.
+    check_chaos:
+        Run the chaos conformance checks (empty-timeline bit-identity
+        always; partition/accounting/healthy-prefix checks when the
+        case carries a timeline).
     """
 
     def __init__(
@@ -163,10 +176,12 @@ class DifferentialOracle:
         overrides: dict | None = None,
         run_hardware: bool = True,
         check_obs: bool = True,
+        check_chaos: bool = True,
     ):
         self.max_cycles = int(max_cycles)
         self.run_hardware = bool(run_hardware)
         self.check_obs = bool(check_obs)
+        self.check_chaos = bool(check_chaos)
         self._schedulers = _default_schedulers()
         if overrides:
             unknown = set(overrides) - set(self._schedulers)
@@ -247,6 +262,10 @@ class DifferentialOracle:
         if self.run_hardware:
             self._check_hardware(
                 ft, routable_input, nonself, lam, schedules, check, report
+            )
+        if self.check_chaos:
+            self._check_chaos(
+                ft, routable_input, expected, case, schedules, check, report
             )
         return report
 
@@ -476,6 +495,111 @@ class DifferentialOracle:
                     False,
                     f"switchsim: Theorem 1 schedule lost messages end-to-end: {exc}",
                 )
+
+    def _check_chaos(
+        self, ft, routable_input, expected, case, schedules, check, report
+    ) -> None:
+        """Chaos conformance: partition invariant, delivered + dropped
+        accounting and healthy-prefix equivalence for timeline cases,
+        then empty-timeline bit-identity (run last, so it doubles as a
+        no-footprint check on the caller's tree)."""
+        from ..chaos import ChaosSchedule, run_chaos_random_rank, run_chaos_schedule
+
+        healthy = schedules.get("random-rank")
+        if healthy is None:
+            return
+        timeline = case.chaos_timeline()
+        if not timeline.empty:
+            chaos_runs = [
+                (
+                    "chaos-random-rank",
+                    lambda: run_chaos_random_rank(
+                        ft,
+                        routable_input,
+                        timeline,
+                        seed=case.seed,
+                        max_cycles=self.max_cycles,
+                    ),
+                )
+            ]
+            if "theorem1" in schedules:
+                chaos_runs.append(
+                    (
+                        "chaos-theorem1",
+                        lambda: run_chaos_schedule(
+                            ft,
+                            routable_input,
+                            timeline,
+                            scheduler="theorem1",
+                            max_cycles=self.max_cycles,
+                        ),
+                    )
+                )
+            first_event = timeline.events[0].at
+            for name, run in chaos_runs:
+                try:
+                    sched = run()
+                except (
+                    DeliveryTimeout,
+                    ScheduleError,
+                    ValueError,
+                    RuntimeError,
+                    AssertionError,
+                ) as exc:
+                    check(False, f"{name}: raised {type(exc).__name__}: {exc}")
+                    continue
+                report.cycles[name] = sched.num_cycles
+                try:
+                    sched.validate(ft, routable_input)
+                    check(True, "")
+                except ScheduleError as exc:
+                    check(False, f"{name}: invalid chaos schedule: {exc}")
+                delivered = _delivered_counter(sched)
+                dropped = Counter(sched.dropped) if sched.dropped is not None else Counter()
+                check(
+                    delivered + dropped == expected,
+                    f"{name}: delivered + dropped does not partition the "
+                    "message multiset",
+                )
+                if name == "chaos-random-rank":
+                    pairs = _schedule_pairs(sched)
+                    healthy_pairs = _schedule_pairs(healthy)
+                    prefix = min(first_event, len(pairs), len(healthy_pairs))
+                    check(
+                        pairs[:prefix] == healthy_pairs[:prefix],
+                        f"{name}: cycles before the first fault event "
+                        f"(t < {first_event}) diverge from the healthy run",
+                    )
+        try:
+            empty = run_chaos_random_rank(
+                ft,
+                routable_input,
+                ChaosSchedule(),
+                seed=case.seed,
+                max_cycles=self.max_cycles,
+            )
+        except (
+            DeliveryTimeout,
+            ScheduleError,
+            ValueError,
+            RuntimeError,
+            AssertionError,
+        ) as exc:
+            check(
+                False,
+                f"chaos-empty: raised {type(exc).__name__}: {exc}",
+            )
+            return
+        check(
+            _schedule_pairs(empty) == _schedule_pairs(healthy),
+            "chaos-empty: empty-timeline chaos run is not bit-identical "
+            "to the healthy random-rank run",
+        )
+        try:
+            empty.validate(ft, routable_input)
+            check(True, "")
+        except ScheduleError as exc:
+            check(False, f"chaos-empty: invalid schedule: {exc}")
 
     @staticmethod
     def _hardware_seed(case: FuzzCase) -> int:

@@ -17,16 +17,72 @@ The predicate is any ``fails(case) -> bool`` callable; the fuzzer passes
 ``lambda c: not oracle.passes(c)``, and tests pass mutated oracles the
 same way.  Shrinking is deterministic: no randomness, and the moves are
 tried in a fixed order.
+
+Because every probe runs the full oracle (seven routing stacks), ddmin
+on a large case can take minutes.  :func:`shrink_case` therefore accepts
+an optional budget — ``max_checks`` predicate invocations and/or
+``max_seconds`` wall-clock — and returns the smallest failing case seen
+so far when the budget runs out, instead of a fully 1-minimal one.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import Callable
 
 from .generators import FuzzCase
 
 __all__ = ["shrink_case"]
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the shrink budget ran out mid-move."""
+
+
+class _BudgetedPredicate:
+    """Wrap ``fails`` with a check/wall-clock budget and best-case memory.
+
+    Every failing candidate the moves probe is remembered; if the budget
+    runs out mid-move (raising :class:`_BudgetExhausted`), the smallest
+    failing case seen — fewest messages, then smallest ``n``, then
+    fewest faults — is still available as :attr:`best`.
+    """
+
+    def __init__(
+        self,
+        fails: Callable[[FuzzCase], bool],
+        start: FuzzCase,
+        max_checks: int | None,
+        max_seconds: float | None,
+    ):
+        self._fails = fails
+        self.best = start
+        self.checks = 0
+        self.max_checks = max_checks
+        self.deadline = (
+            None if max_seconds is None else time.monotonic() + max_seconds
+        )
+
+    @staticmethod
+    def _size(case: FuzzCase) -> tuple[int, int, int, int]:
+        return (
+            len(case.src),
+            case.n,
+            len(case.dead_switches) + (1 if case.wire_fault_fraction else 0),
+            len(case.chaos_events),
+        )
+
+    def __call__(self, case: FuzzCase) -> bool:
+        if self.max_checks is not None and self.checks >= self.max_checks:
+            raise _BudgetExhausted
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise _BudgetExhausted
+        self.checks += 1
+        failing = self._fails(case)
+        if failing and self._size(case) < self._size(self.best):
+            self.best = case
+        return failing
 
 
 def _with_messages(case: FuzzCase, pairs: list[tuple[int, int]]) -> FuzzCase:
@@ -38,10 +94,29 @@ def _with_messages(case: FuzzCase, pairs: list[tuple[int, int]]) -> FuzzCase:
 def _try_clear_faults(
     case: FuzzCase, fails: Callable[[FuzzCase], bool]
 ) -> FuzzCase:
+    if case.has_chaos:
+        candidate = replace(case, chaos_events=())
+        if fails(candidate):
+            case = candidate
     if not case.has_faults:
         return case
     candidate = replace(case, wire_fault_fraction=0.0, dead_switches=())
     return candidate if fails(candidate) else case
+
+
+def _chaos_events_for(case: FuzzCase, n: int) -> tuple:
+    """The chaos events still addressable on the ``n``-processor tree."""
+    depth = n.bit_length() - 1
+    kept = []
+    for ev in case.chaos_events:
+        if ev.kind == "loss-rate":
+            kept.append(ev)
+        elif ev.kind in ("wire-drop", "wire-repair"):
+            if 1 <= ev.level <= depth and ev.index < (1 << ev.level):
+                kept.append(ev)
+        elif ev.level < depth and ev.index < (1 << ev.level):
+            kept.append(ev)
+    return tuple(kept)
 
 
 def _try_halve_n(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
@@ -66,6 +141,7 @@ def _try_halve_n(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
             src=tuple(p[0] for p in pairs),
             dst=tuple(p[1] for p in pairs),
             dead_switches=switches,
+            chaos_events=_chaos_events_for(case, half),
         )
         if pairs and fails(candidate):
             case = candidate
@@ -106,22 +182,39 @@ def shrink_case(
     fails: Callable[[FuzzCase], bool],
     *,
     max_rounds: int = 8,
+    max_checks: int | None = None,
+    max_seconds: float | None = None,
 ) -> FuzzCase:
     """Reduce ``case`` to a minimal case for which ``fails`` stays true.
 
     Raises ``ValueError`` if ``fails(case)`` is not already true (there
-    is nothing to preserve).  Runs the three reduction moves to a
-    fixpoint, at most ``max_rounds`` times; the result is 1-minimal with
-    respect to message removal (dropping any single message makes the
-    failure disappear).
+    is nothing to preserve; this confirmation probe is not counted
+    against the budget).  Runs the reduction moves to a fixpoint, at
+    most ``max_rounds`` times; an unbudgeted run's result is 1-minimal
+    with respect to message removal (dropping any single message makes
+    the failure disappear).
+
+    ``max_checks`` bounds the number of ``fails`` invocations and
+    ``max_seconds`` the wall-clock spent shrinking; when either budget
+    runs out mid-move, the smallest failing case probed so far is
+    returned instead of a fully minimal one.  Both default to
+    unbounded.
     """
+    if max_checks is not None and max_checks < 0:
+        raise ValueError(f"max_checks must be >= 0, got {max_checks}")
+    if max_seconds is not None and max_seconds < 0:
+        raise ValueError(f"max_seconds must be >= 0, got {max_seconds}")
     if not fails(case):
         raise ValueError("shrink_case needs a failing case to start from")
-    for _ in range(max_rounds):
-        before = case
-        case = _try_clear_faults(case, fails)
-        case = _try_halve_n(case, fails)
-        case = _ddmin_messages(case, fails)
-        if case == before:
-            break
+    budgeted = _BudgetedPredicate(fails, case, max_checks, max_seconds)
+    try:
+        for _ in range(max_rounds):
+            before = case
+            case = _try_clear_faults(case, budgeted)
+            case = _try_halve_n(case, budgeted)
+            case = _ddmin_messages(case, budgeted)
+            if case == before:
+                break
+    except _BudgetExhausted:
+        case = budgeted.best
     return replace(case, label=case.label + ":shrunk")

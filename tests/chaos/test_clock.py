@@ -1,0 +1,170 @@
+"""The chaos clock: applying timelines to a live degraded tree and
+predicting channel healing."""
+
+import pytest
+
+from repro.chaos import ChaosClock, ChaosEvent, ChaosSchedule
+from repro.core import ConstantCapacity, Direction, FatTree
+from repro.faults import DegradedFatTree, FaultModel
+from repro.perf import pack_gid
+
+# n=8 binary fat-tree (depth 3) with two wires per channel: small enough
+# to reason about gids by hand, capacious enough for partial damage.
+N, DEPTH, CAP = 8, 3, 2
+
+
+def _tree(faults=None):
+    return DegradedFatTree(
+        FatTree(N, ConstantCapacity(DEPTH, CAP)), faults or FaultModel()
+    )
+
+
+def _clock(events, faults=None):
+    tree = _tree(faults)
+    return tree, ChaosClock(tree, ChaosSchedule(tuple(events)))
+
+
+def _gid(level, index, direction=Direction.UP):
+    return int(pack_gid(level, index, int(direction is Direction.DOWN)))
+
+
+class TestAdvance:
+    def test_wire_drop_severs_and_repair_restores(self):
+        tree, clock = _clock([
+            ChaosEvent(at=1, kind="wire-drop", level=3, index=0,
+                       direction="up", count=CAP),
+            ChaosEvent(at=4, kind="wire-repair", level=3, index=0,
+                       direction="up", count=CAP),
+        ])
+        assert clock.advance_to(0) == ([], [])
+        assert clock.applied_events == 0
+        zeroed, restored = clock.advance_to(1)
+        assert zeroed == [_gid(3, 0)]
+        assert restored == []
+        assert tree.chan_cap(3, 0, Direction.UP) == 0
+        assert tree.chan_cap(3, 0, Direction.DOWN) == CAP  # other direction intact
+        assert _gid(3, 0) in clock.zero_gids
+        zeroed, restored = clock.advance_to(4)
+        assert restored == [_gid(3, 0)]
+        assert tree.chan_cap(3, 0, Direction.UP) == CAP
+        assert clock.exhausted
+
+    def test_partial_drop_changes_capacity_without_severing(self):
+        tree, clock = _clock([
+            ChaosEvent(at=0, kind="wire-drop", level=2, index=1,
+                       direction="down", count=1),
+        ])
+        zeroed, restored = clock.advance_to(0)
+        assert zeroed == [] and restored == []
+        assert clock.changed_gids == [_gid(2, 1, Direction.DOWN)]
+        assert tree.chan_cap(2, 1, Direction.DOWN) == CAP - 1
+
+    def test_rewind_rejected(self):
+        _, clock = _clock([])
+        clock.advance_to(3)
+        with pytest.raises(ValueError, match="rewind"):
+            clock.advance_to(2)
+
+    def test_switch_kill_severs_every_incident_channel(self):
+        tree, clock = _clock([
+            ChaosEvent(at=0, kind="switch-kill", level=1, index=0),
+        ])
+        zeroed, _ = clock.advance_to(0)
+        expect = {
+            _gid(1, 0, d) for d in (Direction.UP, Direction.DOWN)
+        } | {
+            _gid(2, x, d)
+            for x in (0, 1)
+            for d in (Direction.UP, Direction.DOWN)
+        }
+        assert set(zeroed) == expect
+        for level, index in ((1, 0), (2, 0), (2, 1)):
+            assert tree.chan_cap(level, index, Direction.UP) == 0
+            assert tree.chan_cap(level, index, Direction.DOWN) == 0
+
+    def test_switch_repair_leaves_wire_damage_in_place(self):
+        tree, clock = _clock([
+            ChaosEvent(at=0, kind="switch-kill", level=1, index=0),
+            ChaosEvent(at=0, kind="wire-drop", level=2, index=0,
+                       direction="up", count=CAP),
+            ChaosEvent(at=2, kind="switch-repair", level=1, index=0),
+        ])
+        clock.advance_to(0)
+        _, restored = clock.advance_to(2)
+        # the switch comes back, but channel (2,0) up still has no wires
+        assert _gid(2, 0) not in restored
+        assert _gid(1, 0) in restored
+        assert tree.chan_cap(2, 0, Direction.UP) == 0
+        assert tree.chan_cap(1, 0, Direction.UP) == CAP
+
+    def test_static_faults_compose_with_runtime_repair(self):
+        faults = FaultModel().kill_wires(3, 1, CAP)
+        tree, clock = _clock(
+            [ChaosEvent(at=1, kind="wire-repair", level=3, index=1, count=CAP)],
+            faults,
+        )
+        assert {_gid(3, 1, Direction.UP), _gid(3, 1, Direction.DOWN)} <= clock.zero_gids
+        _, restored = clock.advance_to(1)
+        assert set(restored) == {
+            _gid(3, 1, Direction.UP), _gid(3, 1, Direction.DOWN),
+        }
+        assert tree.chan_cap(3, 1, Direction.UP) == CAP
+
+    def test_loss_rate_override_and_reset(self):
+        tree, clock = _clock([
+            ChaosEvent(at=2, kind="loss-rate", rate=0.25),
+            ChaosEvent(at=5, kind="loss-rate", rate=0.0),
+        ])
+        assert clock.loss_rate(0.1) == 0.1  # no override yet
+        clock.advance_to(2)
+        assert clock.loss_rate(0.1) == 0.25
+        assert tree.faults.loss_rate == 0.25
+        clock.advance_to(5)
+        assert clock.loss_rate(0.1) == 0.0
+
+
+class TestHealCycle:
+    def test_scheduled_repair_is_predicted(self):
+        _, clock = _clock([
+            ChaosEvent(at=1, kind="wire-drop", level=3, index=0, count=CAP),
+            ChaosEvent(at=5, kind="wire-repair", level=3, index=0, count=CAP),
+        ])
+        clock.advance_to(1)
+        assert clock.heal_cycle(_gid(3, 0)) == 5
+        assert clock.heal_cycle(_gid(3, 0, Direction.DOWN)) == 5
+
+    def test_unrepaired_damage_returns_none(self):
+        _, clock = _clock([
+            ChaosEvent(at=0, kind="switch-kill", level=0, index=0),
+        ])
+        clock.advance_to(0)
+        assert clock.heal_cycle(_gid(1, 0)) is None
+
+    def test_healthy_channel_heals_now(self):
+        _, clock = _clock([
+            ChaosEvent(at=1, kind="wire-drop", level=3, index=0, count=CAP),
+        ])
+        clock.advance_to(1)
+        assert clock.heal_cycle(_gid(2, 0)) == 1  # untouched channel
+
+    def test_same_cycle_repair_and_rekill_heals_nothing(self):
+        # regression: a repair instantly re-killed in the same cycle is
+        # atomic — advance_to writes the net capacity once, so heal_cycle
+        # must not report the doomed repair as a healing cycle
+        _, clock = _clock([
+            ChaosEvent(at=1, kind="switch-kill", level=1, index=0),
+            ChaosEvent(at=3, kind="switch-repair", level=1, index=0),
+            ChaosEvent(at=3, kind="switch-kill", level=1, index=0),
+        ])
+        clock.advance_to(1)
+        assert clock.heal_cycle(_gid(1, 0)) is None
+
+    def test_heal_after_a_doomed_repair(self):
+        _, clock = _clock([
+            ChaosEvent(at=1, kind="switch-kill", level=1, index=0),
+            ChaosEvent(at=3, kind="switch-repair", level=1, index=0),
+            ChaosEvent(at=3, kind="switch-kill", level=1, index=0),
+            ChaosEvent(at=6, kind="switch-repair", level=1, index=0),
+        ])
+        clock.advance_to(1)
+        assert clock.heal_cycle(_gid(1, 0)) == 6

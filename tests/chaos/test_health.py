@@ -1,0 +1,158 @@
+"""Circuit breakers (repro.chaos.health) and the retry backoff policy
+(repro.faults.BackoffPolicy)."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import BreakerConfig, ChannelHealth
+from repro.chaos.health import CLOSED, HALF_OPEN, OPEN
+from repro.faults import BackoffPolicy
+from repro.obs import Obs
+
+GID = 10
+
+
+def _fail(health, t, gid=GID):
+    health.on_cycle(t, {gid: 2}, {})
+
+
+def _succeed(health, t, gid=GID):
+    health.on_cycle(t, {}, {gid: 1})
+
+
+def _advance_to_half_open(health, t, gid=GID):
+    """Tick blocked_gids forward until the breaker stops blocking."""
+    assert health.state_of(gid) == OPEN
+    for _ in range(2 * health.config.max_cooldown + 4):
+        if gid not in health.blocked_gids(t):
+            return t
+        t += 1
+    raise AssertionError("breaker never re-probed within the capped cooldown")
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            BreakerConfig(cooldown=0)
+        with pytest.raises(ValueError, match="max_cooldown"):
+            BreakerConfig(cooldown=8, max_cooldown=4)
+
+
+class TestBreakerStateMachine:
+    def test_trips_after_threshold_consecutive_failures(self):
+        health = ChannelHealth(BreakerConfig(failure_threshold=3, cooldown=2,
+                                             max_cooldown=8))
+        _fail(health, 0)
+        _fail(health, 1)
+        assert health.state_of(GID) == CLOSED
+        _fail(health, 2)
+        assert health.state_of(GID) == OPEN
+        assert health.open_count() == 1
+        assert GID in health.blocked_gids(3)
+
+    def test_success_resets_the_failure_streak(self):
+        health = ChannelHealth(BreakerConfig(failure_threshold=3))
+        _fail(health, 0)
+        _fail(health, 1)
+        _succeed(health, 2)
+        _fail(health, 3)
+        _fail(health, 4)
+        assert health.state_of(GID) == CLOSED
+
+    def test_mixed_cycle_is_not_a_failure(self):
+        health = ChannelHealth(BreakerConfig(failure_threshold=1))
+        # the channel carried attempts and some succeeded: healthy
+        health.on_cycle(0, {GID: 3}, {GID: 1})
+        assert health.state_of(GID) == CLOSED
+        assert health.transitions == 0
+
+    def test_half_open_success_closes(self):
+        health = ChannelHealth(BreakerConfig(failure_threshold=1, cooldown=2,
+                                             max_cooldown=8))
+        _fail(health, 0)
+        t = _advance_to_half_open(health, 1)
+        assert health.state_of(GID) == HALF_OPEN
+        _succeed(health, t)
+        assert health.state_of(GID) == CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        health = ChannelHealth(BreakerConfig(failure_threshold=3, cooldown=2,
+                                             max_cooldown=8))
+        for t in range(3):
+            _fail(health, t)
+        t = _advance_to_half_open(health, 3)
+        # one failed probe suffices, no need for a fresh streak of 3
+        _fail(health, t)
+        assert health.state_of(GID) == OPEN
+
+    def test_cooldown_is_capped_forever(self):
+        config = BreakerConfig(failure_threshold=1, cooldown=2, max_cooldown=4)
+        health = ChannelHealth(config)
+        t = 0
+        for _ in range(8):  # trips double the window, the cap must hold
+            _fail(health, t)
+            assert health.state_of(GID) == OPEN
+            reopened = _advance_to_half_open(health, t + 1)
+            assert reopened - (t + 1) <= config.max_cooldown + 1
+            t = reopened
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run():
+            health = ChannelHealth(
+                BreakerConfig(failure_threshold=1, cooldown=4,
+                              max_cooldown=32, jitter_seed=7)
+            )
+            blocked = []
+            _fail(health, 0)
+            for t in range(1, 48):
+                blocked.append(GID in health.blocked_gids(t))
+            return blocked
+
+        assert run() == run()
+
+    def test_unknown_channel_is_closed(self):
+        health = ChannelHealth()
+        assert health.state_of(999) == CLOSED
+        assert health.open_count() == 0
+        assert health.blocked_gids(0) == set()
+
+    def test_transitions_are_observable(self):
+        obs = Obs(enabled=True)
+        health = ChannelHealth(BreakerConfig(failure_threshold=1), obs=obs)
+        _fail(health, 0)
+        assert health.transitions == 1
+        assert obs.metrics.counter_value(
+            "breaker.transition", from_state=CLOSED, to_state=OPEN
+        ) == 1
+        events = obs.tracer.select("breaker")
+        assert events and events[0]["to_state"] == OPEN
+
+
+class TestBackoffPolicy:
+    def test_window_matches_capped_binary_exponential(self):
+        policy = BackoffPolicy(base=1, cap=16)
+        assert [policy.window(k) for k in range(1, 7)] == [1, 2, 4, 8, 16, 16]
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        assert BackoffPolicy(base=3, cap=50).window(10_000) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="base"):
+            BackoffPolicy(base=0)
+        with pytest.raises(ValueError, match="cap"):
+            BackoffPolicy(base=8, cap=4)
+        with pytest.raises(ValueError, match="attempts"):
+            BackoffPolicy().window(0)
+
+    def test_jitter_rng_defaults_to_the_callers_stream(self):
+        fallback = np.random.default_rng(1)
+        assert BackoffPolicy().jitter_rng(fallback) is fallback
+
+    def test_seeded_jitter_is_its_own_reproducible_stream(self):
+        fallback = np.random.default_rng(1)
+        a = BackoffPolicy(jitter_seed=5).jitter_rng(fallback)
+        b = BackoffPolicy(jitter_seed=5).jitter_rng(fallback)
+        assert a is not fallback
+        assert a.integers(0, 100, 8).tolist() == b.integers(0, 100, 8).tolist()

@@ -1,0 +1,141 @@
+"""Chaos timelines: event validation, compact serialisation, and the
+seeded scenario generator."""
+
+import pytest
+
+from repro.chaos import ChaosEvent, ChaosSchedule, random_timeline
+from repro.core import FatTree
+
+
+class TestChaosEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="event time"):
+            ChaosEvent(at=-1, kind="wire-drop", level=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            ChaosEvent(at=0, kind="meteor-strike")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            ChaosEvent(at=0, kind="wire-drop", level=1, direction="sideways")
+
+    def test_zero_wire_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            ChaosEvent(at=0, kind="wire-drop", level=1, count=0)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError, match="loss rate"):
+            ChaosEvent(at=0, kind="loss-rate", rate=1.0)
+        with pytest.raises(ValueError, match="loss rate"):
+            ChaosEvent(at=0, kind="loss-rate", rate=-0.1)
+        assert ChaosEvent(at=0, kind="loss-rate", rate=0.0).rate == 0.0
+
+    def test_negative_location_rejected(self):
+        with pytest.raises(ValueError, match="location"):
+            ChaosEvent(at=0, kind="switch-kill", level=-1)
+
+    def test_to_dict_is_compact_per_kind(self):
+        loss = ChaosEvent(at=3, kind="loss-rate", rate=0.25)
+        assert loss.to_dict() == {"at": 3, "kind": "loss-rate", "rate": 0.25}
+        kill = ChaosEvent(at=1, kind="switch-kill", level=2, index=3)
+        assert kill.to_dict() == {
+            "at": 1, "kind": "switch-kill", "level": 2, "index": 3,
+        }
+        drop = ChaosEvent(
+            at=0, kind="wire-drop", level=1, index=0, direction="up", count=2
+        )
+        assert set(drop.to_dict()) == {
+            "at", "kind", "level", "index", "direction", "count",
+        }
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            ChaosEvent(at=0, kind="wire-drop", level=2, index=1, count=3),
+            ChaosEvent(at=4, kind="wire-repair", level=1, direction="down"),
+            ChaosEvent(at=2, kind="switch-kill", level=0, index=0),
+            ChaosEvent(at=7, kind="switch-repair", level=1, index=1),
+            ChaosEvent(at=5, kind="loss-rate", rate=0.125),
+        ],
+    )
+    def test_dict_round_trip(self, event):
+        assert ChaosEvent.from_dict(event.to_dict()) == event
+
+
+class TestChaosSchedule:
+    def test_events_sorted_by_time_stably(self):
+        a = ChaosEvent(at=5, kind="switch-kill", level=1, index=0)
+        b = ChaosEvent(at=1, kind="wire-drop", level=1, index=1)
+        c = ChaosEvent(at=5, kind="switch-repair", level=1, index=0)
+        sched = ChaosSchedule((a, b, c))
+        assert sched.events == (b, a, c)  # ties keep given order
+
+    def test_empty_and_horizon(self):
+        assert ChaosSchedule().empty
+        assert ChaosSchedule().horizon == -1
+        sched = ChaosSchedule((ChaosEvent(at=9, kind="loss-rate", rate=0.1),))
+        assert not sched.empty
+        assert sched.horizon == 9
+        assert len(sched) == 1
+
+    def test_events_at(self):
+        a = ChaosEvent(at=2, kind="switch-kill", level=1, index=0)
+        b = ChaosEvent(at=4, kind="switch-repair", level=1, index=0)
+        sched = ChaosSchedule((a, b))
+        assert sched.events_at(2) == (a,)
+        assert sched.events_at(3) == ()
+
+    def test_json_round_trip_is_one_line(self):
+        sched = random_timeline(FatTree(16), seed=11, events=5)
+        text = sched.to_json()
+        assert "\n" not in text
+        assert ChaosSchedule.from_json(text) == sched
+
+
+class TestRandomTimeline:
+    def test_pure_function_of_seed(self):
+        ft = FatTree(16)
+        assert random_timeline(ft, seed=3) == random_timeline(ft, seed=3)
+        distinct = {random_timeline(ft, seed=s).to_json() for s in range(5)}
+        assert len(distinct) > 1
+
+    def test_allow_kills_false_has_no_switch_events(self):
+        ft = FatTree(16)
+        for seed in range(8):
+            sched = random_timeline(ft, seed=seed, events=8, allow_kills=False)
+            assert all(not ev.kind.startswith("switch") for ev in sched.events)
+
+    def test_zero_events_is_empty(self):
+        assert random_timeline(FatTree(8), seed=0, events=0).empty
+
+    def test_loss_storms_always_reset(self):
+        ft = FatTree(16)
+        for seed in range(12):
+            sched = random_timeline(ft, seed=seed, events=8)
+            for ev in sched.events:
+                if ev.kind == "loss-rate" and ev.rate > 0:
+                    assert any(
+                        other.kind == "loss-rate"
+                        and other.rate == 0.0
+                        and other.at > ev.at
+                        for other in sched.events
+                    ), f"unterminated loss storm (seed {seed}): {ev}"
+
+    def test_events_stay_on_the_tree(self):
+        ft = FatTree(16)
+        for seed in range(12):
+            for ev in random_timeline(ft, seed=seed, events=8).events:
+                if ev.kind in ("wire-drop", "wire-repair"):
+                    assert 1 <= ev.level <= ft.depth
+                    assert 0 <= ev.index < (1 << ev.level)
+                elif ev.kind in ("switch-kill", "switch-repair"):
+                    assert 0 <= ev.level < ft.depth
+                    assert 0 <= ev.index < (1 << ev.level)
+
+    def test_bad_arguments_rejected(self):
+        ft = FatTree(8)
+        with pytest.raises(ValueError, match="events"):
+            random_timeline(ft, seed=0, events=-1)
+        with pytest.raises(ValueError, match="horizon"):
+            random_timeline(ft, seed=0, horizon=-1)

@@ -215,6 +215,52 @@ class TestCache:
         assert after is not before
         assert int(after.caps[pack_gid(1, 0, 0)]) == 0
 
+    def test_invalidate_channels_matches_rebuild(self):
+        """The incremental-reroute primitive: patching the named gids
+        must equal a from-scratch rebuild while sharing the path matrix
+        (topology never changes under capacity mutation)."""
+        base = FatTree(16, ConstantCapacity(4, 2))
+        dft = DegradedFatTree(base, FaultModel())
+        m = uniform_random(16, 120, seed=5)
+        index = PathIndex(dft, m)
+        dft.set_channel_caps([(2, 1, Direction.UP, 0), (3, 0, Direction.DOWN, 1)])
+        patched = index.invalidate_channels(dft, [pack_gid(2, 1, 0), pack_gid(3, 0, 1)])
+        rebuilt = PathIndex(dft, m)
+        assert np.array_equal(patched.caps, rebuilt.caps)
+        assert patched.paths is index.paths  # shared, not copied
+        assert patched.path_len is index.path_len
+        # the original index is immutable: still the pristine capacities
+        assert int(index.caps[pack_gid(2, 1, 0)]) == 2
+
+    def test_invalidate_channels_rejects_foreign_input(self):
+        ft = FatTree(16)
+        index = PathIndex(ft, MessageSet([0], [5], 16))
+        with pytest.raises(ValueError, match="slot range"):
+            index.invalidate_channels(ft, [index.num_slots])
+        with pytest.raises(ValueError, match="does not match"):
+            index.invalidate_channels(FatTree(8), [2])
+
+    def test_two_successive_mutations_stay_fresh(self):
+        """Regression for fingerprint folding: *each* tracked capacity
+        mutation must advance the cache key, so a second mutation on
+        the same tree object can never resurrect the index built after
+        the first one."""
+        base = FatTree(16, ConstantCapacity(4, 2))
+        dft = DegradedFatTree(base, FaultModel())
+        m = uniform_random(16, 120, seed=3)
+        pristine = get_path_index(dft, m)
+
+        dft.set_channel_caps([(1, 0, Direction.UP, 0)])
+        first = get_path_index(dft, m)
+        assert first is not pristine
+        assert int(first.caps[pack_gid(1, 0, 0)]) == 0
+
+        dft.set_channel_caps([(1, 0, Direction.UP, 2), (1, 1, Direction.UP, 0)])
+        second = get_path_index(dft, m)
+        assert second is not first and second is not pristine
+        assert int(second.caps[pack_gid(1, 0, 0)]) == 2
+        assert int(second.caps[pack_gid(1, 1, 0)]) == 0
+
     def test_lru_eviction_is_bounded(self):
         from repro.perf import pathindex as px
 

@@ -125,3 +125,56 @@ class TestGenerateCase:
         assert wide, "no wide cases in 200 draws"
         for case in wide:
             assert capacity_ratio(case.tree()) > 1.0
+
+
+class TestChaosCases:
+    def test_chaos_events_round_trip(self):
+        case = FuzzCase(
+            label="chaotic",
+            n=8,
+            w=4,
+            src=(0, 1),
+            dst=(7, 6),
+            chaos_events=(
+                {"at": 1, "kind": "switch-kill", "level": 1, "index": 0},
+                {"at": 4, "kind": "loss-rate", "rate": 0.2},
+            ),
+        )
+        assert case.has_chaos
+        row = case.to_dict()
+        assert "chaos" in row
+        assert FuzzCase.from_dict(row) == case
+        assert FuzzCase.from_json(case.to_json()) == case
+        assert "chaos=2ev" in case.describe()
+
+    def test_chaos_free_rows_stay_byte_identical(self):
+        # corpus back-compat: no "chaos" key unless events exist, so
+        # pre-chaos corpus lines round-trip without diffs
+        case = FuzzCase(label="plain", n=8, w=4, src=(0,), dst=(7,))
+        assert not case.has_chaos
+        assert "chaos" not in case.to_dict()
+        assert case.chaos_timeline().empty
+
+    def test_chaos_family_generates_replayable_timelines(self):
+        from repro.chaos import EVENT_KINDS
+
+        chaotic = []
+        for i in range(120):
+            case = generate_case(5, i, max_n=16)
+            if case.label.startswith("chaos:"):
+                chaotic.append(case)
+        assert chaotic, "no chaos cases in 120 draws"
+        assert any(c.has_chaos for c in chaotic)
+        for case in chaotic:
+            timeline = case.chaos_timeline()
+            depth = case.base_tree().depth
+            for ev in timeline.events:
+                assert ev.kind in EVENT_KINDS
+                if ev.kind.startswith("wire"):
+                    assert 1 <= ev.level <= depth
+                elif ev.kind.startswith("switch"):
+                    assert 0 <= ev.level < depth
+
+    def test_chaos_family_is_deterministic(self):
+        for i in range(20):
+            assert generate_case(9, i).to_json() == generate_case(9, i).to_json()

@@ -108,3 +108,61 @@ def test_cycle_counts_respect_lambda_floor(clean_oracle):
         floor = math.ceil(report.lam) if report.num_routable else 0
         for name, cycles in report.cycles.items():
             assert cycles >= floor, f"{name} beat the λ lower bound"
+
+
+def test_chaos_checks_cover_timeline_cases(clean_oracle):
+    case = FuzzCase(
+        label="chaotic",
+        n=8,
+        w=8,
+        src=(0, 1, 2, 5),
+        dst=(7, 6, 5, 2),
+        chaos_events=(
+            {"at": 1, "kind": "wire-drop", "level": 1, "index": 0, "count": 2},
+            {"at": 3, "kind": "wire-repair", "level": 1, "index": 0, "count": 2},
+        ),
+    )
+    report = clean_oracle.check(case)
+    assert "chaos-random-rank" in report.cycles
+    assert "chaos-theorem1" in report.cycles
+
+
+def test_chaos_checks_catch_a_broken_chaos_runner(clean_oracle, monkeypatch):
+    """The empty-timeline identity check runs on every case: a chaos
+    runner that silently loses a delivery cycle must fail conformance."""
+    import repro.chaos as chaos_mod
+
+    real = chaos_mod.run_chaos_random_rank
+
+    def lossy(ft, messages, timeline, **kwargs):
+        import dataclasses as dc
+
+        sched = real(ft, messages, timeline, **kwargs)
+        if sched.cycles:
+            return dc.replace(
+                sched,
+                cycles=sched.cycles[:-1],
+                cycle_stats=sched.cycle_stats[:-1],
+            )
+        return sched
+
+    monkeypatch.setattr(chaos_mod, "run_chaos_random_rank", lossy)
+    case = FuzzCase(label="u", n=8, w=8, src=(0, 1, 2), dst=(7, 6, 5))
+    with pytest.raises(ConformanceError) as excinfo:
+        clean_oracle.check(case)
+    assert any("chaos" in f for f in excinfo.value.failures)
+    assert not clean_oracle.passes(case)
+
+
+def test_chaos_checks_can_be_disabled():
+    oracle = DifferentialOracle(check_chaos=False)
+    case = FuzzCase(
+        label="chaotic",
+        n=8,
+        w=8,
+        src=(0, 1),
+        dst=(7, 6),
+        chaos_events=({"at": 0, "kind": "switch-kill", "level": 1, "index": 0},),
+    )
+    report = oracle.check(case)
+    assert "chaos-random-rank" not in report.cycles

@@ -93,6 +93,95 @@ def test_shrink_halves_n_when_possible():
     assert fails(small)
 
 
+def test_shrink_clears_irrelevant_chaos_events():
+    case = FuzzCase(
+        label="c",
+        n=8,
+        w=4,
+        src=tuple(range(8)),
+        dst=tuple(reversed(range(8))),
+        chaos_events=(
+            {"at": 1, "kind": "switch-kill", "level": 1, "index": 0},
+            {"at": 3, "kind": "loss-rate", "rate": 0.2},
+        ),
+    )
+    assert case.has_chaos
+    small = shrink_case(case, lambda c: len(c.src) >= 1)
+    assert not small.has_chaos
+    assert len(small.src) == 1
+
+
+def test_halving_n_keeps_only_addressable_chaos_events():
+    # the level-5 wire event only exists on the n=32 tree; halving must
+    # filter it rather than produce an unreplayable case
+    def fails(c: FuzzCase) -> bool:
+        return any(s < 4 and d < 4 for s, d in zip(c.src, c.dst))
+
+    case = FuzzCase(
+        label="local",
+        n=32,
+        w=8,
+        src=(0, 17), dst=(3, 19),
+        chaos_events=(
+            {"at": 0, "kind": "wire-drop", "level": 5, "index": 31},
+            {"at": 1, "kind": "loss-rate", "rate": 0.1},
+        ),
+    )
+    small = shrink_case(case, fails)
+    assert small.n < 32
+    depth = small.n.bit_length() - 1
+    for ev in small.chaos_events:
+        assert ev.kind == "loss-rate" or ev.level <= depth
+
+
+class TestShrinkBudget:
+    def _counting(self, fails):
+        calls = {"n": 0}
+
+        def wrapped(c):
+            calls["n"] += 1
+            return fails(c)
+
+        return wrapped, calls
+
+    def test_zero_checks_returns_the_starting_case(self):
+        case = _saturating_case()
+        small = shrink_case(case, lambda c: len(c.src) >= 1, max_checks=0)
+        assert small.src == case.src  # no probe budget: nothing shrinks
+        assert small.label.endswith(":shrunk")
+
+    def test_confirmation_probe_is_not_budgeted(self):
+        fails, calls = self._counting(lambda c: len(c.src) >= 1)
+        shrink_case(_saturating_case(), fails, max_checks=5)
+        assert calls["n"] <= 1 + 5  # one unbudgeted confirm + the budget
+
+    def test_exhausted_budget_returns_smallest_failing_probe(self):
+        case = _saturating_case()
+        small = shrink_case(case, lambda c: len(c.src) >= 1, max_checks=3)
+        assert len(small.src) <= len(case.src)
+        assert len(small.src) >= 1  # still failing, never a passing case
+
+    def test_zero_seconds_budget_is_immediate(self):
+        case = _saturating_case()
+        small = shrink_case(case, lambda c: len(c.src) >= 1, max_seconds=0.0)
+        assert small.src == case.src
+
+    def test_negative_budgets_rejected(self):
+        case = _saturating_case()
+        with pytest.raises(ValueError, match="max_checks"):
+            shrink_case(case, lambda c: True, max_checks=-1)
+        with pytest.raises(ValueError, match="max_seconds"):
+            shrink_case(case, lambda c: True, max_seconds=-0.5)
+
+    def test_generous_budget_still_fully_minimises(self, mutant_oracle):
+        case = _saturating_case()
+        predicate = lambda c: not mutant_oracle.passes(c)  # noqa: E731
+        unbudgeted = shrink_case(case, predicate)
+        budgeted = shrink_case(case, predicate, max_checks=10_000,
+                               max_seconds=300.0)
+        assert len(budgeted.src) == len(unbudgeted.src)
+
+
 def test_shrink_is_idempotent(mutant_oracle):
     case = _saturating_case()
     predicate = lambda c: not mutant_oracle.passes(c)  # noqa: E731
