@@ -148,6 +148,47 @@ def cmd_schedule(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    import time
+
+    from .perf import clear_path_index_cache
+    from .perf.batch import _reference_batch_schedule, batch_schedule
+
+    ft = _make_fattree(args.n, args.w)
+    sets = [
+        _make_traffic(args.traffic, args.n, args.messages, args.seed + b)
+        for b in range(args.batch)
+    ]
+    clear_path_index_cache(ft)
+    t0 = time.perf_counter()
+    scheds = batch_schedule(ft, sets, kernel=args.kernel, seed=args.seed)
+    batched_s = time.perf_counter() - t0
+    clear_path_index_cache(ft)
+    t0 = time.perf_counter()
+    _reference_batch_schedule(ft, sets, kernel=args.kernel, seed=args.seed)
+    serial_s = time.perf_counter() - t0
+    total_m = sum(len(s) for s in sets)
+    rows = [
+        {"set": b, "messages": len(sets[b]), "cycles": scheds[b].num_cycles}
+        for b in range(min(len(sets), 8))
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"batched {args.kernel}: B={args.batch} sets of "
+            f"{args.traffic} traffic on n={args.n} w={ft.root_capacity}"
+            + (f" (first 8 of {len(sets)} sets)" if len(sets) > 8 else ""),
+        )
+    )
+    speedup = serial_s / batched_s if batched_s else float("inf")
+    print(
+        f"\n{total_m} messages in {batched_s:.4f}s batched "
+        f"({total_m / batched_s:,.0f} msg/s) vs {serial_s:.4f}s serial "
+        f"loop — {speedup:.2f}x"
+    )
+    return 0
+
+
 def cmd_simulate(args) -> int:
     from .universality import simulate_network_on_fattree
 
@@ -768,6 +809,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="off-line scheduling (Thm 1 / Cor 2)")
     common(p, traffic=True)
     p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser(
+        "batch", help="batched 3-D scheduling: B message sets in one pass"
+    )
+    common(p, traffic=True)
+    p.add_argument(
+        "--batch", type=int, default=32, help="number of message sets B"
+    )
+    p.add_argument(
+        "--kernel", default="greedy", choices=["greedy", "random_rank"]
+    )
+    p.set_defaults(fn=cmd_batch)
 
     p = sub.add_parser("simulate", help="Theorem 10 equal-volume simulation")
     p.add_argument("--n", type=int, default=64)

@@ -14,10 +14,11 @@ for the even-split partitioner:
   the seed.
 
 Both route over the shared :class:`~repro.perf.PathIndex`.  First-fit
-residual tracking is one 2-D ``(cycles, channels)`` int64 matrix over
-flat channel gids — the fit test and the path decrement are each a
-single vectorised operation — replacing the per-level dict-of-arrays
-bookkeeping, which is retained in
+placement is resolved by the wave-based certainty-interval engine
+:func:`repro.perf.firstfit.first_fit_assign` — whole-array passes per
+delivery cycle instead of a numpy round-trip per message, which is what
+made the tier-1 kernel *slower* than pure Python at small ``n``.  The
+per-level dict-of-arrays bookkeeping is retained in
 :func:`_reference_schedule_greedy_first_fit` as the equality oracle
 (identical placements for every input and order).
 """
@@ -45,16 +46,27 @@ __all__ = [
 ]
 
 
-def _placement_order(ft: FatTree, routable: MessageSet, order: str) -> np.ndarray:
+def _placement_order(
+    ft: FatTree,
+    routable: MessageSet,
+    order: str,
+    path_len: np.ndarray | None = None,
+) -> np.ndarray:
     m = len(routable)
     if order == "given":
         return np.arange(m)
     if order == "random":
         return np.random.default_rng(0).permutation(m)
     if order == "longest-first":
-        lengths = np.array(
-            [ft.path_length(int(s), int(d)) for s, d in routable], dtype=np.int64
-        )
+        if path_len is None:
+            lengths = np.array(
+                [ft.path_length(int(s), int(d)) for s, d in routable],
+                dtype=np.int64,
+            )
+        else:
+            # PathIndex.path_len holds exactly ft.path_length per message,
+            # already vectorised — same values, same stable argsort
+            lengths = path_len
         return np.argsort(-lengths, kind="stable")
     raise ValueError(f"unknown order {order!r}")
 
@@ -79,6 +91,7 @@ def schedule_greedy_first_fit(
     """
     from ..obs import resolve_obs
     from ..perf import get_path_index
+    from ..perf.firstfit import first_fit_assign
 
     obs = resolve_obs(obs)
     routable = messages.without_self_messages()
@@ -88,41 +101,14 @@ def schedule_greedy_first_fit(
         raise UnroutableError(routable.take(~mask).as_pairs())
     n_self = len(messages) - len(routable)
     m = len(routable)
-    perm = _placement_order(ft, routable, order)
+    perm = _placement_order(ft, routable, order, path_len=index.path_len)
 
-    # residual[t, gid] = wires of channel gid still free in cycle t; rows
-    # are appended lazily and grown geometrically.  The padding slot's
-    # huge capacity lets whole padded path rows index it untested.
-    fresh = index.caps
-    residual = np.empty((0, index.num_slots), dtype=np.int64)
-    num_cycles = 0
+    # the wave engine consumes path rows in processing order and returns
+    # the exact sequential first-fit cycle per row (see repro.perf.firstfit)
     assignment = np.zeros(m, dtype=np.int64)
     with obs.kernel("schedule_greedy_first_fit", n=ft.n, m=m, order=order):
-        for i in perm:
-            path = index.paths[i]
-            # first-fit scan in blocks of cycles: keeps the early exit of the
-            # scalar scan while testing a whole block per vector op
-            t = num_cycles
-            for start in range(0, num_cycles, 64):
-                fits = (residual[start : min(start + 64, num_cycles), path] > 0).all(
-                    axis=1
-                )
-                if fits.any():
-                    t = start + int(np.argmax(fits))
-                    break
-            if t == num_cycles:
-                if num_cycles == residual.shape[0]:
-                    grown = np.empty(
-                        (max(4, 2 * residual.shape[0]), index.num_slots),
-                        dtype=np.int64,
-                    )
-                    grown[: residual.shape[0]] = residual
-                    residual = grown
-                residual[num_cycles] = fresh
-                num_cycles += 1
-            # a path never repeats a channel, so fancy-index decrement is exact
-            residual[t, path] -= 1
-            assignment[i] = t
+        wave_cycle, num_cycles = first_fit_assign(index.paths[perm], index.caps)
+        assignment[perm] = wave_cycle
 
     cycles = [routable.take(assignment == t) for t in range(num_cycles)]
     if obs.enabled:

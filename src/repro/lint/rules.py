@@ -292,9 +292,10 @@ _SCHEDULER_MODULES = {
     "repro.hardware.switchsim",
     "repro.hardware.buffered",
     "repro.chaos.engine",
+    "repro.perf.batch",
 }
 
-_ENTRY_POINT_PREFIXES = ("schedule_", "simulate_", "run_")
+_ENTRY_POINT_PREFIXES = ("schedule_", "simulate_", "run_", "batch_")
 
 
 @register_rule

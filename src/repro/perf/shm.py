@@ -1,0 +1,235 @@
+"""Shared-memory :class:`PathIndex` segments for multi-process sweeps.
+
+A parallel :func:`repro.analysis.sweep.sweep` forks N workers that all
+route the same ``(tree, message set)`` pairs — and, before this module,
+each worker rebuilt every :class:`~repro.perf.PathIndex` privately: the
+per-process LRU cache cannot see across process boundaries, so an
+N-worker sweep paid the path derivation N times and held N copies of
+the packed-gid matrix in memory.
+
+:class:`SharedPathIndexArena` lifts the index into
+:mod:`multiprocessing.shared_memory` instead.  The parent builds each
+index once and *publishes* it — ``paths``, ``caps`` and ``path_len``
+packed back-to-back into one segment named ``repro_pi_…`` — keyed by
+:func:`~repro.perf.pathindex.index_cache_key` (message digest +
+capacity fingerprint, so a worker can only ever match a segment whose
+messages *and* per-channel capacities agree exactly with what it asked
+for).  Workers attach each segment once per process
+(:func:`install_shared_indexes`), wrap the buffers in read-only numpy
+views, and register the resulting indexes in a process-global registry
+that :func:`~repro.perf.get_path_index` consults on every LRU miss —
+schedulers need no changes and fall back to a private build whenever a
+key is absent.
+
+Lifecycle
+---------
+The parent owns the segments: :meth:`SharedPathIndexArena.close`
+unlinks them, and the sweep integration calls it in a ``finally`` block
+so the names are removed from the system even when a worker crashes
+hard (``BrokenProcessPool``) or the sweep raises.  CPython registers
+shared memory with :mod:`multiprocessing.resource_tracker` on attach as
+well as on create; a *spawned* worker (own tracker process) must revoke
+that registration or its tracker would unlink the segment out from
+under the parent when the worker exits, while a *forked* worker (tracker
+shared with the parent) must leave it alone or it would steal the
+parent's own registration.  Workers tell the two apart by comparing
+their tracker pid against the one recorded in the spec at publish time.
+A worker killed mid-run therefore leaks nothing: its mappings die with
+the process and the names remain owned — and eventually unlinked — by
+the parent.
+
+Mutation semantics are preserved: the shared views are read-only, and
+:meth:`PathIndex.invalidate_channels` on a registry-served index copies
+the capacity vector before patching it (the paths matrix stays the
+shared mapping), exactly the delta-rebuild contract the chaos recovery
+path relies on.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..core.fattree import FatTree
+    from ..core.message import MessageSet
+
+from .pathindex import PathIndex, get_path_index, index_cache_key
+
+__all__ = [
+    "SHM_NAME_PREFIX",
+    "SharedPathIndexArena",
+    "install_shared_indexes",
+    "shared_index_lookup",
+]
+
+SHM_NAME_PREFIX = "repro_pi_"
+
+# process-global registry of attached shared indexes, keyed like the
+# per-tree LRU; the handle list keeps the mappings alive for the
+# lifetime of the worker (dropping a SharedMemory object unmaps it,
+# which would pull the buffer out from under the registered views)
+_REGISTRY: dict[bytes, PathIndex] = {}
+_HANDLES: dict[str, shared_memory.SharedMemory] = {}
+
+
+def shared_index_lookup(key: bytes) -> PathIndex | None:
+    """The registered shared index under ``key``, or None."""
+    return _REGISTRY.get(key)
+
+
+@atexit.register
+def _detach_all() -> None:
+    # Interpreter teardown destroys module globals in arbitrary order:
+    # SharedMemory.__del__ on an attached handle raises BufferError if
+    # the registry's numpy views still export its buffer.  Drop the
+    # views first, collect to release their exports, then close.
+    _REGISTRY.clear()
+    gc.collect()
+    handles = list(_HANDLES.values())
+    _HANDLES.clear()
+    for shm in handles:
+        try:
+            shm.close()
+        except (BufferError, FileNotFoundError):  # a view outlived the registry
+            pass
+
+
+def _install_one(spec: dict) -> None:
+    name = spec["name"]
+    if name in _HANDLES:
+        return  # already attached in this process
+    shm = shared_memory.SharedMemory(name=name)
+    # CPython registers shared memory on attach as well as on create.
+    # Whether that registration must be revoked depends on how this
+    # worker was started: a *forked* worker shares the parent's
+    # resource-tracker process, where the name is already registered by
+    # the owner — unregistering there would steal the parent's own
+    # registration (its unlink then trips a KeyError in the tracker).
+    # A *spawned* worker runs its own tracker, which would unlink the
+    # segment out from under the parent when this worker exits — there
+    # the attach registration must go.
+    tracker = resource_tracker._resource_tracker
+    if getattr(tracker, "_pid", None) != spec.get("tracker_pid"):
+        resource_tracker.unregister(shm._name, "shared_memory")
+    m, width, num_slots = spec["m"], spec["width"], spec["num_slots"]
+    paths = np.frombuffer(
+        shm.buf, dtype=np.int64, count=m * width, offset=0
+    ).reshape(m, width)
+    caps = np.frombuffer(
+        shm.buf, dtype=np.int64, count=num_slots, offset=m * width * 8
+    )
+    path_len = np.frombuffer(
+        shm.buf, dtype=np.int64, count=m, offset=(m * width + num_slots) * 8
+    )
+    for arr in (paths, caps, path_len):
+        arr.setflags(write=False)
+    index: PathIndex = object.__new__(PathIndex)
+    index.n = spec["n"]
+    index.depth = spec["depth"]
+    index.m = m
+    index.num_slots = num_slots
+    index.paths = paths
+    index.caps = caps
+    index.path_len = path_len
+    _HANDLES[name] = shm
+    _REGISTRY[bytes.fromhex(spec["key"])] = index
+
+
+def install_shared_indexes(specs: list[dict]) -> int:
+    """Attach published segments and register their indexes (worker side).
+
+    Idempotent per process: a segment already attached is skipped, so
+    calling this once per sweep task costs one dict probe per spec
+    after the first task.  A segment that has vanished (the parent
+    already unlinked it) is skipped silently — the worker then simply
+    rebuilds privately, which is always correct.  Returns the number of
+    indexes newly attached.
+    """
+    before = len(_HANDLES)
+    for spec in specs:
+        try:
+            _install_one(spec)
+        except FileNotFoundError:  # parent already tore the arena down
+            continue
+    return len(_HANDLES) - before
+
+
+class SharedPathIndexArena:
+    """Parent-side owner of published shared-memory path indexes.
+
+    Use as a context manager (or call :meth:`close` in a ``finally``):
+    every published segment is unlinked on exit, so no names survive
+    the sweep regardless of how it ends.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._specs: list[dict] = []
+        self._counter = 0
+
+    def publish(self, ft: FatTree, messages: MessageSet) -> dict:
+        """Build (or fetch from the tree's LRU) the index of
+        ``(ft, messages)`` and copy it into a fresh shared segment.
+
+        Returns the picklable spec workers pass to
+        :func:`install_shared_indexes`.  Publishing also warms the
+        parent's own cache, so a serial fallback path sees the same
+        hits.
+        """
+        index = get_path_index(ft, messages)
+        key = index_cache_key(ft, messages)
+        m, width = index.paths.shape
+        num_slots = index.num_slots
+        nbytes = (m * width + num_slots + m) * 8
+        self._counter += 1
+        name = f"{SHM_NAME_PREFIX}{os.getpid()}_{self._counter}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+        buf = np.frombuffer(shm.buf, dtype=np.int64, count=m * width + num_slots + m)
+        buf[: m * width] = index.paths.reshape(-1)
+        buf[m * width : m * width + num_slots] = index.caps
+        buf[m * width + num_slots :] = index.path_len
+        spec = {
+            "name": name,
+            "key": key.hex(),
+            "n": index.n,
+            "depth": index.depth,
+            "m": m,
+            "width": width,
+            "num_slots": num_slots,
+            # creating the segment above ensured the tracker is running;
+            # workers compare against this to detect a fork-shared tracker
+            "tracker_pid": getattr(
+                resource_tracker._resource_tracker, "_pid", None
+            ),
+        }
+        self._segments.append(shm)
+        self._specs.append(spec)
+        return spec
+
+    @property
+    def specs(self) -> list[dict]:
+        """Picklable specs of every published segment."""
+        return list(self._specs)
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        self._specs = []
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked elsewhere
+                pass
+
+    def __enter__(self) -> SharedPathIndexArena:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

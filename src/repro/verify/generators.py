@@ -27,7 +27,11 @@ survive:
 * ``chaos``        — any of the above with a runtime fault timeline
   (:class:`~repro.chaos.ChaosSchedule`) attached, driving the oracle's
   self-healing checks (sometimes *empty*, which must be bit-identical
-  to a healthy run).
+  to a healthy run);
+* ``batched``      — any of the above plus extra message sets, driving
+  the oracle's :func:`repro.perf.batch_schedule` check (the batched
+  pass must be bit-identical to scheduling each set alone, healthy or
+  degraded; extras are sometimes *empty*, which must stay legal).
 
 All randomness flows through one ``numpy`` generator seeded from
 ``(seed, index)``, so ``generate_case(seed, i)`` is a pure function.
@@ -81,6 +85,14 @@ class FuzzCase:
         rows, or their dicts) driving the oracle's chaos checks; empty
         for ordinary cases, and omitted from the JSON encoding when
         empty so pre-chaos corpus lines stay valid byte-for-byte.
+    batch:
+        Optional extra message sets as ``(src, dst)`` endpoint-tuple
+        pairs over the same ``n`` processors.  When non-empty the oracle
+        schedules the primary set plus these extras in one
+        :func:`repro.perf.batch_schedule` call and holds the result
+        bit-identical to scheduling each set alone.  Omitted from the
+        JSON encoding when empty, so pre-batch corpus lines round-trip
+        unchanged.
     profile:
         ``"universal"`` (the paper's capacities, the default) or
         ``"constant"`` — every channel gets capacity ``w``, which is the
@@ -98,10 +110,16 @@ class FuzzCase:
     seed: int = 0
     profile: str = "universal"
     chaos_events: tuple[ChaosEvent, ...] = field(default_factory=tuple)
+    batch: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...] = field(
+        default_factory=tuple
+    )
 
     def __post_init__(self):
         if len(self.src) != len(self.dst):
             raise ValueError("src and dst lengths differ")
+        for i, (bsrc, bdst) in enumerate(self.batch):
+            if len(bsrc) != len(bdst):
+                raise ValueError(f"batch[{i}]: src and dst lengths differ")
         if self.profile not in ("universal", "constant"):
             raise ValueError(f"unknown capacity profile {self.profile!r}")
         object.__setattr__(self, "src", tuple(int(s) for s in self.src))
@@ -117,6 +135,14 @@ class FuzzCase:
             tuple(
                 ev if isinstance(ev, ChaosEvent) else ChaosEvent.from_dict(dict(ev))
                 for ev in self.chaos_events
+            ),
+        )
+        object.__setattr__(
+            self,
+            "batch",
+            tuple(
+                (tuple(int(s) for s in bsrc), tuple(int(d) for d in bdst))
+                for bsrc, bdst in self.batch
             ),
         )
 
@@ -139,6 +165,25 @@ class FuzzCase:
     def has_chaos(self) -> bool:
         """True iff the case carries a non-empty runtime fault timeline."""
         return bool(self.chaos_events)
+
+    @property
+    def has_batch(self) -> bool:
+        """True iff the case carries extra message sets for the batched
+        scheduler check."""
+        return bool(self.batch)
+
+    def batch_message_sets(self) -> list[MessageSet]:
+        """Every message set of the batched check, primary set first."""
+        sets = [self.message_set()]
+        for bsrc, bdst in self.batch:
+            sets.append(
+                MessageSet(
+                    np.array(bsrc, dtype=np.int64),
+                    np.array(bdst, dtype=np.int64),
+                    self.n,
+                )
+            )
+        return sets
 
     def chaos_timeline(self) -> ChaosSchedule:
         """The runtime fault timeline (empty for ordinary cases)."""
@@ -171,8 +216,9 @@ class FuzzCase:
     def to_dict(self) -> dict:
         """Plain-JSON-types dict (inverse of :meth:`from_dict`).
 
-        The chaos timeline is emitted under a ``"chaos"`` key only when
-        non-empty, so pre-chaos corpus lines round-trip unchanged.
+        The chaos timeline is emitted under a ``"chaos"`` key and the
+        extra batched message sets under a ``"batch"`` key only when
+        non-empty, so earlier corpus lines round-trip unchanged.
         """
         row = {
             "label": self.label,
@@ -187,6 +233,8 @@ class FuzzCase:
         }
         if self.chaos_events:
             row["chaos"] = [ev.to_dict() for ev in self.chaos_events]
+        if self.batch:
+            row["batch"] = [[list(s), list(d)] for s, d in self.batch]
         return row
 
     @classmethod
@@ -205,6 +253,9 @@ class FuzzCase:
             seed=int(data.get("seed", 0)),
             profile=str(data.get("profile", "universal")),
             chaos_events=tuple(data.get("chaos", ())),
+            batch=tuple(
+                (tuple(s), tuple(d)) for s, d in data.get("batch", ())
+            ),
         )
 
     def to_json(self) -> str:
@@ -233,6 +284,8 @@ class FuzzCase:
             faults += f" dead={len(self.dead_switches)}"
         if self.chaos_events:
             faults += f" chaos={len(self.chaos_events)}ev"
+        if self.batch:
+            faults += f" batch={1 + len(self.batch)}sets"
         profile = "" if self.profile == "universal" else f" [{self.profile}]"
         return (
             f"{self.label}: n={self.n} w={self.w}{profile} "
@@ -340,6 +393,7 @@ GENERATOR_NAMES: tuple[str, ...] = tuple(_BASE_GENERATORS) + (
     "faulted",
     "wide",
     "chaos",
+    "batched",
 )
 """The generator families ``generate_case`` draws from."""
 
@@ -401,6 +455,29 @@ def _add_chaos(rng: np.random.Generator, case: FuzzCase) -> FuzzCase:
     )
 
 
+def _add_batch(rng: np.random.Generator, case: FuzzCase) -> FuzzCase:
+    """Decorate a base case with extra message sets for the batched
+    scheduler check (:func:`repro.perf.batch_schedule`).
+
+    Roughly three batched cases in ten first gain a fault mask, so the
+    bit-parity contract is also exercised on degraded trees; roughly one
+    extra set in eight is drawn *empty*, keeping "a batch containing an
+    empty set" in the fuzz stream.
+    """
+    if rng.random() < 0.3:
+        case = _add_faults(rng, case)
+    extras: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for _ in range(int(rng.integers(1, 4))):
+        m = 0 if rng.random() < 0.125 else int(rng.integers(1, 2 * case.n))
+        extras.append(
+            (
+                tuple(rng.integers(0, case.n, size=m).tolist()),
+                tuple(rng.integers(0, case.n, size=m).tolist()),
+            )
+        )
+    return replace(case, label="batched:" + case.label, batch=tuple(extras))
+
+
 def generate_case(
     seed: int, index: int, *, max_n: int = 32
 ) -> FuzzCase:
@@ -419,7 +496,7 @@ def generate_case(
     w_choices = sorted({n, max(2, n // 2), max(2, round(n ** (2 / 3))), 2})
     w = int(w_choices[rng.integers(0, len(w_choices))])
     name = GENERATOR_NAMES[int(rng.integers(0, len(GENERATOR_NAMES)))]
-    if name in ("faulted", "wide", "chaos"):
+    if name in ("faulted", "wide", "chaos", "batched"):
         base_name = tuple(_BASE_GENERATORS)[
             int(rng.integers(0, len(_BASE_GENERATORS)))
         ]
@@ -428,6 +505,7 @@ def generate_case(
             "faulted": _add_faults,
             "wide": _make_wide,
             "chaos": _add_chaos,
+            "batched": _add_batch,
         }[name]
         case = decorate(rng, case)
     else:

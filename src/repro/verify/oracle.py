@@ -18,6 +18,11 @@ through every entry point and cross-checks:
   ``d <= 2·ceil((a/(a−1))·λ)``;
 * bit-identical parity between the vectorised kernels and their
   retained pure-Python reference oracles;
+* batched conformance for cases carrying extra message sets: one
+  :func:`repro.perf.batch_schedule` call over every set must be
+  bit-identical, set by set, to scheduling each set alone (greedy and
+  random-rank kernels), and each per-set schedule must deliver exactly
+  its own message multiset;
 * identical delivered multisets across all stacks (including the
   switch simulator's retry loop and the buffered design);
 * zero congestion losses when the Theorem 1 schedule is executed
@@ -252,6 +257,8 @@ class DifferentialOracle:
             ft, routable_input, case, lower, check, report
         )
         self._check_kernel_parity(ft, routable_input, case, schedules, check)
+        if case.has_batch:
+            self._check_batched(ft, routable_input, case, check)
         for name, sched in schedules.items():
             check(
                 _delivered_counter(sched) == expected,
@@ -375,6 +382,61 @@ class DifferentialOracle:
                 "greedy: vectorised first-fit diverges from the "
                 "pure-Python reference",
             )
+
+    def _check_batched(self, ft, routable_input, case, check) -> None:
+        """One :func:`repro.perf.batch_schedule` call over every set of
+        the case must be bit-identical, set by set, to scheduling each
+        set alone, and each per-set schedule must deliver exactly its
+        own message multiset — on healthy and degraded trees alike."""
+        from ..perf.batch import _reference_batch_schedule, batch_schedule
+
+        sets = [routable_input]
+        for extra in case.batch_message_sets()[1:]:
+            sets.append(extra.take(ft.routable_mask(extra)))
+        for kernel in ("greedy", "random_rank"):
+            try:
+                batched = batch_schedule(
+                    ft,
+                    sets,
+                    kernel=kernel,
+                    seed=case.seed,
+                    max_cycles=self.max_cycles,
+                )
+                serial = _reference_batch_schedule(
+                    ft,
+                    sets,
+                    kernel=kernel,
+                    seed=case.seed,
+                    max_cycles=self.max_cycles,
+                )
+            except (
+                UnroutableError,
+                DeliveryTimeout,
+                ScheduleError,
+                ValueError,
+                RuntimeError,
+                AssertionError,
+            ) as exc:
+                check(False, f"batched-{kernel}: raised {type(exc).__name__}: {exc}")
+                continue
+            if not check(
+                len(batched) == len(sets),
+                f"batched-{kernel}: {len(batched)} schedules for "
+                f"{len(sets)} message sets",
+            ):
+                continue
+            for b, (bat, ser, ms) in enumerate(zip(batched, serial, sets)):
+                check(
+                    _schedule_pairs(bat) == _schedule_pairs(ser),
+                    f"batched-{kernel}: set {b} diverges from scheduling "
+                    "the set alone",
+                )
+                check(
+                    _delivered_counter(bat)
+                    == Counter(ms.without_self_messages()),
+                    f"batched-{kernel}: set {b} delivered multiset differs "
+                    "from its message set",
+                )
 
     def _check_obs_accounting(
         self, ft, routable_input, case, schedules, check

@@ -5,7 +5,8 @@ bug report.  :func:`shrink_case` reduces any failing
 :class:`~repro.verify.FuzzCase` to a (locally) minimal reproducer while
 preserving the failure, using three reduction moves run to a fixpoint:
 
-1. **clear faults** — drop the wire-kill fraction and dead switches;
+1. **clear faults** — drop the chaos timeline, the extra batched
+   message sets, then the wire-kill fraction and dead switches;
 2. **halve n** — keep only messages with both endpoints in the lower
    half and rebuild the case on the half-size tree (``w`` clamped,
    out-of-range dead switches dropped);
@@ -65,12 +66,13 @@ class _BudgetedPredicate:
         )
 
     @staticmethod
-    def _size(case: FuzzCase) -> tuple[int, int, int, int]:
+    def _size(case: FuzzCase) -> tuple[int, int, int, int, int]:
         return (
             len(case.src),
             case.n,
             len(case.dead_switches) + (1 if case.wire_fault_fraction else 0),
             len(case.chaos_events),
+            sum(len(bsrc) for bsrc, _ in case.batch) + len(case.batch),
         )
 
     def __call__(self, case: FuzzCase) -> bool:
@@ -96,6 +98,10 @@ def _try_clear_faults(
 ) -> FuzzCase:
     if case.has_chaos:
         candidate = replace(case, chaos_events=())
+        if fails(candidate):
+            case = candidate
+    if case.has_batch:
+        candidate = replace(case, batch=())
         if fails(candidate):
             case = candidate
     if not case.has_faults:
@@ -134,6 +140,13 @@ def _try_halve_n(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
             for level, index in case.dead_switches
             if level < depth and index < (1 << level)
         )
+        batch = tuple(
+            (
+                tuple(s for s, d in zip(bsrc, bdst) if s < half and d < half),
+                tuple(d for s, d in zip(bsrc, bdst) if s < half and d < half),
+            )
+            for bsrc, bdst in case.batch
+        )
         candidate = replace(
             case,
             n=half,
@@ -142,6 +155,7 @@ def _try_halve_n(case: FuzzCase, fails: Callable[[FuzzCase], bool]) -> FuzzCase:
             dst=tuple(p[1] for p in pairs),
             dead_switches=switches,
             chaos_events=_chaos_events_for(case, half),
+            batch=batch,
         )
         if pairs and fails(candidate):
             case = candidate

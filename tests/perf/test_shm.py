@@ -1,0 +1,196 @@
+"""Tests for the shared-memory path-index arena (repro.perf.shm) and
+its ``sweep(share_paths=...)`` integration.
+
+The crash test is the load-bearing one: a worker dying hard
+(``os._exit``) breaks the pool, and the parent must still unlink every
+published ``/dev/shm/repro_pi_*`` segment — shared memory outliving the
+sweep would leak system-wide, not just per-process.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.core import FatTree, MessageSet
+from repro.core.greedy import schedule_greedy_first_fit
+from repro.perf import (
+    clear_path_index_cache,
+    get_path_index,
+    index_cache_key,
+)
+from repro.perf.shm import (
+    SHM_NAME_PREFIX,
+    SharedPathIndexArena,
+    _HANDLES,
+    _REGISTRY,
+    install_shared_indexes,
+    shared_index_lookup,
+)
+from repro.workloads import uniform_random
+
+
+def _leftover_segments():
+    return glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with an empty in-process registry, so
+    in-process installs cannot leak shared views across tests."""
+    import gc
+
+    before_handles = dict(_HANDLES)
+    before_registry = dict(_REGISTRY)
+    yield
+    for key in set(_REGISTRY) - set(before_registry):
+        del _REGISTRY[key]
+    handles = [
+        _HANDLES.pop(name) for name in set(_HANDLES) - set(before_handles)
+    ]
+    # the registered indexes exported numpy views over the buffers;
+    # collect them before closing or mmap refuses to unmap
+    gc.collect()
+    for shm in handles:
+        shm.close()
+
+
+def _case(n=64, m=128, seed=0):
+    rng = np.random.default_rng(seed)
+    ft = FatTree(n)
+    ms = MessageSet(rng.integers(0, n, m), rng.integers(0, n, m), n)
+    return ft, ms
+
+
+def _run(n, seed, m):
+    """Module-level sweep body (picklable into pool workers)."""
+    rng = np.random.default_rng(seed)
+    ft = FatTree(n)
+    ms = MessageSet(rng.integers(0, n, m), rng.integers(0, n, m), n)
+    sched = schedule_greedy_first_fit(ft, ms)
+    return {"cycles": sched.num_cycles}
+
+
+def _crash_run(n, seed, m):
+    """Module-level sweep body that kills its worker outright."""
+    os._exit(1)
+
+
+class TestArena:
+    def test_publish_install_roundtrip(self):
+        """A published segment, attached in-process, yields a read-only
+        index with byte-identical contents under the published key."""
+        ft, ms = _case()
+        original = get_path_index(ft, ms)
+        with SharedPathIndexArena() as arena:
+            spec = arena.publish(ft, ms)
+            assert spec["name"].startswith(SHM_NAME_PREFIX)
+            assert install_shared_indexes([spec]) == 1
+            shared = shared_index_lookup(index_cache_key(ft, ms))
+            assert shared is not None
+            assert np.array_equal(shared.paths, original.paths)
+            assert np.array_equal(shared.caps, original.caps)
+            assert np.array_equal(shared.path_len, original.path_len)
+            for arr in (shared.paths, shared.caps, shared.path_len):
+                assert not arr.flags.writeable
+            # idempotent: a second install attaches nothing new
+            assert install_shared_indexes([spec]) == 0
+        assert not _leftover_segments()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        ft, ms = _case()
+        arena = SharedPathIndexArena()
+        arena.publish(ft, ms)
+        assert _leftover_segments()
+        arena.close()
+        assert not _leftover_segments()
+        arena.close()  # second close is a no-op
+
+    def test_install_skips_vanished_segment(self):
+        """A spec whose segment the parent already unlinked is skipped
+        silently — the worker then just rebuilds privately."""
+        ft, ms = _case()
+        arena = SharedPathIndexArena()
+        spec = arena.publish(ft, ms)
+        arena.close()
+        assert install_shared_indexes([spec]) == 0
+        assert shared_index_lookup(bytes.fromhex(spec["key"])) is None
+
+    def test_cache_miss_consults_shared_registry(self):
+        """get_path_index must serve the installed shared index on an
+        LRU miss instead of rebuilding (identity, not just equality)."""
+        ft, ms = _case(seed=7)
+        with SharedPathIndexArena() as arena:
+            spec = arena.publish(ft, ms)
+            install_shared_indexes([spec])
+            clear_path_index_cache(ft)
+            served = get_path_index(ft, ms)
+            assert served is shared_index_lookup(index_cache_key(ft, ms))
+
+    def test_invalidate_channels_on_shared_index(self):
+        """The chaos delta-rebuild primitive must work on a read-only
+        shared view: caps copied and patched, paths still shared."""
+        from repro.core import Direction
+        from repro.faults import DegradedFatTree, FaultModel
+        from repro.perf import pack_gid
+
+        base = FatTree(16)
+        dft = DegradedFatTree(base, FaultModel())
+        ms = uniform_random(16, 60, seed=3)
+        with SharedPathIndexArena() as arena:
+            spec = arena.publish(dft, ms)
+            install_shared_indexes([spec])
+            shared = shared_index_lookup(index_cache_key(dft, ms))
+            dft.set_channel_caps([(2, 1, Direction.UP, 0)])
+            patched = shared.invalidate_channels(dft, [pack_gid(2, 1, 0)])
+            assert patched.paths is shared.paths  # topology stays shared
+            assert int(patched.caps[pack_gid(2, 1, 0)]) == 0
+            # the shared view itself is untouched
+            assert int(shared.caps[pack_gid(2, 1, 0)]) != 0
+
+
+class TestSweepIntegration:
+    PARAMS = [{"n": 64, "seed": s, "m": 128} for s in range(6)]
+
+    def _share(self):
+        ft, ms = _case()
+        return [(ft, ms.without_self_messages())]
+
+    def test_parallel_rows_identical_to_serial(self):
+        serial = sweep(_run, self.PARAMS)
+        shared = sweep(_run, self.PARAMS, n_jobs=2, share_paths=self._share())
+        assert shared == serial
+        assert not _leftover_segments()
+
+    def test_serial_share_paths_warms_cache(self):
+        rows = sweep(_run, self.PARAMS[:2], share_paths=self._share())
+        assert all("cycles" in row for row in rows)
+        assert not _leftover_segments()
+
+    def test_segments_unlinked_after_worker_crash(self):
+        """A worker dying hard must not leak segments: the arena's
+        ``finally`` unlink runs even through BrokenProcessPool, and
+        ``on_error="capture"`` turns the wreckage into error rows."""
+        rows = sweep(
+            _crash_run,
+            self.PARAMS,
+            n_jobs=2,
+            on_error="capture",
+            share_paths=self._share(),
+        )
+        assert len(rows) == len(self.PARAMS)
+        assert all("error" in row for row in rows)
+        assert not _leftover_segments()
+
+    def test_segments_unlinked_when_sweep_raises(self):
+        with pytest.raises(Exception):
+            sweep(
+                _crash_run,
+                self.PARAMS,
+                n_jobs=2,
+                on_error="raise",
+                share_paths=self._share(),
+            )
+        assert not _leftover_segments()

@@ -65,6 +65,24 @@ class TestSchedule:
         assert code == 0
 
 
+class TestBatch:
+    def test_default_greedy(self, capsys):
+        code, out = run(
+            capsys, "batch", "--n", "32", "--batch", "4", "--messages", "16"
+        )
+        assert code == 0
+        assert "batched greedy" in out
+        assert "msg/s" in out
+
+    def test_random_rank_large_batch_truncates_table(self, capsys):
+        code, out = run(
+            capsys, "batch", "--n", "32", "--batch", "12",
+            "--messages", "8", "--kernel", "random_rank",
+        )
+        assert code == 0
+        assert "first 8 of 12 sets" in out
+
+
 class TestSimulate:
     @pytest.mark.parametrize(
         "network", ["mesh", "hypercube", "shuffle", "tree", "torus"]
