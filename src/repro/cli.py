@@ -373,17 +373,31 @@ def cmd_trace(args) -> int:
             return 2
     m = _make_traffic(args.traffic, args.n, args.messages, args.seed)
     obs = Obs(enabled=True)
-    label = _run_traced(args, ft, m, obs)
+    interrupted = False
+    try:
+        label = _run_traced(args, ft, m, obs)
+    except KeyboardInterrupt:
+        # Flush whatever the tracer captured before Ctrl-C: a partial
+        # JSONL trace is still a valid, loadable artifact.
+        interrupted = True
+        label = args.scheduler
 
     if args.jsonl:
         text = obs.tracer.to_jsonl()
         if args.jsonl == "-":
             sys.stdout.write(text)
+            sys.stdout.flush()
         else:
             with open(args.jsonl, "w", encoding="utf-8") as fh:
                 fh.write(text)
-            print(f"wrote {len(obs.tracer)} events to {args.jsonl}")
-        return 0
+            print(
+                f"wrote {len(obs.tracer)} events to {args.jsonl}"
+                + (" (interrupted; partial trace)" if interrupted else "")
+            )
+        return 130 if interrupted else 0
+    if interrupted:
+        print("interrupted", file=sys.stderr)
+        return 130
 
     cycles = obs.tracer.select("cycle")
     if cycles:
@@ -782,6 +796,60 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the routing daemon (stdin/stdout JSON lines, or TCP)."""
+    import asyncio
+
+    from .faults import DegradedFatTree, FaultModel
+    from .serve import ServeConfig, ServeEngine, serve_stdio, serve_tcp
+
+    config = ServeConfig(
+        n=args.n,
+        w=args.w,
+        shards=args.shards,
+        lambda_ceiling=args.lambda_ceiling,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1e3,
+        warm_sets=args.warm_sets,
+        warm_messages=args.warm_messages,
+    )
+    tenants = {}
+    for spec in args.tenant or []:
+        name, _, frac_text = spec.partition(":")
+        try:
+            frac = float(frac_text) if frac_text else 0.0
+            if not name or not (0.0 <= frac < 1.0):
+                raise ValueError(spec)
+        except ValueError:
+            print(
+                f"invalid --tenant spec {spec!r} (want NAME:FRAC, 0 <= FRAC < 1)",
+                file=sys.stderr,
+            )
+            return 2
+        base = _make_fattree(args.n, args.w)
+        model = FaultModel(seed=args.seed)
+        if frac:
+            model.kill_wire_fraction(base, frac)
+        tenants[name] = DegradedFatTree(base, model)
+
+    engine = ServeEngine(config, tenants=tenants)
+    code = 0
+    try:
+        if args.port is not None:
+            asyncio.run(serve_tcp(engine, args.host, args.port))
+        else:
+            asyncio.run(serve_stdio(engine))
+    except KeyboardInterrupt:
+        # SIGINT is the daemon's off switch: drain the shard pool and
+        # unlink the shared-memory arena (finally below), then 130.
+        print("interrupted — shutting down shards", file=sys.stderr)
+        code = 130
+    finally:
+        engine.close()
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -1009,6 +1077,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
+        "serve",
+        help="routing-as-a-service daemon: JSON lines over stdin or TCP",
+    )
+    common(p)
+    p.add_argument(
+        "--shards", type=int, default=2,
+        help="shard worker processes (0 = schedule inline, no pool)",
+    )
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="listen on TCP PORT (default: serve stdin/stdout)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p.add_argument(
+        "--lambda-ceiling", dest="lambda_ceiling", type=float, default=4096.0,
+        help="aggregate in-flight λ(M) admission ceiling (429 beyond)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="max admitted-but-unfinished requests (503 beyond)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=32,
+        help="requests coalesced into one batch_schedule call",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="max time a request waits for batch-mates",
+    )
+    p.add_argument(
+        "--warm-sets", type=int, default=0,
+        help="seeded warm PathIndexes per tenant published to shared memory",
+    )
+    p.add_argument(
+        "--warm-messages", type=int, default=256,
+        help="messages per warm set",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="fault-model seed for --tenant"
+    )
+    p.add_argument(
+        "--tenant", action="append", metavar="NAME:FRAC",
+        help="add a degraded tenant fault domain with FRAC of wires killed "
+        "(repeatable; e.g. --tenant spotty:0.25)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
         "experiment", help="regenerate a DESIGN.md experiment table (e01-e21)"
     )
     p.add_argument("id", help="experiment id, e.g. e07, or 'all'")
@@ -1031,6 +1147,21 @@ def main(argv=None) -> int:
     except (UnroutableError, DeliveryTimeout) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    except BrokenPipeError:
+        # The reader of our stdout (e.g. ``... | head``) went away
+        # mid-stream.  Truncated output is the reader's choice, not an
+        # error — but the interpreter would still flush sys.stdout at
+        # shutdown and print an unraisable traceback.  Re-point the fd
+        # at devnull so that final flush cannot fail, then exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except KeyboardInterrupt:
+        # Ctrl-C on a long run (trace/fuzz/chaos/serve) is a normal way
+        # to stop; commands with partial output to save handle it
+        # themselves first (cmd_trace flushes JSONL, cmd_serve drains).
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,6 +53,16 @@ class CapacityProfile:
         self.depth = depth
         self._cache: dict[int, int] = {}
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the per-level memo so a warm profile pickles
+        byte-identical to a cold one (values are pure in ``_raw_cap``)."""
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     def cap(self, level: int) -> int:
         """Capacity (wire count) of any channel at the given level."""
         if not (0 <= level <= self.depth):

@@ -99,6 +99,35 @@ class FatTree:
         self.capacity = capacity
         self._cap_vectors: dict[tuple[int, Direction], IntArray] = {}
 
+    # -- pickling ----------------------------------------------------------
+
+    #: Instance attributes that are pure derived caches, rebuilt on
+    #: demand: the per-tree path-index LRU and capacity fingerprint that
+    #: ``repro.perf.pathindex`` stashes on the tree via ``setattr``.
+    #: Pickling must not carry them — every ProcessPool dispatch
+    #: (parallel sweeps, the ``repro.serve`` shards) pickles the tree per
+    #: task, and a warm LRU hauls entire path matrices across the
+    #: process boundary, silently defeating the shared-memory arena.
+    _EPHEMERAL_ATTRS: tuple[str, ...] = ("_path_index_cache", "_capacity_fp")
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without derived caches: warm trees pickle byte-identical
+        to cold ones.
+
+        Dropping ``_capacity_fp`` is safe by construction — the
+        fingerprint semantics guarantee a rebuilt hash can only cause a
+        spurious cache miss, never a stale hit.  ``_cap_vectors`` is
+        reset rather than popped because ``__init__`` always creates it.
+        """
+        state = dict(self.__dict__)
+        for attr in self._EPHEMERAL_ATTRS:
+            state.pop(attr, None)
+        state["_cap_vectors"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     # -- structure ---------------------------------------------------------
 
     def cap(self, level: int) -> int:

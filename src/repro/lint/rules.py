@@ -293,6 +293,7 @@ _SCHEDULER_MODULES = {
     "repro.hardware.buffered",
     "repro.chaos.engine",
     "repro.perf.batch",
+    "repro.serve.shards",
 }
 
 _ENTRY_POINT_PREFIXES = ("schedule_", "simulate_", "run_", "batch_")
@@ -374,6 +375,7 @@ _DETERMINISTIC_MODULES = (
     "repro.hardware",
     "repro.faults",
     "repro.chaos",
+    "repro.serve",
 )
 
 

@@ -363,9 +363,12 @@ def get_path_index(ft: FatTree, messages: MessageSet, *, obs=None) -> PathIndex:
         result = "shared" if index is not None else "miss"
         if index is None:
             index = PathIndex(ft, messages)
-        cache[key] = index
-        if len(cache) > _CACHE_MAXSIZE:
+        # Evict *before* inserting: evicting afterwards let the cache
+        # transiently hold _CACHE_MAXSIZE + 1 indexes — one full extra
+        # path matrix pinned at exactly the moment memory peaks.
+        while len(cache) >= _CACHE_MAXSIZE:
             cache.popitem(last=False)
+        cache[key] = index
     else:
         cache.move_to_end(key)
         result = "hit"

@@ -1,0 +1,134 @@
+"""Regression tests: pickled trees must not carry path-index caches.
+
+The per-tree LRU that :func:`repro.perf.get_path_index` stashes on the
+``FatTree`` instance used to ride along with every pickle — so each
+ProcessPool dispatch (parallel sweeps, serve shards) shipped the whole
+warm cache across the process boundary, defeating the shared-memory
+arena.  ``FatTree.__getstate__`` now drops the ephemeral attributes;
+these tests pin that, the cold-start behaviour of workers, and the
+evict-before-insert bound on the LRU itself.
+"""
+
+import pickle
+from collections import OrderedDict
+
+import pytest
+
+from repro.core import FatTree, schedule_greedy_first_fit, schedule_random_rank
+from repro.faults import DegradedFatTree, FaultModel
+from repro.perf import get_path_index
+from repro.perf.pathindex import _CACHE_ATTR, _CACHE_MAXSIZE
+from repro.workloads import uniform_random
+
+
+def _warm(ft, m=128, seed=0):
+    get_path_index(ft, uniform_random(ft.n, m, seed=seed))
+    return ft
+
+
+def _degraded(n=64, seed=3, frac=0.1):
+    base = FatTree(n)
+    model = FaultModel(seed=seed).kill_wire_fraction(base, frac)
+    return DegradedFatTree(base, model)
+
+
+class TestWarmColdPickleParity:
+    def test_fattree_warm_equals_cold(self):
+        cold, warm = FatTree(64), _warm(FatTree(64))
+        assert getattr(warm, _CACHE_ATTR, None), "warm tree should hold a cache"
+        assert len(pickle.dumps(warm)) == len(pickle.dumps(cold))
+        # byte-comparable, not merely same-sized
+        assert pickle.dumps(warm) == pickle.dumps(cold)
+
+    def test_degraded_warm_equals_cold(self):
+        cold, warm = _degraded(), _warm(_degraded())
+        assert pickle.dumps(warm) == pickle.dumps(cold)
+
+    def test_multiple_cached_sets_do_not_grow_payload(self):
+        warm = FatTree(256)
+        for seed in range(5):
+            _warm(warm, m=512, seed=seed)
+        assert len(pickle.dumps(warm)) == len(pickle.dumps(FatTree(256)))
+
+    def test_real_degraded_state_still_pickles(self):
+        # _eff per-channel capacities are real state, not cache: they
+        # must survive the round-trip exactly.
+        dft = _warm(_degraded())
+        clone = pickle.loads(pickle.dumps(dft))
+        m = uniform_random(64, 96, seed=7)
+        a = schedule_random_rank(dft, m, seed=11)
+        b = schedule_random_rank(clone, m, seed=11)
+        assert [c.as_pairs() for c in a.cycles] == [c.as_pairs() for c in b.cycles]
+
+    def test_unpickled_tree_starts_cold_then_rebuilds(self):
+        warm = _warm(FatTree(32))
+        clone = pickle.loads(pickle.dumps(warm))
+        assert getattr(clone, _CACHE_ATTR, None) is None
+        m = uniform_random(32, 64, seed=2)
+        a = schedule_greedy_first_fit(warm, m)
+        b = schedule_greedy_first_fit(clone, m)
+        assert a.num_cycles == b.num_cycles
+        assert [c.as_pairs() for c in a.cycles] == [c.as_pairs() for c in b.cycles]
+        assert getattr(clone, _CACHE_ATTR, None), "clone rebuilds its own cache"
+
+
+def _worker_probe(tree, seed):
+    """Sweep worker body: report whether the tree arrived with a cache."""
+    return {"had_cache": getattr(tree, _CACHE_ATTR, None) is not None}
+
+
+class TestSweepWorkersStartCold:
+    def test_parallel_sweep_workers_see_no_inherited_cache(self):
+        from repro.analysis import sweep
+
+        ft = _warm(FatTree(32), m=64, seed=1)
+        params = [{"tree": ft, "seed": s} for s in range(4)]
+        rows = sweep(_worker_probe, params, n_jobs=2)
+        assert len(rows) == 4
+        assert all(row["had_cache"] is False for row in rows)
+
+
+class _RecordingCache(OrderedDict):
+    """An OrderedDict that tracks the largest size it ever reached."""
+
+    max_len = 0
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.max_len = max(self.max_len, len(self))
+
+
+class TestEvictBeforeInsert:
+    def test_cache_never_exceeds_maxsize(self):
+        ft = FatTree(32)
+        cache = _RecordingCache()
+        setattr(ft, _CACHE_ATTR, cache)
+        for i in range(_CACHE_MAXSIZE * 2 + 3):
+            get_path_index(ft, uniform_random(32, 16, seed=100 + i))
+            assert len(cache) <= _CACHE_MAXSIZE
+        # the invariant held at every insertion, even transiently …
+        assert cache.max_len <= _CACHE_MAXSIZE
+        # … and eviction still lets the cache fill completely
+        assert cache.max_len == _CACHE_MAXSIZE
+        assert len(cache) == _CACHE_MAXSIZE
+
+    def test_lru_order_preserved_across_evictions(self):
+        ft = FatTree(32)
+        sets = [uniform_random(32, 16, seed=200 + i) for i in range(_CACHE_MAXSIZE + 1)]
+        first = get_path_index(ft, sets[0])
+        # touch set 0 again right before overflowing: it must survive
+        for ms in sets[1 : _CACHE_MAXSIZE]:
+            get_path_index(ft, ms)
+        assert get_path_index(ft, sets[0]) is first
+        get_path_index(ft, sets[_CACHE_MAXSIZE])  # evicts the true LRU (set 1)
+        assert get_path_index(ft, sets[0]) is first
+
+    @pytest.mark.parametrize("n_distinct", [_CACHE_MAXSIZE * 3])
+    def test_bounded_memory_under_digest_churn(self, n_distinct):
+        # >maxsize distinct message-set digests cycle through without
+        # the cache ever pinning more than maxsize indexes
+        ft = FatTree(16)
+        for i in range(n_distinct):
+            get_path_index(ft, uniform_random(16, 8, seed=1000 + i))
+            cache = getattr(ft, _CACHE_ATTR)
+            assert len(cache) <= _CACHE_MAXSIZE

@@ -1,0 +1,115 @@
+"""Wire-format tests: parsing, validation, serialisation round-trips."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    CODE_OVERLOADED,
+    ControlRequest,
+    ProtocolError,
+    Refusal,
+    RouteRequest,
+    RouteResponse,
+    parse_request,
+)
+
+
+def line(**kw):
+    base = {"id": "r1", "src": [0, 1], "dst": [2, 3]}
+    base.update(kw)
+    return json.dumps(base)
+
+
+class TestParseRequest:
+    def test_minimal_defaults(self):
+        req = parse_request(line())
+        assert req == RouteRequest(id="r1", src=(0, 1), dst=(2, 3))
+        assert req.kernel == "greedy"
+        assert req.tenant == "default"
+        assert req.detail is False
+
+    def test_full_fields(self):
+        req = parse_request(
+            line(tenant="t", kernel="random_rank", order="given", seed=9, detail=True)
+        )
+        assert (req.tenant, req.kernel, req.order, req.seed, req.detail) == (
+            "t", "random_rank", "given", 9, True,
+        )
+
+    def test_metrics_op(self):
+        req = parse_request('{"op": "metrics", "id": "m"}')
+        assert req == ControlRequest(op="metrics", id="m")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not json",
+            "[1, 2]",
+            '{"src": [0], "dst": [1]}',  # no id
+            line(src="zero"),
+            line(src=[0.5], dst=[1]),
+            line(src=[True], dst=[1]),
+            line(src=[0, 1], dst=[2]),  # length mismatch
+            line(kernel="quantum"),
+            line(order="shuffled"),
+            line(seed="zero"),
+            line(seed=True),
+            line(detail=1),
+            line(tenant=7),
+            '{"op": "reboot", "id": "x"}',
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_request(bad)
+
+    def test_error_carries_request_id(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request(line(kernel="quantum"))
+        assert exc.value.request_id == "r1"
+
+    def test_message_set_range_checked_against_n(self):
+        req = parse_request(line(src=[0, 99], dst=[1, 2]))
+        with pytest.raises(ValueError):
+            req.message_set(16)
+        ms = req.message_set(128)
+        assert len(ms) == 2
+
+    def test_compat_key_groups_equivalent_requests(self):
+        a = parse_request(line(id="a", seed=4))
+        b = parse_request(line(id="b", src=[7], dst=[8], seed=4))
+        c = parse_request(line(id="c", seed=5))
+        assert a.compat_key() == b.compat_key()
+        assert a.compat_key() != c.compat_key()
+
+
+class TestSerialisation:
+    def test_response_round_trip(self):
+        resp = RouteResponse(
+            id="r1", tenant="default", kernel="greedy", num_cycles=2,
+            delivered=5, n_self=1, lam=2.5, elapsed_ms=1.25,
+            cycles=(((0, 1), (2, 3)), ((4, 5),)),
+        )
+        out = json.loads(resp.to_json())
+        assert out["ok"] is True
+        assert out["num_cycles"] == 2
+        assert out["cycles"] == [[[0, 1], [2, 3]], [[4, 5]]]
+
+    def test_response_omits_cycles_without_detail(self):
+        resp = RouteResponse(
+            id="r1", tenant="default", kernel="greedy", num_cycles=1,
+            delivered=1, n_self=0, lam=1.0, elapsed_ms=0.5,
+        )
+        assert "cycles" not in json.loads(resp.to_json())
+
+    def test_refusal_round_trip(self):
+        ref = Refusal(
+            id="r9", code=CODE_OVERLOADED, reason="load ceiling",
+            tenant="t", extra={"lam": 3.0},
+        )
+        out = json.loads(ref.to_json())
+        assert out == {
+            "id": "r9", "ok": False, "code": 429, "reason": "load ceiling",
+            "tenant": "t", "lam": 3.0,
+        }
