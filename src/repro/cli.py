@@ -492,20 +492,39 @@ def cmd_trace(args) -> int:
 def cmd_lint(args) -> int:
     from .lint import (
         lint_paths,
+        load_baseline,
+        render_github,
         render_json,
         render_rule_table,
         render_text,
+        write_baseline,
     )
 
     if args.list_rules:
         print(render_rule_table())
         return 0
     try:
-        result = lint_paths(args.paths, rule_ids=args.rule or None)
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        result = lint_paths(
+            args.paths,
+            rule_ids=args.rule or None,
+            project=args.project,
+            baseline=baseline,
+        )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    if args.write_baseline:
+        written = write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {len(written)} baseline entr(y/ies) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+    render = {
+        "json": render_json,
+        "github": render_github,
+    }.get(args.format, render_text)
     print(render(result))
     return result.exit_code
 
@@ -1021,14 +1040,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--format",
         default="text",
-        choices=["text", "json"],
-        help="report format (text: path:line:col lines; json: stable object)",
+        choices=["text", "json", "github"],
+        help="report format (text: path:line:col lines; json: stable "
+        "object; github: Actions ::error annotations)",
     )
     p.add_argument(
         "--rule",
         action="append",
         metavar="RULE-ID",
         help="run only this rule (repeatable; default: all rules)",
+    )
+    p.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program rules (call graph over every "
+        "package module: pickle-boundary, async-blocking, shm-lifecycle, "
+        "cache-invalidation, obs-rng-flow)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract grandfathered findings recorded in FILE",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot the (post-baseline) findings to FILE and continue",
     )
     p.add_argument(
         "--list-rules",

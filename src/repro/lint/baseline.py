@@ -1,0 +1,100 @@
+"""Grandfathered-findings baseline: adopt tier 2 without a flag day.
+
+A baseline file records findings that existed when a rule landed, so
+the CI gate can fail on *new* findings only while the debt is paid
+down.  Entries key on ``(rule, normalised path, message)`` — not line
+numbers, which shift on every unrelated edit; a baselined finding that
+moves within its file stays baselined, one whose message changes (the
+code changed materially) resurfaces.
+
+The repo's own baseline is empty by design — every real finding the
+tier-2 rules surfaced was fixed in the PR that added them — but the
+mechanism is load-bearing for downstream forks and for future rules.
+
+Format: JSON, a versioned object with one entry per finding::
+
+    {"version": 1, "entries": [
+        {"rule": "async-blocking", "path": "src/repro/x.py",
+         "message": "..."}]}
+
+``repro lint --write-baseline FILE`` snapshots the current findings;
+``repro lint --baseline FILE`` subtracts them (counted separately in
+the summary, never failing the run).
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from collections.abc import Iterable
+
+from .findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def _norm_path(path: str) -> str:
+    """Normalise to forward slashes relative form so baselines travel
+    across checkouts and operating systems."""
+    return posixpath.normpath(path.replace("\\", "/")).lstrip("./") or "."
+
+
+class Baseline:
+    """An in-memory set of grandfathered findings."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()) -> None:
+        self._entries: set[tuple[str, str, str]] = set(entries)
+
+    @staticmethod
+    def key(finding: Finding) -> tuple[str, str, str]:
+        return (finding.rule, _norm_path(finding.path), finding.message)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return self.key(finding) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": _VERSION,
+            "entries": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in sorted(self._entries)
+            ],
+        }
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; raises ``ValueError`` on malformed input
+    (a silently ignored baseline would un-grandfather everything)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"baseline {path}: expected a version-{_VERSION} object"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: 'entries' must be a list")
+    keys = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str) for k in ("rule", "path", "message")
+        ):
+            raise ValueError(
+                f"baseline {path}: entry {i} needs string rule/path/message"
+            )
+        keys.append((entry["rule"], _norm_path(entry["path"]), entry["message"]))
+    return Baseline(keys)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> Baseline:
+    """Snapshot ``findings`` to ``path``; returns the written baseline."""
+    baseline = Baseline(Baseline.key(f) for f in findings)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return baseline

@@ -6,6 +6,15 @@ files and directories, infers each file's dotted module name from its
 path (overridable), applies every registered rule in scope, drops
 suppressed findings, and returns a :class:`LintResult` the reporters
 and the CLI exit-code logic consume.
+
+``lint_paths(..., project=True)`` is tier 2: after the per-module
+rules, every successfully parsed package module feeds one
+:class:`~repro.lint.project.ProjectContext` and the whole-program
+rules from :data:`~repro.lint.rules_project.PROJECT_RULES` run over
+it.  Project findings honour the same per-file suppression comments,
+and an optional :class:`~repro.lint.baseline.Baseline` subtracts
+grandfathered findings (counted in ``result.baselined``, never
+failing the run).
 """
 
 from __future__ import annotations
@@ -15,10 +24,12 @@ import os
 import tokenize
 from dataclasses import dataclass, field
 
+from .baseline import Baseline
 from .context import ModuleContext, infer_module_name
 from .findings import Finding, ParseFailure
 from .rules import RULES, Rule
-from .suppress import scan_suppressions
+from .rules_project import PROJECT_RULES, ProjectRule
+from .suppress import SuppressionIndex, scan_suppressions
 
 __all__ = ["LintResult", "lint_source", "lint_file", "lint_paths"]
 
@@ -42,12 +53,14 @@ class LintResult:
     parse_failures: list[ParseFailure] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    baselined: int = 0
 
     def merge(self, other: "LintResult") -> None:
         self.findings.extend(other.findings)
         self.parse_failures.extend(other.parse_failures)
         self.files_checked += other.files_checked
         self.suppressed += other.suppressed
+        self.baselined += other.baselined
 
     def sort(self) -> None:
         self.findings.sort(key=Finding.sort_key)
@@ -64,15 +77,35 @@ class LintResult:
         return 0
 
 
-def _select_rules(rule_ids: list[str] | None) -> list[Rule]:
+def _select_rules(
+    rule_ids: list[str] | None, *, project: bool = False
+) -> tuple[list[Rule], list[ProjectRule]]:
+    """Split a rule selection into (module rules, project rules).
+
+    Project rule ids are only selectable when ``project`` is on — they
+    need the whole-program context, so picking one in per-module mode
+    is a usage error, not a silent no-op.
+    """
     if rule_ids is None:
-        return list(RULES.values())
-    unknown = [r for r in rule_ids if r not in RULES]
+        return list(RULES.values()), (
+            list(PROJECT_RULES.values()) if project else []
+        )
+    known = set(RULES) | set(PROJECT_RULES)
+    unknown = [r for r in rule_ids if r not in known]
     if unknown:
         raise ValueError(
-            f"unknown rule id(s) {unknown}; known: {sorted(RULES)}"
+            f"unknown rule id(s) {unknown}; known: {sorted(known)}"
         )
-    return [RULES[r] for r in rule_ids]
+    project_picked = [r for r in rule_ids if r in PROJECT_RULES]
+    if project_picked and not project:
+        raise ValueError(
+            f"rule id(s) {project_picked} are project rules; "
+            f"they need --project"
+        )
+    return (
+        [RULES[r] for r in rule_ids if r in RULES],
+        [PROJECT_RULES[r] for r in project_picked],
+    )
 
 
 def lint_source(
@@ -89,7 +122,7 @@ def lint_source(
     outside the package.
     """
     result = LintResult(files_checked=1)
-    rules = _select_rules(rule_ids)
+    rules, _ = _select_rules(rule_ids)
     try:
         tree = ast.parse(source, filename=path)
         suppressions = scan_suppressions(source)
@@ -152,10 +185,60 @@ def lint_paths(
     paths: list[str],
     *,
     rule_ids: list[str] | None = None,
+    project: bool = False,
+    baseline: Baseline | None = None,
 ) -> LintResult:
-    """Lint every ``.py`` file under the given files/directories."""
+    """Lint every ``.py`` file under the given files/directories.
+
+    With ``project=True`` the per-module pass also collects every
+    successfully parsed file, builds one
+    :class:`~repro.lint.project.ProjectContext` over the package
+    modules, and runs the whole-program rules; their findings honour
+    each file's own suppression comments.  ``baseline`` subtracts
+    grandfathered findings from the final list.
+    """
+    module_rules, project_rules = _select_rules(rule_ids, project=project)
+    module_rule_ids = [r.id for r in module_rules] if rule_ids else None
     result = LintResult()
+    parsed: list[tuple[ModuleContext, SuppressionIndex]] = []
     for path in iter_python_files(paths):
-        result.merge(lint_file(path, rule_ids=rule_ids))
+        result.merge(lint_file(path, rule_ids=module_rule_ids))
+        if not project:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+            suppressions = scan_suppressions(source)
+        except (OSError, UnicodeDecodeError, SyntaxError, tokenize.TokenError):
+            continue  # already recorded as a parse failure above
+        parsed.append(
+            (
+                ModuleContext(path, source, tree, infer_module_name(path)),
+                suppressions,
+            )
+        )
+    if project and project_rules:
+        from .project import ProjectContext
+
+        suppression_for = {ctx.path: index for ctx, index in parsed}
+        project_ctx = ProjectContext(ctx for ctx, _ in parsed)
+        for rule in project_rules:
+            for finding in rule.check_project(project_ctx):
+                index = suppression_for.get(finding.path)
+                if index is not None and index.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
+    if baseline is not None and len(baseline):
+        kept = []
+        for finding in result.findings:
+            if finding in baseline:
+                result.baselined += 1
+            else:
+                kept.append(finding)
+        result.findings = kept
     result.sort()
     return result

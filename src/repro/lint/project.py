@@ -1,0 +1,552 @@
+"""Whole-program analysis context: every module of ``src/repro`` at once.
+
+The tier-1 rules see one file at a time, which is exactly why the PR 6–8
+bug classes slipped past them: a cache stashed in ``repro.perf`` riding
+a class pickled by ``repro.serve``, a blocking call three frames below
+an ``async def``, a capacity mutation whose fingerprint fold lives in a
+*different* module.  :class:`ProjectContext` parses the whole package
+once and derives the cross-module structure those rules need:
+
+* a **symbol table** of every module-level function, nested function
+  and class (methods included), keyed by canonical dotted qualname —
+  with re-export chasing, so ``repro.core.schedule_greedy_first_fit``
+  resolves to its defining ``repro.core.greedy`` twin;
+* an import-resolved **call graph** over those functions: direct calls,
+  local calls, ``self.method()`` dispatch through the project class
+  hierarchy, and one level of attribute-type inference
+  (``self.pool.submit()`` resolves through the ``self.pool = ShardPool
+  (...)`` assignment in ``__init__``);
+* a **class index** carrying base classes, class-level string-tuple
+  constants (``_EPHEMERAL_ATTRS``-style) and inferred attribute types.
+
+Everything is a syntactic approximation: calls through dicts of
+callables, ``getattr`` dispatch and monkeypatching produce no edges.
+The project rules are written so a missing edge can only produce a
+false *negative* on exotic code, never a spurious finding on plain
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from .context import ModuleContext
+
+__all__ = ["ClassInfo", "FunctionInfo", "ProjectContext"]
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+class FunctionInfo:
+    """One function (module-level, method, or nested) in the project."""
+
+    __slots__ = ("qualname", "module", "ctx", "node", "cls", "parent")
+
+    def __init__(
+        self,
+        qualname: str,
+        ctx: ModuleContext,
+        node: _FuncDef,
+        cls: "ClassInfo | None" = None,
+        parent: "FunctionInfo | None" = None,
+    ) -> None:
+        self.qualname = qualname
+        self.module = ctx.module or ""
+        self.ctx = ctx
+        self.node = node
+        #: owning class for methods, else None
+        self.cls = cls
+        #: enclosing function for nested defs, else None
+        self.parent = parent
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    def param_names(self) -> set[str]:
+        a = self.node.args
+        return {p.arg for p in a.args} | {p.arg for p in a.kwonlyargs} | {
+            p.arg for p in a.posonlyargs
+        }
+
+    def param_annotation(self, name: str) -> ast.expr | None:
+        a = self.node.args
+        for p in list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs):
+            if p.arg == name:
+                return p.annotation
+        return None
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.qualname})"
+
+
+class ClassInfo:
+    """One class definition: methods, bases, class-level constants."""
+
+    __slots__ = ("qualname", "module", "ctx", "node", "bases", "methods",
+                 "str_tuples", "attr_types")
+
+    def __init__(self, qualname: str, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        self.qualname = qualname
+        self.module = ctx.module or ""
+        self.ctx = ctx
+        self.node = node
+        #: canonical dotted names of the base classes (unresolvable bases
+        #: are recorded verbatim so external bases stay distinguishable)
+        self.bases: list[str] = []
+        self.methods: dict[str, FunctionInfo] = {}
+        #: class-level ``NAME = ("a", "b", …)`` string-tuple constants
+        self.str_tuples: dict[str, tuple[str, ...]] = {}
+        #: ``self.attr`` -> canonical type name, inferred from
+        #: ``self.attr = SomeClass(...)`` assignments and annotations
+        self.attr_types: dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return f"ClassInfo({self.qualname})"
+
+
+class ProjectContext:
+    """All parsed modules plus the derived cross-module structure."""
+
+    def __init__(self, contexts: Iterable[ModuleContext]) -> None:
+        #: dotted module name -> its ModuleContext (package modules only)
+        self.modules: dict[str, ModuleContext] = {
+            ctx.module: ctx for ctx in contexts if ctx.module is not None
+        }
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: caller qualname -> callee qualnames (project functions only)
+        self.calls: dict[str, set[str]] = {}
+        for ctx in self.modules.values():
+            self._index_module(ctx)
+        for info in list(self.functions.values()):
+            self._infer_attr_types(info)
+        for info in list(self.functions.values()):
+            self.calls[info.qualname] = set(self._callees(info))
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        assert ctx.module is not None
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(ctx, stmt, f"{ctx.module}.{stmt.name}")
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(ctx, stmt)
+
+    def _index_function(
+        self,
+        ctx: ModuleContext,
+        node: _FuncDef,
+        qualname: str,
+        cls: ClassInfo | None = None,
+        parent: FunctionInfo | None = None,
+    ) -> None:
+        info = FunctionInfo(qualname, ctx, node, cls, parent)
+        self.functions[qualname] = info
+        if cls is not None:
+            cls.methods[node.name] = info
+        for child in _immediate_defs(node):
+            self._index_function(
+                ctx, child, f"{qualname}.<locals>.{child.name}", None, info
+            )
+
+    def _index_class(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        assert ctx.module is not None
+        qualname = f"{ctx.module}.{node.name}"
+        cls = ClassInfo(qualname, ctx, node)
+        self.classes[qualname] = cls
+        for base in node.bases:
+            name = ctx.resolve_name(base)
+            if name is None and isinstance(base, ast.Name):
+                # a class defined earlier in the same module
+                name = f"{ctx.module}.{base.id}"
+            cls.bases.append(name or ast.dump(base))
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(ctx, stmt, f"{qualname}.{stmt.name}", cls)
+            else:
+                self._index_class_constant(cls, stmt)
+
+    def _index_class_constant(self, cls: ClassInfo, stmt: ast.stmt) -> None:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            return
+        if isinstance(value, (ast.Tuple, ast.List)) and value.elts and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            cls.str_tuples[target.id] = tuple(
+                e.value for e in value.elts  # type: ignore[misc]
+            )
+
+    def _infer_attr_types(self, info: FunctionInfo) -> None:
+        """Record ``self.attr`` types from assignments and annotations."""
+        cls = info.cls
+        if cls is None:
+            return
+        from .dataflow import walk_scope
+
+        for node in walk_scope(info.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            type_name: str | None = None
+            if annotation is not None:
+                type_name = self.resolve_annotation(annotation, info.ctx)
+            if type_name is None and isinstance(value, ast.Call):
+                called = self.resolve_symbol(info.ctx.resolve_call(value))
+                if called is None and isinstance(value.func, ast.Name):
+                    local = f"{info.module}.{value.func.id}"
+                    if local in self.classes:
+                        called = local
+                if called:
+                    type_name = called
+            if type_name:
+                cls.attr_types.setdefault(target.attr, type_name)
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve_symbol(self, name: str | None) -> str | None:
+        """Chase re-exports: canonical name -> defining qualname.
+
+        ``repro.core.schedule_greedy_first_fit`` (the package-level
+        re-export) resolves through ``repro.core.__init__``'s import
+        table to ``repro.core.greedy.schedule_greedy_first_fit``.
+        Unresolvable names come back unchanged.
+        """
+        seen: set[str] = set()
+        while name and name not in seen:
+            if name in self.functions or name in self.classes:
+                return name
+            seen.add(name)
+            rewritten = self._rewrite_via_imports(name)
+            if rewritten is None or rewritten == name:
+                break
+            name = rewritten
+        return name
+
+    def _rewrite_via_imports(self, name: str) -> str | None:
+        head = name
+        tail: list[str] = []
+        while head:
+            ctx = self.modules.get(head)
+            if ctx is not None and tail:
+                target = ctx.imports.get(tail[0])
+                if target is not None:
+                    return ".".join([target] + tail[1:])
+                return None
+            if "." not in head:
+                return None
+            head, _, last = head.rpartition(".")
+            tail.insert(0, last)
+        return None
+
+    def resolve_annotation(
+        self, annotation: ast.expr, ctx: ModuleContext
+    ) -> str | None:
+        """Canonical type name of an annotation (``X | None`` and
+        ``Optional[X]`` unwrap to ``X``; string annotations parse)."""
+        node: ast.expr | None = annotation
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        while True:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+                left_is_none = (
+                    isinstance(node.left, ast.Constant) and node.left.value is None
+                )
+                node = node.right if left_is_none else node.left
+                continue
+            if isinstance(node, ast.Subscript):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in ("Optional", "Annotated")
+                ) or (
+                    isinstance(base, ast.Attribute)
+                    and base.attr in ("Optional", "Annotated")
+                ):
+                    node = (
+                        node.slice.elts[0]
+                        if isinstance(node.slice, ast.Tuple)
+                        else node.slice
+                    )
+                    continue
+                node = base
+                continue
+            break
+        if node is None or not isinstance(node, (ast.Name, ast.Attribute)):
+            return None
+        resolved = ctx.resolve_name(node)
+        if resolved is None and isinstance(node, ast.Name):
+            # a class defined in the same module
+            local = f"{ctx.module}.{node.id}"
+            if local in self.classes:
+                return local
+        return self.resolve_symbol(resolved) if resolved else None
+
+    # -- class hierarchy ---------------------------------------------------
+
+    def mro(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """The class and its *project* ancestors, nearest first."""
+        seen: set[str] = set()
+        stack = [cls.qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            yield info
+            for base in info.bases:
+                resolved = self.resolve_symbol(base)
+                if resolved:
+                    stack.append(resolved)
+
+    def subclasses(self, qualname: str) -> list[ClassInfo]:
+        """Every project class with ``qualname`` in its ancestry."""
+        out = []
+        for cls in self.classes.values():
+            if cls.qualname == qualname:
+                continue
+            if any(a.qualname == qualname for a in self.mro(cls)):
+                out.append(cls)
+        return out
+
+    def find_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """Resolve a method through the project class hierarchy."""
+        for ancestor in self.mro(cls):
+            if name in ancestor.methods:
+                return ancestor.methods[name]
+        return None
+
+    # -- call graph --------------------------------------------------------
+
+    def _callees(self, info: FunctionInfo) -> Iterator[str]:
+        from .dataflow import walk_scope
+
+        ctx = info.ctx
+        local_defs = {
+            f.name: f.qualname
+            for f in self.functions.values()
+            if f.parent is info
+        }
+        module_defs = {
+            name: f"{ctx.module}.{name}" for name in ctx.module_level_defs()
+        }
+        # names of classes defined at module level, for Ctor() calls
+        module_classes = {
+            c.node.name: c.qualname
+            for c in self.classes.values()
+            if c.module == ctx.module
+        }
+        local_types = self._local_var_types(info)
+        for node in walk_scope(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._resolve_call_target(
+                info, node, local_defs, module_defs, module_classes, local_types
+            )
+            if target is not None:
+                yield target
+
+    def _local_var_types(self, info: FunctionInfo) -> dict[str, str]:
+        """``var -> class qualname`` for ``var = SomeClass(...)`` and
+        ``with SomeClass(...) as var`` bindings in the function."""
+        from .dataflow import walk_scope
+
+        types: dict[str, str] = {}
+
+        def record(name: str, value: ast.expr) -> None:
+            if not isinstance(value, ast.Call):
+                return
+            called = self.resolve_symbol(info.ctx.resolve_call(value))
+            if called is None and isinstance(value.func, ast.Name):
+                local = f"{info.module}.{value.func.id}"
+                if local in self.classes:
+                    called = local
+            if called is not None and (
+                called in self.classes or "." in called
+            ):
+                types[name] = called
+
+        for node in walk_scope(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                record(node.targets[0].id, node.value)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        record(item.optional_vars.id, item.context_expr)
+        return types
+
+    def _resolve_call_target(
+        self,
+        info: FunctionInfo,
+        call: ast.Call,
+        local_defs: dict[str, str],
+        module_defs: dict[str, str],
+        module_classes: dict[str, str],
+        local_types: dict[str, str],
+    ) -> str | None:
+        func = call.func
+        # imported / dotted call
+        canonical = info.ctx.resolve_call(call)
+        if canonical is not None:
+            resolved = self.resolve_symbol(canonical)
+            if resolved in self.functions:
+                return resolved
+            if resolved in self.classes:
+                init = self.find_method(self.classes[resolved], "__init__")
+                return init.qualname if init else None
+            return None
+        if isinstance(func, ast.Name):
+            if func.id in local_defs:
+                return local_defs[func.id]
+            if info.parent is not None:
+                # a sibling def in the enclosing scope
+                sibling = f"{info.parent.qualname}.<locals>.{func.id}"
+                if sibling in self.functions:
+                    return sibling
+            if func.id in module_defs and module_defs[func.id] in self.functions:
+                return module_defs[func.id]
+            if func.id in module_classes:
+                init = self.find_method(
+                    self.classes[module_classes[func.id]], "__init__"
+                )
+                return init.qualname if init else None
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        recv = func.value
+        # self.method(...)
+        if isinstance(recv, ast.Name) and recv.id == "self" and info.cls is not None:
+            method = self.find_method(info.cls, func.attr)
+            return method.qualname if method else None
+        # var.method(...) where var was constructed from a project class
+        # or is a parameter annotated with one
+        if isinstance(recv, ast.Name):
+            type_name = local_types.get(recv.id)
+            if type_name is None and recv.id in info.param_names():
+                annotation = info.param_annotation(recv.id)
+                if annotation is not None:
+                    type_name = self.resolve_annotation(annotation, info.ctx)
+            if type_name is not None:
+                cls = self.classes.get(type_name)
+                if cls is not None:
+                    method = self.find_method(cls, func.attr)
+                    return method.qualname if method else None
+                return None
+        # self.attr.method(...) through the inferred attribute type
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and info.cls is not None
+        ):
+            for ancestor in self.mro(info.cls):
+                attr_type = ancestor.attr_types.get(recv.attr)
+                if attr_type is not None:
+                    cls = self.classes.get(attr_type)
+                    if cls is not None:
+                        method = self.find_method(cls, func.attr)
+                        return method.qualname if method else None
+                    return None
+        return None
+
+    # -- receiver typing (for rules that match external types) -------------
+
+    def receiver_type(self, info: FunctionInfo, recv: ast.expr) -> str | None:
+        """Best-effort canonical type of a call receiver expression.
+
+        Resolves local constructor bindings, ``with … as var`` bindings,
+        inferred ``self.attr`` types (project *and* external classes,
+        e.g. ``concurrent.futures.ProcessPoolExecutor``), and annotated
+        parameters.  Returns ``None`` when nothing is known.
+        """
+        if isinstance(recv, ast.Call):
+            return self.resolve_symbol(info.ctx.resolve_call(recv))
+        if isinstance(recv, ast.Name):
+            local = self._local_var_types(info).get(recv.id)
+            if local is not None:
+                return local
+            if recv.id in info.param_names():
+                annotation = info.param_annotation(recv.id)
+                if annotation is not None:
+                    return self.resolve_annotation(annotation, info.ctx)
+            return None
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and info.cls is not None
+        ):
+            for ancestor in self.mro(info.cls):
+                if recv.attr in ancestor.attr_types:
+                    return ancestor.attr_types[recv.attr]
+        return None
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable(
+        self, roots: Iterable[str], *, module_prefix: str | None = None
+    ) -> set[str]:
+        """Transitive closure over the call graph from ``roots``.
+
+        ``module_prefix`` restricts traversal (and the result) to
+        functions whose module starts with the prefix — the
+        async-blocking rule walks only ``repro.serve``, say.
+        """
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            info = self.functions[qual]
+            if module_prefix is not None and not info.module.startswith(
+                module_prefix
+            ):
+                continue
+            seen.add(qual)
+            stack.extend(self.calls.get(qual, ()))
+        return seen
+
+
+def _immediate_defs(node: _FuncDef) -> Iterator[_FuncDef]:
+    """Function defs nested directly inside ``node``'s body (one level)."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+            continue
+        if isinstance(child, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(child))

@@ -48,7 +48,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:
+    from ..core.fattree import FatTree
     from ..obs import Obs
+    from .pathindex import PathIndex
 
 from ..core.errors import DeliveryTimeout, UnroutableError
 from ..core.message import MessageSet
@@ -59,7 +61,9 @@ __all__ = ["batch_schedule", "_reference_batch_schedule"]
 _KERNELS = ("greedy", "random_rank")
 
 
-def _combined_index(ft, message_sets, obs):
+def _combined_index(
+    ft: FatTree, message_sets: list[MessageSet], obs: "Obs | None"
+) -> "tuple[list[MessageSet], PathIndex, np.ndarray]":
     """One PathIndex over the concatenation of all routable sets.
 
     Paths depend only on (src, dst, depth), so the concatenated index's
@@ -89,7 +93,9 @@ def _combined_index(ft, message_sets, obs):
     return routables, index, offsets
 
 
-def _batch_greedy(ft, message_sets, order, obs):
+def _batch_greedy(
+    ft: FatTree, message_sets: list[MessageSet], order: str, obs: "Obs"
+) -> list[Schedule]:
     from ..core.greedy import _placement_order
     from ..core.online import _level_capacity_totals, _record_cycle
     from .firstfit import first_fit_assign
@@ -190,8 +196,14 @@ def _batch_greedy(ft, message_sets, order, obs):
 
 
 def _batch_random_rank(
-    ft, message_sets, seed, max_cycles, loss_rate, max_backoff, obs
-):
+    ft: FatTree,
+    message_sets: list[MessageSet],
+    seed: int,
+    max_cycles: int,
+    loss_rate: float | None,
+    max_backoff: int,
+    obs: "Obs",
+) -> list[Schedule]:
     from ..core.online import (
         _level_capacity_totals,
         _record_cycle,
@@ -378,7 +390,7 @@ def _batch_random_rank(
 
 
 def batch_schedule(
-    ft,
+    ft: FatTree,
     message_sets: list[MessageSet],
     *,
     kernel: str = "greedy",
@@ -439,7 +451,7 @@ def batch_schedule(
 
 
 def _reference_batch_schedule(
-    ft,
+    ft: FatTree,
     message_sets: list[MessageSet],
     *,
     kernel: str = "greedy",

@@ -41,12 +41,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from hashlib import blake2b
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.fattree import Direction, FatTree
 from ..core.message import MessageSet
 from ..obs import resolve_obs
+
+if TYPE_CHECKING:
+    from ..obs import Obs
 
 __all__ = [
     "PAD_GID",
@@ -67,7 +71,11 @@ _CACHE_MAXSIZE = 16
 _FP_ATTR = "_capacity_fp"
 
 
-def pack_gid(level, index, direction):
+def pack_gid(
+    level: "int | np.ndarray",
+    index: "int | np.ndarray",
+    direction: "int | np.ndarray",
+) -> "np.ndarray | np.int64":
     """Pack ``(level, index, direction)`` into a flat channel gid.
 
     Works elementwise on numpy arrays; ``direction`` is 0 (up) or 1
@@ -103,7 +111,7 @@ class PathIndex:
 
     __slots__ = ("n", "depth", "m", "num_slots", "paths", "caps", "path_len")
 
-    def __init__(self, ft: FatTree, messages: MessageSet):
+    def __init__(self, ft: FatTree, messages: MessageSet) -> None:
         if messages.n != ft.n:
             raise ValueError("message set and fat-tree disagree on n")
         depth = ft.depth
@@ -140,7 +148,7 @@ class PathIndex:
 
     # -- derived views ----------------------------------------------------
 
-    def rows(self, idx=None) -> np.ndarray:
+    def rows(self, idx: "np.ndarray | None" = None) -> np.ndarray:
         """Padded gid rows for a subset (or all) of the messages."""
         return self.paths if idx is None else self.paths[idx]
 
@@ -153,13 +161,13 @@ class PathIndex:
         row = self.paths[i]
         return [int(g) for g in row if g != PAD_GID]
 
-    def load_vector(self, idx=None) -> np.ndarray:
+    def load_vector(self, idx: "np.ndarray | None" = None) -> np.ndarray:
         """Per-gid channel loads of a subset (pads land in slot 0)."""
         return np.bincount(
             self.rows(idx).ravel(), minlength=self.num_slots
         ).astype(np.int64)
 
-    def level_loads(self, idx=None) -> np.ndarray:
+    def level_loads(self, idx: "np.ndarray | None" = None) -> np.ndarray:
         """Summed channel loads of a subset per ``(level, direction)``.
 
         Returns a ``(depth + 1, 2)`` int64 matrix (column 0 = up,
@@ -176,7 +184,7 @@ class PathIndex:
             out[k, 1] = block[1::2].sum()
         return out
 
-    def affected_rows(self, gids) -> np.ndarray:
+    def affected_rows(self, gids: "np.ndarray | list[int]") -> np.ndarray:
         """True per message iff its path crosses any of ``gids``.
 
         The membership test is one vectorised :func:`numpy.isin` pass
@@ -190,7 +198,9 @@ class PathIndex:
             return np.zeros(self.m, dtype=bool)
         return np.isin(self.paths, g).any(axis=1)
 
-    def invalidate_channels(self, ft: FatTree, gids) -> PathIndex:
+    def invalidate_channels(
+        self, ft: FatTree, gids: "np.ndarray | list[int]"
+    ) -> PathIndex:
         """Delta-rebuild: a new index with ``gids`` re-read from ``ft``.
 
         The path matrix and path lengths are *shared* with this index
@@ -329,7 +339,9 @@ def _shared_lookup(key: bytes) -> PathIndex | None:
     return index
 
 
-def get_path_index(ft: FatTree, messages: MessageSet, *, obs=None) -> PathIndex:
+def get_path_index(
+    ft: FatTree, messages: MessageSet, *, obs: "Obs | None" = None
+) -> PathIndex:
     """The :class:`PathIndex` of ``(ft, messages)``, cached on the tree.
 
     The cache lives on the ``FatTree`` instance and is keyed by a digest

@@ -105,38 +105,49 @@ def _install_one(spec: dict) -> None:
     if name in _HANDLES:
         return  # already attached in this process
     shm = shared_memory.SharedMemory(name=name)
-    # CPython registers shared memory on attach as well as on create.
-    # Whether that registration must be revoked depends on how this
-    # worker was started: a *forked* worker shares the parent's
-    # resource-tracker process, where the name is already registered by
-    # the owner — unregistering there would steal the parent's own
-    # registration (its unlink then trips a KeyError in the tracker).
-    # A *spawned* worker runs its own tracker, which would unlink the
-    # segment out from under the parent when this worker exits — there
-    # the attach registration must go.
-    tracker = resource_tracker._resource_tracker
-    if getattr(tracker, "_pid", None) != spec.get("tracker_pid"):
-        resource_tracker.unregister(shm._name, "shared_memory")
-    m, width, num_slots = spec["m"], spec["width"], spec["num_slots"]
-    paths = np.frombuffer(
-        shm.buf, dtype=np.int64, count=m * width, offset=0
-    ).reshape(m, width)
-    caps = np.frombuffer(
-        shm.buf, dtype=np.int64, count=num_slots, offset=m * width * 8
-    )
-    path_len = np.frombuffer(
-        shm.buf, dtype=np.int64, count=m, offset=(m * width + num_slots) * 8
-    )
-    for arr in (paths, caps, path_len):
-        arr.setflags(write=False)
-    index: PathIndex = object.__new__(PathIndex)
-    index.n = spec["n"]
-    index.depth = spec["depth"]
-    index.m = m
-    index.num_slots = num_slots
-    index.paths = paths
-    index.caps = caps
-    index.path_len = path_len
+    try:
+        # CPython registers shared memory on attach as well as on create.
+        # Whether that registration must be revoked depends on how this
+        # worker was started: a *forked* worker shares the parent's
+        # resource-tracker process, where the name is already registered
+        # by the owner — unregistering there would steal the parent's own
+        # registration (its unlink then trips a KeyError in the tracker).
+        # A *spawned* worker runs its own tracker, which would unlink the
+        # segment out from under the parent when this worker exits —
+        # there the attach registration must go.
+        tracker = resource_tracker._resource_tracker
+        if getattr(tracker, "_pid", None) != spec.get("tracker_pid"):
+            resource_tracker.unregister(shm._name, "shared_memory")
+        m, width, num_slots = spec["m"], spec["width"], spec["num_slots"]
+        paths = np.frombuffer(
+            shm.buf, dtype=np.int64, count=m * width, offset=0
+        ).reshape(m, width)
+        caps = np.frombuffer(
+            shm.buf, dtype=np.int64, count=num_slots, offset=m * width * 8
+        )
+        path_len = np.frombuffer(
+            shm.buf, dtype=np.int64, count=m, offset=(m * width + num_slots) * 8
+        )
+        for arr in (paths, caps, path_len):
+            arr.setflags(write=False)
+        index: PathIndex = object.__new__(PathIndex)
+        index.n = spec["n"]
+        index.depth = spec["depth"]
+        index.m = m
+        index.num_slots = num_slots
+        index.paths = paths
+        index.caps = caps
+        index.path_len = path_len
+    except BaseException:
+        # a malformed spec (or a truncated segment) must not leak the
+        # attached handle; numpy views created above may still export
+        # shm.buf, in which case close() raising BufferError would mask
+        # the real error — swallow only that
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        raise
     _HANDLES[name] = shm
     _REGISTRY[bytes.fromhex(spec["key"])] = index
 
@@ -190,24 +201,38 @@ class SharedPathIndexArena:
         self._counter += 1
         name = f"{SHM_NAME_PREFIX}{os.getpid()}_{self._counter}"
         shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
-        buf = np.frombuffer(shm.buf, dtype=np.int64, count=m * width + num_slots + m)
-        buf[: m * width] = index.paths.reshape(-1)
-        buf[m * width : m * width + num_slots] = index.caps
-        buf[m * width + num_slots :] = index.path_len
-        spec = {
-            "name": name,
-            "key": key.hex(),
-            "n": index.n,
-            "depth": index.depth,
-            "m": m,
-            "width": width,
-            "num_slots": num_slots,
-            # creating the segment above ensured the tracker is running;
-            # workers compare against this to detect a fork-shared tracker
-            "tracker_pid": getattr(
-                resource_tracker._resource_tracker, "_pid", None
-            ),
-        }
+        try:
+            buf = np.frombuffer(
+                shm.buf, dtype=np.int64, count=m * width + num_slots + m
+            )
+            buf[: m * width] = index.paths.reshape(-1)
+            buf[m * width : m * width + num_slots] = index.caps
+            buf[m * width + num_slots :] = index.path_len
+            spec = {
+                "name": name,
+                "key": key.hex(),
+                "n": index.n,
+                "depth": index.depth,
+                "m": m,
+                "width": width,
+                "num_slots": num_slots,
+                # creating the segment above ensured the tracker is
+                # running; workers compare against this to detect a
+                # fork-shared tracker
+                "tracker_pid": getattr(
+                    resource_tracker._resource_tracker, "_pid", None
+                ),
+            }
+        except BaseException:
+            # a failed copy must not leave an orphan name in /dev/shm;
+            # the view may still export shm.buf, so tolerate BufferError
+            # on close — unlink works regardless
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            shm.unlink()
+            raise
         self._segments.append(shm)
         self._specs.append(spec)
         return spec

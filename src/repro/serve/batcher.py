@@ -24,7 +24,14 @@ only from its single asyncio event loop, which serialises access.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .protocol import CODE_OVERLOADED, CODE_QUEUE_FULL, RouteRequest
+
+if TYPE_CHECKING:
+    import asyncio
+
+    from ..core.message import MessageSet
 
 __all__ = ["AdmissionController", "RequestBatcher", "PendingRequest"]
 
@@ -44,7 +51,7 @@ class AdmissionController:
         bandwidth.
     """
 
-    def __init__(self, *, lambda_ceiling: float, max_pending: int):
+    def __init__(self, *, lambda_ceiling: float, max_pending: int) -> None:
         if lambda_ceiling <= 0:
             raise ValueError(f"lambda_ceiling must be positive, got {lambda_ceiling}")
         if max_pending < 1:
@@ -92,7 +99,12 @@ class PendingRequest:
 
     __slots__ = ("request", "message_set", "waiter")
 
-    def __init__(self, request: RouteRequest, message_set, waiter):
+    def __init__(
+        self,
+        request: RouteRequest,
+        message_set: "MessageSet",
+        waiter: "asyncio.Future[dict]",
+    ) -> None:
         self.request = request
         self.message_set = message_set
         self.waiter = waiter
@@ -106,7 +118,7 @@ class RequestBatcher:
     fullness) or when the group's batching window expires.
     """
 
-    def __init__(self, *, max_batch: int):
+    def __init__(self, *, max_batch: int) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.max_batch = int(max_batch)

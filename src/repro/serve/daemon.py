@@ -26,9 +26,15 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import sys
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..core.message import MessageSet
+    from ..perf.shm import SharedPathIndexArena
 
 from ..core.fattree import FatTree
 from ..core.load import load_factor
@@ -97,7 +103,7 @@ class ServeEngine:
         config: ServeConfig | None = None,
         *,
         tenants: dict[str, FatTree] | None = None,
-    ):
+    ) -> None:
         from ..core.capacity import UniversalCapacity
 
         self.config = config or ServeConfig()
@@ -117,11 +123,18 @@ class ServeEngine:
         )
         self.batcher = RequestBatcher(max_batch=cfg.max_batch)
         self.metrics = MetricsRegistry(enabled=True)
-        self._arena = None
+        self._arena: SharedPathIndexArena | None = None
         specs: list[dict] = []
         if cfg.warm_sets and cfg.shards:
             specs = self._publish_warm_sets()
-        self.pool = ShardPool(cfg.shards, shared_specs=specs)
+        try:
+            self.pool = ShardPool(cfg.shards, shared_specs=specs)
+        except BaseException:
+            # a pool that failed to start must not orphan the published
+            # /dev/shm names — nobody else will ever unlink them
+            if self._arena is not None:
+                self._arena.close()
+            raise
         self._flush_timers: dict[tuple, asyncio.Task] = {}
         self._closed = False
 
@@ -244,7 +257,7 @@ class ServeEngine:
             ),
         ).as_dict()
 
-    async def _enqueue(self, request: RouteRequest, ms) -> dict:
+    async def _enqueue(self, request: RouteRequest, ms: "MessageSet") -> dict:
         """Park the request in its compat group; resolve with its result."""
         loop = asyncio.get_running_loop()
         waiter: asyncio.Future = loop.create_future()
@@ -356,24 +369,58 @@ async def _drain(tasks: set) -> None:
         await asyncio.gather(*tasks, return_exceptions=False)
 
 
+async def _stdout_writer(
+    loop: asyncio.AbstractEventLoop,
+) -> "asyncio.StreamWriter | None":
+    """A :class:`asyncio.StreamWriter` over the real stdout, or ``None``.
+
+    ``connect_write_pipe`` refuses descriptors the selector cannot poll
+    (a plain-file redirect on Linux, or a captured/StringIO stdout in
+    tests); callers then fall back to direct writes, which cannot block
+    meaningfully on those targets anyway.
+    """
+    try:
+        transport, protocol = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+    except (ValueError, OSError, AttributeError):
+        return None
+    # zero water marks: drain() returns only once the kernel accepted
+    # everything, so no response can sit in a buffer the loop teardown
+    # would discard
+    transport.set_write_buffer_limits(0)
+    return asyncio.StreamWriter(transport, protocol, None, loop)
+
+
 async def serve_stdio(engine: ServeEngine, *, limit: int = 2**20) -> int:
     """Serve JSON lines from stdin to stdout until EOF; returns 0.
 
     Requests are handled concurrently (each line spawns a task), so a
     big batch behind a slow one doesn't convoy; responses are written
     as they finish, in completion order — clients correlate by ``id``.
+    Output goes through an asyncio pipe transport so a slow reader
+    back-pressures the daemon instead of blocking the event loop (and
+    with it every other in-flight request) inside ``write``.
     """
     loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader(limit=limit)
     await loop.connect_read_pipe(
         lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
     )
+    writer = await _stdout_writer(loop)
     tasks: set[asyncio.Task] = set()
 
     async def handle(line: str) -> None:
         out = await engine.submit_line(line)
-        sys.stdout.write(out + "\n")
-        sys.stdout.flush()
+        if writer is not None:
+            writer.write((out + "\n").encode())
+            await writer.drain()
+        else:
+            # non-pollable stdout (file redirect / test capture): these
+            # targets complete the write in the kernel without waiting
+            # on a reader, so the direct call cannot stall the loop
+            sys.stdout.write(out + "\n")  # reprolint: ignore[async-blocking]
+            sys.stdout.flush()  # reprolint: ignore[async-blocking]
 
     while True:
         raw = await reader.readline()
@@ -386,6 +433,12 @@ async def serve_stdio(engine: ServeEngine, *, limit: int = 2**20) -> int:
         tasks.add(task)
         task.add_done_callback(tasks.discard)
     await _drain(tasks)
+    if writer is not None:
+        # flush whatever back-pressure buffered, then return stdout to
+        # blocking mode so the interpreter's exit-time flush (and any
+        # later print) behaves; closing would tear down fd 1 itself
+        await writer.drain()
+        os.set_blocking(sys.stdout.fileno(), True)
     return 0
 
 
@@ -403,7 +456,9 @@ async def serve_tcp(
     the task (or SIGINT the process) to stop.
     """
 
-    async def client(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    async def client(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         tasks: set[asyncio.Task] = set()
 
         async def handle(line: str) -> None:

@@ -71,7 +71,7 @@ class ProtocolError(ValueError):
     the daemon can address its ``400`` refusal to the right request.
     """
 
-    def __init__(self, message: str, *, request_id: str | None = None):
+    def __init__(self, message: str, *, request_id: str | None = None) -> None:
         super().__init__(message)
         self.request_id = request_id
 

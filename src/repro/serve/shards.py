@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from ..core.fattree import FatTree
     from ..core.message import MessageSet
+    from ..core.schedule import Schedule
     from ..obs import Obs
 
 from ..core.errors import DeliveryTimeout, UnroutableError
@@ -39,7 +40,7 @@ from .protocol import CODE_TIMEOUT, CODE_UNROUTABLE
 __all__ = ["ShardPool", "run_shard_batch"]
 
 
-def _ok_result(schedule, detail: bool) -> dict:
+def _ok_result(schedule: "Schedule", detail: bool) -> dict:
     out: dict = {
         "ok": True,
         "num_cycles": schedule.num_cycles,
@@ -54,7 +55,16 @@ def _ok_result(schedule, detail: bool) -> dict:
     return out
 
 
-def _solo_result(ft, ms, *, kernel, order, seed, detail, obs) -> dict:
+def _solo_result(
+    ft: "FatTree",
+    ms: "MessageSet",
+    *,
+    kernel: str,
+    order: str,
+    seed: int,
+    detail: bool,
+    obs: "Obs | None",
+) -> dict:
     """Schedule one set alone, mapping routing failures to refusal codes."""
     from ..core import schedule_greedy_first_fit, schedule_random_rank
 
@@ -164,7 +174,9 @@ class ShardPool:
     paid once, not per request.
     """
 
-    def __init__(self, shards: int, *, shared_specs: list[dict] | None = None):
+    def __init__(
+        self, shards: int, *, shared_specs: list[dict] | None = None
+    ) -> None:
         if shards < 0:
             raise ValueError(f"shards must be >= 0, got {shards}")
         self.shards = int(shards)

@@ -72,6 +72,7 @@ def simulate_network_on_fattree(
     volume: float | None = None,
     embedding: Embedding | None = None,
     capacity_constant: float = 1.0,
+    obs=None,
 ) -> SimulationResult:
     """Deliver ``messages`` (a workload for ``network``) on the universal
     fat-tree of the same volume; report the measured slowdown.
@@ -79,7 +80,8 @@ def simulate_network_on_fattree(
     ``t`` is the time R needs for the message set; if omitted it is
     measured by synchronous store-and-forward on R.  ``volume`` defaults
     to R's own wiring volume — the equal-hardware comparison of the
-    theorem.
+    theorem.  ``obs`` threads observability into the Theorem 1
+    scheduling pass.
     """
     if volume is None:
         volume = network.layout().volume
@@ -91,7 +93,7 @@ def simulate_network_on_fattree(
         t = simulate_store_and_forward(network, messages)
     translated = embedding.translate(messages)
     lam = load_factor(ft, translated)
-    sched = schedule_theorem1(ft, translated)
+    sched = schedule_theorem1(ft, translated, obs=obs)
     return SimulationResult(
         network_name=network.name,
         n=network.n,

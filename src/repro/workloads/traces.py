@@ -127,10 +127,13 @@ def allreduce_trace(n: int) -> Trace:
     return Trace("allreduce", [butterfly_exchange(n, k) for k in range(bits)])
 
 
-def schedule_trace(ft: FatTree, trace: Trace) -> tuple[list[Schedule], int]:
+def schedule_trace(
+    ft: FatTree, trace: Trace, *, obs=None
+) -> tuple[list[Schedule], int]:
     """Schedule every round of a trace; returns the per-round schedules
     and the total delivery-cycle count (rounds are dependent, so they
-    run in sequence)."""
-    schedules = [schedule_theorem1(ft, r) for r in trace.rounds]
+    run in sequence).  ``obs`` threads observability into every round's
+    scheduling pass."""
+    schedules = [schedule_theorem1(ft, r, obs=obs) for r in trace.rounds]
     total = sum(s.num_cycles for s in schedules)
     return schedules, total

@@ -77,6 +77,73 @@ class TestLintCommand:
         assert "rng-discipline" in out
         assert "kernel-oracle-pairing" in out
 
+    def test_list_rules_includes_project_section(self, capsys):
+        code, out, _ = run(capsys, "lint", "--list-rules")
+        assert code == 0
+        assert "project rules (require --project):" in out
+        assert "pickle-boundary" in out
+        assert "obs-rng-flow" in out
+
+
+class TestLintProjectCLI:
+    def test_src_tree_clean_under_project_lint(self, capsys):
+        """The CI tier-2 gate: whole-program rules over src/ must be
+        finding-free with no baseline."""
+        root = os.path.normpath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        code, out, _ = run(capsys, "lint", "--project", root)
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_project_rule_without_project_flag_errors(self, capsys):
+        code, _, err = run(
+            capsys, "lint", "--rule", "pickle-boundary", FIXTURES
+        )
+        assert code == 2
+        assert "--project" in err
+
+    def test_github_format(self, capsys):
+        path = os.path.join(FIXTURES, "bad_bare_except.py")
+        code, out, _ = run(capsys, "lint", path, "--format", "github")
+        assert code == 3
+        assert f"::error file={path},line=7,col=5," in out
+        assert "title=repro-lint bare-except::" in out
+        assert "::notice title=repro-lint summary::" in out
+
+    def test_write_then_apply_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        path = os.path.join(FIXTURES, "bad_bare_except.py")
+        code, _, err = run(
+            capsys, "lint", path, "--write-baseline", str(baseline)
+        )
+        assert code == 3
+        assert "wrote" in err
+        code, out, _ = run(capsys, "lint", path, "--baseline", str(baseline))
+        assert code == 0
+        assert "0 finding(s)" in out
+        assert "1 baselined" in out
+
+    def test_missing_baseline_file_errors(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys,
+            "lint",
+            "--baseline",
+            str(tmp_path / "absent.json"),
+            FIXTURES,
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_malformed_baseline_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99, "entries": []}\n')
+        code, _, err = run(
+            capsys, "lint", "--baseline", str(bad), FIXTURES
+        )
+        assert code == 2
+        assert "version" in err
+
 
 class TestFuzzLintCorpus:
     def test_reproducer_snippets_are_lint_clean(self, capsys):

@@ -9,7 +9,9 @@ import os
 import pytest
 
 from repro.lint import (
+    PROJECT_RULES,
     RULES,
+    all_project_rule_ids,
     all_rule_ids,
     infer_module_name,
     iter_python_files,
@@ -87,7 +89,7 @@ class TestRuleSelection:
         result = lint_source(src, rule_ids=["dtype-contract"])
         assert [f.rule for f in result.findings] == ["dtype-contract"]
 
-    def test_registry_has_the_eight_project_rules(self):
+    def test_registry_has_the_eight_module_rules(self):
         assert all_rule_ids() == sorted(RULES) == [
             "bare-except",
             "dtype-contract",
@@ -98,6 +100,22 @@ class TestRuleSelection:
             "rng-discipline",
             "schedule-hygiene",
         ]
+
+    def test_registry_has_the_five_project_rules(self):
+        assert all_project_rule_ids() == sorted(PROJECT_RULES) == [
+            "async-blocking",
+            "cache-invalidation",
+            "obs-rng-flow",
+            "pickle-boundary",
+            "shm-lifecycle",
+        ]
+        # the two registries never share an id: suppression comments and
+        # --rule selection would become ambiguous
+        assert not set(RULES) & set(PROJECT_RULES)
+
+    def test_project_rule_id_without_project_flag_raises(self):
+        with pytest.raises(ValueError, match="--project"):
+            lint_paths([], rule_ids=["pickle-boundary"])
 
 
 class TestModuleInference:
